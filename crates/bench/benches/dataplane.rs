@@ -1,0 +1,182 @@
+//! Criterion micro-benchmarks of the data-plane hot paths: chain
+//! generation, chain matching (Algorithm 1), packetisation, reorder
+//! ingestion, recovery decisions and the wire codecs.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use rlive_data::recovery::{FrameState, RecoveryConfig, RecoveryDecider, RecoveryStats};
+use rlive_data::reorder::ReorderBuffer;
+use rlive_data::sequencing::GlobalChain;
+use rlive_media::crc::crc32;
+use rlive_media::flv::{decode_stream, encode_file_header, encode_frame_tag, encode_tag};
+use rlive_media::footprint::ChainGenerator;
+use rlive_media::frame::{Frame, FrameType};
+use rlive_media::gop::{GopConfig, GopGenerator};
+use rlive_media::hash::fnv1a_u64;
+use rlive_media::packet::{packetize, DataPacket, PACKET_PAYLOAD};
+use rlive_media::substream::substream_of;
+use rlive_sim::{SimDuration, SimRng, SimTime};
+
+fn frames(n: usize) -> Vec<Frame> {
+    let mut g = GopGenerator::new(1, GopConfig::default(), SimRng::new(7));
+    g.take_frames(n)
+}
+
+fn bench_chain_generation(c: &mut Criterion) {
+    let fs = frames(1_000);
+    let mut group = c.benchmark_group("dataplane/chain_generation");
+    group.throughput(Throughput::Elements(fs.len() as u64));
+    group.bench_function("observe_1000_frames", |b| {
+        b.iter(|| {
+            let mut cg = ChainGenerator::new(PACKET_PAYLOAD);
+            for f in &fs {
+                black_box(cg.observe(&f.header));
+            }
+        })
+    });
+    group.finish();
+}
+
+fn bench_chain_matching(c: &mut Criterion) {
+    let fs = frames(1_000);
+    let mut cg = ChainGenerator::new(PACKET_PAYLOAD);
+    let chains: Vec<_> = fs.iter().map(|f| cg.observe(&f.header)).collect();
+    let mut group = c.benchmark_group("dataplane/algorithm1");
+    group.throughput(Throughput::Elements(fs.len() as u64));
+    group.bench_function("merge_1000_chains", |b| {
+        b.iter(|| {
+            let mut gc = GlobalChain::new();
+            for (f, ch) in fs.iter().zip(&chains) {
+                gc.ingest_header(f.header);
+                black_box(gc.ingest_chain(ch));
+                gc.pop_linked_head();
+            }
+        })
+    });
+    group.finish();
+}
+
+fn bench_packetize(c: &mut Criterion) {
+    let fs = frames(100);
+    let mut cg = ChainGenerator::new(PACKET_PAYLOAD);
+    let chains: Vec<_> = fs.iter().map(|f| cg.observe(&f.header)).collect();
+    let mut group = c.benchmark_group("dataplane/packetize");
+    group.throughput(Throughput::Elements(fs.len() as u64));
+    group.bench_function("packetize_100_frames", |b| {
+        b.iter(|| {
+            for (f, ch) in fs.iter().zip(&chains) {
+                let ss = substream_of(&f.header, 4).0;
+                black_box(packetize(f, ss, ch, 1));
+            }
+        })
+    });
+    group.finish();
+}
+
+fn bench_packet_codec(c: &mut Criterion) {
+    let fs = frames(1);
+    let mut cg = ChainGenerator::new(PACKET_PAYLOAD);
+    let chain = cg.observe(&fs[0].header);
+    let pkt = &packetize(&fs[0], 0, &chain, 1)[0];
+    let bytes = pkt.encode();
+    let mut group = c.benchmark_group("dataplane/packet_codec");
+    group.throughput(Throughput::Bytes(bytes.len() as u64));
+    group.bench_function("encode", |b| b.iter(|| black_box(pkt.encode())));
+    group.bench_function("decode", |b| {
+        b.iter(|| black_box(DataPacket::decode(&bytes)))
+    });
+    group.finish();
+}
+
+fn bench_reorder_ingest(c: &mut Criterion) {
+    let fs = frames(200);
+    let mut cg = ChainGenerator::new(PACKET_PAYLOAD);
+    let slices: Vec<_> = fs
+        .iter()
+        .map(|f| {
+            let chain = cg.observe(&f.header);
+            let total = f.packet_count(PACKET_PAYLOAD);
+            let received: Vec<u32> = (0..total).collect();
+            (f.header, received, total, chain)
+        })
+        .collect();
+    let mut group = c.benchmark_group("dataplane/reorder");
+    group.throughput(Throughput::Elements(fs.len() as u64));
+    group.bench_function("ingest_200_frames", |b| {
+        b.iter(|| {
+            let mut rb = ReorderBuffer::new();
+            for (i, (h, recv, total, chain)) in slices.iter().enumerate() {
+                let ss = substream_of(h, 4).0;
+                black_box(rb.ingest_slice(
+                    SimTime::from_millis(i as u64 * 33),
+                    *h,
+                    ss,
+                    recv,
+                    *total,
+                    Some(chain),
+                ));
+            }
+        })
+    });
+    group.finish();
+}
+
+fn bench_recovery_decide(c: &mut Criterion) {
+    let decider = RecoveryDecider::new(RecoveryConfig::default());
+    let stats = RecoveryStats::default();
+    let states: Vec<FrameState> = (0..16)
+        .map(|i| FrameState {
+            dts_ms: 1_000 + i * 33,
+            deadline: SimDuration::from_millis(200 + i * 33),
+            size: 12_000,
+            missing_packets: 1 + (i % 5) as u32,
+            frame_type: if i % 8 == 0 { FrameType::I } else { FrameType::P },
+            substream: (i % 4) as u16,
+        })
+        .collect();
+    let mut group = c.benchmark_group("dataplane/recovery");
+    group.throughput(Throughput::Elements(states.len() as u64));
+    group.bench_function("decide_16_frames", |b| {
+        b.iter(|| black_box(decider.decide(&states, &stats)))
+    });
+    group.finish();
+}
+
+fn bench_flv(c: &mut Criterion) {
+    let fs = frames(100);
+    let mut buf = bytes::BytesMut::new();
+    encode_file_header(&mut buf);
+    for f in &fs {
+        encode_tag(&mut buf, &encode_frame_tag(&f.header));
+    }
+    let encoded = buf.to_vec();
+    let mut group = c.benchmark_group("dataplane/flv");
+    group.throughput(Throughput::Bytes(encoded.len() as u64));
+    group.bench_function("decode_100_tag_stream", |b| {
+        b.iter(|| black_box(decode_stream(&encoded)).unwrap())
+    });
+    group.finish();
+}
+
+fn bench_hashes(c: &mut Criterion) {
+    let data = vec![0xAAu8; 1_500];
+    let mut group = c.benchmark_group("dataplane/hashes");
+    group.throughput(Throughput::Bytes(data.len() as u64));
+    group.bench_function("crc32_1500B", |b| b.iter(|| black_box(crc32(&data))));
+    group.bench_function("fnv1a_u64", |b| {
+        b.iter(|| black_box(fnv1a_u64(black_box(0xDEAD_BEEF))))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_chain_generation,
+    bench_chain_matching,
+    bench_packetize,
+    bench_packet_codec,
+    bench_reorder_ingest,
+    bench_recovery_decide,
+    bench_flv,
+    bench_hashes
+);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! End-to-end world benchmarks: one small simulated run per delivery
+//! mode, measuring simulator throughput (events are dominated by frame
+//! deliveries, so wall time per simulated second is the useful number).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use rlive::config::{DeliveryMode, SystemConfig};
+use rlive::world::{GroupPolicy, World};
+use rlive_sim::SimDuration;
+use rlive_workload::scenario::Scenario;
+
+fn scenario() -> Scenario {
+    let mut s = Scenario::evening_peak().scaled(0.05);
+    s.duration = SimDuration::from_secs(30);
+    s.streams = 2;
+    s.population.isps = 2;
+    s.population.regions = 2;
+    s
+}
+
+fn config(mode: DeliveryMode) -> SystemConfig {
+    let mut cfg = SystemConfig::for_mode(mode);
+    cfg.cdn_edge_mbps = 80;
+    cfg.multi_source_after = SimDuration::from_secs(5);
+    cfg.popularity_threshold = 1;
+    cfg
+}
+
+fn bench_world(c: &mut Criterion) {
+    let mut group = c.benchmark_group("endtoend/world_30s");
+    group.sample_size(10);
+    for mode in [
+        DeliveryMode::CdnOnly,
+        DeliveryMode::SingleSource,
+        DeliveryMode::RLive,
+    ] {
+        group.bench_function(format!("{mode:?}"), |b| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                let world = World::new(scenario(), config(mode), GroupPolicy::uniform(mode), seed);
+                black_box(world.run())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_world);
+criterion_main!(benches);

@@ -1,0 +1,92 @@
+//! `experiments` — regenerates every table and figure of the RLive
+//! paper's evaluation on the simulator.
+//!
+//! ```sh
+//! cargo run --release -p rlive-bench --bin experiments -- <subcommand>
+//! ```
+//!
+//! Subcommands map one-to-one to the paper's tables and figures; `all`
+//! runs everything. Output is paper-vs-measured comparison tables plus
+//! CSV series for the figure curves. Absolute values are simulator-scale;
+//! the claim being reproduced is the *shape* (who wins, rough factors).
+
+mod exp_ab;
+mod exp_ablation;
+mod exp_cases;
+mod exp_control;
+mod exp_motivation;
+mod exp_multi;
+
+const USAGE: &str = "\
+experiments — regenerate the RLive paper's tables and figures
+
+USAGE: experiments <subcommand> [seed]
+
+  fig1b      Best-effort node bandwidth capacity CDF
+  fig2a      Single-source vs CDN-only QoE degradation
+  fig2b      Traffic expansion rate distribution (single-source)
+  fig2c      Best-effort node lifespan CDF
+  fig2d      One-way delay jitter trace through one node
+  fig3       Retransmission success/latency, dedicated vs best-effort
+  table1     Diurnal streams/nodes overview
+  fig8       A/B split fairness (views / viewers)
+  fig9       A/B QoE results (rebuffering, bitrate, E2E latency)
+  table2     Equivalent traffic reduction
+  fig10      Client energy consumption deltas
+  fig11      Multi- vs single-source transmission
+  fig12      Global control plane statistics
+  table3     Centralized vs distributed frame sequencing
+  fig13      RTM protocol generality A/B
+  table4     FIFA World Cup case study
+  fallback   Fallback threshold trade-off sweep (§7.4)
+  ablation   Design ablations: probes, substreams, explore, nat, chain
+  all        Run everything
+";
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let cmd = args.get(1).map(String::as_str).unwrap_or("help");
+    let seed: u64 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(2026);
+
+    match cmd {
+        "fig1b" => exp_motivation::fig1b(seed),
+        "fig2a" => exp_motivation::fig2a(seed),
+        "fig2b" => exp_motivation::fig2b(seed),
+        "fig2c" => exp_motivation::fig2c(seed),
+        "fig2d" => exp_motivation::fig2d(seed),
+        "fig3" => exp_motivation::fig3(seed),
+        "table1" => exp_motivation::table1(),
+        "fig8" => exp_ab::fig8(seed),
+        "fig9" => exp_ab::fig9(seed),
+        "table2" => exp_ab::table2(seed),
+        "fig10" => exp_ab::fig10(seed),
+        "fig11" => exp_multi::fig11(seed),
+        "fig12" => exp_control::fig12(seed),
+        "table3" => exp_multi::table3(seed),
+        "fig13" => exp_cases::fig13(seed),
+        "table4" => exp_cases::table4(seed),
+        "fallback" => exp_cases::fallback_threshold(seed),
+        "ablation" => exp_ablation::all(seed),
+        "all" => {
+            exp_motivation::fig1b(seed);
+            exp_motivation::fig2a(seed);
+            exp_motivation::fig2b(seed);
+            exp_motivation::fig2c(seed);
+            exp_motivation::fig2d(seed);
+            exp_motivation::fig3(seed);
+            exp_motivation::table1();
+            exp_ab::fig8(seed);
+            exp_ab::fig9(seed);
+            exp_ab::table2(seed);
+            exp_ab::fig10(seed);
+            exp_multi::fig11(seed);
+            exp_control::fig12(seed);
+            exp_multi::table3(seed);
+            exp_cases::fig13(seed);
+            exp_cases::table4(seed);
+            exp_cases::fallback_threshold(seed);
+            exp_ablation::all(seed);
+        }
+        _ => print!("{USAGE}"),
+    }
+}

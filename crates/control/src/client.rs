@@ -1,0 +1,333 @@
+//! The client controller (§4.1.2, §4.2.1).
+//!
+//! After receiving candidates from the global scheduler, the client
+//! fine-tunes locally: it sends application-level connection probes to at
+//! most three candidates and takes the first responder (§4.1.2 — probing
+//! more yields <1 % success-rate gain at linear cost). During playback it
+//! monitors RTT and switches publishers when
+//! `RTT_cur > min_i(RTT_i + t_change)` (§4.2.1), and maintains a local
+//! blacklist of persistently failing nodes (§8.2).
+
+use crate::features::NodeId;
+use rlive_sim::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Client controller configuration.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ClientControllerConfig {
+    /// Maximum candidates probed per mapping round (deployed: 3).
+    pub max_probes: usize,
+    /// Switching cost `t_change` added to candidate RTTs: reconnection
+    /// plus initialisation delay.
+    pub t_change: SimDuration,
+    /// Consecutive failures before a node is locally blacklisted.
+    pub blacklist_after: u32,
+    /// How long a blacklist entry lasts.
+    pub blacklist_duration: SimDuration,
+    /// Interval of the periodic QoS assessment.
+    pub assess_interval: SimDuration,
+}
+
+impl Default for ClientControllerConfig {
+    fn default() -> Self {
+        ClientControllerConfig {
+            max_probes: 3,
+            t_change: SimDuration::from_millis(60),
+            blacklist_after: 3,
+            blacklist_duration: SimDuration::from_secs(120),
+            assess_interval: SimDuration::from_secs(2),
+        }
+    }
+}
+
+/// Result of probing one candidate.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ProbeOutcome {
+    /// The probed node.
+    pub node: NodeId,
+    /// Measured application-level RTT if the probe succeeded.
+    pub rtt: Option<SimDuration>,
+}
+
+/// A switching decision from the periodic assessment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SwitchDecision {
+    /// Stay on the current publisher.
+    Stay,
+    /// Switch to the given better candidate.
+    SwitchTo(NodeId),
+}
+
+/// Per-client mapping state for one substream.
+pub struct ClientController {
+    cfg: ClientControllerConfig,
+    /// Consecutive failure counts per node.
+    failures: HashMap<NodeId, u32>,
+    /// Blacklist expiry per node.
+    blacklist: HashMap<NodeId, SimTime>,
+    /// Last probe-measured RTT per candidate.
+    candidate_rtts: HashMap<NodeId, SimDuration>,
+}
+
+impl ClientController {
+    /// Creates a controller.
+    pub fn new(cfg: ClientControllerConfig) -> Self {
+        ClientController {
+            cfg,
+            failures: HashMap::new(),
+            blacklist: HashMap::new(),
+            candidate_rtts: HashMap::new(),
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &ClientControllerConfig {
+        &self.cfg
+    }
+
+    /// Filters a candidate list down to the nodes worth probing: skips
+    /// blacklisted entries and truncates to `max_probes`.
+    pub fn probe_list(&mut self, now: SimTime, candidates: &[NodeId]) -> Vec<NodeId> {
+        self.expire_blacklist(now);
+        candidates
+            .iter()
+            .copied()
+            .filter(|n| !self.blacklist.contains_key(n))
+            .take(self.cfg.max_probes)
+            .collect()
+    }
+
+    /// Ingests probe outcomes and returns the chosen publisher: the
+    /// *first successful responder* — in our synchronous model, the
+    /// successful probe with the lowest RTT.
+    pub fn select_from_probes(
+        &mut self,
+        now: SimTime,
+        outcomes: &[ProbeOutcome],
+    ) -> Option<NodeId> {
+        let mut best: Option<(NodeId, SimDuration)> = None;
+        for o in outcomes {
+            match o.rtt {
+                Some(rtt) => {
+                    self.record_success(o.node, rtt);
+                    if best.map(|(_, b)| rtt < b).unwrap_or(true) {
+                        best = Some((o.node, rtt));
+                    }
+                }
+                None => self.record_failure(now, o.node),
+            }
+        }
+        best.map(|(n, _)| n)
+    }
+
+    /// Records a successful interaction (probe or data) with a node.
+    pub fn record_success(&mut self, node: NodeId, rtt: SimDuration) {
+        self.failures.remove(&node);
+        self.candidate_rtts.insert(node, rtt);
+    }
+
+    /// Records a failure; blacklists the node after
+    /// `blacklist_after` consecutive failures.
+    pub fn record_failure(&mut self, now: SimTime, node: NodeId) {
+        let count = self.failures.entry(node).or_insert(0);
+        *count += 1;
+        if *count >= self.cfg.blacklist_after {
+            self.blacklist
+                .insert(node, now + self.cfg.blacklist_duration);
+            self.failures.remove(&node);
+            self.candidate_rtts.remove(&node);
+        }
+    }
+
+    /// Whether a node is currently blacklisted.
+    pub fn is_blacklisted(&mut self, now: SimTime, node: NodeId) -> bool {
+        self.expire_blacklist(now);
+        self.blacklist.contains_key(&node)
+    }
+
+    fn expire_blacklist(&mut self, now: SimTime) {
+        self.blacklist.retain(|_, &mut expiry| expiry > now);
+    }
+
+    /// The §4.2.1 switching rule: switch when the current publisher's
+    /// RTT exceeds the best candidate's RTT plus the switching cost.
+    ///
+    /// `candidates` carries fresh RTT measurements for the scheduler's
+    /// current candidate list (the client refreshes these periodically).
+    pub fn assess_switch(
+        &mut self,
+        now: SimTime,
+        current: NodeId,
+        current_rtt: SimDuration,
+        candidates: &[(NodeId, SimDuration)],
+    ) -> SwitchDecision {
+        self.expire_blacklist(now);
+        for &(n, rtt) in candidates {
+            self.candidate_rtts.insert(n, rtt);
+        }
+        let best = candidates
+            .iter()
+            .filter(|(n, _)| *n != current && !self.blacklist.contains_key(n))
+            .min_by_key(|(_, rtt)| *rtt);
+        match best {
+            Some(&(node, rtt)) if current_rtt > rtt + self.cfg.t_change => {
+                SwitchDecision::SwitchTo(node)
+            }
+            _ => SwitchDecision::Stay,
+        }
+    }
+
+    /// Last known RTT for a node, if measured.
+    pub fn known_rtt(&self, node: NodeId) -> Option<SimDuration> {
+        self.candidate_rtts.get(&node).copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn controller() -> ClientController {
+        ClientController::new(ClientControllerConfig::default())
+    }
+
+    fn ms(v: u64) -> SimDuration {
+        SimDuration::from_millis(v)
+    }
+
+    #[test]
+    fn probe_list_limited_to_three() {
+        let mut c = controller();
+        let candidates: Vec<NodeId> = (0..10).map(NodeId).collect();
+        let probes = c.probe_list(SimTime::ZERO, &candidates);
+        assert_eq!(probes.len(), 3);
+        assert_eq!(probes, vec![NodeId(0), NodeId(1), NodeId(2)]);
+    }
+
+    #[test]
+    fn first_successful_responder_wins() {
+        let mut c = controller();
+        let outcomes = [
+            ProbeOutcome {
+                node: NodeId(1),
+                rtt: None,
+            },
+            ProbeOutcome {
+                node: NodeId(2),
+                rtt: Some(ms(30)),
+            },
+            ProbeOutcome {
+                node: NodeId(3),
+                rtt: Some(ms(10)),
+            },
+        ];
+        assert_eq!(
+            c.select_from_probes(SimTime::ZERO, &outcomes),
+            Some(NodeId(3))
+        );
+    }
+
+    #[test]
+    fn all_probes_failing_returns_none() {
+        let mut c = controller();
+        let outcomes = [
+            ProbeOutcome {
+                node: NodeId(1),
+                rtt: None,
+            },
+            ProbeOutcome {
+                node: NodeId(2),
+                rtt: None,
+            },
+        ];
+        assert_eq!(c.select_from_probes(SimTime::ZERO, &outcomes), None);
+    }
+
+    #[test]
+    fn switching_rule_requires_margin() {
+        let mut c = controller();
+        let current = NodeId(1);
+        // Candidate is 10ms better but t_change is 60ms: stay.
+        let d = c.assess_switch(
+            SimTime::ZERO,
+            current,
+            ms(50),
+            &[(NodeId(2), ms(40))],
+        );
+        assert_eq!(d, SwitchDecision::Stay);
+        // Candidate is 100ms better: switch.
+        let d = c.assess_switch(
+            SimTime::ZERO,
+            current,
+            ms(150),
+            &[(NodeId(2), ms(40))],
+        );
+        assert_eq!(d, SwitchDecision::SwitchTo(NodeId(2)));
+    }
+
+    #[test]
+    fn switch_targets_minimum_rtt_candidate() {
+        let mut c = controller();
+        let d = c.assess_switch(
+            SimTime::ZERO,
+            NodeId(1),
+            ms(500),
+            &[(NodeId(2), ms(100)), (NodeId(3), ms(50)), (NodeId(4), ms(80))],
+        );
+        assert_eq!(d, SwitchDecision::SwitchTo(NodeId(3)));
+    }
+
+    #[test]
+    fn current_publisher_not_a_switch_target() {
+        let mut c = controller();
+        let d = c.assess_switch(SimTime::ZERO, NodeId(1), ms(500), &[(NodeId(1), ms(10))]);
+        assert_eq!(d, SwitchDecision::Stay);
+    }
+
+    #[test]
+    fn blacklist_after_consecutive_failures() {
+        let mut c = controller();
+        let t = SimTime::from_secs(1);
+        for _ in 0..3 {
+            c.record_failure(t, NodeId(5));
+        }
+        assert!(c.is_blacklisted(t, NodeId(5)));
+        // Blacklisted nodes are excluded from probe lists and switches.
+        let probes = c.probe_list(t, &[NodeId(5), NodeId(6)]);
+        assert_eq!(probes, vec![NodeId(6)]);
+        let d = c.assess_switch(t, NodeId(1), ms(500), &[(NodeId(5), ms(1))]);
+        assert_eq!(d, SwitchDecision::Stay);
+    }
+
+    #[test]
+    fn success_resets_failure_count() {
+        let mut c = controller();
+        let t = SimTime::from_secs(1);
+        c.record_failure(t, NodeId(5));
+        c.record_failure(t, NodeId(5));
+        c.record_success(NodeId(5), ms(20));
+        c.record_failure(t, NodeId(5));
+        assert!(!c.is_blacklisted(t, NodeId(5)));
+    }
+
+    #[test]
+    fn blacklist_expires() {
+        let mut c = controller();
+        let t0 = SimTime::from_secs(1);
+        for _ in 0..3 {
+            c.record_failure(t0, NodeId(5));
+        }
+        assert!(c.is_blacklisted(t0, NodeId(5)));
+        let later = t0 + SimDuration::from_secs(121);
+        assert!(!c.is_blacklisted(later, NodeId(5)));
+    }
+
+    #[test]
+    fn known_rtt_tracked() {
+        let mut c = controller();
+        assert_eq!(c.known_rtt(NodeId(1)), None);
+        c.record_success(NodeId(1), ms(25));
+        assert_eq!(c.known_rtt(NodeId(1)), Some(ms(25)));
+    }
+}

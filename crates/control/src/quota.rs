@@ -1,0 +1,235 @@
+//! Quota-based node availability (§8.1).
+//!
+//! Advertised bandwidth of heterogeneous best-effort nodes is unreliable,
+//! and bandwidth is not always the bottleneck: nodes hit CPU, memory or
+//! session-count limits at low (~10 %) bandwidth utilisation. Each node
+//! therefore logs its bottleneck during stress testing and runtime
+//! monitoring, and availability is evaluated as the *minimum headroom
+//! across dimensions* rather than bandwidth alone.
+
+use serde::{Deserialize, Serialize};
+
+/// A resource dimension a node can bottleneck on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Resource {
+    /// Uplink bandwidth.
+    Bandwidth,
+    /// CPU cycles (packetisation, chain generation, crypto).
+    Cpu,
+    /// Memory (subscriber state, frame buffers).
+    Memory,
+    /// Concurrent session/socket count (NAT table, fd limits).
+    Sessions,
+}
+
+impl Resource {
+    /// All dimensions.
+    pub const ALL: [Resource; 4] = [
+        Resource::Bandwidth,
+        Resource::Cpu,
+        Resource::Memory,
+        Resource::Sessions,
+    ];
+}
+
+/// Per-dimension capacity and usage.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Quota {
+    /// Capacity in dimension-specific units.
+    pub capacity: f64,
+    /// Current usage in the same units.
+    pub used: f64,
+}
+
+impl Quota {
+    /// Creates a quota with zero usage.
+    pub fn new(capacity: f64) -> Self {
+        Quota {
+            capacity,
+            used: 0.0,
+        }
+    }
+
+    /// Fractional headroom in `[0, 1]`.
+    pub fn headroom(&self) -> f64 {
+        if self.capacity <= 0.0 {
+            0.0
+        } else {
+            ((self.capacity - self.used) / self.capacity).clamp(0.0, 1.0)
+        }
+    }
+
+    /// Fractional utilisation in `[0, 1]`.
+    pub fn utilization(&self) -> f64 {
+        1.0 - self.headroom()
+    }
+}
+
+/// The multi-dimensional quota set of one node.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NodeQuotas {
+    /// Bandwidth quota in Mbps.
+    pub bandwidth: Quota,
+    /// CPU quota in normalised "cores".
+    pub cpu: Quota,
+    /// Memory quota in MB.
+    pub memory: Quota,
+    /// Session-count quota.
+    pub sessions: Quota,
+}
+
+impl NodeQuotas {
+    /// Builds quotas from per-dimension capacities.
+    pub fn new(bandwidth_mbps: f64, cpu_cores: f64, memory_mb: f64, max_sessions: f64) -> Self {
+        NodeQuotas {
+            bandwidth: Quota::new(bandwidth_mbps),
+            cpu: Quota::new(cpu_cores),
+            memory: Quota::new(memory_mb),
+            sessions: Quota::new(max_sessions),
+        }
+    }
+
+    /// Access one dimension.
+    pub fn get(&self, r: Resource) -> &Quota {
+        match r {
+            Resource::Bandwidth => &self.bandwidth,
+            Resource::Cpu => &self.cpu,
+            Resource::Memory => &self.memory,
+            Resource::Sessions => &self.sessions,
+        }
+    }
+
+    /// Mutable access to one dimension.
+    pub fn get_mut(&mut self, r: Resource) -> &mut Quota {
+        match r {
+            Resource::Bandwidth => &mut self.bandwidth,
+            Resource::Cpu => &mut self.cpu,
+            Resource::Memory => &mut self.memory,
+            Resource::Sessions => &mut self.sessions,
+        }
+    }
+
+    /// The node's availability: minimum headroom across dimensions.
+    pub fn availability(&self) -> f64 {
+        Resource::ALL
+            .iter()
+            .map(|&r| self.get(r).headroom())
+            .fold(1.0, f64::min)
+    }
+
+    /// The dimension currently closest to exhaustion.
+    pub fn bottleneck(&self) -> Resource {
+        Resource::ALL
+            .iter()
+            .copied()
+            .min_by(|&a, &b| {
+                self.get(a)
+                    .headroom()
+                    .partial_cmp(&self.get(b).headroom())
+                    .expect("headroom is finite")
+            })
+            .expect("ALL is non-empty")
+    }
+
+    /// Whether an additional session with the given footprint fits.
+    pub fn admits(&self, bandwidth_mbps: f64, cpu_cores: f64, memory_mb: f64) -> bool {
+        self.bandwidth.used + bandwidth_mbps <= self.bandwidth.capacity
+            && self.cpu.used + cpu_cores <= self.cpu.capacity
+            && self.memory.used + memory_mb <= self.memory.capacity
+            && self.sessions.used + 1.0 <= self.sessions.capacity
+    }
+
+    /// Reserves resources for one session. Returns `false` (and reserves
+    /// nothing) if the session does not fit.
+    pub fn reserve(&mut self, bandwidth_mbps: f64, cpu_cores: f64, memory_mb: f64) -> bool {
+        if !self.admits(bandwidth_mbps, cpu_cores, memory_mb) {
+            return false;
+        }
+        self.bandwidth.used += bandwidth_mbps;
+        self.cpu.used += cpu_cores;
+        self.memory.used += memory_mb;
+        self.sessions.used += 1.0;
+        true
+    }
+
+    /// Releases resources of one departing session.
+    pub fn release(&mut self, bandwidth_mbps: f64, cpu_cores: f64, memory_mb: f64) {
+        self.bandwidth.used = (self.bandwidth.used - bandwidth_mbps).max(0.0);
+        self.cpu.used = (self.cpu.used - cpu_cores).max(0.0);
+        self.memory.used = (self.memory.used - memory_mb).max(0.0);
+        self.sessions.used = (self.sessions.used - 1.0).max(0.0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quotas() -> NodeQuotas {
+        NodeQuotas::new(100.0, 2.0, 512.0, 50.0)
+    }
+
+    #[test]
+    fn headroom_and_utilization() {
+        let mut q = Quota::new(10.0);
+        assert_eq!(q.headroom(), 1.0);
+        q.used = 7.5;
+        assert!((q.headroom() - 0.25).abs() < 1e-12);
+        assert!((q.utilization() - 0.75).abs() < 1e-12);
+        q.used = 20.0;
+        assert_eq!(q.headroom(), 0.0);
+    }
+
+    #[test]
+    fn zero_capacity_has_no_headroom() {
+        assert_eq!(Quota::new(0.0).headroom(), 0.0);
+    }
+
+    #[test]
+    fn availability_is_min_across_dimensions() {
+        let mut q = quotas();
+        // 10% bandwidth used but CPU nearly exhausted: availability must
+        // follow CPU — the paper's point about non-bandwidth bottlenecks.
+        q.bandwidth.used = 10.0;
+        q.cpu.used = 1.9;
+        assert!((q.availability() - 0.05).abs() < 1e-9);
+        assert_eq!(q.bottleneck(), Resource::Cpu);
+    }
+
+    #[test]
+    fn reserve_and_release_round_trip() {
+        let mut q = quotas();
+        assert!(q.reserve(5.0, 0.1, 16.0));
+        assert_eq!(q.sessions.used, 1.0);
+        q.release(5.0, 0.1, 16.0);
+        assert_eq!(q.bandwidth.used, 0.0);
+        assert_eq!(q.sessions.used, 0.0);
+    }
+
+    #[test]
+    fn reserve_rejects_overflow_without_partial_effects() {
+        let mut q = quotas();
+        q.memory.used = 510.0;
+        assert!(!q.reserve(5.0, 0.1, 16.0));
+        // Nothing was reserved.
+        assert_eq!(q.bandwidth.used, 0.0);
+        assert_eq!(q.sessions.used, 0.0);
+    }
+
+    #[test]
+    fn session_count_limits() {
+        let mut q = NodeQuotas::new(1000.0, 100.0, 10_000.0, 2.0);
+        assert!(q.reserve(1.0, 0.01, 1.0));
+        assert!(q.reserve(1.0, 0.01, 1.0));
+        assert!(!q.reserve(1.0, 0.01, 1.0), "third session exceeds limit");
+        assert_eq!(q.bottleneck(), Resource::Sessions);
+    }
+
+    #[test]
+    fn release_clamps_at_zero() {
+        let mut q = quotas();
+        q.release(50.0, 1.0, 100.0);
+        assert_eq!(q.bandwidth.used, 0.0);
+        assert_eq!(q.availability(), 1.0);
+    }
+}

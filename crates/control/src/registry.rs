@@ -1,0 +1,418 @@
+//! Tree-based hash structure for candidate retrieval (§4.1.1).
+//!
+//! Top-K selection over ~1M nodes per request is too expensive, so the
+//! scheduler first narrows the pool with a layered hash tree over static
+//! attributes. Retrieval seeks exact matches along the full attribute
+//! path (stream → ISP → node type → region); when too few nodes match,
+//! the criteria are relaxed progressively in reverse priority order
+//! (region first, then node type, then ISP, and finally the stream
+//! constraint itself), broadening the search while keeping the most
+//! important attributes pinned as long as possible.
+
+use crate::features::{NodeClass, NodeId, StreamKey};
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
+
+/// The attribute path of one indexed entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct AttrPath {
+    /// Substream the node is forwarding, or `None` for the idle index.
+    pub stream: Option<StreamKey>,
+    /// Node ISP.
+    pub isp: u16,
+    /// Node quality tier.
+    pub class: NodeClass,
+    /// Node region.
+    pub region: u16,
+}
+
+/// A query: the client's preferred attribute values.
+#[derive(Debug, Clone, Copy)]
+pub struct AttrQuery {
+    /// The substream being requested.
+    pub stream: StreamKey,
+    /// Client ISP (same-ISP nodes avoid cross-ISP transit).
+    pub isp: u16,
+    /// Preferred node class.
+    pub class: NodeClass,
+    /// Client region.
+    pub region: u16,
+}
+
+/// How specific a retrieval result still is after relaxation.
+#[derive(
+    Debug,
+    Clone,
+    Copy,
+    PartialEq,
+    Eq,
+    PartialOrd,
+    Ord,
+    serde::Serialize,
+    serde::Deserialize,
+)]
+pub enum MatchLevel {
+    /// Full path matched: stream + ISP + class + region.
+    Exact,
+    /// Region relaxed.
+    AnyRegion,
+    /// Region and class relaxed.
+    AnyClass,
+    /// Region, class and ISP relaxed (stream still pinned).
+    AnyIsp,
+    /// Stream relaxed too: node not yet forwarding the substream.
+    AnyStream,
+}
+
+/// The layered hash tree.
+///
+/// Levels are `stream → isp → class → region → {nodes}`, each level a
+/// hash map, mirroring the paper's "specialized hash functions at each
+/// layer". Nodes are indexed once per forwarded substream plus once in
+/// the idle index (`stream = None`) so that not-yet-forwarding nodes are
+/// reachable after full relaxation.
+#[derive(Debug, Default)]
+pub struct HashTreeRegistry {
+    /// stream -> isp -> class -> region -> nodes
+    ///
+    /// Ordered maps keep retrieval order deterministic across runs —
+    /// candidate ordering feeds probing, so it is behavioural.
+    tree: BTreeMap<Option<StreamKey>, IspLevel>,
+    /// Reverse index for O(1) removal.
+    paths: HashMap<NodeId, Vec<AttrPath>>,
+}
+
+type RegionLevel = BTreeMap<u16, BTreeSet<NodeId>>;
+type ClassLevel = BTreeMap<NodeClassKey, RegionLevel>;
+type IspLevel = BTreeMap<u16, ClassLevel>;
+
+/// `NodeClass` is not `Ord`/`Hash`-friendly as a map key via derive on
+/// foreign maps; use a compact key type.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+struct NodeClassKey(u8);
+
+impl From<NodeClass> for NodeClassKey {
+    fn from(c: NodeClass) -> Self {
+        NodeClassKey(match c {
+            NodeClass::HighQuality => 0,
+            NodeClass::Normal => 1,
+        })
+    }
+}
+
+impl HashTreeRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Total number of indexed nodes.
+    pub fn len(&self) -> usize {
+        self.paths.len()
+    }
+
+    /// Whether the registry is empty.
+    pub fn is_empty(&self) -> bool {
+        self.paths.is_empty()
+    }
+
+    fn insert_path(&mut self, node: NodeId, path: AttrPath) {
+        self.tree
+            .entry(path.stream)
+            .or_default()
+            .entry(path.isp)
+            .or_default()
+            .entry(path.class.into())
+            .or_default()
+            .entry(path.region)
+            .or_default()
+            .insert(node);
+    }
+
+    fn remove_path(&mut self, node: NodeId, path: &AttrPath) {
+        if let Some(isp_level) = self.tree.get_mut(&path.stream) {
+            if let Some(class_level) = isp_level.get_mut(&path.isp) {
+                if let Some(region_level) = class_level.get_mut(&path.class.into()) {
+                    if let Some(nodes) = region_level.get_mut(&path.region) {
+                        nodes.remove(&node);
+                        if nodes.is_empty() {
+                            region_level.remove(&path.region);
+                        }
+                    }
+                    if region_level.is_empty() {
+                        class_level.remove(&path.class.into());
+                    }
+                }
+                if class_level.is_empty() {
+                    isp_level.remove(&path.isp);
+                }
+            }
+            if isp_level.is_empty() {
+                self.tree.remove(&path.stream);
+            }
+        }
+    }
+
+    /// (Re-)indexes a node under its static attributes and the set of
+    /// substreams it currently forwards.
+    pub fn index_node(
+        &mut self,
+        node: NodeId,
+        isp: u16,
+        class: NodeClass,
+        region: u16,
+        forwarding: impl IntoIterator<Item = StreamKey>,
+    ) {
+        self.remove_node(node);
+        let mut paths = vec![AttrPath {
+            stream: None,
+            isp,
+            class,
+            region,
+        }];
+        for key in forwarding {
+            paths.push(AttrPath {
+                stream: Some(key),
+                isp,
+                class,
+                region,
+            });
+        }
+        for p in &paths {
+            self.insert_path(node, *p);
+        }
+        self.paths.insert(node, paths);
+    }
+
+    /// Removes a node from every index entry.
+    pub fn remove_node(&mut self, node: NodeId) {
+        if let Some(paths) = self.paths.remove(&node) {
+            for p in paths {
+                self.remove_path(node, &p);
+            }
+        }
+    }
+
+    fn collect_region(out: &mut Vec<NodeId>, region_level: &RegionLevel, region: Option<u16>) {
+        match region {
+            Some(r) => {
+                if let Some(nodes) = region_level.get(&r) {
+                    out.extend(nodes.iter().copied());
+                }
+            }
+            None => {
+                for nodes in region_level.values() {
+                    out.extend(nodes.iter().copied());
+                }
+            }
+        }
+    }
+
+    fn collect(
+        &self,
+        stream: Option<StreamKey>,
+        isp: Option<u16>,
+        class: Option<NodeClass>,
+        region: Option<u16>,
+    ) -> Vec<NodeId> {
+        let mut out = Vec::new();
+        let Some(isp_level) = self.tree.get(&stream) else {
+            return out;
+        };
+        let isps: Vec<&ClassLevel> = match isp {
+            Some(i) => isp_level.get(&i).into_iter().collect(),
+            None => isp_level.values().collect(),
+        };
+        for class_level in isps {
+            let classes: Vec<&RegionLevel> = match class {
+                Some(c) => class_level.get(&c.into()).into_iter().collect(),
+                None => class_level.values().collect(),
+            };
+            for region_level in classes {
+                Self::collect_region(&mut out, region_level, region);
+            }
+        }
+        out
+    }
+
+    /// Retrieves at least `want` candidates for `query`, relaxing the
+    /// attribute path progressively. Returns the nodes (deduplicated,
+    /// most-specific matches first) and the coarsest relaxation level
+    /// that was needed.
+    pub fn retrieve(&self, query: &AttrQuery, want: usize) -> (Vec<NodeId>, MatchLevel) {
+        type Plan = (
+            MatchLevel,
+            Option<StreamKey>,
+            Option<u16>,
+            Option<NodeClass>,
+            Option<u16>,
+        );
+        let plans: [Plan; 5] = [
+            (
+                MatchLevel::Exact,
+                Some(query.stream),
+                Some(query.isp),
+                Some(query.class),
+                Some(query.region),
+            ),
+            (
+                MatchLevel::AnyRegion,
+                Some(query.stream),
+                Some(query.isp),
+                Some(query.class),
+                None,
+            ),
+            (
+                MatchLevel::AnyClass,
+                Some(query.stream),
+                Some(query.isp),
+                None,
+                None,
+            ),
+            (MatchLevel::AnyIsp, Some(query.stream), None, None, None),
+            (MatchLevel::AnyStream, None, Some(query.isp), None, None),
+        ];
+        let mut seen = HashSet::new();
+        let mut out = Vec::new();
+        let mut level = MatchLevel::Exact;
+        for (lvl, stream, isp, class, region) in plans {
+            level = lvl;
+            for n in self.collect(stream, isp, class, region) {
+                if seen.insert(n) {
+                    out.push(n);
+                }
+            }
+            if out.len() >= want {
+                return (out, level);
+            }
+        }
+        // Final fallback: any idle node anywhere.
+        for n in self.collect(None, None, None, None) {
+            if seen.insert(n) {
+                out.push(n);
+            }
+        }
+        (out, level)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(stream_id: u64, substream: u16) -> StreamKey {
+        StreamKey {
+            stream_id,
+            substream,
+        }
+    }
+
+    fn setup() -> HashTreeRegistry {
+        let mut reg = HashTreeRegistry::new();
+        // Node 1: forwarding stream (7,0), ISP 1, HQ, region 10.
+        reg.index_node(NodeId(1), 1, NodeClass::HighQuality, 10, [key(7, 0)]);
+        // Node 2: same ISP/class, different region, same stream.
+        reg.index_node(NodeId(2), 1, NodeClass::HighQuality, 20, [key(7, 0)]);
+        // Node 3: same ISP, Normal class, forwarding same stream.
+        reg.index_node(NodeId(3), 1, NodeClass::Normal, 10, [key(7, 0)]);
+        // Node 4: different ISP, forwarding same stream.
+        reg.index_node(NodeId(4), 2, NodeClass::HighQuality, 10, [key(7, 0)]);
+        // Node 5: idle node in client's ISP.
+        reg.index_node(NodeId(5), 1, NodeClass::Normal, 10, []);
+        reg
+    }
+
+    fn query() -> AttrQuery {
+        AttrQuery {
+            stream: key(7, 0),
+            isp: 1,
+            class: NodeClass::HighQuality,
+            region: 10,
+        }
+    }
+
+    #[test]
+    fn exact_match_first() {
+        let reg = setup();
+        let (nodes, level) = reg.retrieve(&query(), 1);
+        assert_eq!(level, MatchLevel::Exact);
+        assert_eq!(nodes[0], NodeId(1));
+    }
+
+    #[test]
+    fn relaxes_region_then_class_then_isp() {
+        let reg = setup();
+        let (nodes, level) = reg.retrieve(&query(), 2);
+        assert_eq!(level, MatchLevel::AnyRegion);
+        assert!(nodes.contains(&NodeId(2)));
+
+        let (nodes, level) = reg.retrieve(&query(), 3);
+        assert_eq!(level, MatchLevel::AnyClass);
+        assert!(nodes.contains(&NodeId(3)));
+
+        let (nodes, level) = reg.retrieve(&query(), 4);
+        assert_eq!(level, MatchLevel::AnyIsp);
+        assert!(nodes.contains(&NodeId(4)));
+    }
+
+    #[test]
+    fn relaxing_to_idle_nodes_last() {
+        let reg = setup();
+        let (nodes, level) = reg.retrieve(&query(), 5);
+        assert_eq!(level, MatchLevel::AnyStream);
+        assert!(nodes.contains(&NodeId(5)));
+        // Specific matches still come first.
+        assert_eq!(nodes[0], NodeId(1));
+    }
+
+    #[test]
+    fn no_duplicates_across_relaxations() {
+        let reg = setup();
+        let (nodes, _) = reg.retrieve(&query(), 100);
+        let unique: HashSet<_> = nodes.iter().collect();
+        assert_eq!(unique.len(), nodes.len());
+        assert_eq!(nodes.len(), 5);
+    }
+
+    #[test]
+    fn reindex_updates_forwarding() {
+        let mut reg = setup();
+        // Node 5 starts forwarding the stream: should now match without
+        // full relaxation.
+        reg.index_node(NodeId(5), 1, NodeClass::Normal, 10, [key(7, 0)]);
+        let (nodes, level) = reg.retrieve(&query(), 3);
+        assert_eq!(level, MatchLevel::AnyClass);
+        assert!(nodes.contains(&NodeId(5)));
+    }
+
+    #[test]
+    fn remove_node_clears_all_paths() {
+        let mut reg = setup();
+        reg.remove_node(NodeId(1));
+        let (nodes, _) = reg.retrieve(&query(), 100);
+        assert!(!nodes.contains(&NodeId(1)));
+        assert_eq!(reg.len(), 4);
+    }
+
+    #[test]
+    fn different_substreams_are_distinct() {
+        let mut reg = HashTreeRegistry::new();
+        reg.index_node(NodeId(1), 1, NodeClass::Normal, 1, [key(7, 0)]);
+        reg.index_node(NodeId(2), 1, NodeClass::Normal, 1, [key(7, 1)]);
+        let q = AttrQuery {
+            stream: key(7, 1),
+            isp: 1,
+            class: NodeClass::Normal,
+            region: 1,
+        };
+        let (nodes, level) = reg.retrieve(&q, 1);
+        assert_eq!(level, MatchLevel::Exact);
+        assert_eq!(nodes[0], NodeId(2));
+    }
+
+    #[test]
+    fn empty_registry_returns_nothing() {
+        let reg = HashTreeRegistry::new();
+        let (nodes, _) = reg.retrieve(&query(), 3);
+        assert!(nodes.is_empty());
+    }
+}

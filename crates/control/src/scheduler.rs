@@ -1,0 +1,532 @@
+//! The global scheduler (§4.1.1).
+//!
+//! The scheduler ingests node heartbeats, keeps per-node static and
+//! temporal state, and answers candidate-recommendation requests: it
+//! retrieves a pool from the [`crate::registry::HashTreeRegistry`],
+//! ranks the pool with the personalised availability/cost objective
+//! `argmax Σ aᵢ/pᵢ` (a node already forwarding the requested substream
+//! has no back-to-CDN cost), mixes in exploration candidates (§8.2), and
+//! returns the top-K. It also models the service's processing latency so
+//! Fig 12(a) can be regenerated.
+
+use crate::features::{
+    ClientInfo, Heartbeat, NodeClass, NodeId, NodeStatus, StaticFeatures, StreamKey,
+};
+use crate::registry::{AttrQuery, HashTreeRegistry, MatchLevel};
+use crate::scoring::{score, NatSuccessHistory, ScoreWeights};
+use rlive_sim::metrics::{Percentiles, Summary};
+use rlive_sim::{SimDuration, SimRng, SimTime};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Scheduler configuration.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SchedulerConfig {
+    /// Number of candidates returned to the client (top-K).
+    pub top_k: usize,
+    /// Heartbeats older than this mark a node stale and unrecommendable.
+    pub staleness: SimDuration,
+    /// Relative cost multiplier for a node that must newly subscribe to
+    /// the CDN (back-to-CDN traffic), versus one already forwarding.
+    pub back_to_cdn_cost: f64,
+    /// Fraction of the candidate list reserved for exploration (idle or
+    /// under-observed nodes), the §8.2 explore–exploit balance.
+    pub explore_fraction: f64,
+    /// Base processing time of one recommendation request.
+    pub service_base: SimDuration,
+    /// Additional processing time per scored candidate.
+    pub service_per_candidate: SimDuration,
+}
+
+impl Default for SchedulerConfig {
+    fn default() -> Self {
+        SchedulerConfig {
+            top_k: 8,
+            staleness: SimDuration::from_secs(30),
+            back_to_cdn_cost: 2.0,
+            explore_fraction: 0.2,
+            service_base: SimDuration::from_millis(20),
+            service_per_candidate: SimDuration::from_micros(100),
+        }
+    }
+}
+
+/// One recommended candidate, as returned to the client.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Candidate {
+    /// The node.
+    pub node: NodeId,
+    /// Its availability/cost rank score at recommendation time.
+    pub score: f64,
+    /// Whether the node was already forwarding the requested substream.
+    pub already_forwarding: bool,
+}
+
+/// A full recommendation response.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Recommendation {
+    /// The requested substream.
+    pub key: StreamKey,
+    /// Candidates, best first.
+    pub candidates: Vec<Candidate>,
+    /// Time the scheduler spent producing the answer (modelled).
+    pub service_time: SimDuration,
+    /// How far the registry had to relax the attribute match.
+    pub match_level: MatchLevel,
+}
+
+struct NodeRecord {
+    statics: StaticFeatures,
+    status: NodeStatus,
+    last_heartbeat: SimTime,
+}
+
+/// The global scheduler.
+///
+/// # Examples
+///
+/// ```
+/// use rlive_control::features::*;
+/// use rlive_control::scheduler::{GlobalScheduler, SchedulerConfig};
+/// use rlive_control::scoring::Platform;
+/// use rlive_sim::nat::NatType;
+/// use rlive_sim::{SimRng, SimTime};
+///
+/// let mut sched = GlobalScheduler::new(SchedulerConfig::default(), SimRng::new(1));
+/// let statics = StaticFeatures {
+///     isp: 1, region: 1, bgp_prefix: 9, geo: (0.0, 0.0),
+///     class: NodeClass::Normal, conn_type: ConnectionType::Cable,
+///     nat: NatType::FullCone,
+/// };
+/// sched.register_node(NodeId(1), statics, NodeStatus::idle(50.0));
+/// let client = ClientInfo {
+///     id: ClientId(7), isp: 1, region: 1, bgp_prefix: 9,
+///     geo: (0.0, 0.0), platform: Platform::Android,
+/// };
+/// let key = StreamKey { stream_id: 3, substream: 0 };
+/// let rec = sched.recommend(SimTime::from_secs(1), &client, key);
+/// assert_eq!(rec.candidates[0].node, NodeId(1));
+/// ```
+pub struct GlobalScheduler {
+    cfg: SchedulerConfig,
+    registry: HashTreeRegistry,
+    nodes: BTreeMap<NodeId, NodeRecord>,
+    nat_history: NatSuccessHistory,
+    rng: SimRng,
+    // Telemetry for Fig 12.
+    service_times: Percentiles,
+    requests: u64,
+    heartbeats: u64,
+    heartbeat_bytes: u64,
+}
+
+impl GlobalScheduler {
+    /// Creates a scheduler.
+    pub fn new(cfg: SchedulerConfig, rng: SimRng) -> Self {
+        GlobalScheduler {
+            cfg,
+            registry: HashTreeRegistry::new(),
+            nodes: BTreeMap::new(),
+            nat_history: NatSuccessHistory::default(),
+            rng,
+            service_times: Percentiles::new(),
+            requests: 0,
+            heartbeats: 0,
+            heartbeat_bytes: 0,
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &SchedulerConfig {
+        &self.cfg
+    }
+
+    /// Registers a node's static features (on first sight / re-register).
+    pub fn register_node(&mut self, node: NodeId, statics: StaticFeatures, status: NodeStatus) {
+        self.registry.index_node(
+            node,
+            statics.isp,
+            statics.class,
+            statics.region,
+            status.forwarding.iter().copied(),
+        );
+        self.nodes.insert(
+            node,
+            NodeRecord {
+                statics,
+                status,
+                last_heartbeat: SimTime::ZERO,
+            },
+        );
+    }
+
+    /// Removes a node entirely (e.g. observed offline).
+    pub fn deregister_node(&mut self, node: NodeId) {
+        self.registry.remove_node(node);
+        self.nodes.remove(&node);
+    }
+
+    /// Number of known nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Ingests one heartbeat, refreshing temporal state and the index.
+    pub fn ingest_heartbeat(&mut self, hb: Heartbeat) {
+        self.heartbeats += 1;
+        self.heartbeat_bytes += crate::features::heartbeat_wire_size(&hb.status) as u64;
+        if let Some(rec) = self.nodes.get_mut(&hb.node) {
+            let forwarding_changed = rec.status.forwarding != hb.status.forwarding;
+            rec.status = hb.status;
+            rec.last_heartbeat = hb.at;
+            if forwarding_changed {
+                let statics = rec.statics;
+                let forwarding: Vec<StreamKey> = rec.status.forwarding.iter().copied().collect();
+                self.registry.index_node(
+                    hb.node,
+                    statics.isp,
+                    statics.class,
+                    statics.region,
+                    forwarding,
+                );
+            }
+        }
+    }
+
+    /// Records the outcome of a client's connection attempt so the
+    /// NAT-specific success-rate term stays current.
+    pub fn observe_connection(&mut self, node: NodeId, success: bool) {
+        if let Some(rec) = self.nodes.get(&node) {
+            self.nat_history.observe(rec.statics.nat, success);
+        }
+    }
+
+    /// Mean stream-level utilisation across nodes forwarding `key` —
+    /// the `ū_stream` double-check used by the adviser's cost trigger
+    /// (§4.2.2).
+    pub fn stream_utilization(&self, key: StreamKey) -> Option<f64> {
+        let mut s = Summary::new();
+        for rec in self.nodes.values() {
+            if rec.status.forwarding.contains(&key) {
+                s.add(rec.status.utilization());
+            }
+        }
+        if s.count() == 0 {
+            None
+        } else {
+            Some(s.mean())
+        }
+    }
+
+    /// Produces the top-K candidate recommendation for `client`
+    /// requesting `key` at time `now`.
+    pub fn recommend(
+        &mut self,
+        now: SimTime,
+        client: &ClientInfo,
+        key: StreamKey,
+    ) -> Recommendation {
+        self.requests += 1;
+        let weights = ScoreWeights::for_platform(client.platform);
+        let query = AttrQuery {
+            stream: key,
+            isp: client.isp,
+            class: NodeClass::HighQuality,
+            region: client.region,
+        };
+        // Retrieve a pool several times K so ranking has slack.
+        let want = self.cfg.top_k * 8;
+        let (pool, match_level) = self.registry.retrieve(&query, want);
+
+        let mut scored: Vec<Candidate> = Vec::with_capacity(pool.len());
+        for node in pool {
+            let Some(rec) = self.nodes.get(&node) else {
+                continue;
+            };
+            if now.saturating_since(rec.last_heartbeat) > self.cfg.staleness
+                && rec.last_heartbeat != SimTime::ZERO
+            {
+                continue;
+            }
+            let already = rec.status.forwarding.contains(&key);
+            let availability = score(
+                &weights,
+                &rec.statics,
+                &rec.status,
+                client,
+                &self.nat_history,
+            );
+            // The §4.1.1 objective: availability over cost, where cost is
+            // the client's bandwidth alone when the node already forwards
+            // the substream, and includes back-to-CDN traffic otherwise.
+            let cost = if already {
+                1.0
+            } else {
+                self.cfg.back_to_cdn_cost
+            };
+            scored.push(Candidate {
+                node,
+                score: availability / cost,
+                already_forwarding: already,
+            });
+        }
+        scored.sort_by(|a, b| {
+            b.score
+                .partial_cmp(&a.score)
+                .expect("scores are finite")
+                .then_with(|| a.node.cmp(&b.node))
+        });
+
+        // Explore–exploit (§8.2): reserve a slice of the list for idle or
+        // underused nodes so the scheduler keeps observing them.
+        let k = self.cfg.top_k;
+        let exploit_n = ((1.0 - self.cfg.explore_fraction) * k as f64).round() as usize;
+        let mut result: Vec<Candidate> = scored.iter().take(exploit_n).copied().collect();
+        let explorable: Vec<Candidate> = scored
+            .iter()
+            .skip(exploit_n)
+            .filter(|c| !c.already_forwarding)
+            .copied()
+            .collect();
+        while result.len() < k && !explorable.is_empty() {
+            let pick = self.rng.below(explorable.len() as u64) as usize;
+            if !result.iter().any(|c| c.node == explorable[pick].node) {
+                result.push(explorable[pick]);
+            } else {
+                break;
+            }
+        }
+        // Fill any remaining slots from the ranked tail.
+        for c in scored.iter().skip(exploit_n) {
+            if result.len() >= k {
+                break;
+            }
+            if !result.iter().any(|r| r.node == c.node) {
+                result.push(*c);
+            }
+        }
+
+        let service_time = self.sample_service_time(scored.len());
+        self.service_times.add(service_time.as_millis_f64());
+        Recommendation {
+            key,
+            candidates: result,
+            service_time,
+            match_level,
+        }
+    }
+
+    fn sample_service_time(&mut self, candidates_scored: usize) -> SimDuration {
+        // Base cost plus per-candidate scoring plus a lognormal tail for
+        // queueing/GC/IO — calibrated to Fig 12(a): P50 ≈ 58 ms,
+        // P90 ≈ 111.5 ms.
+        let base = self.cfg.service_base
+            + self
+                .cfg
+                .service_per_candidate
+                .saturating_mul(candidates_scored as u64);
+        let tail = self.rng.lognormal(3.55, 0.7);
+        base + SimDuration::from_secs_f64(tail / 1000.0)
+    }
+
+    /// Service-time distribution accumulated so far (milliseconds).
+    pub fn service_time_stats(&mut self) -> &mut Percentiles {
+        &mut self.service_times
+    }
+
+    /// Total recommendation requests served.
+    pub fn request_count(&self) -> u64 {
+        self.requests
+    }
+
+    /// Total heartbeats ingested and their cumulative wire bytes.
+    pub fn heartbeat_stats(&self) -> (u64, u64) {
+        (self.heartbeats, self.heartbeat_bytes)
+    }
+
+    /// Iterates over known node ids (for tests and world wiring).
+    pub fn node_ids(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.nodes.keys().copied()
+    }
+
+    /// Looks up a node's current status.
+    pub fn node_status(&self, node: NodeId) -> Option<&NodeStatus> {
+        self.nodes.get(&node).map(|r| &r.status)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::features::{ClientId, ConnectionType};
+    use crate::scoring::Platform;
+    use rlive_sim::nat::NatType;
+
+    fn statics(isp: u16, region: u16, bgp: u32) -> StaticFeatures {
+        StaticFeatures {
+            isp,
+            region,
+            bgp_prefix: bgp,
+            geo: (0.0, 0.0),
+            class: NodeClass::HighQuality,
+            conn_type: ConnectionType::Cable,
+            nat: NatType::FullCone,
+        }
+    }
+
+    fn client() -> ClientInfo {
+        ClientInfo {
+            id: ClientId(1),
+            isp: 1,
+            region: 1,
+            bgp_prefix: 100,
+            geo: (0.0, 0.0),
+            platform: Platform::Android,
+        }
+    }
+
+    fn key() -> StreamKey {
+        StreamKey {
+            stream_id: 7,
+            substream: 0,
+        }
+    }
+
+    fn scheduler_with_nodes(n: u64) -> GlobalScheduler {
+        let mut s = GlobalScheduler::new(SchedulerConfig::default(), SimRng::new(1));
+        for i in 0..n {
+            let mut status = NodeStatus::idle(50.0);
+            if i % 2 == 0 {
+                status.forwarding.insert(key());
+                status.used_mbps = 10.0;
+            }
+            s.register_node(NodeId(i), statics(1, 1, 100 + i as u32), status);
+        }
+        s
+    }
+
+    #[test]
+    fn recommends_top_k() {
+        let mut s = scheduler_with_nodes(200);
+        let rec = s.recommend(SimTime::from_secs(1), &client(), key());
+        assert_eq!(rec.candidates.len(), s.config().top_k);
+        assert_eq!(rec.match_level, MatchLevel::Exact);
+    }
+
+    #[test]
+    fn forwarding_nodes_preferred_for_cost() {
+        let mut s = scheduler_with_nodes(40);
+        let rec = s.recommend(SimTime::from_secs(1), &client(), key());
+        // The exploit slice should be dominated by already-forwarding
+        // nodes (cost 1 vs back_to_cdn_cost 2).
+        let exploit = &rec.candidates[..5];
+        let forwarding = exploit.iter().filter(|c| c.already_forwarding).count();
+        assert!(forwarding >= 4, "forwarding in top-5: {forwarding}");
+    }
+
+    #[test]
+    fn exploration_mixes_in_idle_nodes() {
+        let mut s = scheduler_with_nodes(100);
+        let rec = s.recommend(SimTime::from_secs(1), &client(), key());
+        let idle = rec
+            .candidates
+            .iter()
+            .filter(|c| !c.already_forwarding)
+            .count();
+        assert!(idle >= 1, "no exploration candidates in {rec:?}");
+    }
+
+    #[test]
+    fn stale_nodes_excluded() {
+        let mut s = scheduler_with_nodes(10);
+        // All nodes heartbeat at t=10s.
+        for i in 0..10 {
+            let mut status = NodeStatus::idle(50.0);
+            status.forwarding.insert(key());
+            s.ingest_heartbeat(Heartbeat {
+                node: NodeId(i),
+                at: SimTime::from_secs(10),
+                status,
+            });
+        }
+        // At t=100s everything is stale (staleness 30s).
+        let rec = s.recommend(SimTime::from_secs(100), &client(), key());
+        assert!(rec.candidates.is_empty(), "{:?}", rec.candidates);
+        // At t=20s nodes are fresh.
+        let rec = s.recommend(SimTime::from_secs(20), &client(), key());
+        assert!(!rec.candidates.is_empty());
+    }
+
+    #[test]
+    fn heartbeat_updates_forwarding_index() {
+        let mut s = GlobalScheduler::new(SchedulerConfig::default(), SimRng::new(2));
+        s.register_node(NodeId(1), statics(1, 1, 100), NodeStatus::idle(50.0));
+        let rec = s.recommend(SimTime::from_secs(1), &client(), key());
+        assert!(rec.candidates.iter().all(|c| !c.already_forwarding));
+        let mut status = NodeStatus::idle(50.0);
+        status.forwarding.insert(key());
+        s.ingest_heartbeat(Heartbeat {
+            node: NodeId(1),
+            at: SimTime::from_secs(2),
+            status,
+        });
+        let rec = s.recommend(SimTime::from_secs(3), &client(), key());
+        assert!(rec.candidates[0].already_forwarding);
+    }
+
+    #[test]
+    fn service_time_distribution_matches_fig12a() {
+        let mut s = scheduler_with_nodes(200);
+        for i in 0..2_000 {
+            s.recommend(SimTime::from_secs(1 + i), &client(), key());
+        }
+        let p50 = s.service_time_stats().median();
+        let p90 = s.service_time_stats().quantile(0.9);
+        // Fig 12(a): median 58.2 ms, P90 111.5 ms. Shape check with slack.
+        assert!((40.0..80.0).contains(&p50), "p50 {p50}");
+        assert!((85.0..160.0).contains(&p90), "p90 {p90}");
+        assert!(p90 > p50 * 1.5);
+    }
+
+    #[test]
+    fn stream_utilization_aggregates() {
+        let mut s = GlobalScheduler::new(SchedulerConfig::default(), SimRng::new(3));
+        for i in 0..4 {
+            let mut status = NodeStatus::idle(100.0);
+            status.forwarding.insert(key());
+            status.used_mbps = 25.0 * i as f64; // 0, 25, 50, 75
+            s.register_node(NodeId(i), statics(1, 1, 1), status);
+        }
+        let u = s.stream_utilization(key()).expect("has forwarders");
+        assert!((u - 0.375).abs() < 1e-9, "u {u}");
+        assert!(s
+            .stream_utilization(StreamKey {
+                stream_id: 99,
+                substream: 0
+            })
+            .is_none());
+    }
+
+    #[test]
+    fn deregister_removes_from_recommendations() {
+        let mut s = scheduler_with_nodes(5);
+        for i in 0..5 {
+            s.deregister_node(NodeId(i));
+        }
+        let rec = s.recommend(SimTime::from_secs(1), &client(), key());
+        assert!(rec.candidates.is_empty());
+        assert_eq!(s.node_count(), 0);
+    }
+
+    #[test]
+    fn connection_observation_feeds_nat_history() {
+        let mut s = scheduler_with_nodes(2);
+        // Fail FullCone connections repeatedly; future scores drop but
+        // recommendation still works.
+        for _ in 0..100 {
+            s.observe_connection(NodeId(0), false);
+        }
+        let rec = s.recommend(SimTime::from_secs(1), &client(), key());
+        assert!(!rec.candidates.is_empty());
+    }
+}

@@ -1,0 +1,262 @@
+//! Personalised candidate scoring (§4.1.1).
+//!
+//! Each retrieved candidate gets a score
+//! `S(n, c) = α₁·N(n,c) + α₂·G(n,c) + α₃·R(n,c) + α₄·B(n)` combining
+//! same-network preference, geographic proximity, NAT-specific historical
+//! connection success rate, and residual bandwidth. The α weights differ
+//! by platform/application, so they are a first-class configuration.
+
+use crate::features::{geo_distance, ClientInfo, NodeStatus, StaticFeatures};
+use rlive_sim::nat::{NatType, TraversalModel};
+use serde::{Deserialize, Serialize};
+
+/// Client platform — selects the score weight profile (§4.1.1 notes the
+/// α weights differ across platforms and applications).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Platform {
+    /// Android devices, the population in the paper's A/B tests.
+    Android,
+    /// iOS devices.
+    Ios,
+    /// Smart-TV / set-top players.
+    Tv,
+}
+
+/// The α weights of the scoring formula.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ScoreWeights {
+    /// α₁: same-network (BGP prefix) preference.
+    pub same_network: f64,
+    /// α₂: geographic proximity.
+    pub proximity: f64,
+    /// α₃: NAT-specific connection success rate.
+    pub nat_success: f64,
+    /// α₄: residual bandwidth availability.
+    pub bandwidth: f64,
+}
+
+impl ScoreWeights {
+    /// The deployed weight profile for a platform.
+    pub fn for_platform(platform: Platform) -> Self {
+        match platform {
+            // Mobile links churn; success rate and proximity dominate.
+            Platform::Android => ScoreWeights {
+                same_network: 0.30,
+                proximity: 0.25,
+                nat_success: 0.30,
+                bandwidth: 0.15,
+            },
+            Platform::Ios => ScoreWeights {
+                same_network: 0.30,
+                proximity: 0.30,
+                nat_success: 0.25,
+                bandwidth: 0.15,
+            },
+            // TVs watch long sessions at high bitrate; bandwidth matters.
+            Platform::Tv => ScoreWeights {
+                same_network: 0.20,
+                proximity: 0.20,
+                nat_success: 0.25,
+                bandwidth: 0.35,
+            },
+        }
+    }
+}
+
+/// Tracks per-NAT-type historical connection success rates, the `R`
+/// term. Updated from probe outcomes; exponentially weighted so stale
+/// history decays.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct NatSuccessHistory {
+    rates: Vec<(NatType, f64)>,
+    alpha: f64,
+}
+
+impl Default for NatSuccessHistory {
+    fn default() -> Self {
+        let model = TraversalModel::default();
+        NatSuccessHistory {
+            rates: NatType::ALL
+                .iter()
+                .map(|&n| (n, model.success_probability(n)))
+                .collect(),
+            alpha: 0.05,
+        }
+    }
+}
+
+impl NatSuccessHistory {
+    /// Current estimated success rate for a NAT type.
+    pub fn rate(&self, nat: NatType) -> f64 {
+        self.rates
+            .iter()
+            .find(|(n, _)| *n == nat)
+            .map(|(_, r)| *r)
+            .unwrap_or(0.5)
+    }
+
+    /// Folds one observed connection outcome into the history.
+    pub fn observe(&mut self, nat: NatType, success: bool) {
+        let alpha = self.alpha;
+        if let Some((_, r)) = self.rates.iter_mut().find(|(n, _)| *n == nat) {
+            *r = (1.0 - alpha) * *r + alpha * if success { 1.0 } else { 0.0 };
+        }
+    }
+}
+
+/// Normalising constant: proximity decays to ~0 at this distance.
+const MAX_GEO_DISTANCE: f64 = 30.0;
+/// Normalising constant: residual bandwidth saturates the B term here.
+const MAX_RESIDUAL_MBPS: f64 = 100.0;
+
+/// Computes `S(n, c)` for a candidate.
+///
+/// All four terms are normalised to `[0, 1]`, so with weights summing to
+/// one the score itself lies in `[0, 1]`.
+pub fn score(
+    weights: &ScoreWeights,
+    node_static: &StaticFeatures,
+    node_status: &NodeStatus,
+    client: &ClientInfo,
+    nat_history: &NatSuccessHistory,
+) -> f64 {
+    let n_term = if node_static.bgp_prefix == client.bgp_prefix {
+        1.0
+    } else if node_static.isp == client.isp {
+        0.5
+    } else {
+        0.0
+    };
+    let g_term = {
+        let d = geo_distance(node_static.geo, client.geo);
+        (1.0 - d / MAX_GEO_DISTANCE).max(0.0)
+    };
+    let r_term = nat_history.rate(node_static.nat);
+    let b_term = (node_status.residual_mbps() / MAX_RESIDUAL_MBPS).min(1.0);
+
+    weights.same_network * n_term
+        + weights.proximity * g_term
+        + weights.nat_success * r_term
+        + weights.bandwidth * b_term
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::features::{ClientId, ConnectionType, NodeClass};
+
+    fn node(bgp: u32, geo: (f64, f64), nat: NatType) -> StaticFeatures {
+        StaticFeatures {
+            isp: 1,
+            region: 1,
+            bgp_prefix: bgp,
+            geo,
+            class: NodeClass::Normal,
+            conn_type: ConnectionType::Cable,
+            nat,
+        }
+    }
+
+    fn client() -> ClientInfo {
+        ClientInfo {
+            id: ClientId(1),
+            isp: 1,
+            region: 1,
+            bgp_prefix: 100,
+            geo: (0.0, 0.0),
+            platform: Platform::Android,
+        }
+    }
+
+    fn weights() -> ScoreWeights {
+        ScoreWeights::for_platform(Platform::Android)
+    }
+
+    #[test]
+    fn same_prefix_beats_same_isp_beats_foreign() {
+        let hist = NatSuccessHistory::default();
+        let status = NodeStatus::idle(50.0);
+        let c = client();
+        let same_prefix = score(&weights(), &node(100, (0.0, 0.0), NatType::Public), &status, &c, &hist);
+        let same_isp = score(&weights(), &node(200, (0.0, 0.0), NatType::Public), &status, &c, &hist);
+        let mut foreign_static = node(200, (0.0, 0.0), NatType::Public);
+        foreign_static.isp = 9;
+        let foreign = score(&weights(), &foreign_static, &status, &c, &hist);
+        assert!(same_prefix > same_isp);
+        assert!(same_isp > foreign);
+    }
+
+    #[test]
+    fn closer_nodes_score_higher() {
+        let hist = NatSuccessHistory::default();
+        let status = NodeStatus::idle(50.0);
+        let c = client();
+        let near = score(&weights(), &node(100, (1.0, 0.0), NatType::Public), &status, &c, &hist);
+        let far = score(&weights(), &node(100, (20.0, 0.0), NatType::Public), &status, &c, &hist);
+        assert!(near > far);
+    }
+
+    #[test]
+    fn easier_nat_scores_higher() {
+        let hist = NatSuccessHistory::default();
+        let status = NodeStatus::idle(50.0);
+        let c = client();
+        let easy = score(&weights(), &node(100, (0.0, 0.0), NatType::FullCone), &status, &c, &hist);
+        let hard = score(&weights(), &node(100, (0.0, 0.0), NatType::Symmetric), &status, &c, &hist);
+        assert!(easy > hard);
+    }
+
+    #[test]
+    fn more_residual_bandwidth_scores_higher() {
+        let hist = NatSuccessHistory::default();
+        let c = client();
+        let n = node(100, (0.0, 0.0), NatType::Public);
+        let mut busy = NodeStatus::idle(50.0);
+        busy.used_mbps = 45.0;
+        let idle = NodeStatus::idle(50.0);
+        assert!(score(&weights(), &n, &idle, &c, &hist) > score(&weights(), &n, &busy, &c, &hist));
+    }
+
+    #[test]
+    fn score_bounded_unit_interval() {
+        let hist = NatSuccessHistory::default();
+        let c = client();
+        for nat in NatType::ALL {
+            for geo in [(0.0, 0.0), (50.0, 50.0)] {
+                for used in [0.0, 50.0] {
+                    let mut status = NodeStatus::idle(50.0);
+                    status.used_mbps = used;
+                    let s = score(&weights(), &node(100, geo, nat), &status, &c, &hist);
+                    assert!((0.0..=1.0).contains(&s), "score {s}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn nat_history_learns_from_failures() {
+        let mut hist = NatSuccessHistory::default();
+        let before = hist.rate(NatType::FullCone);
+        for _ in 0..50 {
+            hist.observe(NatType::FullCone, false);
+        }
+        let after = hist.rate(NatType::FullCone);
+        assert!(after < before * 0.5, "{before} -> {after}");
+        // Other types unaffected.
+        assert_eq!(
+            hist.rate(NatType::Public),
+            NatSuccessHistory::default().rate(NatType::Public)
+        );
+    }
+
+    #[test]
+    fn platform_profiles_differ() {
+        let android = ScoreWeights::for_platform(Platform::Android);
+        let tv = ScoreWeights::for_platform(Platform::Tv);
+        assert!(tv.bandwidth > android.bandwidth);
+        for w in [android, tv, ScoreWeights::for_platform(Platform::Ios)] {
+            let sum = w.same_network + w.proximity + w.nat_success + w.bandwidth;
+            assert!((sum - 1.0).abs() < 1e-9, "weights sum {sum}");
+        }
+    }
+}

@@ -1,0 +1,180 @@
+//! Property-based tests of the control plane: registry membership
+//! invariants, quota accounting, scoring bounds and switching-rule
+//! consistency.
+
+use proptest::prelude::*;
+use rlive_control::client::{ClientController, ClientControllerConfig, SwitchDecision};
+use rlive_control::features::{ClientId, ClientInfo, ConnectionType, NodeClass, NodeId, NodeStatus, StaticFeatures, StreamKey};
+use rlive_control::quota::NodeQuotas;
+use rlive_control::registry::{AttrQuery, HashTreeRegistry};
+use rlive_control::scoring::{score, NatSuccessHistory, Platform, ScoreWeights};
+use rlive_sim::nat::NatType;
+use rlive_sim::{SimDuration, SimTime};
+
+#[derive(Debug, Clone)]
+enum RegistryOp {
+    Index { node: u64, isp: u16, region: u16, stream: u64 },
+    Remove { node: u64 },
+}
+
+fn arb_op() -> impl Strategy<Value = RegistryOp> {
+    prop_oneof![
+        (0u64..40, 0u16..3, 0u16..4, 0u64..5).prop_map(|(node, isp, region, stream)| {
+            RegistryOp::Index { node, isp, region, stream }
+        }),
+        (0u64..40).prop_map(|node| RegistryOp::Remove { node }),
+    ]
+}
+
+proptest! {
+    /// After any sequence of index/remove operations, retrieval returns
+    /// exactly the live nodes (no removed node, no duplicates) and the
+    /// reverse index size matches.
+    #[test]
+    fn registry_membership(ops in prop::collection::vec(arb_op(), 1..120)) {
+        let mut reg = HashTreeRegistry::new();
+        let mut live = std::collections::HashMap::new();
+        for op in &ops {
+            match op {
+                RegistryOp::Index { node, isp, region, stream } => {
+                    reg.index_node(
+                        NodeId(*node),
+                        *isp,
+                        NodeClass::Normal,
+                        *region,
+                        [StreamKey { stream_id: *stream, substream: 0 }],
+                    );
+                    live.insert(*node, (*isp, *region, *stream));
+                }
+                RegistryOp::Remove { node } => {
+                    reg.remove_node(NodeId(*node));
+                    live.remove(node);
+                }
+            }
+        }
+        prop_assert_eq!(reg.len(), live.len());
+        let (nodes, _) = reg.retrieve(
+            &AttrQuery {
+                stream: StreamKey { stream_id: 0, substream: 0 },
+                isp: 0,
+                class: NodeClass::Normal,
+                region: 0,
+            },
+            usize::MAX / 2,
+        );
+        let unique: std::collections::HashSet<_> = nodes.iter().collect();
+        prop_assert_eq!(unique.len(), nodes.len(), "duplicates in retrieval");
+        for n in &nodes {
+            prop_assert!(live.contains_key(&n.0), "removed node {n:?} returned");
+        }
+        prop_assert_eq!(nodes.len(), live.len(), "retrieval missed live nodes");
+    }
+
+    /// Quota reserve/release never drives usage negative, and
+    /// availability stays in [0, 1].
+    #[test]
+    fn quota_accounting(
+        reserves in prop::collection::vec((0.1f64..10.0, 0.001f64..0.2, 0.5f64..32.0), 1..60),
+        release_mask in prop::collection::vec(any::<bool>(), 1..60),
+    ) {
+        let mut q = NodeQuotas::new(50.0, 2.0, 512.0, 40.0);
+        let mut accepted = Vec::new();
+        for r in &reserves {
+            if q.reserve(r.0, r.1, r.2) {
+                accepted.push(*r);
+            }
+            prop_assert!(q.bandwidth.used <= q.bandwidth.capacity + 1e-9);
+            prop_assert!(q.sessions.used <= q.sessions.capacity + 1e-9);
+            prop_assert!((0.0..=1.0).contains(&q.availability()));
+        }
+        for (i, r) in accepted.iter().enumerate() {
+            if *release_mask.get(i % release_mask.len()).unwrap_or(&true) {
+                q.release(r.0, r.1, r.2);
+            }
+            prop_assert!(q.bandwidth.used >= -1e-9);
+            prop_assert!(q.cpu.used >= -1e-9);
+            prop_assert!(q.sessions.used >= -1e-9);
+        }
+    }
+
+    /// Scores are always within [0, 1] for weight profiles that sum to 1.
+    #[test]
+    fn score_bounded(
+        isp in 0u16..8,
+        bgp in any::<u32>(),
+        geo_x in -100.0f64..100.0,
+        geo_y in -100.0f64..100.0,
+        used in 0.0f64..200.0,
+        cap in 1.0f64..200.0,
+        nat_idx in 0usize..7,
+    ) {
+        let weights = ScoreWeights::for_platform(Platform::Android);
+        let hist = NatSuccessHistory::default();
+        let statics = StaticFeatures {
+            isp,
+            region: 0,
+            bgp_prefix: bgp,
+            geo: (geo_x, geo_y),
+            class: NodeClass::Normal,
+            conn_type: ConnectionType::Cable,
+            nat: NatType::ALL[nat_idx],
+        };
+        let mut status = NodeStatus::idle(cap);
+        status.used_mbps = used.min(cap);
+        let client = ClientInfo {
+            id: ClientId(1),
+            isp: 1,
+            region: 0,
+            bgp_prefix: 7,
+            geo: (0.0, 0.0),
+            platform: Platform::Android,
+        };
+        let s = score(&weights, &statics, &status, &client, &hist);
+        prop_assert!((0.0..=1.0).contains(&s), "score {s}");
+    }
+
+    /// The switching rule never targets the current publisher and only
+    /// fires when the margin condition genuinely holds.
+    #[test]
+    fn switch_rule_consistent(
+        current_rtt in 1u64..2_000,
+        candidates in prop::collection::vec((0u64..20, 1u64..2_000), 1..10),
+    ) {
+        let mut ctl = ClientController::new(ClientControllerConfig::default());
+        let t_change = ctl.config().t_change;
+        let current = NodeId(999);
+        let cands: Vec<(NodeId, SimDuration)> = candidates
+            .iter()
+            .map(|&(id, rtt)| (NodeId(id), SimDuration::from_millis(rtt)))
+            .collect();
+        let decision = ctl.assess_switch(
+            SimTime::from_secs(1),
+            current,
+            SimDuration::from_millis(current_rtt),
+            &cands,
+        );
+        let best = cands
+            .iter()
+            .filter(|(n, _)| *n != current)
+            .min_by_key(|(_, r)| *r);
+        match decision {
+            SwitchDecision::SwitchTo(n) => {
+                prop_assert_ne!(n, current);
+                let (bn, br) = best.expect("candidates non-empty");
+                prop_assert_eq!(n, *bn);
+                prop_assert!(
+                    SimDuration::from_millis(current_rtt) > *br + t_change,
+                    "switch without margin"
+                );
+            }
+            SwitchDecision::Stay => {
+                if let Some((_, br)) = best {
+                    prop_assert!(
+                        SimDuration::from_millis(current_rtt) <= *br + t_change,
+                        "missed a justified switch"
+                    );
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,189 @@
+//! The A/B test harness (§7.1).
+//!
+//! The paper validates RLive with two production A/B tests: users are
+//! split by ID hash into control and test groups served under different
+//! delivery policies inside the same live system. [`AbTest`] reproduces
+//! the methodology on the simulator: one shared world, per-user group
+//! assignment, per-group QoE/traffic/energy aggregation, and relative
+//! differences computed against the control group.
+
+use crate::config::{DeliveryMode, SystemConfig};
+use crate::qoe::GroupQoe;
+use crate::world::{GroupPolicy, RunReport, World};
+use rlive_workload::scenario::Scenario;
+
+/// A configured A/B experiment.
+#[derive(Debug, Clone)]
+pub struct AbTest {
+    /// The scenario both groups share.
+    pub scenario: Scenario,
+    /// System configuration (mode fields are overridden per group).
+    pub config: SystemConfig,
+    /// Control-group delivery mode.
+    pub control: DeliveryMode,
+    /// Test-group delivery mode.
+    pub test: DeliveryMode,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+/// Relative QoE differences of test vs control, in percent.
+#[derive(Debug, Clone, Copy)]
+pub struct QoeDiff {
+    /// Rebuffering events per 100 s.
+    pub rebuffer_events_pct: f64,
+    /// Rebuffering duration per 100 s.
+    pub rebuffer_duration_pct: f64,
+    /// Mean bitrate.
+    pub bitrate_pct: f64,
+    /// Mean E2E latency.
+    pub e2e_latency_pct: f64,
+}
+
+/// Result of an A/B run.
+#[derive(Debug, Clone)]
+pub struct AbReport {
+    /// The raw world report.
+    pub run: RunReport,
+    /// Relative differences (test vs control).
+    pub diff: QoeDiff,
+    /// View-count split fairness: `(test - control) / control` in %.
+    pub view_split_pct: f64,
+    /// Equivalent-traffic difference in % (test vs control).
+    pub eqt_pct: f64,
+    /// Energy deltas (cpu, mem, temp, battery) in percentage points.
+    pub energy_delta: (f64, f64, f64, f64),
+}
+
+impl AbTest {
+    /// Builds the §7.1 Test 1: evening peak, RLive vs CDN-only.
+    pub fn evening_peak_vs_cdn(seed: u64) -> Self {
+        AbTest {
+            scenario: Scenario::evening_peak(),
+            config: SystemConfig::default(),
+            control: DeliveryMode::CdnOnly,
+            test: DeliveryMode::RLive,
+            seed,
+        }
+    }
+
+    /// Builds the §7.1 Test 2 noon-window leg: at noon the control group
+    /// (evening-only policy) is still on CDN, while the test group
+    /// (double-peak policy) already uses RLive.
+    pub fn double_peak_vs_evening(seed: u64) -> Self {
+        AbTest {
+            scenario: Scenario::noon_peak(),
+            config: SystemConfig::default(),
+            control: DeliveryMode::CdnOnly,
+            test: DeliveryMode::RLive,
+            seed,
+        }
+    }
+
+    /// Runs the experiment.
+    pub fn run(self) -> AbReport {
+        let dedicated_cost = self.config.dedicated_unit_cost;
+        let world = World::new(
+            self.scenario,
+            self.config,
+            GroupPolicy::ab(self.control, self.test),
+            self.seed,
+        );
+        let run = world.run();
+        let diff = QoeDiff {
+            rebuffer_events_pct: GroupQoe::diff_pct(
+                run.test_qoe.rebuffers_per_100s.mean(),
+                run.control_qoe.rebuffers_per_100s.mean(),
+            ),
+            rebuffer_duration_pct: GroupQoe::diff_pct(
+                run.test_qoe.rebuffer_ms_per_100s.mean(),
+                run.control_qoe.rebuffer_ms_per_100s.mean(),
+            ),
+            bitrate_pct: GroupQoe::diff_pct(
+                run.test_qoe.bitrate_bps.mean(),
+                run.control_qoe.bitrate_bps.mean(),
+            ),
+            e2e_latency_pct: GroupQoe::diff_pct(
+                run.test_qoe.e2e_latency_ms.mean(),
+                run.control_qoe.e2e_latency_ms.mean(),
+            ),
+        };
+        let view_split_pct = GroupQoe::diff_pct(
+            run.test_qoe.views as f64,
+            run.control_qoe.views.max(1) as f64,
+        );
+        // Normalise EqT by watch time so group sizes cancel.
+        let eqt_test = run.test_traffic.equivalent_traffic(dedicated_cost)
+            / run.test_qoe.watch_secs.max(1.0);
+        let eqt_control = run.control_traffic.equivalent_traffic(dedicated_cost)
+            / run.control_qoe.watch_secs.max(1.0);
+        let eqt_pct = GroupQoe::diff_pct(eqt_test, eqt_control);
+        let energy_delta = (
+            run.test_energy.0 - run.control_energy.0,
+            run.test_energy.1 - run.control_energy.1,
+            run.test_energy.2 - run.control_energy.2,
+            run.test_energy.3 - run.control_energy.3,
+        );
+        AbReport {
+            run,
+            diff,
+            view_split_pct,
+            eqt_pct,
+            energy_delta,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rlive_sim::SimDuration;
+
+    fn small_test(seed: u64) -> AbTest {
+        let mut t = AbTest::evening_peak_vs_cdn(seed);
+        t.scenario = t.scenario.scaled(0.12);
+        t.scenario.duration = SimDuration::from_secs(120);
+        t.scenario.streams = 4;
+        t.config.multi_source_after = SimDuration::from_secs(5);
+        t.config.popularity_threshold = 1;
+        t.config.cdn_edge_mbps = 140;
+        t
+    }
+
+    #[test]
+    fn ab_groups_both_active() {
+        let report = small_test(11).run();
+        assert!(report.run.control_qoe.views > 5);
+        assert!(report.run.test_qoe.views > 5);
+        assert!(report.view_split_pct.abs() < 90.0);
+    }
+
+    #[test]
+    fn test_group_offloads_traffic() {
+        let report = small_test(12).run();
+        assert_eq!(report.run.control_traffic.best_effort_serving, 0);
+        assert!(report.run.test_traffic.best_effort_serving > 0);
+    }
+
+    #[test]
+    fn test2_uses_noon_window() {
+        let t = AbTest::double_peak_vs_evening(1);
+        assert_eq!(t.scenario.start_hour, 12.0);
+        assert_eq!(t.control, DeliveryMode::CdnOnly);
+        assert_eq!(t.test, DeliveryMode::RLive);
+        let t1 = AbTest::evening_peak_vs_cdn(1);
+        assert_eq!(t1.scenario.start_hour, 21.0);
+    }
+
+    #[test]
+    fn energy_delta_is_small_and_positive_leaning() {
+        let report = small_test(13).run();
+        let (cpu, mem, temp, bat) = report.energy_delta;
+        // RLive clients do strictly more work, but marginally (Fig 10).
+        assert!(cpu > -0.5, "cpu delta {cpu}");
+        assert!(cpu < 5.0, "cpu delta {cpu}");
+        assert!(mem.abs() < 5.0);
+        assert!(temp.abs() < 1.0);
+        assert!(bat.abs() < 2.0);
+    }
+}

@@ -1,0 +1,217 @@
+//! System configuration for end-to-end simulations.
+
+use rlive_control::{ClientControllerConfig, SchedulerConfig};
+use rlive_control::adviser::AdviserConfig;
+use rlive_data::recovery::RecoveryConfig;
+use rlive_sim::SimDuration;
+use serde::{Deserialize, Serialize};
+
+/// How a client population is served — the paper's deployment stages.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DeliveryMode {
+    /// Traditional CDN-only delivery (the §7.1 control group).
+    CdnOnly,
+    /// The §2.2 strawman: one high-quality best-effort node relays the
+    /// full stream per client.
+    SingleSource,
+    /// RLive: redundancy-free multi-source multi-substream delivery.
+    RLive,
+    /// Prior-work style multi-source with redundant replication: every
+    /// substream is pushed by two relays simultaneously (§2.3 contrast).
+    RedundantMulti,
+    /// RLive but with the early centralised frame sequencing via super
+    /// nodes (§7.3.2 / Table 3 comparison).
+    RLiveCentralSequencing,
+}
+
+impl DeliveryMode {
+    /// Whether the mode uses best-effort relays at all.
+    pub fn uses_best_effort(self) -> bool {
+        !matches!(self, DeliveryMode::CdnOnly)
+    }
+
+    /// Whether the mode splits streams into substreams.
+    pub fn is_multi_source(self) -> bool {
+        matches!(
+            self,
+            DeliveryMode::RLive
+                | DeliveryMode::RedundantMulti
+                | DeliveryMode::RLiveCentralSequencing
+        )
+    }
+}
+
+/// The ABR bitrate ladder, in bits per second. The top rung is the
+/// source encoding rate — live ladders only transcode downward.
+pub const BITRATE_LADDER: [u64; 3] = [800_000, 1_500_000, 3_000_000];
+
+/// The ladder rung streams are encoded at (scale factor 1.0).
+pub const BASE_RUNG: usize = 2;
+
+/// The CDN-to-edge transport profile (§7.4): FLV in production, with an
+/// RTM (WebRTC-based) prototype for protocol generality.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TransportProfile {
+    /// FLV pull: the production default.
+    Flv,
+    /// RTM: slightly higher per-packet overhead, marginally higher E2E
+    /// latency (~1 % in Fig 13), same QoE otherwise.
+    Rtm,
+}
+
+impl TransportProfile {
+    /// Per-packet header overhead in bytes beyond the payload.
+    pub fn packet_overhead(self) -> usize {
+        match self {
+            TransportProfile::Flv => 47,
+            TransportProfile::Rtm => 59,
+        }
+    }
+
+    /// Fixed extra processing latency per hop.
+    pub fn hop_overhead(self) -> SimDuration {
+        match self {
+            TransportProfile::Flv => SimDuration::from_micros(300),
+            TransportProfile::Rtm => SimDuration::from_micros(800),
+        }
+    }
+}
+
+/// Full system configuration.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SystemConfig {
+    /// Delivery mode for the (test) population.
+    pub mode: DeliveryMode,
+    /// Number of substreams K per stream.
+    pub substreams: u16,
+    /// Number of CDN edge servers.
+    pub cdn_edges: usize,
+    /// Uplink capacity of each CDN edge, Mbps.
+    pub cdn_edge_mbps: u64,
+    /// RTT between clients and CDN edges, ms.
+    pub cdn_rtt_ms: u64,
+    /// Viewing time before a client may upgrade to multi-source (§7.1.1:
+    /// 30 s in deployment).
+    pub multi_source_after: SimDuration,
+    /// Minimum concurrent viewers of a stream before multi-source pays
+    /// off (§7.1.1 popularity gate).
+    pub popularity_threshold: usize,
+    /// Client playback target buffer.
+    pub target_buffer: SimDuration,
+    /// Startup threshold: playback begins at this occupancy.
+    pub startup_buffer: SimDuration,
+    /// CDN fallback threshold (§7.4, deployed 400 ms).
+    pub fallback_threshold: SimDuration,
+    /// Relative unit cost of dedicated bandwidth (best-effort = 1.0;
+    /// §2.1: best-effort is 20–40 % cheaper, so dedicated ≈ 1.35).
+    pub dedicated_unit_cost: f64,
+    /// Scheduler settings.
+    pub scheduler: SchedulerConfig,
+    /// Client controller settings.
+    pub client_controller: ClientControllerConfig,
+    /// Edge adviser settings.
+    pub adviser: AdviserConfig,
+    /// Recovery settings.
+    pub recovery: RecoveryConfig,
+    /// Transport profile (§7.4).
+    pub transport: TransportProfile,
+    /// Retransmission timeout before a frame without a gap signal is
+    /// treated as incomplete.
+    pub retx_timeout: SimDuration,
+    /// Client control loop interval.
+    pub control_interval: SimDuration,
+    /// Relay maintenance (adviser/heartbeat) interval.
+    pub relay_tick: SimDuration,
+    /// Frame-to-substream partition strategy: the deployed static hash
+    /// (§6) or the §8.3 criticality-aware extension.
+    pub partition: rlive_media::substream::PartitionStrategy,
+    /// Chunk-based relay forwarding (§5.1's contrast): when set, relays
+    /// accumulate this many frames before pushing, like multi-second HLS
+    /// segments. `None` is RLive's frame-level transmission.
+    pub chunk_frames: Option<u32>,
+    /// §8.1 "Accelerating Frame Recovery via DNS Bypass": best-effort
+    /// nodes embed the publisher's IP in data packets so recovery
+    /// connections skip DNS resolution. Disabling adds a lookup delay to
+    /// every dedicated recovery request.
+    pub dns_bypass: bool,
+    /// §7.2.1 two-tier deployment: multi-source clients use only the
+    /// limited-bandwidth (non-high-quality) nodes, leaving the
+    /// high-capacity tier to single-source delivery.
+    pub multi_on_weak_tier: bool,
+    /// Fraction of CDN edge capacity consumed by other services /
+    /// cross traffic at the evening peak (scales with the diurnal
+    /// curve; models the peak-hour CDN bandwidth bottlenecks of
+    /// §7.1.2). Zero disables background load.
+    pub cdn_background_peak_frac: f64,
+}
+
+impl Default for SystemConfig {
+    fn default() -> Self {
+        SystemConfig {
+            mode: DeliveryMode::RLive,
+            substreams: 4,
+            cdn_edges: 2,
+            cdn_edge_mbps: 420,
+            cdn_rtt_ms: 36,
+            multi_source_after: SimDuration::from_secs(30),
+            popularity_threshold: 5,
+            target_buffer: SimDuration::from_millis(2_500),
+            startup_buffer: SimDuration::from_millis(800),
+            fallback_threshold: SimDuration::from_millis(400),
+            dedicated_unit_cost: 1.35,
+            scheduler: SchedulerConfig::default(),
+            client_controller: ClientControllerConfig::default(),
+            adviser: AdviserConfig::default(),
+            recovery: RecoveryConfig::default(),
+            transport: TransportProfile::Flv,
+            retx_timeout: SimDuration::from_millis(120),
+            control_interval: SimDuration::from_secs(2),
+            relay_tick: SimDuration::from_secs(5),
+            cdn_background_peak_frac: 0.30,
+            multi_on_weak_tier: false,
+            dns_bypass: true,
+            chunk_frames: None,
+            partition: rlive_media::substream::PartitionStrategy::StaticHash,
+        }
+    }
+}
+
+impl SystemConfig {
+    /// A configuration for the given delivery mode with defaults.
+    pub fn for_mode(mode: DeliveryMode) -> Self {
+        SystemConfig {
+            mode,
+            ..SystemConfig::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mode_classification() {
+        assert!(!DeliveryMode::CdnOnly.uses_best_effort());
+        assert!(DeliveryMode::SingleSource.uses_best_effort());
+        assert!(!DeliveryMode::SingleSource.is_multi_source());
+        assert!(DeliveryMode::RLive.is_multi_source());
+        assert!(DeliveryMode::RedundantMulti.is_multi_source());
+    }
+
+    #[test]
+    fn rtm_has_more_overhead_than_flv() {
+        assert!(
+            TransportProfile::Rtm.packet_overhead() > TransportProfile::Flv.packet_overhead()
+        );
+        assert!(TransportProfile::Rtm.hop_overhead() > TransportProfile::Flv.hop_overhead());
+    }
+
+    #[test]
+    fn ladder_is_sorted() {
+        for w in BITRATE_LADDER.windows(2) {
+            assert!(w[0] < w[1]);
+        }
+        assert_eq!(BITRATE_LADDER[BASE_RUNG], 3_000_000);
+    }
+}

@@ -1,0 +1,264 @@
+//! QoE metric collection.
+//!
+//! The paper's headline metrics: rebuffering times per hundred seconds,
+//! rebuffering duration per hundred seconds, video bitrate, end-to-end
+//! latency, and first-frame (startup) latency. Collected per session and
+//! aggregated per experiment group.
+
+use rlive_sim::metrics::{Percentiles, Summary};
+use rlive_sim::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// Per-session QoE accumulation.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SessionMetrics {
+    /// Session start time.
+    pub started_at: SimTime,
+    /// When playback actually began (first frame), if it did.
+    pub first_frame_at: Option<SimTime>,
+    /// Total watch time (from first frame to departure).
+    pub watch_time: SimDuration,
+    /// Rebuffering event count.
+    pub rebuffer_events: u64,
+    /// Total stalled time.
+    pub rebuffer_duration: SimDuration,
+    /// Time-weighted bitrate integral (bps × seconds).
+    pub bitrate_weighted: f64,
+    /// E2E latency samples in ms (source production → playout).
+    pub e2e_latency_ms: Vec<f64>,
+    /// Bytes received over the data path.
+    pub bytes_received: u64,
+    /// Frames played.
+    pub frames_played: u64,
+    /// Retransmission requests issued.
+    pub retx_requests: u64,
+    /// Frames abandoned past their deadline (visible glitches).
+    pub frames_skipped: u64,
+    /// Whether the session ever fell back to CDN full stream.
+    pub fell_back_to_cdn: bool,
+}
+
+impl SessionMetrics {
+    /// Starts a session record.
+    pub fn new(started_at: SimTime) -> Self {
+        SessionMetrics {
+            started_at,
+            first_frame_at: None,
+            watch_time: SimDuration::ZERO,
+            rebuffer_events: 0,
+            rebuffer_duration: SimDuration::ZERO,
+            bitrate_weighted: 0.0,
+            e2e_latency_ms: Vec::new(),
+            bytes_received: 0,
+            frames_played: 0,
+            retx_requests: 0,
+            frames_skipped: 0,
+            fell_back_to_cdn: false,
+        }
+    }
+
+    /// First-frame latency, if playback started.
+    pub fn first_frame_latency(&self) -> Option<SimDuration> {
+        self.first_frame_at
+            .map(|t| t.saturating_since(self.started_at))
+    }
+
+    /// Rebuffering events per hundred seconds of watch time.
+    pub fn rebuffers_per_100s(&self) -> f64 {
+        let secs = self.watch_time.as_secs_f64();
+        if secs <= 0.0 {
+            0.0
+        } else {
+            self.rebuffer_events as f64 * 100.0 / secs
+        }
+    }
+
+    /// Rebuffering milliseconds per hundred seconds of watch time.
+    pub fn rebuffer_ms_per_100s(&self) -> f64 {
+        let secs = self.watch_time.as_secs_f64();
+        if secs <= 0.0 {
+            0.0
+        } else {
+            self.rebuffer_duration.as_millis_f64() * 100.0 / secs
+        }
+    }
+
+    /// Time-averaged bitrate in bps.
+    pub fn mean_bitrate_bps(&self) -> f64 {
+        let secs = self.watch_time.as_secs_f64();
+        if secs <= 0.0 {
+            0.0
+        } else {
+            self.bitrate_weighted / secs
+        }
+    }
+
+    /// Mean E2E latency in ms.
+    pub fn mean_e2e_latency_ms(&self) -> f64 {
+        if self.e2e_latency_ms.is_empty() {
+            0.0
+        } else {
+            self.e2e_latency_ms.iter().sum::<f64>() / self.e2e_latency_ms.len() as f64
+        }
+    }
+}
+
+/// Aggregated QoE over a group of sessions.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct GroupQoe {
+    /// Number of sessions (views).
+    pub views: u64,
+    /// Unique viewers.
+    pub viewers: u64,
+    /// Total watch seconds.
+    pub watch_secs: f64,
+    /// Rebuffer events per 100 s (session-weighted mean).
+    pub rebuffers_per_100s: Summary,
+    /// Rebuffer duration ms per 100 s.
+    pub rebuffer_ms_per_100s: Summary,
+    /// Mean bitrate, bps.
+    pub bitrate_bps: Summary,
+    /// Mean E2E latency, ms.
+    pub e2e_latency_ms: Summary,
+    /// First-frame latency, ms.
+    pub first_frame_ms: Percentiles,
+    /// Per-session rebuffer-rate distribution (events per 100 s).
+    pub rebuffers_dist: Percentiles,
+    /// Per-session mean-bitrate distribution (bps).
+    pub bitrate_dist: Percentiles,
+    /// Per-session mean-E2E-latency distribution (ms).
+    pub e2e_latency_dist: Percentiles,
+    /// Retransmission requests per 100 s.
+    pub retx_per_100s: Summary,
+    /// Deadline-skipped frames per 100 s (visible glitches).
+    pub skips_per_100s: Summary,
+    /// Sessions that fell back to CDN.
+    pub cdn_fallbacks: u64,
+}
+
+impl GroupQoe {
+    /// Creates an empty aggregate.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Folds one finished session in. Sessions that never played a
+    /// frame or watched under a second contribute only to view counts.
+    pub fn add_session(&mut self, s: &SessionMetrics) {
+        self.views += 1;
+        if s.fell_back_to_cdn {
+            self.cdn_fallbacks += 1;
+        }
+        if s.watch_time.as_secs_f64() < 1.0 || s.first_frame_at.is_none() {
+            return;
+        }
+        self.watch_secs += s.watch_time.as_secs_f64();
+        self.rebuffers_per_100s.add(s.rebuffers_per_100s());
+        self.rebuffers_dist.add(s.rebuffers_per_100s());
+        self.rebuffer_ms_per_100s.add(s.rebuffer_ms_per_100s());
+        self.bitrate_bps.add(s.mean_bitrate_bps());
+        self.bitrate_dist.add(s.mean_bitrate_bps());
+        if !s.e2e_latency_ms.is_empty() {
+            self.e2e_latency_ms.add(s.mean_e2e_latency_ms());
+            self.e2e_latency_dist.add(s.mean_e2e_latency_ms());
+        }
+        if let Some(ff) = s.first_frame_latency() {
+            self.first_frame_ms.add(ff.as_millis_f64());
+        }
+        let secs = s.watch_time.as_secs_f64();
+        self.retx_per_100s.add(s.retx_requests as f64 * 100.0 / secs);
+        self.skips_per_100s
+            .add(s.frames_skipped as f64 * 100.0 / secs);
+    }
+
+    /// Records one unique viewer.
+    pub fn add_viewer(&mut self) {
+        self.viewers += 1;
+    }
+
+    /// Relative difference of a metric against a control group:
+    /// `(self - control) / control`, in percent.
+    pub fn diff_pct(metric_self: f64, metric_control: f64) -> f64 {
+        if metric_control.abs() < 1e-12 {
+            0.0
+        } else {
+            (metric_self - metric_control) / metric_control * 100.0
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn session_with(watch_secs: u64, rebuffers: u64) -> SessionMetrics {
+        let mut s = SessionMetrics::new(SimTime::from_secs(10));
+        s.first_frame_at = Some(SimTime::from_secs(10) + SimDuration::from_millis(700));
+        s.watch_time = SimDuration::from_secs(watch_secs);
+        s.rebuffer_events = rebuffers;
+        s.rebuffer_duration = SimDuration::from_millis(rebuffers * 400);
+        s.bitrate_weighted = 3_000_000.0 * watch_secs as f64;
+        s.e2e_latency_ms = vec![900.0, 1_000.0, 1_100.0];
+        s
+    }
+
+    #[test]
+    fn per_100s_normalisation() {
+        let s = session_with(200, 4);
+        assert!((s.rebuffers_per_100s() - 2.0).abs() < 1e-9);
+        assert!((s.rebuffer_ms_per_100s() - 800.0).abs() < 1e-9);
+        assert!((s.mean_bitrate_bps() - 3_000_000.0).abs() < 1.0);
+        assert!((s.mean_e2e_latency_ms() - 1_000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn first_frame_latency() {
+        let s = session_with(100, 0);
+        assert_eq!(
+            s.first_frame_latency(),
+            Some(SimDuration::from_millis(700))
+        );
+        let empty = SessionMetrics::new(SimTime::ZERO);
+        assert_eq!(empty.first_frame_latency(), None);
+    }
+
+    #[test]
+    fn zero_watch_time_is_safe() {
+        let s = SessionMetrics::new(SimTime::ZERO);
+        assert_eq!(s.rebuffers_per_100s(), 0.0);
+        assert_eq!(s.mean_bitrate_bps(), 0.0);
+        assert_eq!(s.mean_e2e_latency_ms(), 0.0);
+    }
+
+    #[test]
+    fn group_aggregation() {
+        let mut g = GroupQoe::new();
+        g.add_session(&session_with(100, 2));
+        g.add_session(&session_with(100, 4));
+        assert_eq!(g.views, 2);
+        assert!((g.rebuffers_per_100s.mean() - 3.0).abs() < 1e-9);
+        assert!((g.watch_secs - 200.0).abs() < 1e-9);
+        // Distributions track per-session values.
+        assert_eq!(g.rebuffers_dist.count(), 2);
+        assert!((g.rebuffers_dist.quantile(1.0) - 4.0).abs() < 1e-9);
+        assert_eq!(g.bitrate_dist.count(), 2);
+        assert_eq!(g.e2e_latency_dist.count(), 2);
+    }
+
+    #[test]
+    fn short_sessions_counted_as_views_only() {
+        let mut g = GroupQoe::new();
+        let mut s = SessionMetrics::new(SimTime::ZERO);
+        s.watch_time = SimDuration::from_millis(200);
+        g.add_session(&s);
+        assert_eq!(g.views, 1);
+        assert_eq!(g.rebuffers_per_100s.count(), 0);
+    }
+
+    #[test]
+    fn diff_pct() {
+        assert!((GroupQoe::diff_pct(85.0, 100.0) + 15.0).abs() < 1e-9);
+        assert!((GroupQoe::diff_pct(110.0, 100.0) - 10.0).abs() < 1e-9);
+        assert_eq!(GroupQoe::diff_pct(5.0, 0.0), 0.0);
+    }
+}

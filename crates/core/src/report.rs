@@ -1,0 +1,173 @@
+//! Human-readable formatting of run reports.
+//!
+//! Examples and ad-hoc experiments all want the same summary blocks;
+//! this module renders a [`RunReport`] (or one
+//! group of it) into aligned text without every caller hand-rolling
+//! `println!` tables.
+
+use crate::qoe::GroupQoe;
+use crate::world::RunReport;
+use std::fmt::Write;
+
+/// Renders the QoE block of one group.
+pub fn format_qoe(title: &str, qoe: &GroupQoe) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "=== QoE: {title} ===");
+    let _ = writeln!(out, "views                    {}", qoe.views);
+    let _ = writeln!(out, "viewers                  {}", qoe.viewers);
+    let _ = writeln!(out, "watch time               {:.0} s", qoe.watch_secs);
+    let _ = writeln!(
+        out,
+        "rebuffer events /100s    {:.2}",
+        qoe.rebuffers_per_100s.mean()
+    );
+    let _ = writeln!(
+        out,
+        "rebuffer ms /100s        {:.0}",
+        qoe.rebuffer_ms_per_100s.mean()
+    );
+    let _ = writeln!(
+        out,
+        "skipped frames /100s     {:.2}",
+        qoe.skips_per_100s.mean()
+    );
+    let _ = writeln!(
+        out,
+        "mean bitrate             {:.2} Mbps",
+        qoe.bitrate_bps.mean() / 1e6
+    );
+    let _ = writeln!(
+        out,
+        "mean E2E latency         {:.0} ms",
+        qoe.e2e_latency_ms.mean()
+    );
+    let _ = writeln!(out, "CDN fallbacks            {}", qoe.cdn_fallbacks);
+    out
+}
+
+/// Renders the traffic block of one group.
+pub fn format_traffic(title: &str, report: &RunReport, dedicated_unit_cost: f64) -> String {
+    let t = &report.test_traffic;
+    let mut out = String::new();
+    let _ = writeln!(out, "=== Traffic: {title} ===");
+    let _ = writeln!(
+        out,
+        "dedicated serving        {:.1} MB",
+        t.dedicated_serving as f64 / 1e6
+    );
+    let _ = writeln!(
+        out,
+        "dedicated backhaul       {:.1} MB",
+        t.dedicated_backhaul as f64 / 1e6
+    );
+    let _ = writeln!(
+        out,
+        "best-effort serving      {:.1} MB",
+        t.best_effort_serving as f64 / 1e6
+    );
+    if let Some(g) = t.expansion_rate() {
+        let _ = writeln!(out, "aggregate expansion γ    {g:.2}");
+    }
+    let _ = writeln!(
+        out,
+        "equivalent traffic       {:.1} MB-units",
+        t.equivalent_traffic(dedicated_unit_cost) / 1e6
+    );
+    out
+}
+
+/// Renders the control-plane block.
+pub fn format_control_plane(report: &RunReport) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "=== Control plane ===");
+    let _ = writeln!(
+        out,
+        "scheduler requests       {}",
+        report.scheduler_requests
+    );
+    let _ = writeln!(
+        out,
+        "invalid candidates       {:.1} %",
+        report.invalid_candidate_fraction * 100.0
+    );
+    let lat = &report.scheduler_latency_ms;
+    if lat.len() > 90 {
+        let _ = writeln!(out, "recommendation P50       {:.1} ms", lat[50]);
+        let _ = writeln!(out, "recommendation P90       {:.1} ms", lat[90]);
+    }
+    out
+}
+
+/// Renders everything: QoE of both groups (when they differ), traffic,
+/// control plane, and event counters.
+pub fn format_full(report: &RunReport, dedicated_unit_cost: f64) -> String {
+    let mut out = String::new();
+    if report.control_qoe.views > 0 {
+        out.push_str(&format_qoe("control", &report.control_qoe));
+        out.push('\n');
+    }
+    out.push_str(&format_qoe("test", &report.test_qoe));
+    out.push('\n');
+    out.push_str(&format_traffic("test", report, dedicated_unit_cost));
+    out.push('\n');
+    out.push_str(&format_control_plane(report));
+    out.push('\n');
+    out.push_str("=== Simulator event counts ===\n");
+    let _ = write!(out, "{}", report.event_counts);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{DeliveryMode, SystemConfig};
+    use crate::world::{GroupPolicy, World};
+    use rlive_sim::SimDuration;
+    use rlive_workload::scenario::Scenario;
+
+    fn small_report() -> RunReport {
+        let mut s = Scenario::evening_peak().scaled(0.05);
+        s.duration = SimDuration::from_secs(40);
+        s.streams = 2;
+        let mut cfg = SystemConfig::for_mode(DeliveryMode::RLive);
+        cfg.multi_source_after = SimDuration::from_secs(5);
+        cfg.popularity_threshold = 1;
+        cfg.cdn_edge_mbps = 80;
+        World::new(s, cfg, GroupPolicy::uniform(DeliveryMode::RLive), 5).run()
+    }
+
+    #[test]
+    fn full_report_contains_all_sections() {
+        let r = small_report();
+        let text = format_full(&r, 1.35);
+        for needle in [
+            "=== QoE: test ===",
+            "=== Traffic: test ===",
+            "=== Control plane ===",
+            "=== Simulator event counts ===",
+            "views",
+            "scheduler requests",
+            "player_tick",
+        ] {
+            assert!(text.contains(needle), "missing {needle:?} in:\n{text}");
+        }
+    }
+
+    #[test]
+    fn qoe_block_formats_numbers() {
+        let r = small_report();
+        let text = format_qoe("test", &r.test_qoe);
+        assert!(text.contains("Mbps"));
+        assert!(text.lines().count() >= 9);
+    }
+
+    #[test]
+    fn traffic_block_shows_expansion_when_present() {
+        let r = small_report();
+        let text = format_traffic("test", &r, 1.35);
+        if r.test_traffic.expansion_rate().is_some() {
+            assert!(text.contains('γ'));
+        }
+        assert!(text.contains("equivalent traffic"));
+    }
+}

@@ -1,0 +1,590 @@
+//! QoE-driven sub-stream loss recovery (§5.3).
+//!
+//! When data is lost, the client chooses per incomplete frame among four
+//! actions: (0) packet retransmission from the best-effort node, (1)
+//! whole-frame recovery from a dedicated node, (2) switching the
+//! affected substream back to a dedicated node, and (3) pulling the full
+//! stream from dedicated nodes. The decision minimises
+//!
+//! ```text
+//! Loss(A) = cost(A) + λ Σᵢ P(Fᵢ | aᵢ, S) · risk(Fᵢ)
+//! ```
+//!
+//! where `P` is the probability that frame `i` misses its playout
+//! deadline under action `aᵢ`: for dedicated nodes it comes from an
+//! empirical distribution function of historical frame-retrieval times
+//! `L`; for best-effort nodes from a per-packet geometric model using
+//! the observed retransmission success rate `p`, the missing packet
+//! count and the retries feasible before the deadline.
+
+use rlive_media::frame::FrameType;
+use rlive_sim::rng::EmpiricalCdf;
+use rlive_sim::SimDuration;
+use serde::{Deserialize, Serialize};
+
+/// The four recovery actions of §5.3.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum RecoveryAction {
+    /// `a = 0`: packet retransmission from the best-effort publisher
+    /// (fast retransmit on out-of-order, else timeout retransmit).
+    BestEffortPackets,
+    /// `a = 1`: retrieve the whole frame from a dedicated node.
+    DedicatedFrame,
+    /// `a = 2`: switch this substream's publisher to a dedicated node.
+    SwitchSubstream,
+    /// `a = 3`: pull the entire stream from dedicated nodes.
+    FullStream,
+}
+
+impl RecoveryAction {
+    /// All actions in index order.
+    pub const ALL: [RecoveryAction; 4] = [
+        RecoveryAction::BestEffortPackets,
+        RecoveryAction::DedicatedFrame,
+        RecoveryAction::SwitchSubstream,
+        RecoveryAction::FullStream,
+    ];
+}
+
+/// Recovery state of one incomplete frame — the per-frame slice of the
+/// paper's state `S = (τ, s, X_succ, X_fail, L)`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FrameState {
+    /// dts of the frame.
+    pub dts_ms: u64,
+    /// τᵢ: time remaining until the frame's playout deadline.
+    pub deadline: SimDuration,
+    /// sᵢ: frame size in bytes.
+    pub size: u32,
+    /// Missing packet count (x_fail).
+    pub missing_packets: u32,
+    /// Frame type (drives `risk(Fᵢ)`).
+    pub frame_type: FrameType,
+    /// Substream the frame belongs to.
+    pub substream: u16,
+}
+
+/// Shared recovery statistics: the `X_succ`, `X_fail` and `L` components
+/// of the state, accumulated over the session.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RecoveryStats {
+    /// Successfully retransmitted packets (x_succ).
+    pub retx_succeeded: u64,
+    /// Total best-effort retransmission attempts (n_succ).
+    pub retx_attempts: u64,
+    /// Round-trip to the best-effort publisher (one retry cycle).
+    pub best_effort_rtt: SimDuration,
+    /// Historical dedicated-node frame retrieval times `L`, as an EDF.
+    pub dedicated_latency: EmpiricalCdf,
+    /// Extra latency of establishing a substream switch.
+    pub switch_setup: SimDuration,
+}
+
+impl Default for RecoveryStats {
+    fn default() -> Self {
+        RecoveryStats {
+            retx_succeeded: 0,
+            retx_attempts: 0,
+            // One best-effort retry cycle is slow (Fig 3(b): best-effort
+            // recovery takes a median 778 ms end to end), so the model
+            // prices a cycle at that median.
+            best_effort_rtt: SimDuration::from_millis(800),
+            // Fig 3(b): dedicated retransmission median ≈ 71 ms.
+            dedicated_latency: EmpiricalCdf::from_points(&[
+                (20.0, 0.0),
+                (50.0, 0.25),
+                (71.1, 0.50),
+                (120.0, 0.75),
+                (300.0, 0.93),
+                (1000.0, 0.99),
+                (3000.0, 1.0),
+            ]),
+            // DNS bypass (§8.1) keeps switch setup short.
+            switch_setup: SimDuration::from_millis(30),
+        }
+    }
+}
+
+impl RecoveryStats {
+    /// Per-packet best-effort retransmission success rate `p`, with a
+    /// weak prior until observations accumulate.
+    pub fn packet_success_rate(&self) -> f64 {
+        // Prior: Fig 3(a) best-effort success ≈ 0.91.
+        let prior_n = 20.0;
+        let prior_p = 0.91;
+        (self.retx_succeeded as f64 + prior_p * prior_n)
+            / (self.retx_attempts as f64 + prior_n)
+    }
+
+    /// Records one best-effort retransmission outcome.
+    pub fn observe_retx(&mut self, success: bool) {
+        self.retx_attempts += 1;
+        if success {
+            self.retx_succeeded += 1;
+        }
+    }
+
+    /// `F_N(τ)`: probability a dedicated-node frame retrieval completes
+    /// within `τ`.
+    pub fn dedicated_within(&self, deadline: SimDuration) -> f64 {
+        self.dedicated_latency.cdf(deadline.as_millis_f64())
+    }
+}
+
+/// Cost/λ configuration of the loss function.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RecoveryConfig {
+    /// λ: weight of the unplayability term relative to bandwidth cost.
+    pub lambda: f64,
+    /// Relative per-byte cost of dedicated-CDN bandwidth (best-effort
+    /// bandwidth is the unit; §2.1 prices best-effort 20–40 % cheaper).
+    pub dedicated_cost_factor: f64,
+    /// Per-request overhead (in KB-equivalents) of a dedicated-node
+    /// frame retrieval — the processing/connection burden that makes
+    /// "repeatedly requesting individual frames" inefficient (§5.3).
+    pub request_overhead_kb: f64,
+    /// Per-switch overhead (in KB-equivalents) of re-homing a substream.
+    pub switch_request_kb: f64,
+    /// Whole-stream frames priced in when traffic redirects to the CDN —
+    /// a substream switch redirects `horizon / K` of them, full-stream
+    /// fallback all of them; only the dedicated-vs-best-effort price
+    /// *difference* is charged, since the data must flow either way.
+    pub switch_horizon_frames: f64,
+    /// Number of substreams K.
+    pub substream_count: u16,
+    /// risk(F) for I-frames (P/B scale down from it via
+    /// [`FrameType::risk_weight`]).
+    pub i_frame_risk: f64,
+    /// Lost frames of one substream in a single retransmission list that
+    /// make switching that substream worth considering (§5.3 action 2).
+    pub consecutive_loss_threshold: usize,
+}
+
+impl Default for RecoveryConfig {
+    fn default() -> Self {
+        RecoveryConfig {
+            lambda: 50.0,
+            dedicated_cost_factor: 1.35,
+            request_overhead_kb: 8.0,
+            switch_request_kb: 4.0,
+            switch_horizon_frames: 60.0,
+            substream_count: 4,
+            i_frame_risk: 8.0,
+            consecutive_loss_threshold: 3,
+        }
+    }
+}
+
+/// One decided action for one frame, with its evaluated loss.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Decision {
+    /// dts of the frame.
+    pub dts_ms: u64,
+    /// Chosen action.
+    pub action: RecoveryAction,
+    /// Loss of the chosen action.
+    pub loss: f64,
+    /// Modelled failure probability under the chosen action.
+    pub failure_probability: f64,
+}
+
+/// The QoE-driven recovery decision engine.
+///
+/// # Examples
+///
+/// ```
+/// use rlive_data::recovery::{FrameState, RecoveryAction, RecoveryConfig,
+///                            RecoveryDecider, RecoveryStats};
+/// use rlive_media::frame::FrameType;
+/// use rlive_sim::SimDuration;
+///
+/// let decider = RecoveryDecider::new(RecoveryConfig::default());
+/// let stats = RecoveryStats::default();
+/// // Plenty of buffer left: the cheap best-effort path wins.
+/// let relaxed = FrameState {
+///     dts_ms: 1_000,
+///     deadline: SimDuration::from_millis(3_000),
+///     size: 12_000,
+///     missing_packets: 2,
+///     frame_type: FrameType::P,
+///     substream: 0,
+/// };
+/// let d = &decider.decide(std::slice::from_ref(&relaxed), &stats)[0];
+/// assert_eq!(d.action, RecoveryAction::BestEffortPackets);
+/// // Buffer nearly empty: escalate to the dedicated CDN.
+/// let urgent = FrameState { deadline: SimDuration::from_millis(90), ..relaxed };
+/// let d = &decider.decide(std::slice::from_ref(&urgent), &stats)[0];
+/// assert_eq!(d.action, RecoveryAction::DedicatedFrame);
+/// ```
+#[derive(Debug, Clone)]
+pub struct RecoveryDecider {
+    cfg: RecoveryConfig,
+}
+
+impl RecoveryDecider {
+    /// Creates a decider.
+    pub fn new(cfg: RecoveryConfig) -> Self {
+        RecoveryDecider { cfg }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &RecoveryConfig {
+        &self.cfg
+    }
+
+    /// `risk(Fᵢ)`: unplayability impact, by frame type (I-frames decode
+    /// the whole GoP, §5.3).
+    pub fn risk(&self, frame_type: FrameType) -> f64 {
+        self.cfg.i_frame_risk * frame_type.risk_weight() / FrameType::I.risk_weight()
+    }
+
+    /// `P(Fᵢ | aᵢ, S)`: probability the frame misses its deadline.
+    pub fn failure_probability(
+        &self,
+        action: RecoveryAction,
+        frame: &FrameState,
+        stats: &RecoveryStats,
+    ) -> f64 {
+        match action {
+            RecoveryAction::BestEffortPackets => {
+                let p = stats.packet_success_rate().clamp(0.0, 1.0);
+                // Feasible retries within the deadline.
+                let rtt = stats.best_effort_rtt.as_secs_f64().max(1e-6);
+                let retries = (frame.deadline.as_secs_f64() / rtt).floor().max(0.0);
+                if retries < 1.0 {
+                    return 1.0;
+                }
+                // Each missing packet independently succeeds within r
+                // tries w.p. 1-(1-p)^r; the frame plays iff all succeed.
+                let per_packet = 1.0 - (1.0 - p).powf(retries);
+                1.0 - per_packet.powf(frame.missing_packets.max(1) as f64)
+            }
+            RecoveryAction::DedicatedFrame => 1.0 - stats.dedicated_within(frame.deadline),
+            RecoveryAction::SwitchSubstream | RecoveryAction::FullStream => {
+                // The switch must set up, then the frame arrives like a
+                // dedicated retrieval.
+                let remaining = frame.deadline.saturating_sub(stats.switch_setup);
+                1.0 - stats.dedicated_within(remaining)
+            }
+        }
+    }
+
+    /// `cost(aᵢ)` in normalised bandwidth units for one frame.
+    pub fn cost(&self, action: RecoveryAction, frame: &FrameState) -> f64 {
+        let frame_kb = frame.size as f64 / 1000.0;
+        let missing_kb = (frame.missing_packets as f64 * 1.2).min(frame_kb.max(0.0));
+        let price_delta = self.cfg.dedicated_cost_factor - 1.0;
+        match action {
+            // Only the missing packets travel, at best-effort prices.
+            RecoveryAction::BestEffortPackets => missing_kb,
+            // The whole frame travels again at dedicated prices, plus a
+            // per-request overhead.
+            RecoveryAction::DedicatedFrame => {
+                self.cfg.request_overhead_kb + frame_kb * self.cfg.dedicated_cost_factor
+            }
+            // This substream's share of the horizon now travels at
+            // dedicated prices; charge the price difference.
+            RecoveryAction::SwitchSubstream => {
+                self.cfg.switch_request_kb
+                    + (self.cfg.switch_horizon_frames / self.cfg.substream_count as f64)
+                        * frame_kb
+                        * price_delta
+            }
+            // All substreams redirect.
+            RecoveryAction::FullStream => {
+                self.cfg.switch_request_kb
+                    + self.cfg.switch_horizon_frames * frame_kb * price_delta
+            }
+        }
+    }
+
+    /// Loss of one `(action, frame)` pair.
+    pub fn loss(&self, action: RecoveryAction, frame: &FrameState, stats: &RecoveryStats) -> f64 {
+        self.cost(action, frame)
+            + self.cfg.lambda
+                * self.failure_probability(action, frame, stats)
+                * self.risk(frame.frame_type)
+    }
+
+    /// Decides the action vector `A = (a₁ … a_m)` for a retransmission
+    /// list by per-frame argmin, then applies the §5.3 escalation: when
+    /// at least `consecutive_loss_threshold` frames of one substream are
+    /// in the list, per-frame dedicated recovery is inefficient and the
+    /// substream switch is evaluated collectively.
+    pub fn decide(&self, frames: &[FrameState], stats: &RecoveryStats) -> Vec<Decision> {
+        let mut decisions: Vec<Decision> = frames
+            .iter()
+            .map(|f| {
+                let (action, loss) = RecoveryAction::ALL
+                    .iter()
+                    .map(|&a| (a, self.loss(a, f, stats)))
+                    .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite losses"))
+                    .expect("non-empty action set");
+                Decision {
+                    dts_ms: f.dts_ms,
+                    action,
+                    loss,
+                    failure_probability: self.failure_probability(action, f, stats),
+                }
+            })
+            .collect();
+
+        // Escalation: count frames per substream in the list.
+        let mut per_substream: std::collections::HashMap<u16, usize> =
+            std::collections::HashMap::new();
+        for f in frames {
+            *per_substream.entry(f.substream).or_insert(0) += 1;
+        }
+        for (&ss, &count) in &per_substream {
+            if count < self.cfg.consecutive_loss_threshold {
+                continue;
+            }
+            // Amortised switch: one setup redirects all of this
+            // substream's listed frames.
+            let members: Vec<usize> = frames
+                .iter()
+                .enumerate()
+                .filter(|(_, f)| f.substream == ss)
+                .map(|(i, _)| i)
+                .collect();
+            let current_total: f64 = members.iter().map(|&i| decisions[i].loss).sum();
+            let switch_total: f64 = members
+                .iter()
+                .map(|&i| {
+                    let f = &frames[i];
+                    // Shared setup cost: charge the horizon once, spread
+                    // evenly; risk term per frame.
+                    let shared_cost = self.cost(RecoveryAction::SwitchSubstream, f)
+                        / members.len() as f64;
+                    shared_cost
+                        + self.cfg.lambda
+                            * self.failure_probability(RecoveryAction::SwitchSubstream, f, stats)
+                            * self.risk(f.frame_type)
+                })
+                .sum();
+            if switch_total < current_total {
+                for &i in &members {
+                    let f = &frames[i];
+                    decisions[i] = Decision {
+                        dts_ms: f.dts_ms,
+                        action: RecoveryAction::SwitchSubstream,
+                        loss: switch_total / members.len() as f64,
+                        failure_probability: self.failure_probability(
+                            RecoveryAction::SwitchSubstream,
+                            f,
+                            stats,
+                        ),
+                    };
+                }
+            }
+        }
+        decisions
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn frame(deadline_ms: u64, missing: u32, ftype: FrameType) -> FrameState {
+        FrameState {
+            dts_ms: 1000,
+            deadline: SimDuration::from_millis(deadline_ms),
+            size: 12_000,
+            missing_packets: missing,
+            frame_type: ftype,
+            substream: 0,
+        }
+    }
+
+    fn decider() -> RecoveryDecider {
+        RecoveryDecider::new(RecoveryConfig::default())
+    }
+
+    #[test]
+    fn ample_deadline_prefers_cheap_best_effort() {
+        // Plenty of buffer: best-effort packet recovery is near-free and
+        // almost certain within many retries.
+        let d = decider();
+        let stats = RecoveryStats::default();
+        let f = frame(3_000, 2, FrameType::P);
+        let decisions = d.decide(&[f], &stats);
+        assert_eq!(decisions[0].action, RecoveryAction::BestEffortPackets);
+        assert!(decisions[0].failure_probability < 0.05);
+    }
+
+    #[test]
+    fn tight_deadline_escalates_to_dedicated() {
+        // Almost no buffer left: one best-effort retry cycle won't fit,
+        // but the dedicated node delivers most frames in ~71 ms.
+        let d = decider();
+        let stats = RecoveryStats::default();
+        let f = frame(90, 2, FrameType::P);
+        let decisions = d.decide(&[f], &stats);
+        assert_eq!(decisions[0].action, RecoveryAction::DedicatedFrame);
+    }
+
+    #[test]
+    fn i_frames_escalate_sooner_than_b_frames() {
+        // At a deadline where best-effort is plausible but not certain,
+        // the higher I-frame risk should flip the decision earlier.
+        let d = decider();
+        let mut stats = RecoveryStats::default();
+        // Make best-effort mediocre: ~70% per-packet success.
+        for _ in 0..700 {
+            stats.observe_retx(true);
+        }
+        for _ in 0..300 {
+            stats.observe_retx(false);
+        }
+        let mut flip_b = None;
+        let mut flip_i = None;
+        for deadline in (40..3000).step_by(20) {
+            let b = d.decide(&[frame(deadline, 4, FrameType::B)], &stats)[0].action;
+            let i = d.decide(&[frame(deadline, 4, FrameType::I)], &stats)[0].action;
+            if b == RecoveryAction::BestEffortPackets && flip_b.is_none() {
+                flip_b = Some(deadline);
+            }
+            if i == RecoveryAction::BestEffortPackets && flip_i.is_none() {
+                flip_i = Some(deadline);
+            }
+        }
+        let flip_b = flip_b.expect("B flips to best-effort");
+        let flip_i = flip_i.unwrap_or(3000);
+        assert!(
+            flip_i >= flip_b,
+            "I-frame keeps dedicated longer: B flips at {flip_b}, I at {flip_i}"
+        );
+    }
+
+    #[test]
+    fn burst_loss_on_one_substream_switches_it() {
+        let d = decider();
+        let stats = RecoveryStats::default();
+        // Five consecutive frames of substream 2 missing with moderate
+        // deadlines: per-frame dedicated recovery is inefficient.
+        let frames: Vec<FrameState> = (0..5)
+            .map(|i| {
+                let mut f = frame(150 + i * 33, 8, FrameType::P);
+                f.dts_ms = 1000 + i * 33;
+                f.substream = 2;
+                f
+            })
+            .collect();
+        let decisions = d.decide(&frames, &stats);
+        assert!(
+            decisions
+                .iter()
+                .all(|dec| dec.action == RecoveryAction::SwitchSubstream),
+            "{decisions:?}"
+        );
+    }
+
+    #[test]
+    fn scattered_losses_do_not_switch() {
+        let d = decider();
+        let stats = RecoveryStats::default();
+        // One lost frame per substream: no consolidation possible.
+        let frames: Vec<FrameState> = (0..4)
+            .map(|i| {
+                let mut f = frame(1_600, 1, FrameType::P);
+                f.substream = i;
+                f.dts_ms = 1000 + i as u64 * 33;
+                f
+            })
+            .collect();
+        let decisions = d.decide(&frames, &stats);
+        assert!(decisions
+            .iter()
+            .all(|dec| dec.action == RecoveryAction::BestEffortPackets));
+    }
+
+    #[test]
+    fn failure_probability_monotone_in_deadline() {
+        let d = decider();
+        let stats = RecoveryStats::default();
+        let mut last = 1.1;
+        for deadline in [30u64, 60, 120, 240, 480, 960] {
+            let f = frame(deadline, 3, FrameType::P);
+            let p = d.failure_probability(RecoveryAction::BestEffortPackets, &f, &stats);
+            assert!(p <= last + 1e-12, "p not monotone at {deadline}: {p} > {last}");
+            last = p;
+        }
+    }
+
+    #[test]
+    fn failure_probability_increases_with_missing_packets() {
+        let d = decider();
+        let mut stats = RecoveryStats::default();
+        for _ in 0..80 {
+            stats.observe_retx(true);
+        }
+        for _ in 0..20 {
+            stats.observe_retx(false);
+        }
+        let p1 = d.failure_probability(
+            RecoveryAction::BestEffortPackets,
+            &frame(1_000, 1, FrameType::P),
+            &stats,
+        );
+        let p8 = d.failure_probability(
+            RecoveryAction::BestEffortPackets,
+            &frame(1_000, 8, FrameType::P),
+            &stats,
+        );
+        assert!(p8 > p1, "p8 {p8} vs p1 {p1}");
+    }
+
+    #[test]
+    fn dedicated_probability_follows_edf() {
+        let d = decider();
+        let stats = RecoveryStats::default();
+        // At the median latency, failure probability is ~0.5.
+        let p = d.failure_probability(
+            RecoveryAction::DedicatedFrame,
+            &frame(71, 1, FrameType::P),
+            &stats,
+        );
+        assert!((p - 0.5).abs() < 0.05, "p {p}");
+        // Far beyond the tail: certain success.
+        let p = d.failure_probability(
+            RecoveryAction::DedicatedFrame,
+            &frame(5_000, 1, FrameType::P),
+            &stats,
+        );
+        assert!(p < 0.01);
+    }
+
+    #[test]
+    fn cost_ordering_matches_paper() {
+        // Packet < frame < substream switch < full stream, for one frame.
+        let d = decider();
+        let f = frame(100, 1, FrameType::P);
+        let c0 = d.cost(RecoveryAction::BestEffortPackets, &f);
+        let c1 = d.cost(RecoveryAction::DedicatedFrame, &f);
+        let c2 = d.cost(RecoveryAction::SwitchSubstream, &f);
+        let c3 = d.cost(RecoveryAction::FullStream, &f);
+        assert!(c0 < c1 && c1 < c2 && c2 < c3, "{c0} {c1} {c2} {c3}");
+    }
+
+    #[test]
+    fn success_rate_prior_decays_with_observations() {
+        let mut stats = RecoveryStats::default();
+        let prior = stats.packet_success_rate();
+        assert!((prior - 0.91).abs() < 0.01);
+        for _ in 0..1000 {
+            stats.observe_retx(false);
+        }
+        assert!(stats.packet_success_rate() < 0.05);
+    }
+
+    #[test]
+    fn zero_deadline_fails_everything_but_still_decides() {
+        let d = decider();
+        let stats = RecoveryStats::default();
+        let f = frame(0, 2, FrameType::P);
+        let decisions = d.decide(std::slice::from_ref(&f), &stats);
+        assert_eq!(decisions.len(), 1);
+        assert!(d.failure_probability(RecoveryAction::BestEffortPackets, &f, &stats) >= 1.0 - 1e-9);
+    }
+}

@@ -1,0 +1,788 @@
+//! Packet reorder buffer and client playback buffer.
+//!
+//! The reorder buffer tracks per-frame packet arrival across substreams,
+//! detects completeness (all `cnt` packets present) and gaps (for fast
+//! retransmission), and feeds headers/chains into the
+//! [`crate::sequencing::GlobalChain`]. Complete, linked frames are moved
+//! into the [`PlaybackBuffer`], which models the player: frames drain at
+//! the presentation rate, occupancy below the fallback threshold
+//! triggers CDN full-stream fallback (§7.4), and an empty buffer is a
+//! rebuffering event.
+
+use crate::sequencing::GlobalChain;
+use rlive_media::frame::FrameHeader;
+use rlive_media::packet::DataPacket;
+use rlive_sim::{SimDuration, SimTime};
+use std::collections::{BTreeMap, HashSet};
+
+/// Per-frame packet arrival state.
+#[derive(Debug)]
+struct FrameAssembly {
+    header: FrameHeader,
+    expected: u32,
+    received: HashSet<u32>,
+    first_arrival: SimTime,
+    /// Highest packet index seen; used for gap-based fast retransmit.
+    max_seen: u32,
+}
+
+impl FrameAssembly {
+    fn missing(&self) -> Vec<u32> {
+        (0..self.expected)
+            .filter(|i| !self.received.contains(i))
+            .collect()
+    }
+
+    fn complete(&self) -> bool {
+        self.received.len() as u32 >= self.expected
+    }
+}
+
+/// A frame that finished reassembly, ready for the playback buffer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReadyFrame {
+    /// The frame header.
+    pub header: FrameHeader,
+    /// When the last packet arrived.
+    pub completed_at: SimTime,
+}
+
+/// Loss indication for the recovery engine: a frame with missing
+/// packets, annotated with arrival context.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IncompleteFrame {
+    /// The frame header.
+    pub header: FrameHeader,
+    /// Substream the frame belongs to.
+    pub substream: u16,
+    /// Missing packet indices.
+    pub missing: Vec<u32>,
+    /// Expected total packets.
+    pub expected: u32,
+    /// Whether packets after a gap arrived (out-of-order signal that
+    /// justifies fast retransmission rather than timeout, §5.3).
+    pub out_of_order_gap: bool,
+    /// First packet arrival time (for timeout-based retransmission).
+    pub first_arrival: SimTime,
+}
+
+/// The client-side reorder buffer across all substreams of one stream.
+#[derive(Debug)]
+pub struct ReorderBuffer {
+    /// In-flight frame assemblies by dts.
+    assembling: BTreeMap<u64, FrameAssembly>,
+    /// Substream of each assembling frame.
+    substream_of: BTreeMap<u64, u16>,
+    /// The global chain being built from embedded local chains.
+    chain: GlobalChain,
+    /// Frames fully received but not yet released in chain order.
+    complete: BTreeMap<u64, ReadyFrame>,
+    /// Duplicate packets observed (for overhead accounting).
+    duplicates: u64,
+    packets: u64,
+    /// dts of the newest frame already released to playback; packets at
+    /// or below it are duplicates.
+    released_watermark: Option<u64>,
+    /// When the release head first became blocked (present but not
+    /// releasable), for deadline-based skipping.
+    blocked_since: Option<SimTime>,
+    /// Frames deliberately skipped past their deadline.
+    skipped: u64,
+    /// Frames announced by embedded chains: dts -> (first seen, packet
+    /// count from the footprint). Entries with no data at all are
+    /// invisible to `incomplete_frames` (nothing ever assembled), so
+    /// this map is what lets the recovery engine find wholly-lost
+    /// frames.
+    chain_announced: BTreeMap<u64, (SimTime, u32)>,
+}
+
+impl Default for ReorderBuffer {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ReorderBuffer {
+    /// Creates an empty reorder buffer.
+    pub fn new() -> Self {
+        ReorderBuffer {
+            assembling: BTreeMap::new(),
+            substream_of: BTreeMap::new(),
+            chain: GlobalChain::new(),
+            complete: BTreeMap::new(),
+            duplicates: 0,
+            packets: 0,
+            released_watermark: None,
+            blocked_since: None,
+            skipped: 0,
+            chain_announced: BTreeMap::new(),
+        }
+    }
+
+    /// Access to the underlying global chain (for inspection).
+    pub fn chain(&self) -> &GlobalChain {
+        &self.chain
+    }
+
+    /// Ingests one data packet at `now`; returns frames that became
+    /// playable (complete and in linked chain order).
+    pub fn ingest(&mut self, now: SimTime, pkt: &DataPacket) -> Vec<ReadyFrame> {
+        self.packets += 1;
+        let dts = pkt.frame.dts_ms;
+        if self.released_watermark.map(|w| dts <= w).unwrap_or(false) {
+            self.duplicates += 1;
+            return Vec::new();
+        }
+        self.chain.ingest_header(pkt.frame);
+        for fp in pkt.chain.footprints() {
+            self.chain_announced
+                .entry(fp.dts_ms)
+                .or_insert((now, fp.cnt));
+        }
+        self.chain.ingest_chain(&pkt.chain);
+        self.substream_of.insert(dts, pkt.substream);
+
+        let asm = self.assembling.entry(dts).or_insert_with(|| FrameAssembly {
+            header: pkt.frame,
+            expected: pkt.packet_count,
+            received: HashSet::new(),
+            first_arrival: now,
+            max_seen: 0,
+        });
+        if !asm.received.insert(pkt.packet_index) {
+            self.duplicates += 1;
+        }
+        asm.max_seen = asm.max_seen.max(pkt.packet_index);
+        if asm.complete() {
+            let header = asm.header;
+            self.assembling.remove(&dts);
+            self.complete.insert(
+                dts,
+                ReadyFrame {
+                    header,
+                    completed_at: now,
+                },
+            );
+        }
+        self.release(now)
+    }
+
+    /// Batch form of [`ReorderBuffer::ingest`] used by the simulator:
+    /// ingests every received packet index of one frame in a single
+    /// call, processing the chain once. Semantically identical to
+    /// per-packet ingestion of the same indices.
+    pub fn ingest_slice(
+        &mut self,
+        now: SimTime,
+        header: FrameHeader,
+        substream: u16,
+        received: &[u32],
+        total: u32,
+        chain: Option<&rlive_media::footprint::LocalChain>,
+    ) -> Vec<ReadyFrame> {
+        self.packets += received.len() as u64;
+        let dts = header.dts_ms;
+        if self.released_watermark.map(|w| dts <= w).unwrap_or(false) {
+            self.duplicates += received.len() as u64;
+            return Vec::new();
+        }
+        self.chain.ingest_header(header);
+        if let Some(c) = chain {
+            for fp in c.footprints() {
+                self.chain_announced
+                    .entry(fp.dts_ms)
+                    .or_insert((now, fp.cnt));
+            }
+            self.chain.ingest_chain(c);
+        }
+        self.substream_of.insert(dts, substream);
+        let asm = self.assembling.entry(dts).or_insert_with(|| FrameAssembly {
+            header,
+            expected: total,
+            received: HashSet::new(),
+            first_arrival: now,
+            max_seen: 0,
+        });
+        for &idx in received {
+            if !asm.received.insert(idx) {
+                self.duplicates += 1;
+            }
+            asm.max_seen = asm.max_seen.max(idx);
+        }
+        if asm.complete() {
+            self.assembling.remove(&dts);
+            self.complete.insert(
+                dts,
+                ReadyFrame {
+                    header,
+                    completed_at: now,
+                },
+            );
+        }
+        self.release(now)
+    }
+
+    /// Ingests a local chain without any data (centralised-sequencing
+    /// baseline: sequence metadata travels separately from payloads).
+    pub fn ingest_chain_only(&mut self, chain: &rlive_media::footprint::LocalChain) {
+        self.chain.ingest_chain(chain);
+    }
+
+    /// Releases frames that became orderable after out-of-band chain or
+    /// header arrival (used with [`ReorderBuffer::ingest_chain_only`]).
+    pub fn drain_ready(&mut self, now: SimTime) -> Vec<ReadyFrame> {
+        self.release(now)
+    }
+
+    /// Marks a frame as recovered in full from a dedicated node (frame
+    /// recovery or full-stream fallback delivers whole frames).
+    pub fn ingest_whole_frame(&mut self, now: SimTime, header: FrameHeader) -> Vec<ReadyFrame> {
+        if self
+            .released_watermark
+            .map(|w| header.dts_ms <= w)
+            .unwrap_or(false)
+        {
+            return Vec::new();
+        }
+        self.chain.ingest_header(header);
+        self.assembling.remove(&header.dts_ms);
+        self.complete.insert(
+            header.dts_ms,
+            ReadyFrame {
+                header,
+                completed_at: now,
+            },
+        );
+        self.release(now)
+    }
+
+    /// Releases complete frames in global-chain order.
+    fn release(&mut self, now: SimTime) -> Vec<ReadyFrame> {
+        let mut out = Vec::new();
+        loop {
+            let Some((fp, status)) = self.chain.head() else {
+                self.blocked_since = None;
+                break;
+            };
+            // Only release when the head is linked AND its data complete.
+            let releasable = status == crate::sequencing::LinkStatus::Linked
+                && self.complete.contains_key(&fp.dts_ms);
+            if !releasable {
+                // Remember when the head got stuck, for deadline skips.
+                if self.blocked_since.is_none() {
+                    self.blocked_since = Some(now);
+                }
+                break;
+            }
+            let ready = self.complete.remove(&fp.dts_ms).expect("checked");
+            self.chain.pop_linked_head();
+            self.substream_of.remove(&fp.dts_ms);
+            self.chain_announced.remove(&fp.dts_ms);
+            self.released_watermark = Some(fp.dts_ms);
+            self.blocked_since = None;
+            out.push(ready);
+        }
+        out
+    }
+
+    /// How long the release head has been blocked, if it is.
+    pub fn head_blocked_since(&self) -> Option<SimTime> {
+        self.blocked_since
+    }
+
+    /// The frame type of the blocked head, when its header is known.
+    /// B-frames are droppable without corrupting decode; anything else
+    /// forces the player to wait or jump to the next random-access
+    /// point.
+    pub fn head_frame_type(&self) -> Option<rlive_media::frame::FrameType> {
+        self.chain.head_header().map(|h| h.frame_type)
+    }
+
+    /// Skips the blocked head frame past its deadline: the frame is
+    /// abandoned (visual glitch) so playback can continue. Returns
+    /// frames that became releasable after the skip.
+    pub fn skip_blocked_head(&mut self, now: SimTime) -> Vec<ReadyFrame> {
+        let Some((fp, _)) = self.chain.head() else {
+            return Vec::new();
+        };
+        self.chain.force_pop_head();
+        self.assembling.remove(&fp.dts_ms);
+        self.complete.remove(&fp.dts_ms);
+        self.substream_of.remove(&fp.dts_ms);
+        self.chain_announced.remove(&fp.dts_ms);
+        self.released_watermark = Some(fp.dts_ms);
+        self.blocked_since = None;
+        self.skipped += 1;
+        self.release(now)
+    }
+
+    /// Frames skipped past their deadline so far.
+    pub fn skipped_count(&self) -> u64 {
+        self.skipped
+    }
+
+    /// Frames with missing packets, for the recovery engine. A frame is
+    /// reported once packets beyond a gap have arrived (out-of-order
+    /// fast path) or once `timeout` has elapsed since its first packet.
+    pub fn incomplete_frames(&self, now: SimTime, timeout: SimDuration) -> Vec<IncompleteFrame> {
+        self.assembling
+            .values()
+            .filter_map(|asm| {
+                let missing = asm.missing();
+                if missing.is_empty() {
+                    return None;
+                }
+                let gap = missing.iter().any(|&m| m < asm.max_seen);
+                let timed_out = now.saturating_since(asm.first_arrival) >= timeout;
+                if gap || timed_out {
+                    Some(IncompleteFrame {
+                        header: asm.header,
+                        substream: self
+                            .substream_of
+                            .get(&asm.header.dts_ms)
+                            .copied()
+                            .unwrap_or(0),
+                        missing,
+                        expected: asm.expected,
+                        out_of_order_gap: gap,
+                        first_arrival: asm.first_arrival,
+                    })
+                } else {
+                    None
+                }
+            })
+            .collect()
+    }
+
+    /// Frames that embedded chains have announced but for which no data
+    /// has arrived at all within `timeout` — e.g. the publishing relay
+    /// died. Returns `(dts, packet_count)` pairs; the caller recovers
+    /// them as whole frames (the CDN supports dts-indexed recovery, §6).
+    pub fn missing_chain_frames(&self, now: SimTime, timeout: SimDuration) -> Vec<(u64, u32)> {
+        self.chain_announced
+            .iter()
+            .filter(|(&dts, &(seen, _))| {
+                now.saturating_since(seen) >= timeout
+                    && !self.assembling.contains_key(&dts)
+                    && !self.complete.contains_key(&dts)
+                    && self.released_watermark.map(|w| dts > w).unwrap_or(true)
+            })
+            .map(|(&dts, &(_, cnt))| (dts, cnt))
+            .collect()
+    }
+
+    /// Ingests a retransmitted packet (same path as a normal packet).
+    pub fn ingest_retransmission(&mut self, now: SimTime, pkt: &DataPacket) -> Vec<ReadyFrame> {
+        self.ingest(now, pkt)
+    }
+
+    /// Frames sitting complete but blocked on chain order.
+    pub fn blocked_complete(&self) -> usize {
+        self.complete.len()
+    }
+
+    /// The dts values of complete frames that cannot release because no
+    /// ordering information covers them — the failure mode of the
+    /// centralised sequencing design when the metadata channel lags or
+    /// loses entries (§7.3.2). Returns up to `limit` frames that have
+    /// been complete for at least `age`.
+    pub fn unorderable_complete(&self, now: SimTime, age: SimDuration, limit: usize) -> Vec<u64> {
+        self.complete
+            .iter()
+            .filter(|(dts, r)| {
+                now.saturating_since(r.completed_at) >= age
+                    && self.chain.status_of(**dts).is_none()
+            })
+            .map(|(&dts, _)| dts)
+            .take(limit)
+            .collect()
+    }
+
+    /// Frames still assembling.
+    pub fn assembling_count(&self) -> usize {
+        self.assembling.len()
+    }
+
+    /// Duplicate packets observed.
+    pub fn duplicate_count(&self) -> u64 {
+        self.duplicates
+    }
+
+    /// Total packets ingested.
+    pub fn packet_count(&self) -> u64 {
+        self.packets
+    }
+
+    /// Drops per-frame state older than `horizon_ms` behind the newest
+    /// frame (stale frames whose playout deadline passed).
+    pub fn expire_before(&mut self, dts_floor: u64) {
+        self.assembling.retain(|&dts, _| dts >= dts_floor);
+        self.complete.retain(|&dts, _| dts >= dts_floor);
+        self.substream_of.retain(|&dts, _| dts >= dts_floor);
+        self.chain_announced.retain(|&dts, _| dts >= dts_floor);
+    }
+}
+
+/// Default CDN-fallback threshold (§7.4: 400 ms balances latency and
+/// smoothness; 300 ms degrades sharply, 500 ms adds latency for little
+/// gain).
+pub const DEFAULT_FALLBACK_THRESHOLD: SimDuration = SimDuration::from_millis(400);
+
+/// The player-side buffer of decoded-order frames.
+#[derive(Debug)]
+pub struct PlaybackBuffer {
+    /// Buffered frame dts values in order.
+    frames: BTreeMap<u64, FrameHeader>,
+    /// Next dts expected by the decoder.
+    playhead_dts: Option<u64>,
+    /// Occupancy threshold below which the client falls back to CDN
+    /// full-stream pull.
+    fallback_threshold: SimDuration,
+    /// Frame interval, to convert frame count to buffered duration.
+    frame_interval: SimDuration,
+    /// Rebuffering statistics.
+    rebuffer_events: u64,
+    rebuffer_duration: SimDuration,
+    stalled_since: Option<SimTime>,
+    started: bool,
+}
+
+impl PlaybackBuffer {
+    /// Creates a buffer for a stream with the given frame interval.
+    pub fn new(frame_interval: SimDuration, fallback_threshold: SimDuration) -> Self {
+        PlaybackBuffer {
+            frames: BTreeMap::new(),
+            playhead_dts: None,
+            fallback_threshold,
+            frame_interval,
+            rebuffer_events: 0,
+            rebuffer_duration: SimDuration::ZERO,
+            stalled_since: None,
+            started: false,
+        }
+    }
+
+    /// Inserts a frame delivered in decode order. Frames at or behind
+    /// the playhead arrive too late to present and are dropped.
+    pub fn push(&mut self, header: FrameHeader) {
+        if self.playhead_dts.map(|p| header.dts_ms <= p).unwrap_or(false) {
+            return;
+        }
+        self.frames.insert(header.dts_ms, header);
+    }
+
+    /// Buffered playable duration from the playhead.
+    pub fn occupancy(&self) -> SimDuration {
+        self.frame_interval.saturating_mul(self.frames.len() as u64)
+    }
+
+    /// Whether occupancy has fallen below the fallback threshold.
+    pub fn below_fallback_threshold(&self) -> bool {
+        self.started && self.occupancy() < self.fallback_threshold
+    }
+
+    /// The fallback threshold.
+    pub fn fallback_threshold(&self) -> SimDuration {
+        self.fallback_threshold
+    }
+
+    /// Marks playback as started (initial buffer filled).
+    pub fn start(&mut self) {
+        self.started = true;
+    }
+
+    /// Whether playback has started.
+    pub fn is_started(&self) -> bool {
+        self.started
+    }
+
+    /// Advances playback by one frame tick at `now`. Returns the frame
+    /// consumed, or `None` on a stall (rebuffering).
+    pub fn tick(&mut self, now: SimTime) -> Option<FrameHeader> {
+        if !self.started {
+            return None;
+        }
+        let next = match self.playhead_dts {
+            None => self.frames.keys().next().copied(),
+            Some(last) => self.frames.range(last + 1..).next().map(|(&k, _)| k),
+        };
+        match next {
+            Some(dts) => {
+                if let Some(since) = self.stalled_since.take() {
+                    self.rebuffer_duration += now.saturating_since(since);
+                }
+                let header = self.frames.remove(&dts).expect("key just observed");
+                // Drop anything older than the playhead (late arrivals).
+                let stale: Vec<u64> = self.frames.range(..dts).map(|(&k, _)| k).collect();
+                for k in stale {
+                    self.frames.remove(&k);
+                }
+                self.playhead_dts = Some(dts);
+                Some(header)
+            }
+            None => {
+                if self.stalled_since.is_none() {
+                    self.stalled_since = Some(now);
+                    self.rebuffer_events += 1;
+                }
+                None
+            }
+        }
+    }
+
+    /// Catch-up: drops the oldest buffered frame without presenting it
+    /// (fast-play when the buffer is over-full, pulling end-to-end
+    /// latency back down). Returns the dropped frame.
+    pub fn drop_oldest(&mut self) -> Option<FrameHeader> {
+        let next = match self.playhead_dts {
+            None => self.frames.keys().next().copied(),
+            Some(last) => self.frames.range(last + 1..).next().map(|(&k, _)| k),
+        }?;
+        let header = self.frames.remove(&next);
+        self.playhead_dts = Some(next);
+        header
+    }
+
+    /// Number of rebuffering events so far.
+    pub fn rebuffer_events(&self) -> u64 {
+        self.rebuffer_events
+    }
+
+    /// Total stalled duration so far.
+    pub fn rebuffer_duration(&self) -> SimDuration {
+        self.rebuffer_duration
+    }
+
+    /// The dts at the playhead, if playback has consumed anything.
+    pub fn playhead(&self) -> Option<u64> {
+        self.playhead_dts
+    }
+
+    /// Number of buffered frames.
+    pub fn len(&self) -> usize {
+        self.frames.len()
+    }
+
+    /// Whether the buffer holds no frames.
+    pub fn is_empty(&self) -> bool {
+        self.frames.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rlive_media::footprint::ChainGenerator;
+    use rlive_media::frame::Frame;
+    use rlive_media::gop::{GopConfig, GopGenerator};
+    use rlive_media::packet::{packetize, DataPacket, PACKET_PAYLOAD};
+    use rlive_media::substream::substream_of;
+    use rlive_sim::SimRng;
+
+    fn make_packets(n: usize) -> Vec<Vec<DataPacket>> {
+        let mut g = GopGenerator::new(5, GopConfig::default(), SimRng::new(21));
+        let frames: Vec<Frame> = g.take_frames(n);
+        let mut cg = ChainGenerator::new(PACKET_PAYLOAD);
+        frames
+            .iter()
+            .map(|f| {
+                let chain = cg.observe(&f.header);
+                let ss = substream_of(&f.header, 4).0;
+                packetize(f, ss, &chain, 1)
+            })
+            .collect()
+    }
+
+    fn t(ms: u64) -> SimTime {
+        SimTime::from_millis(ms)
+    }
+
+    #[test]
+    fn in_order_delivery_releases_everything() {
+        let pkts = make_packets(10);
+        let mut rb = ReorderBuffer::new();
+        let mut released = Vec::new();
+        for (i, frame_pkts) in pkts.iter().enumerate() {
+            for p in frame_pkts {
+                released.extend(rb.ingest(t(i as u64 * 33), p));
+            }
+        }
+        assert_eq!(released.len(), 10);
+        // Released in dts order.
+        for w in released.windows(2) {
+            assert!(w[0].header.dts_ms < w[1].header.dts_ms);
+        }
+        assert_eq!(rb.assembling_count(), 0);
+        assert_eq!(rb.blocked_complete(), 0);
+    }
+
+    #[test]
+    fn out_of_order_frames_block_until_gap_fills() {
+        let pkts = make_packets(3);
+        let mut rb = ReorderBuffer::new();
+        // Frame 0 complete.
+        let mut released = Vec::new();
+        for p in &pkts[0] {
+            released.extend(rb.ingest(t(0), p));
+        }
+        assert_eq!(released.len(), 1);
+        // Frame 2 arrives before frame 1: blocked.
+        let mut r2 = Vec::new();
+        for p in &pkts[2] {
+            r2.extend(rb.ingest(t(70), p));
+        }
+        assert!(r2.is_empty(), "frame 2 must wait for frame 1");
+        assert_eq!(rb.blocked_complete(), 1);
+        // Frame 1 arrives: both release in order.
+        let mut r1 = Vec::new();
+        for p in &pkts[1] {
+            r1.extend(rb.ingest(t(100), p));
+        }
+        assert_eq!(r1.len(), 2);
+        assert!(r1[0].header.dts_ms < r1[1].header.dts_ms);
+    }
+
+    #[test]
+    fn missing_packet_blocks_frame_and_reports_incomplete() {
+        let pkts = make_packets(1);
+        let frame_pkts = &pkts[0];
+        assert!(frame_pkts.len() >= 2, "need a multi-packet frame");
+        let mut rb = ReorderBuffer::new();
+        // Deliver all but packet 0 (a gap, since higher indices arrive).
+        for p in &frame_pkts[1..] {
+            assert!(rb.ingest(t(1), p).is_empty());
+        }
+        let incomplete = rb.incomplete_frames(t(2), SimDuration::from_millis(100));
+        assert_eq!(incomplete.len(), 1);
+        assert_eq!(incomplete[0].missing, vec![0]);
+        assert!(incomplete[0].out_of_order_gap);
+        // Retransmission completes the frame.
+        let released = rb.ingest_retransmission(t(5), &frame_pkts[0]);
+        assert_eq!(released.len(), 1);
+    }
+
+    #[test]
+    fn tail_loss_detected_by_timeout_only() {
+        let pkts = make_packets(1);
+        let frame_pkts = &pkts[0];
+        let mut rb = ReorderBuffer::new();
+        // Deliver all but the last packet: no gap (missing index is the
+        // highest), so only the timeout path reports it.
+        let n = frame_pkts.len();
+        for p in &frame_pkts[..n - 1] {
+            rb.ingest(t(1), p);
+        }
+        let early = rb.incomplete_frames(t(5), SimDuration::from_millis(100));
+        assert!(early.is_empty(), "no gap and no timeout yet");
+        let late = rb.incomplete_frames(t(200), SimDuration::from_millis(100));
+        assert_eq!(late.len(), 1);
+        assert!(!late[0].out_of_order_gap);
+    }
+
+    #[test]
+    fn duplicates_counted_not_doubled() {
+        let pkts = make_packets(1);
+        let mut rb = ReorderBuffer::new();
+        for p in &pkts[0] {
+            rb.ingest(t(0), p);
+        }
+        let before = rb.packet_count();
+        rb.ingest(t(1), &pkts[0][0]);
+        assert_eq!(rb.duplicate_count(), 1);
+        assert_eq!(rb.packet_count(), before + 1);
+    }
+
+    #[test]
+    fn whole_frame_recovery_path() {
+        let pkts = make_packets(3);
+        let mut rb = ReorderBuffer::new();
+        for p in &pkts[0] {
+            rb.ingest(t(0), p);
+        }
+        // Frame 1 lost entirely; frame 2 arrives.
+        for p in &pkts[2] {
+            rb.ingest(t(70), p);
+        }
+        // Dedicated node returns the whole frame 1.
+        let released = rb.ingest_whole_frame(t(90), pkts[1][0].frame);
+        assert_eq!(released.len(), 2);
+    }
+
+    #[test]
+    fn expire_drops_stale_state() {
+        let pkts = make_packets(5);
+        let mut rb = ReorderBuffer::new();
+        // Partially deliver everything.
+        for frame_pkts in &pkts {
+            rb.ingest(t(0), &frame_pkts[0]);
+        }
+        let assembling_before = rb.assembling_count();
+        assert!(assembling_before >= 4, "multi-packet frames still assembling");
+        rb.expire_before(pkts[4][0].frame.dts_ms);
+        assert!(rb.assembling_count() <= 1);
+    }
+
+    #[test]
+    fn playback_buffer_counts_rebuffers() {
+        let interval = SimDuration::from_millis(33);
+        let mut pb = PlaybackBuffer::new(interval, DEFAULT_FALLBACK_THRESHOLD);
+        let pkts = make_packets(3);
+        pb.push(pkts[0][0].frame);
+        pb.push(pkts[1][0].frame);
+        pb.start();
+        assert!(pb.tick(t(0)).is_some());
+        assert!(pb.tick(t(33)).is_some());
+        // Buffer empty: stall begins.
+        assert!(pb.tick(t(66)).is_none());
+        assert_eq!(pb.rebuffer_events(), 1);
+        // Still stalled; no double-count.
+        assert!(pb.tick(t(99)).is_none());
+        assert_eq!(pb.rebuffer_events(), 1);
+        // Data arrives; stall ends and duration accrues.
+        pb.push(pkts[2][0].frame);
+        assert!(pb.tick(t(150)).is_some());
+        assert_eq!(pb.rebuffer_duration(), SimDuration::from_millis(84));
+    }
+
+    #[test]
+    fn fallback_threshold_trips() {
+        let interval = SimDuration::from_millis(33);
+        let mut pb = PlaybackBuffer::new(interval, SimDuration::from_millis(400));
+        let pkts = make_packets(20);
+        for fp in pkts.iter().take(15) {
+            pb.push(fp[0].frame);
+        }
+        pb.start();
+        // 15 frames * 33ms = 495ms > 400ms.
+        assert!(!pb.below_fallback_threshold());
+        for i in 0..4 {
+            pb.tick(t(i * 33));
+        }
+        // 11 frames * 33ms = 363ms < 400ms.
+        assert!(pb.below_fallback_threshold());
+    }
+
+    #[test]
+    fn late_frames_dropped_at_playhead() {
+        let interval = SimDuration::from_millis(33);
+        let mut pb = PlaybackBuffer::new(interval, DEFAULT_FALLBACK_THRESHOLD);
+        let pkts = make_packets(3);
+        pb.push(pkts[2][0].frame);
+        pb.start();
+        assert_eq!(pb.tick(t(0)).map(|h| h.dts_ms), Some(pkts[2][0].frame.dts_ms));
+        // An older frame arriving now is behind the playhead; a tick
+        // prunes it instead of playing it.
+        pb.push(pkts[0][0].frame);
+        assert!(pb.tick(t(33)).is_none());
+        assert!(pb.is_empty());
+    }
+
+    #[test]
+    fn no_ticks_before_start() {
+        let mut pb = PlaybackBuffer::new(SimDuration::from_millis(33), DEFAULT_FALLBACK_THRESHOLD);
+        let pkts = make_packets(1);
+        pb.push(pkts[0][0].frame);
+        assert!(pb.tick(t(0)).is_none());
+        assert_eq!(pb.rebuffer_events(), 0);
+    }
+}

@@ -1,0 +1,318 @@
+//! Subscribe-push control messages (§5.1, §6).
+//!
+//! RLive's data path is publisher-driven: clients *subscribe* substreams
+//! to best-effort nodes, which then push fixed-size packets immediately
+//! without per-connection congestion control. This module defines the
+//! control messages exchanged on that path and a compact wire codec.
+
+use serde::{Deserialize, Serialize};
+
+/// Control messages between clients, best-effort nodes and the CDN.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ControlMessage {
+    /// Client → node: subscribe to a substream.
+    Subscribe {
+        /// Stream id.
+        stream_id: u64,
+        /// Substream index.
+        substream: u16,
+        /// Subscribing client id.
+        client: u64,
+    },
+    /// Node → client: subscription accepted; pushing begins.
+    SubscribeAck {
+        /// Stream id.
+        stream_id: u64,
+        /// Substream index.
+        substream: u16,
+        /// Whether the node had to newly subscribe to the CDN
+        /// (back-to-CDN traffic was created).
+        back_to_cdn: bool,
+    },
+    /// Client → node: stop pushing a substream.
+    Unsubscribe {
+        /// Stream id.
+        stream_id: u64,
+        /// Substream index.
+        substream: u16,
+        /// Unsubscribing client id.
+        client: u64,
+    },
+    /// Client → node (best-effort recovery, action 0): retransmit the
+    /// listed packets of a frame.
+    PacketRecoveryRequest {
+        /// Stream id.
+        stream_id: u64,
+        /// dts of the incomplete frame.
+        dts_ms: u64,
+        /// Missing packet indices.
+        packets: Vec<u32>,
+    },
+    /// Client → dedicated node (recovery action 1): resend an entire
+    /// frame, indexed by dts (the <100-LoC CDN-side change of §6).
+    FrameRecoveryRequest {
+        /// Stream id.
+        stream_id: u64,
+        /// dts of the frame to resend.
+        dts_ms: u64,
+    },
+    /// Node → client: proactive switch suggestion (§4.2.2).
+    SwitchSuggestion {
+        /// The suggesting node.
+        node: u64,
+        /// Reason code: 0 = cost consolidation, 1 = QoS outlier.
+        reason: u8,
+    },
+    /// Client → node: application-level connection probe (§4.1.2).
+    Probe {
+        /// Stream id the client intends to pull.
+        stream_id: u64,
+        /// Substream index.
+        substream: u16,
+        /// Echo nonce.
+        nonce: u64,
+    },
+    /// Node → client: probe response.
+    ProbeReply {
+        /// Echoed nonce.
+        nonce: u64,
+        /// Node's current available bandwidth estimate in kbps (the
+        /// probe gauges capacity, not just latency, §4.1.2).
+        available_kbps: u32,
+    },
+}
+
+impl ControlMessage {
+    /// Encodes into a compact tag-length-value byte form.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(32);
+        match self {
+            ControlMessage::Subscribe {
+                stream_id,
+                substream,
+                client,
+            } => {
+                out.push(0);
+                out.extend_from_slice(&stream_id.to_be_bytes());
+                out.extend_from_slice(&substream.to_be_bytes());
+                out.extend_from_slice(&client.to_be_bytes());
+            }
+            ControlMessage::SubscribeAck {
+                stream_id,
+                substream,
+                back_to_cdn,
+            } => {
+                out.push(1);
+                out.extend_from_slice(&stream_id.to_be_bytes());
+                out.extend_from_slice(&substream.to_be_bytes());
+                out.push(*back_to_cdn as u8);
+            }
+            ControlMessage::Unsubscribe {
+                stream_id,
+                substream,
+                client,
+            } => {
+                out.push(2);
+                out.extend_from_slice(&stream_id.to_be_bytes());
+                out.extend_from_slice(&substream.to_be_bytes());
+                out.extend_from_slice(&client.to_be_bytes());
+            }
+            ControlMessage::PacketRecoveryRequest {
+                stream_id,
+                dts_ms,
+                packets,
+            } => {
+                out.push(3);
+                out.extend_from_slice(&stream_id.to_be_bytes());
+                out.extend_from_slice(&dts_ms.to_be_bytes());
+                out.extend_from_slice(&(packets.len() as u16).to_be_bytes());
+                for p in packets {
+                    out.extend_from_slice(&p.to_be_bytes());
+                }
+            }
+            ControlMessage::FrameRecoveryRequest { stream_id, dts_ms } => {
+                out.push(4);
+                out.extend_from_slice(&stream_id.to_be_bytes());
+                out.extend_from_slice(&dts_ms.to_be_bytes());
+            }
+            ControlMessage::SwitchSuggestion { node, reason } => {
+                out.push(5);
+                out.extend_from_slice(&node.to_be_bytes());
+                out.push(*reason);
+            }
+            ControlMessage::Probe {
+                stream_id,
+                substream,
+                nonce,
+            } => {
+                out.push(6);
+                out.extend_from_slice(&stream_id.to_be_bytes());
+                out.extend_from_slice(&substream.to_be_bytes());
+                out.extend_from_slice(&nonce.to_be_bytes());
+            }
+            ControlMessage::ProbeReply {
+                nonce,
+                available_kbps,
+            } => {
+                out.push(7);
+                out.extend_from_slice(&nonce.to_be_bytes());
+                out.extend_from_slice(&available_kbps.to_be_bytes());
+            }
+        }
+        out
+    }
+
+    /// Decodes a message; `None` on malformed input.
+    pub fn decode(bytes: &[u8]) -> Option<ControlMessage> {
+        fn u64_at(b: &[u8], i: usize) -> Option<u64> {
+            b.get(i..i + 8)?.try_into().ok().map(u64::from_be_bytes)
+        }
+        fn u32_at(b: &[u8], i: usize) -> Option<u32> {
+            b.get(i..i + 4)?.try_into().ok().map(u32::from_be_bytes)
+        }
+        fn u16_at(b: &[u8], i: usize) -> Option<u16> {
+            b.get(i..i + 2)?.try_into().ok().map(u16::from_be_bytes)
+        }
+        match *bytes.first()? {
+            0 => Some(ControlMessage::Subscribe {
+                stream_id: u64_at(bytes, 1)?,
+                substream: u16_at(bytes, 9)?,
+                client: u64_at(bytes, 11)?,
+            }),
+            1 => Some(ControlMessage::SubscribeAck {
+                stream_id: u64_at(bytes, 1)?,
+                substream: u16_at(bytes, 9)?,
+                back_to_cdn: *bytes.get(11)? != 0,
+            }),
+            2 => Some(ControlMessage::Unsubscribe {
+                stream_id: u64_at(bytes, 1)?,
+                substream: u16_at(bytes, 9)?,
+                client: u64_at(bytes, 11)?,
+            }),
+            3 => {
+                let stream_id = u64_at(bytes, 1)?;
+                let dts_ms = u64_at(bytes, 9)?;
+                let n = u16_at(bytes, 17)? as usize;
+                let mut packets = Vec::with_capacity(n);
+                for i in 0..n {
+                    packets.push(u32_at(bytes, 19 + i * 4)?);
+                }
+                Some(ControlMessage::PacketRecoveryRequest {
+                    stream_id,
+                    dts_ms,
+                    packets,
+                })
+            }
+            4 => Some(ControlMessage::FrameRecoveryRequest {
+                stream_id: u64_at(bytes, 1)?,
+                dts_ms: u64_at(bytes, 9)?,
+            }),
+            5 => Some(ControlMessage::SwitchSuggestion {
+                node: u64_at(bytes, 1)?,
+                reason: *bytes.get(9)?,
+            }),
+            6 => Some(ControlMessage::Probe {
+                stream_id: u64_at(bytes, 1)?,
+                substream: u16_at(bytes, 9)?,
+                nonce: u64_at(bytes, 11)?,
+            }),
+            7 => Some(ControlMessage::ProbeReply {
+                nonce: u64_at(bytes, 1)?,
+                available_kbps: u32_at(bytes, 9)?,
+            }),
+            _ => None,
+        }
+    }
+
+    /// Wire size of the encoded form.
+    pub fn wire_size(&self) -> usize {
+        self.encode().len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn all_messages() -> Vec<ControlMessage> {
+        vec![
+            ControlMessage::Subscribe {
+                stream_id: 7,
+                substream: 2,
+                client: 99,
+            },
+            ControlMessage::SubscribeAck {
+                stream_id: 7,
+                substream: 2,
+                back_to_cdn: true,
+            },
+            ControlMessage::Unsubscribe {
+                stream_id: 7,
+                substream: 2,
+                client: 99,
+            },
+            ControlMessage::PacketRecoveryRequest {
+                stream_id: 7,
+                dts_ms: 123_000,
+                packets: vec![0, 3, 9],
+            },
+            ControlMessage::FrameRecoveryRequest {
+                stream_id: 7,
+                dts_ms: 123_000,
+            },
+            ControlMessage::SwitchSuggestion { node: 5, reason: 1 },
+            ControlMessage::Probe {
+                stream_id: 7,
+                substream: 0,
+                nonce: 0xDEAD,
+            },
+            ControlMessage::ProbeReply {
+                nonce: 0xDEAD,
+                available_kbps: 4_000,
+            },
+        ]
+    }
+
+    #[test]
+    fn round_trip_every_variant() {
+        for msg in all_messages() {
+            let bytes = msg.encode();
+            assert_eq!(ControlMessage::decode(&bytes), Some(msg.clone()), "{msg:?}");
+        }
+    }
+
+    #[test]
+    fn truncation_rejected() {
+        for msg in all_messages() {
+            let bytes = msg.encode();
+            for cut in 0..bytes.len() {
+                // Any strict prefix either fails or (for list-carrying
+                // messages) decodes to fewer items — never panics.
+                let _ = ControlMessage::decode(&bytes[..cut]);
+            }
+        }
+    }
+
+    #[test]
+    fn unknown_tag_rejected() {
+        assert_eq!(ControlMessage::decode(&[200, 0, 0]), None);
+        assert_eq!(ControlMessage::decode(&[]), None);
+    }
+
+    #[test]
+    fn messages_are_compact() {
+        for msg in all_messages() {
+            assert!(msg.wire_size() <= 64, "{msg:?} is {} bytes", msg.wire_size());
+        }
+    }
+
+    #[test]
+    fn empty_packet_list_round_trips() {
+        let msg = ControlMessage::PacketRecoveryRequest {
+            stream_id: 1,
+            dts_ms: 2,
+            packets: vec![],
+        };
+        assert_eq!(ControlMessage::decode(&msg.encode()), Some(msg));
+    }
+}

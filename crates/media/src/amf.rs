@@ -1,0 +1,332 @@
+//! Minimal AMF0 codec for FLV script data.
+//!
+//! FLV streams open with an `onMetaData` script tag carrying stream
+//! properties (duration, width, height, frame rate, bitrates) encoded in
+//! AMF0. RLive's relays forward these tags verbatim; the client player
+//! reads frame rate and bitrate hints from them. This module implements
+//! the AMF0 subset that real `onMetaData` payloads use: numbers,
+//! booleans, strings, ECMA arrays, objects and null.
+
+use std::collections::BTreeMap;
+
+/// An AMF0 value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Amf0 {
+    /// IEEE-754 double (AMF0 type 0).
+    Number(f64),
+    /// Boolean (type 1).
+    Boolean(bool),
+    /// UTF-8 string with 16-bit length (type 2).
+    String(String),
+    /// Anonymous object (type 3): ordered name → value pairs.
+    Object(BTreeMap<String, Amf0>),
+    /// Null (type 5).
+    Null,
+    /// ECMA array (type 8): like an object with a count hint.
+    EcmaArray(BTreeMap<String, Amf0>),
+}
+
+/// Errors from AMF0 parsing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AmfError {
+    /// Input ended mid-value.
+    Truncated,
+    /// An unsupported or unknown type marker.
+    UnsupportedMarker(u8),
+    /// A string was not valid UTF-8.
+    BadString,
+}
+
+impl std::fmt::Display for AmfError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AmfError::Truncated => write!(f, "truncated AMF0 data"),
+            AmfError::UnsupportedMarker(m) => write!(f, "unsupported AMF0 marker {m}"),
+            AmfError::BadString => write!(f, "invalid UTF-8 in AMF0 string"),
+        }
+    }
+}
+
+impl std::error::Error for AmfError {}
+
+impl Amf0 {
+    /// Encodes the value, appending to `out`.
+    pub fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            Amf0::Number(n) => {
+                out.push(0);
+                out.extend_from_slice(&n.to_be_bytes());
+            }
+            Amf0::Boolean(b) => {
+                out.push(1);
+                out.push(*b as u8);
+            }
+            Amf0::String(s) => {
+                out.push(2);
+                encode_utf8(out, s);
+            }
+            Amf0::Object(map) => {
+                out.push(3);
+                encode_properties(out, map);
+            }
+            Amf0::Null => out.push(5),
+            Amf0::EcmaArray(map) => {
+                out.push(8);
+                out.extend_from_slice(&(map.len() as u32).to_be_bytes());
+                encode_properties(out, map);
+            }
+        }
+    }
+
+    /// Decodes one value from the front of `buf`, returning it and the
+    /// bytes consumed.
+    pub fn decode(buf: &[u8]) -> Result<(Amf0, usize), AmfError> {
+        let marker = *buf.first().ok_or(AmfError::Truncated)?;
+        match marker {
+            0 => {
+                let raw = buf.get(1..9).ok_or(AmfError::Truncated)?;
+                let n = f64::from_be_bytes(raw.try_into().expect("8 bytes"));
+                Ok((Amf0::Number(n), 9))
+            }
+            1 => {
+                let b = *buf.get(1).ok_or(AmfError::Truncated)?;
+                Ok((Amf0::Boolean(b != 0), 2))
+            }
+            2 => {
+                let (s, used) = decode_utf8(&buf[1..])?;
+                Ok((Amf0::String(s), 1 + used))
+            }
+            3 => {
+                let (map, used) = decode_properties(&buf[1..])?;
+                Ok((Amf0::Object(map), 1 + used))
+            }
+            5 => Ok((Amf0::Null, 1)),
+            8 => {
+                if buf.len() < 5 {
+                    return Err(AmfError::Truncated);
+                }
+                let (map, used) = decode_properties(&buf[5..])?;
+                Ok((Amf0::EcmaArray(map), 5 + used))
+            }
+            m => Err(AmfError::UnsupportedMarker(m)),
+        }
+    }
+
+    /// Convenience: reads a number property from an object/array value.
+    pub fn get_number(&self, key: &str) -> Option<f64> {
+        let map = match self {
+            Amf0::Object(m) | Amf0::EcmaArray(m) => m,
+            _ => return None,
+        };
+        match map.get(key) {
+            Some(Amf0::Number(n)) => Some(*n),
+            _ => None,
+        }
+    }
+}
+
+fn encode_utf8(out: &mut Vec<u8>, s: &str) {
+    out.extend_from_slice(&(s.len() as u16).to_be_bytes());
+    out.extend_from_slice(s.as_bytes());
+}
+
+fn decode_utf8(buf: &[u8]) -> Result<(String, usize), AmfError> {
+    let len = u16::from_be_bytes(
+        buf.get(0..2)
+            .ok_or(AmfError::Truncated)?
+            .try_into()
+            .expect("2 bytes"),
+    ) as usize;
+    let raw = buf.get(2..2 + len).ok_or(AmfError::Truncated)?;
+    let s = std::str::from_utf8(raw).map_err(|_| AmfError::BadString)?;
+    Ok((s.to_owned(), 2 + len))
+}
+
+fn encode_properties(out: &mut Vec<u8>, map: &BTreeMap<String, Amf0>) {
+    for (k, v) in map {
+        encode_utf8(out, k);
+        v.encode(out);
+    }
+    // Object end: empty name + marker 9.
+    out.extend_from_slice(&[0, 0, 9]);
+}
+
+fn decode_properties(buf: &[u8]) -> Result<(BTreeMap<String, Amf0>, usize), AmfError> {
+    let mut map = BTreeMap::new();
+    let mut pos = 0;
+    loop {
+        let (name, used) = decode_utf8(&buf[pos..])?;
+        pos += used;
+        if name.is_empty() {
+            let marker = *buf.get(pos).ok_or(AmfError::Truncated)?;
+            if marker == 9 {
+                return Ok((map, pos + 1));
+            }
+            return Err(AmfError::UnsupportedMarker(marker));
+        }
+        let (value, used) = Amf0::decode(&buf[pos..])?;
+        pos += used;
+        map.insert(name, value);
+    }
+}
+
+/// Stream metadata carried by the `onMetaData` script tag.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OnMetaData {
+    /// Video width in pixels.
+    pub width: f64,
+    /// Video height in pixels.
+    pub height: f64,
+    /// Frames per second.
+    pub framerate: f64,
+    /// Video bitrate in kbps.
+    pub videodatarate: f64,
+}
+
+impl OnMetaData {
+    /// Encodes the full script-tag payload: the string `onMetaData`
+    /// followed by an ECMA array of properties.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(96);
+        Amf0::String("onMetaData".to_owned()).encode(&mut out);
+        let mut map = BTreeMap::new();
+        map.insert("width".to_owned(), Amf0::Number(self.width));
+        map.insert("height".to_owned(), Amf0::Number(self.height));
+        map.insert("framerate".to_owned(), Amf0::Number(self.framerate));
+        map.insert(
+            "videodatarate".to_owned(),
+            Amf0::Number(self.videodatarate),
+        );
+        Amf0::EcmaArray(map).encode(&mut out);
+        out
+    }
+
+    /// Parses a script-tag payload produced by [`OnMetaData::encode`]
+    /// (or by a standard FLV muxer).
+    pub fn decode(buf: &[u8]) -> Result<OnMetaData, AmfError> {
+        let (name, used) = Amf0::decode(buf)?;
+        if name != Amf0::String("onMetaData".to_owned()) {
+            return Err(AmfError::UnsupportedMarker(0xFF));
+        }
+        let (props, _) = Amf0::decode(&buf[used..])?;
+        Ok(OnMetaData {
+            width: props.get_number("width").unwrap_or(0.0),
+            height: props.get_number("height").unwrap_or(0.0),
+            framerate: props.get_number("framerate").unwrap_or(0.0),
+            videodatarate: props.get_number("videodatarate").unwrap_or(0.0),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(v: &Amf0) {
+        let mut out = Vec::new();
+        v.encode(&mut out);
+        let (decoded, used) = Amf0::decode(&out).expect("decodes");
+        assert_eq!(&decoded, v);
+        assert_eq!(used, out.len());
+    }
+
+    #[test]
+    fn scalar_round_trips() {
+        round_trip(&Amf0::Number(29.97));
+        round_trip(&Amf0::Number(f64::MIN_POSITIVE));
+        round_trip(&Amf0::Boolean(true));
+        round_trip(&Amf0::Boolean(false));
+        round_trip(&Amf0::String("hello".to_owned()));
+        round_trip(&Amf0::String(String::new()));
+        round_trip(&Amf0::Null);
+    }
+
+    #[test]
+    fn object_round_trip() {
+        let mut map = BTreeMap::new();
+        map.insert("a".to_owned(), Amf0::Number(1.0));
+        map.insert("b".to_owned(), Amf0::String("x".to_owned()));
+        map.insert("c".to_owned(), Amf0::Boolean(true));
+        round_trip(&Amf0::Object(map.clone()));
+        round_trip(&Amf0::EcmaArray(map));
+    }
+
+    #[test]
+    fn nested_object() {
+        let mut inner = BTreeMap::new();
+        inner.insert("x".to_owned(), Amf0::Number(2.0));
+        let mut outer = BTreeMap::new();
+        outer.insert("inner".to_owned(), Amf0::Object(inner));
+        outer.insert("n".to_owned(), Amf0::Null);
+        round_trip(&Amf0::Object(outer));
+    }
+
+    #[test]
+    fn on_metadata_round_trip() {
+        let meta = OnMetaData {
+            width: 1920.0,
+            height: 1080.0,
+            framerate: 30.0,
+            videodatarate: 3_000.0,
+        };
+        let bytes = meta.encode();
+        assert_eq!(OnMetaData::decode(&bytes), Ok(meta));
+    }
+
+    #[test]
+    fn truncation_detected() {
+        let meta = OnMetaData {
+            width: 1280.0,
+            height: 720.0,
+            framerate: 30.0,
+            videodatarate: 1_500.0,
+        };
+        let bytes = meta.encode();
+        for cut in 0..bytes.len() {
+            // No prefix may parse into a full OnMetaData silently.
+            if let Ok(m) = OnMetaData::decode(&bytes[..cut]) {
+                panic!("truncated decode at {cut} produced {m:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn unknown_marker_rejected() {
+        assert_eq!(Amf0::decode(&[42]), Err(AmfError::UnsupportedMarker(42)));
+        assert_eq!(Amf0::decode(&[]), Err(AmfError::Truncated));
+    }
+
+    #[test]
+    fn get_number_accessor() {
+        let mut map = BTreeMap::new();
+        map.insert("fps".to_owned(), Amf0::Number(30.0));
+        map.insert("name".to_owned(), Amf0::String("s".to_owned()));
+        let obj = Amf0::Object(map);
+        assert_eq!(obj.get_number("fps"), Some(30.0));
+        assert_eq!(obj.get_number("name"), None);
+        assert_eq!(obj.get_number("missing"), None);
+        assert_eq!(Amf0::Null.get_number("fps"), None);
+    }
+
+    #[test]
+    fn script_tag_integration() {
+        // An onMetaData payload travels inside an FLV script tag.
+        use crate::flv::{decode_tag, encode_tag, Tag, TagType};
+        use bytes::{Bytes, BytesMut};
+        let meta = OnMetaData {
+            width: 1920.0,
+            height: 1080.0,
+            framerate: 30.0,
+            videodatarate: 3_000.0,
+        };
+        let tag = Tag {
+            tag_type: TagType::Script,
+            timestamp_ms: 0,
+            payload: Bytes::from(meta.encode()),
+        };
+        let mut out = BytesMut::new();
+        encode_tag(&mut out, &tag);
+        let (decoded, _) = decode_tag(&out).expect("tag decodes");
+        assert_eq!(OnMetaData::decode(&decoded.payload), Ok(meta));
+    }
+}

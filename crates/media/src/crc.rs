@@ -1,0 +1,91 @@
+//! CRC-32 (IEEE 802.3 polynomial).
+//!
+//! Frame footprints (§5.2) embed a CRC over the current and two prior
+//! frame headers so that clients can validate that a reconstructed chain
+//! ordering is consistent with what each relaying node observed.
+
+/// Reflected IEEE CRC-32 polynomial.
+const POLY: u32 = 0xEDB8_8320;
+
+/// Lazily built 256-entry lookup table.
+fn table() -> &'static [u32; 256] {
+    use std::sync::OnceLock;
+    static TABLE: OnceLock<[u32; 256]> = OnceLock::new();
+    TABLE.get_or_init(|| {
+        let mut t = [0u32; 256];
+        for (i, entry) in t.iter_mut().enumerate() {
+            let mut c = i as u32;
+            for _ in 0..8 {
+                c = if c & 1 != 0 { POLY ^ (c >> 1) } else { c >> 1 };
+            }
+            *entry = c;
+        }
+        t
+    })
+}
+
+/// A streaming CRC-32 hasher.
+#[derive(Debug, Clone)]
+pub struct Crc32 {
+    state: u32,
+}
+
+impl Default for Crc32 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Crc32 {
+    /// Starts a fresh CRC computation.
+    pub fn new() -> Self {
+        Crc32 { state: 0xFFFF_FFFF }
+    }
+
+    /// Feeds bytes into the CRC.
+    pub fn update(&mut self, bytes: &[u8]) {
+        let t = table();
+        for &b in bytes {
+            self.state = t[((self.state ^ b as u32) & 0xFF) as usize] ^ (self.state >> 8);
+        }
+    }
+
+    /// Finalises and returns the checksum.
+    pub fn finish(&self) -> u32 {
+        self.state ^ 0xFFFF_FFFF
+    }
+}
+
+/// Convenience: CRC-32 of a single slice.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut c = Crc32::new();
+    c.update(bytes);
+    c.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // Standard IEEE CRC-32 check values.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0x0000_0000);
+        assert_eq!(crc32(b"a"), 0xE8B7_BE43);
+    }
+
+    #[test]
+    fn streaming_matches_oneshot() {
+        let data = b"the quick brown fox jumps over the lazy dog";
+        let mut c = Crc32::new();
+        c.update(&data[..10]);
+        c.update(&data[10..]);
+        assert_eq!(c.finish(), crc32(data));
+    }
+
+    #[test]
+    fn sensitive_to_order() {
+        assert_ne!(crc32(b"ab"), crc32(b"ba"));
+    }
+}

@@ -1,0 +1,161 @@
+//! Video frame model.
+//!
+//! For simplicity the paper refers to NALUs as frames; each carries a
+//! decoding timestamp (dts), a type (I/P/B) and a payload. RLive's
+//! sequencing and recovery logic works on frame *headers* only, so the
+//! header is a first-class type.
+
+use serde::{Deserialize, Serialize};
+
+/// The compressed frame type, determining decode dependencies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FrameType {
+    /// Intra-coded: independently decodable; other frames reference it.
+    I,
+    /// Predicted: references prior frames.
+    P,
+    /// Bi-directionally predicted: references prior and later frames.
+    B,
+}
+
+impl FrameType {
+    /// Decode-loss risk weight used by the QoE-driven recovery loss
+    /// function (§5.3): losing an I-frame stalls the whole GoP.
+    pub fn risk_weight(self) -> f64 {
+        match self {
+            FrameType::I => 8.0,
+            FrameType::P => 2.0,
+            FrameType::B => 1.0,
+        }
+    }
+}
+
+/// The metadata portion of a frame; everything sequencing needs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct FrameHeader {
+    /// Stream the frame belongs to.
+    pub stream_id: u64,
+    /// Decoding timestamp in milliseconds since stream start.
+    pub dts_ms: u64,
+    /// Frame type.
+    pub frame_type: FrameType,
+    /// Size of the compressed payload in bytes.
+    pub size: u32,
+}
+
+impl FrameHeader {
+    /// Serialises the header into a fixed 21-byte representation used for
+    /// footprint CRCs and wire encoding.
+    pub fn to_bytes(&self) -> [u8; 21] {
+        let mut out = [0u8; 21];
+        out[0..8].copy_from_slice(&self.stream_id.to_be_bytes());
+        out[8..16].copy_from_slice(&self.dts_ms.to_be_bytes());
+        out[16] = match self.frame_type {
+            FrameType::I => 0,
+            FrameType::P => 1,
+            FrameType::B => 2,
+        };
+        out[17..21].copy_from_slice(&self.size.to_be_bytes());
+        out
+    }
+
+    /// Parses a header previously produced by [`FrameHeader::to_bytes`].
+    ///
+    /// Returns `None` if the frame-type byte is invalid.
+    pub fn from_bytes(bytes: &[u8; 21]) -> Option<Self> {
+        let stream_id = u64::from_be_bytes(bytes[0..8].try_into().expect("8 bytes"));
+        let dts_ms = u64::from_be_bytes(bytes[8..16].try_into().expect("8 bytes"));
+        let frame_type = match bytes[16] {
+            0 => FrameType::I,
+            1 => FrameType::P,
+            2 => FrameType::B,
+            _ => return None,
+        };
+        let size = u32::from_be_bytes(bytes[17..21].try_into().expect("4 bytes"));
+        Some(FrameHeader {
+            stream_id,
+            dts_ms,
+            frame_type,
+            size,
+        })
+    }
+}
+
+/// A complete frame: header plus (synthetic) payload length.
+///
+/// The simulator never materialises pixel data; the payload is
+/// represented by its length only, which is what every delivery-path
+/// computation (serialisation time, packet count, buffer occupancy)
+/// consumes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Frame {
+    /// Frame metadata.
+    pub header: FrameHeader,
+}
+
+impl Frame {
+    /// Creates a frame from its header.
+    pub fn new(header: FrameHeader) -> Self {
+        Frame { header }
+    }
+
+    /// Payload size in bytes.
+    pub fn size(&self) -> u32 {
+        self.header.size
+    }
+
+    /// Decoding timestamp in milliseconds.
+    pub fn dts_ms(&self) -> u64 {
+        self.header.dts_ms
+    }
+
+    /// Number of fixed-size packets needed to carry the payload.
+    pub fn packet_count(&self, payload_per_packet: u32) -> u32 {
+        self.header.size.div_ceil(payload_per_packet).max(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn header() -> FrameHeader {
+        FrameHeader {
+            stream_id: 7,
+            dts_ms: 123_456,
+            frame_type: FrameType::P,
+            size: 14_000,
+        }
+    }
+
+    #[test]
+    fn header_round_trip() {
+        let h = header();
+        let bytes = h.to_bytes();
+        assert_eq!(FrameHeader::from_bytes(&bytes), Some(h));
+    }
+
+    #[test]
+    fn header_rejects_bad_type() {
+        let mut bytes = header().to_bytes();
+        bytes[16] = 9;
+        assert_eq!(FrameHeader::from_bytes(&bytes), None);
+    }
+
+    #[test]
+    fn packet_count_rounds_up() {
+        let mut h = header();
+        h.size = 1200;
+        assert_eq!(Frame::new(h).packet_count(1200), 1);
+        h.size = 1201;
+        assert_eq!(Frame::new(h).packet_count(1200), 2);
+        h.size = 0;
+        assert_eq!(Frame::new(h).packet_count(1200), 1, "empty frame still needs one packet");
+    }
+
+    #[test]
+    fn risk_ordering() {
+        assert!(FrameType::I.risk_weight() > FrameType::P.risk_weight());
+        assert!(FrameType::P.risk_weight() > FrameType::B.risk_weight());
+    }
+}

@@ -1,0 +1,80 @@
+//! FNV-1a hashing.
+//!
+//! §6 of the paper assigns frames to substreams with
+//! `ssid(f) = Hash(dts(f)) mod K`, using FNV-1a specifically so that
+//! consecutive large frames spread uniformly across substreams instead
+//! of bursting onto one link.
+
+/// FNV-1a 64-bit offset basis.
+pub const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// FNV-1a 64-bit prime.
+pub const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Computes the 64-bit FNV-1a hash of a byte slice.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = FNV_OFFSET;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// Computes the FNV-1a hash of a `u64` in little-endian byte order.
+pub fn fnv1a_u64(value: u64) -> u64 {
+    fnv1a(&value.to_le_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // Standard FNV-1a test vectors.
+        assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn u64_variant_matches_bytes() {
+        assert_eq!(fnv1a_u64(0x0123_4567), fnv1a(&0x0123_4567u64.to_le_bytes()));
+    }
+
+    #[test]
+    fn consecutive_dts_values_spread() {
+        // The paper's rationale: consecutive dts values (e.g. 33ms apart)
+        // must not map to the same bucket repeatedly.
+        let k = 4;
+        let mut counts = vec![0u32; k];
+        for i in 0..10_000u64 {
+            let dts = i * 33;
+            counts[(fnv1a_u64(dts) % k as u64) as usize] += 1;
+        }
+        for &c in &counts {
+            let frac = c as f64 / 10_000.0;
+            assert!((frac - 0.25).abs() < 0.03, "bucket fraction {frac}");
+        }
+    }
+
+    #[test]
+    fn adjacent_frames_rarely_collide_in_long_runs() {
+        // No run of >6 consecutive frames on the same substream for K=4.
+        let k = 4u64;
+        let mut run = 1;
+        let mut max_run = 1;
+        let mut prev = fnv1a_u64(0) % k;
+        for i in 1..100_000u64 {
+            let cur = fnv1a_u64(i * 33) % k;
+            if cur == prev {
+                run += 1;
+                max_run = max_run.max(run);
+            } else {
+                run = 1;
+            }
+            prev = cur;
+        }
+        assert!(max_run <= 8, "max same-substream run {max_run}");
+    }
+}

@@ -1,0 +1,185 @@
+//! NALU (Network Abstraction Layer Unit) header model.
+//!
+//! The CDN delivers streams as compressed NALUs encoded with H.264/AVC or
+//! H.265/HEVC (§5.1); each encapsulates a complete frame or decodable
+//! slice. RLive only inspects NALU headers (type and importance), never
+//! payloads, so this module implements header parsing for both codecs
+//! plus the classification the data plane needs (is this a keyframe-class
+//! unit? is it parameter-set metadata that must never be dropped?).
+
+use serde::{Deserialize, Serialize};
+
+/// Codec family of a NALU.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Codec {
+    /// H.264 / AVC (1-byte NALU header).
+    H264,
+    /// H.265 / HEVC (2-byte NALU header).
+    H265,
+}
+
+/// Coarse NALU classification used by the delivery path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum NaluClass {
+    /// IDR / CRA / BLA — random access points (I-frame class).
+    Idr,
+    /// Other coded slices (P/B class).
+    Slice,
+    /// SPS / PPS / VPS — parameter sets; tiny but mandatory.
+    ParameterSet,
+    /// SEI and other non-VCL metadata.
+    Metadata,
+    /// Anything unrecognised.
+    Other,
+}
+
+/// A parsed NALU header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NaluHeader {
+    /// Codec the header was parsed as.
+    pub codec: Codec,
+    /// Raw NALU type field.
+    pub nal_type: u8,
+    /// Classification.
+    pub class: NaluClass,
+}
+
+/// Errors from NALU parsing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NaluError {
+    /// Input too short for the codec's header.
+    Truncated,
+    /// The forbidden-zero bit was set.
+    ForbiddenBit,
+}
+
+impl std::fmt::Display for NaluError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NaluError::Truncated => write!(f, "truncated NALU header"),
+            NaluError::ForbiddenBit => write!(f, "forbidden zero bit set"),
+        }
+    }
+}
+
+impl std::error::Error for NaluError {}
+
+fn classify_h264(nal_type: u8) -> NaluClass {
+    match nal_type {
+        5 => NaluClass::Idr,
+        1..=4 => NaluClass::Slice,
+        7 | 8 => NaluClass::ParameterSet, // SPS, PPS
+        6 => NaluClass::Metadata,         // SEI
+        _ => NaluClass::Other,
+    }
+}
+
+fn classify_h265(nal_type: u8) -> NaluClass {
+    match nal_type {
+        16..=21 => NaluClass::Idr, // BLA/IDR/CRA random-access pictures
+        0..=15 => NaluClass::Slice,
+        32..=34 => NaluClass::ParameterSet, // VPS, SPS, PPS
+        39 | 40 => NaluClass::Metadata,     // prefix/suffix SEI
+        _ => NaluClass::Other,
+    }
+}
+
+/// Parses a NALU header from the first byte(s) of `data`.
+pub fn parse(codec: Codec, data: &[u8]) -> Result<NaluHeader, NaluError> {
+    match codec {
+        Codec::H264 => {
+            let b = *data.first().ok_or(NaluError::Truncated)?;
+            if b & 0x80 != 0 {
+                return Err(NaluError::ForbiddenBit);
+            }
+            let nal_type = b & 0x1F;
+            Ok(NaluHeader {
+                codec,
+                nal_type,
+                class: classify_h264(nal_type),
+            })
+        }
+        Codec::H265 => {
+            if data.len() < 2 {
+                return Err(NaluError::Truncated);
+            }
+            if data[0] & 0x80 != 0 {
+                return Err(NaluError::ForbiddenBit);
+            }
+            let nal_type = (data[0] >> 1) & 0x3F;
+            Ok(NaluHeader {
+                codec,
+                nal_type,
+                class: classify_h265(nal_type),
+            })
+        }
+    }
+}
+
+/// Builds the first header byte(s) for a NALU of the given type, for use
+/// by the synthetic stream generator.
+pub fn encode(codec: Codec, nal_type: u8) -> Vec<u8> {
+    match codec {
+        Codec::H264 => vec![(3 << 5) | (nal_type & 0x1F)],
+        Codec::H265 => vec![(nal_type & 0x3F) << 1, 1],
+    }
+}
+
+impl NaluClass {
+    /// Whether losing this unit stalls decode of dependent frames.
+    pub fn is_critical(self) -> bool {
+        matches!(self, NaluClass::Idr | NaluClass::ParameterSet)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn h264_idr_detection() {
+        let h = parse(Codec::H264, &encode(Codec::H264, 5)).expect("parses");
+        assert_eq!(h.class, NaluClass::Idr);
+        assert!(h.class.is_critical());
+    }
+
+    #[test]
+    fn h264_types() {
+        assert_eq!(parse(Codec::H264, &encode(Codec::H264, 1)).unwrap().class, NaluClass::Slice);
+        assert_eq!(parse(Codec::H264, &encode(Codec::H264, 7)).unwrap().class, NaluClass::ParameterSet);
+        assert_eq!(parse(Codec::H264, &encode(Codec::H264, 6)).unwrap().class, NaluClass::Metadata);
+        assert_eq!(parse(Codec::H264, &encode(Codec::H264, 12)).unwrap().class, NaluClass::Other);
+    }
+
+    #[test]
+    fn h265_types() {
+        assert_eq!(parse(Codec::H265, &encode(Codec::H265, 19)).unwrap().class, NaluClass::Idr);
+        assert_eq!(parse(Codec::H265, &encode(Codec::H265, 1)).unwrap().class, NaluClass::Slice);
+        assert_eq!(parse(Codec::H265, &encode(Codec::H265, 33)).unwrap().class, NaluClass::ParameterSet);
+        assert_eq!(parse(Codec::H265, &encode(Codec::H265, 39)).unwrap().class, NaluClass::Metadata);
+    }
+
+    #[test]
+    fn forbidden_bit_rejected() {
+        assert_eq!(parse(Codec::H264, &[0x85]), Err(NaluError::ForbiddenBit));
+        assert_eq!(parse(Codec::H265, &[0x80, 0x01]), Err(NaluError::ForbiddenBit));
+    }
+
+    #[test]
+    fn truncation_rejected() {
+        assert_eq!(parse(Codec::H264, &[]), Err(NaluError::Truncated));
+        assert_eq!(parse(Codec::H265, &[0x02]), Err(NaluError::Truncated));
+    }
+
+    #[test]
+    fn round_trip_types() {
+        for t in 0..32u8 {
+            let h = parse(Codec::H264, &encode(Codec::H264, t)).unwrap();
+            assert_eq!(h.nal_type, t);
+        }
+        for t in 0..64u8 {
+            let h = parse(Codec::H265, &encode(Codec::H265, t)).unwrap();
+            assert_eq!(h.nal_type, t);
+        }
+    }
+}

@@ -1,0 +1,254 @@
+//! Static substream partitioning.
+//!
+//! §6: a stream `f0, f1, f2, ...` is segmented into K substreams by
+//! `ssid(f) = fnv1a(dts(f)) mod K`. The FNV-1a hash prevents several
+//! consecutive large frames from landing on the same substream and
+//! causing bursty traffic on one relay.
+
+use crate::frame::{FrameHeader, FrameType};
+use crate::hash::fnv1a_u64;
+use serde::{Deserialize, Serialize};
+
+/// Identifies one substream of a stream (`0..K`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct SubstreamId(pub u16);
+
+/// Computes the substream a frame belongs to, for a stream split K ways.
+///
+/// # Examples
+///
+/// ```
+/// use rlive_media::frame::{FrameHeader, FrameType};
+/// use rlive_media::substream::substream_of;
+///
+/// let h = FrameHeader { stream_id: 1, dts_ms: 330, frame_type: FrameType::P, size: 9_000 };
+/// let ss = substream_of(&h, 4);
+/// assert!(ss.0 < 4);
+/// assert_eq!(ss, substream_of(&h, 4), "stable across relays");
+/// ```
+///
+/// # Panics
+///
+/// Panics if `k == 0`.
+pub fn substream_of(header: &FrameHeader, k: u16) -> SubstreamId {
+    assert!(k > 0, "substream count must be positive");
+    SubstreamId((fnv1a_u64(header.dts_ms) % k as u64) as u16)
+}
+
+/// How frames map onto substreams.
+///
+/// The deployed system uses [`PartitionStrategy::StaticHash`] (§6); the
+/// paper's §8.3 names adaptive scheduling — directing critical or large
+/// frames to more stable nodes — as an open extension, implemented here
+/// as [`PartitionStrategy::SizeAware`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum PartitionStrategy {
+    /// `ssid(f) = fnv1a(dts(f)) mod K` — stateless, uniform (§6).
+    #[default]
+    StaticHash,
+    /// Criticality-aware: I-frames (which decode the whole GoP) always
+    /// map to substream 0, which the control plane assigns to its most
+    /// stable candidate relay; other frames hash over the remaining
+    /// substreams. Remains a pure function of the frame header, so
+    /// relays and clients stay consistent without extra signalling.
+    SizeAware,
+}
+
+impl PartitionStrategy {
+    /// Maps a frame to its substream under this strategy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`.
+    pub fn assign(self, header: &FrameHeader, k: u16) -> SubstreamId {
+        assert!(k > 0, "substream count must be positive");
+        match self {
+            PartitionStrategy::StaticHash => substream_of(header, k),
+            PartitionStrategy::SizeAware => {
+                if k == 1 || header.frame_type == FrameType::I {
+                    SubstreamId(0)
+                } else {
+                    SubstreamId(1 + (fnv1a_u64(header.dts_ms) % (k as u64 - 1)) as u16)
+                }
+            }
+        }
+    }
+}
+
+/// A partition plan: which substream each of the next frames maps to,
+/// plus utilities for analysing balance.
+#[derive(Debug, Clone)]
+pub struct Partitioner {
+    k: u16,
+}
+
+impl Partitioner {
+    /// Creates a partitioner for `k` substreams.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`.
+    pub fn new(k: u16) -> Self {
+        assert!(k > 0, "substream count must be positive");
+        Partitioner { k }
+    }
+
+    /// Number of substreams.
+    pub fn k(&self) -> u16 {
+        self.k
+    }
+
+    /// Maps a frame header to its substream.
+    pub fn assign(&self, header: &FrameHeader) -> SubstreamId {
+        substream_of(header, self.k)
+    }
+
+    /// Measures byte-level balance across substreams for a frame set:
+    /// returns the ratio of the heaviest substream's bytes to the ideal
+    /// equal share (1.0 = perfectly balanced).
+    pub fn imbalance(&self, headers: &[FrameHeader]) -> f64 {
+        if headers.is_empty() {
+            return 1.0;
+        }
+        let mut bytes = vec![0u64; self.k as usize];
+        for h in headers {
+            bytes[self.assign(h).0 as usize] += h.size as u64;
+        }
+        let total: u64 = bytes.iter().sum();
+        let ideal = total as f64 / self.k as f64;
+        if ideal == 0.0 {
+            return 1.0;
+        }
+        *bytes.iter().max().expect("k > 0") as f64 / ideal
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frame::FrameType;
+    use crate::gop::{GopConfig, GopGenerator};
+    use rlive_sim::SimRng;
+
+    fn headers(n: usize) -> Vec<FrameHeader> {
+        let mut g = GopGenerator::new(1, GopConfig::default(), SimRng::new(1));
+        g.take_frames(n).iter().map(|f| f.header).collect()
+    }
+
+    #[test]
+    fn assignment_is_stable() {
+        let h = FrameHeader {
+            stream_id: 1,
+            dts_ms: 330,
+            frame_type: FrameType::P,
+            size: 1000,
+        };
+        assert_eq!(substream_of(&h, 4), substream_of(&h, 4));
+    }
+
+    #[test]
+    fn assignment_depends_only_on_dts_and_k() {
+        let a = FrameHeader {
+            stream_id: 1,
+            dts_ms: 330,
+            frame_type: FrameType::P,
+            size: 1000,
+        };
+        let b = FrameHeader {
+            stream_id: 2,
+            dts_ms: 330,
+            frame_type: FrameType::I,
+            size: 99_999,
+        };
+        // Relays on different streams must agree on the mapping given dts,
+        // because only dts is carried by the CDN's routing logic (§6).
+        assert_eq!(substream_of(&a, 4), substream_of(&b, 4));
+    }
+
+    #[test]
+    fn all_substreams_used() {
+        let p = Partitioner::new(4);
+        let hs = headers(2_000);
+        let mut seen = [false; 4];
+        for h in &hs {
+            seen[p.assign(h).0 as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn byte_balance_is_reasonable() {
+        // With FNV-1a, even I-frame size skew should spread: heaviest
+        // substream within 25% of the ideal share over a long window.
+        let p = Partitioner::new(4);
+        let hs = headers(20_000);
+        let imb = p.imbalance(&hs);
+        assert!(imb < 1.25, "imbalance {imb}");
+    }
+
+    #[test]
+    fn k_one_maps_everything_to_zero() {
+        let p = Partitioner::new(1);
+        for h in headers(100) {
+            assert_eq!(p.assign(&h), SubstreamId(0));
+        }
+        assert_eq!(p.imbalance(&headers(100)), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "substream count")]
+    fn zero_k_panics() {
+        Partitioner::new(0);
+    }
+
+    #[test]
+    fn empty_imbalance_is_one() {
+        assert_eq!(Partitioner::new(3).imbalance(&[]), 1.0);
+    }
+
+    #[test]
+    fn size_aware_pins_iframes_to_substream_zero() {
+        let hs = headers(600);
+        for h in &hs {
+            let ss = PartitionStrategy::SizeAware.assign(h, 4);
+            if h.frame_type == FrameType::I {
+                assert_eq!(ss, SubstreamId(0));
+            } else {
+                assert_ne!(ss, SubstreamId(0));
+                assert!(ss.0 < 4);
+            }
+        }
+    }
+
+    #[test]
+    fn size_aware_is_header_pure() {
+        // Relays and clients must agree without signalling: the mapping
+        // is a pure function of the header.
+        let hs = headers(50);
+        for h in &hs {
+            assert_eq!(
+                PartitionStrategy::SizeAware.assign(h, 4),
+                PartitionStrategy::SizeAware.assign(h, 4)
+            );
+        }
+    }
+
+    #[test]
+    fn static_strategy_matches_free_function() {
+        let hs = headers(100);
+        for h in &hs {
+            assert_eq!(
+                PartitionStrategy::StaticHash.assign(h, 4),
+                substream_of(h, 4)
+            );
+        }
+    }
+
+    #[test]
+    fn size_aware_k1_degenerates() {
+        let hs = headers(10);
+        for h in &hs {
+            assert_eq!(PartitionStrategy::SizeAware.assign(h, 1), SubstreamId(0));
+        }
+    }
+}

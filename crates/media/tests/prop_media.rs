@@ -1,0 +1,152 @@
+//! Property-based tests of the media substrate: codec round trips,
+//! footprint determinism and partition stability.
+
+use bytes::{Bytes, BytesMut};
+use proptest::prelude::*;
+use rlive_media::flv::{decode_tag, encode_tag, Tag, TagType};
+use rlive_media::footprint::{ChainGenerator, Footprint, LocalChain, CHAIN_LEN};
+use rlive_media::frame::{Frame, FrameHeader, FrameType};
+use rlive_media::packet::{packetize, DataPacket, PACKET_PAYLOAD};
+use rlive_media::substream::{substream_of, Partitioner};
+
+fn arb_frame_type() -> impl Strategy<Value = FrameType> {
+    prop_oneof![
+        Just(FrameType::I),
+        Just(FrameType::P),
+        Just(FrameType::B),
+    ]
+}
+
+fn arb_header() -> impl Strategy<Value = FrameHeader> {
+    (any::<u64>(), 0u64..1 << 40, arb_frame_type(), 1u32..5_000_000).prop_map(
+        |(stream_id, dts_ms, frame_type, size)| FrameHeader {
+            stream_id,
+            dts_ms,
+            frame_type,
+            size,
+        },
+    )
+}
+
+proptest! {
+    /// FrameHeader wire form round-trips for any header.
+    #[test]
+    fn frame_header_round_trip(h in arb_header()) {
+        let bytes = h.to_bytes();
+        prop_assert_eq!(FrameHeader::from_bytes(&bytes), Some(h));
+    }
+
+    /// FLV tags round-trip for arbitrary payloads and timestamps.
+    #[test]
+    fn flv_tag_round_trip(
+        ts in any::<u32>(),
+        payload in prop::collection::vec(any::<u8>(), 0..4_096),
+        kind in 0usize..3,
+    ) {
+        let tag = Tag {
+            tag_type: [TagType::Audio, TagType::Video, TagType::Script][kind],
+            timestamp_ms: ts,
+            payload: Bytes::from(payload),
+        };
+        let mut out = BytesMut::new();
+        encode_tag(&mut out, &tag);
+        let (decoded, used) = decode_tag(&out).expect("round trip");
+        prop_assert_eq!(decoded, tag);
+        prop_assert_eq!(used, out.len());
+    }
+
+    /// Data packets round-trip through the wire codec.
+    #[test]
+    fn packet_round_trip(h in arb_header(), publisher in any::<u32>(), k in 1u16..8) {
+        let h = FrameHeader { size: h.size.min(200_000), ..h };
+        let frame = Frame::new(h);
+        let mut cg = ChainGenerator::new(PACKET_PAYLOAD);
+        let chain = cg.observe(&h);
+        let ss = substream_of(&h, k).0;
+        for pkt in packetize(&frame, ss, &chain, publisher) {
+            let bytes = pkt.encode();
+            prop_assert_eq!(DataPacket::decode(&bytes), Some(pkt));
+        }
+    }
+
+    /// Packetisation covers the frame exactly: payload lengths sum to
+    /// the frame size, indices are dense.
+    #[test]
+    fn packetize_covers(h in arb_header()) {
+        let h = FrameHeader { size: h.size.clamp(1, 2_000_000), ..h };
+        let frame = Frame::new(h);
+        let mut cg = ChainGenerator::new(PACKET_PAYLOAD);
+        let chain = cg.observe(&h);
+        let pkts = packetize(&frame, 0, &chain, 1);
+        let total: u32 = pkts.iter().map(|p| p.payload_len).sum();
+        prop_assert_eq!(total, h.size);
+        for (i, p) in pkts.iter().enumerate() {
+            prop_assert_eq!(p.packet_index, i as u32);
+            prop_assert_eq!(p.packet_count, pkts.len() as u32);
+            prop_assert!(p.payload_len <= PACKET_PAYLOAD);
+        }
+    }
+
+    /// Local chains round-trip and never exceed δ.
+    #[test]
+    fn chain_round_trip(headers in prop::collection::vec(arb_header(), 1..12)) {
+        let mut cg = ChainGenerator::new(PACKET_PAYLOAD);
+        let mut chain = LocalChain::default();
+        for h in &headers {
+            chain = cg.observe(h);
+            prop_assert!(chain.len() <= CHAIN_LEN);
+        }
+        let bytes = chain.to_bytes();
+        let (decoded, used) = LocalChain::from_bytes(&bytes).expect("round trip");
+        prop_assert_eq!(decoded, chain);
+        prop_assert_eq!(used, bytes.len());
+    }
+
+    /// Footprints are a pure function of the header sequence: two
+    /// independent generators observing the same sequence agree.
+    #[test]
+    fn footprints_deterministic(headers in prop::collection::vec(arb_header(), 1..30)) {
+        let mut a = ChainGenerator::new(PACKET_PAYLOAD);
+        let mut b = ChainGenerator::new(PACKET_PAYLOAD);
+        for h in &headers {
+            prop_assert_eq!(a.observe(h), b.observe(h));
+        }
+    }
+
+    /// Footprint wire form round-trips.
+    #[test]
+    fn footprint_round_trip(dts in any::<u64>(), crc in any::<u32>(), cnt in any::<u32>()) {
+        let fp = Footprint { dts_ms: dts, crc, cnt };
+        prop_assert_eq!(Footprint::from_bytes(&fp.to_bytes()), fp);
+    }
+
+    /// Substream assignment is stable and independent of mutable header
+    /// fields other than dts.
+    #[test]
+    fn partition_stable(h in arb_header(), k in 1u16..16, other_size in 1u32..1_000_000) {
+        let a = substream_of(&h, k);
+        prop_assert!(a.0 < k);
+        let mutated = FrameHeader { size: other_size, stream_id: h.stream_id ^ 0xFF, ..h };
+        prop_assert_eq!(substream_of(&mutated, k), a);
+        // Partitioner agrees with the free function.
+        prop_assert_eq!(Partitioner::new(k).assign(&h), a);
+    }
+
+    /// Truncated packets never decode successfully to a different value.
+    #[test]
+    fn packet_truncation_safe(h in arb_header(), cut_frac in 0.0f64..1.0) {
+        let h = FrameHeader { size: h.size.clamp(1, 10_000), ..h };
+        let frame = Frame::new(h);
+        let mut cg = ChainGenerator::new(PACKET_PAYLOAD);
+        let chain = cg.observe(&h);
+        let pkt = &packetize(&frame, 0, &chain, 1)[0];
+        let bytes = pkt.encode();
+        let cut = ((bytes.len() as f64) * cut_frac) as usize;
+        if cut < bytes.len() {
+            match DataPacket::decode(&bytes[..cut]) {
+                None => {}
+                Some(decoded) => prop_assert_ne!(&decoded, pkt, "truncated decode equal"),
+            }
+        }
+    }
+}

@@ -1,0 +1,241 @@
+//! Discrete-event queue with cancellation.
+//!
+//! The simulator is a classic discrete-event design: a priority queue of
+//! `(time, sequence, payload)` entries. The sequence number breaks ties so
+//! that events scheduled earlier at the same instant fire first, keeping
+//! runs deterministic. Cancellation is supported through [`EventHandle`]s
+//! and lazy deletion (cancelled entries are skipped on pop), which keeps
+//! scheduling O(log n) without an auxiliary index.
+
+use crate::time::{SimDuration, SimTime};
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, HashSet};
+
+/// Identifies a scheduled event so it can be cancelled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct EventHandle(u64);
+
+struct Entry<E> {
+    at: SimTime,
+    seq: u64,
+    payload: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so earliest time pops first.
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A deterministic discrete-event queue.
+///
+/// # Examples
+///
+/// ```
+/// use rlive_sim::{EventQueue, SimTime};
+///
+/// let mut q: EventQueue<&str> = EventQueue::new();
+/// q.schedule(SimTime::from_millis(20), "second");
+/// q.schedule(SimTime::from_millis(10), "first");
+/// assert_eq!(q.pop(), Some((SimTime::from_millis(10), "first")));
+/// assert_eq!(q.pop(), Some((SimTime::from_millis(20), "second")));
+/// assert_eq!(q.pop(), None);
+/// ```
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    /// Seqs scheduled but not yet popped or cancelled.
+    pending: HashSet<u64>,
+    next_seq: u64,
+    now: SimTime,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue with the clock at zero.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            pending: HashSet::new(),
+            next_seq: 0,
+            now: SimTime::ZERO,
+        }
+    }
+
+    /// The current simulated time: the timestamp of the last popped event.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Schedules `payload` at absolute time `at`.
+    ///
+    /// Events scheduled in the past fire at the current time (they still
+    /// pop after already-queued events with earlier timestamps).
+    pub fn schedule(&mut self, at: SimTime, payload: E) -> EventHandle {
+        let at = at.max(self.now);
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.pending.insert(seq);
+        self.heap.push(Entry { at, seq, payload });
+        EventHandle(seq)
+    }
+
+    /// Schedules `payload` after a relative delay from the current time.
+    pub fn schedule_after(&mut self, delay: SimDuration, payload: E) -> EventHandle {
+        self.schedule(self.now + delay, payload)
+    }
+
+    /// Cancels a previously scheduled event. Returns `true` if the event
+    /// was still pending (i.e. not yet popped or cancelled).
+    pub fn cancel(&mut self, handle: EventHandle) -> bool {
+        self.pending.remove(&handle.0)
+    }
+
+    /// Pops the next pending event, advancing the clock to its timestamp.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        while let Some(entry) = self.heap.pop() {
+            if !self.pending.remove(&entry.seq) {
+                continue;
+            }
+            self.now = entry.at;
+            return Some((entry.at, entry.payload));
+        }
+        None
+    }
+
+    /// Returns the timestamp of the next pending event without popping it.
+    pub fn peek_time(&mut self) -> Option<SimTime> {
+        while let Some(entry) = self.heap.peek() {
+            if !self.pending.contains(&entry.seq) {
+                self.heap.pop();
+                continue;
+            }
+            return Some(entry.at);
+        }
+        None
+    }
+
+    /// Number of pending (non-cancelled) events.
+    pub fn len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Returns `true` if no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_millis(30), 3);
+        q.schedule(SimTime::from_millis(10), 1);
+        q.schedule(SimTime::from_millis(20), 2);
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn fifo_within_same_instant() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_millis(5);
+        for i in 0..10 {
+            q.schedule(t, i);
+        }
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn clock_advances_monotonically() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_secs(2), ());
+        q.schedule(SimTime::from_secs(1), ());
+        assert_eq!(q.now(), SimTime::ZERO);
+        q.pop();
+        assert_eq!(q.now(), SimTime::from_secs(1));
+        q.pop();
+        assert_eq!(q.now(), SimTime::from_secs(2));
+    }
+
+    #[test]
+    fn past_events_clamp_to_now() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_secs(5), "a");
+        q.pop();
+        q.schedule(SimTime::from_secs(1), "late");
+        let (t, e) = q.pop().expect("event");
+        assert_eq!(t, SimTime::from_secs(5));
+        assert_eq!(e, "late");
+    }
+
+    #[test]
+    fn cancellation() {
+        let mut q = EventQueue::new();
+        let h1 = q.schedule(SimTime::from_millis(1), 1);
+        let h2 = q.schedule(SimTime::from_millis(2), 2);
+        assert!(q.cancel(h1));
+        assert!(!q.cancel(h1), "double cancel reports false");
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.pop(), Some((SimTime::from_millis(2), 2)));
+        assert!(!q.cancel(h2), "cancel after pop reports false");
+    }
+
+    #[test]
+    fn peek_skips_cancelled() {
+        let mut q = EventQueue::new();
+        let h = q.schedule(SimTime::from_millis(1), 1);
+        q.schedule(SimTime::from_millis(2), 2);
+        q.cancel(h);
+        assert_eq!(q.peek_time(), Some(SimTime::from_millis(2)));
+        assert_eq!(q.pop(), Some((SimTime::from_millis(2), 2)));
+    }
+
+    #[test]
+    fn schedule_after_uses_current_time() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_secs(10), "first");
+        q.pop();
+        q.schedule_after(SimDuration::from_secs(5), "second");
+        assert_eq!(q.pop(), Some((SimTime::from_secs(15), "second")));
+    }
+
+    #[test]
+    fn len_accounts_for_cancelled() {
+        let mut q = EventQueue::new();
+        let handles: Vec<_> = (0..5)
+            .map(|i| q.schedule(SimTime::from_millis(i), i))
+            .collect();
+        assert_eq!(q.len(), 5);
+        q.cancel(handles[0]);
+        q.cancel(handles[3]);
+        assert_eq!(q.len(), 3);
+        assert!(!q.is_empty());
+        while q.pop().is_some() {}
+        assert!(q.is_empty());
+    }
+}

@@ -1,0 +1,39 @@
+//! Deterministic discrete-event network simulation substrate for RLive.
+//!
+//! This crate provides the pieces of "testbed" that the RLive paper takes
+//! for granted in its production deployment and that we must synthesise:
+//!
+//! - a virtual clock ([`time::SimTime`]) and an event queue with
+//!   cancellation ([`event::EventQueue`]),
+//! - a deterministic random number generator and the statistical
+//!   distributions used to model node populations and network dynamics
+//!   ([`rng`]),
+//! - a packet-level link model with bandwidth-induced queueing,
+//!   propagation delay, jitter episodes and Gilbert–Elliott loss
+//!   ([`link`]),
+//! - NAT behaviour classification and a traversal success model
+//!   ([`nat`]),
+//! - node churn (lifespan / offline episodes) modelling ([`churn`]),
+//! - event counters and ring tracing for debugging ([`trace`]),
+//! - metric accumulators: streaming histograms, percentile estimation,
+//!   CDFs and time series ([`metrics`]).
+//!
+//! Everything is seeded and never consults the wall clock, so simulation
+//! runs are reproducible bit-for-bit.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod churn;
+pub mod event;
+pub mod link;
+pub mod metrics;
+pub mod nat;
+pub mod rng;
+pub mod time;
+pub mod trace;
+
+pub use event::{EventHandle, EventQueue};
+pub use link::{Link, LinkConfig};
+pub use rng::SimRng;
+pub use time::{SimDuration, SimTime};

@@ -1,0 +1,428 @@
+//! Metric accumulators: streaming statistics, histograms, CDFs and time
+//! series.
+//!
+//! Every experiment in the paper reports either a distribution (CDF
+//! figures), a percentile table, or a time series; this module provides
+//! the accumulators the harness uses to produce those outputs.
+
+use serde::{Deserialize, Serialize};
+
+/// Streaming mean / variance / min / max over f64 samples (Welford).
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Summary {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Summary {
+    /// Creates an empty summary.
+    pub fn new() -> Self {
+        Summary {
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Adds one sample.
+    pub fn add(&mut self, x: f64) {
+        self.n += 1;
+        let d = x - self.mean;
+        self.mean += d / self.n as f64;
+        self.m2 += d * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Sample mean (0 if empty).
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Population variance (0 if fewer than two samples).
+    pub fn variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / self.n as f64
+        }
+    }
+
+    /// Population standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Smallest sample (0 if empty).
+    pub fn min(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest sample (0 if empty).
+    pub fn max(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.max
+        }
+    }
+
+    /// Sum of all samples.
+    pub fn sum(&self) -> f64 {
+        self.mean() * self.n as f64
+    }
+
+    /// Merges another summary into this one.
+    pub fn merge(&mut self, other: &Summary) {
+        if other.n == 0 {
+            return;
+        }
+        if self.n == 0 {
+            *self = other.clone();
+            return;
+        }
+        let n = self.n + other.n;
+        let d = other.mean - self.mean;
+        let mean = self.mean + d * other.n as f64 / n as f64;
+        self.m2 += other.m2 + d * d * self.n as f64 * other.n as f64 / n as f64;
+        self.mean = mean;
+        self.n = n;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+/// Exact-percentile accumulator that stores all samples.
+///
+/// Experiments produce at most a few million samples, so exact storage is
+/// affordable and avoids quantile-sketch approximation arguments.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Percentiles {
+    samples: Vec<f64>,
+    sorted: bool,
+}
+
+impl Percentiles {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        Percentiles {
+            samples: Vec::new(),
+            sorted: true,
+        }
+    }
+
+    /// Adds a sample.
+    pub fn add(&mut self, x: f64) {
+        self.samples.push(x);
+        self.sorted = false;
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Returns `true` if no samples were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    fn ensure_sorted(&mut self) {
+        if !self.sorted {
+            self.samples
+                .sort_by(|a, b| a.partial_cmp(b).expect("finite samples"));
+            self.sorted = true;
+        }
+    }
+
+    /// The `q`-quantile by linear interpolation (`q` clamped to `[0,1]`).
+    /// Returns 0 if empty.
+    pub fn quantile(&mut self, q: f64) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        self.ensure_sorted();
+        let q = q.clamp(0.0, 1.0);
+        let pos = q * (self.samples.len() - 1) as f64;
+        let lo = pos.floor() as usize;
+        let hi = pos.ceil() as usize;
+        let w = pos - lo as f64;
+        self.samples[lo] * (1.0 - w) + self.samples[hi] * w
+    }
+
+    /// Median shorthand.
+    pub fn median(&mut self) -> f64 {
+        self.quantile(0.5)
+    }
+
+    /// Sample mean.
+    pub fn mean(&self) -> f64 {
+        if self.samples.is_empty() {
+            0.0
+        } else {
+            self.samples.iter().sum::<f64>() / self.samples.len() as f64
+        }
+    }
+
+    /// Fraction of samples at or below `x`.
+    pub fn cdf_at(&mut self, x: f64) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        self.ensure_sorted();
+        let idx = self.samples.partition_point(|&v| v <= x);
+        idx as f64 / self.samples.len() as f64
+    }
+
+    /// Produces `(value, cumulative_probability)` points for plotting a
+    /// CDF with `resolution` evenly spaced probability steps.
+    pub fn cdf_points(&mut self, resolution: usize) -> Vec<(f64, f64)> {
+        if self.samples.is_empty() || resolution == 0 {
+            return Vec::new();
+        }
+        self.ensure_sorted();
+        (0..=resolution)
+            .map(|i| {
+                let q = i as f64 / resolution as f64;
+                (self.quantile(q), q)
+            })
+            .collect()
+    }
+
+    /// Merges another accumulator into this one.
+    pub fn merge(&mut self, other: &Percentiles) {
+        self.samples.extend_from_slice(&other.samples);
+        self.sorted = false;
+    }
+}
+
+/// A fixed-bucket time series: samples are averaged per bucket.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TimeSeries {
+    bucket_secs: f64,
+    sums: Vec<f64>,
+    counts: Vec<u64>,
+}
+
+impl TimeSeries {
+    /// Creates a series with the given bucket width in seconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bucket_secs <= 0`.
+    pub fn new(bucket_secs: f64) -> Self {
+        assert!(bucket_secs > 0.0, "bucket width must be positive");
+        TimeSeries {
+            bucket_secs,
+            sums: Vec::new(),
+            counts: Vec::new(),
+        }
+    }
+
+    /// Records `value` at time `t_secs`.
+    pub fn record(&mut self, t_secs: f64, value: f64) {
+        if t_secs < 0.0 {
+            return;
+        }
+        let idx = (t_secs / self.bucket_secs) as usize;
+        if idx >= self.sums.len() {
+            self.sums.resize(idx + 1, 0.0);
+            self.counts.resize(idx + 1, 0);
+        }
+        self.sums[idx] += value;
+        self.counts[idx] += 1;
+    }
+
+    /// Returns `(bucket_midpoint_secs, mean)` for every non-empty bucket.
+    pub fn means(&self) -> Vec<(f64, f64)> {
+        self.sums
+            .iter()
+            .zip(&self.counts)
+            .enumerate()
+            .filter(|(_, (_, &c))| c > 0)
+            .map(|(i, (&s, &c))| ((i as f64 + 0.5) * self.bucket_secs, s / c as f64))
+            .collect()
+    }
+
+    /// Returns `(bucket_midpoint_secs, sum)` for every bucket, including
+    /// empty ones (sum 0) — useful for rate series.
+    pub fn sums(&self) -> Vec<(f64, f64)> {
+        self.sums
+            .iter()
+            .enumerate()
+            .map(|(i, &s)| ((i as f64 + 0.5) * self.bucket_secs, s))
+            .collect()
+    }
+
+    /// Bucket width in seconds.
+    pub fn bucket_secs(&self) -> f64 {
+        self.bucket_secs
+    }
+}
+
+/// A counter bundle for rate-style metrics.
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+pub struct Counter {
+    /// Number of increments.
+    pub events: u64,
+    /// Sum of increment magnitudes.
+    pub total: f64,
+}
+
+impl Counter {
+    /// Adds one event of the given magnitude.
+    pub fn add(&mut self, magnitude: f64) {
+        self.events += 1;
+        self.total += magnitude;
+    }
+
+    /// Mean magnitude per event.
+    pub fn mean(&self) -> f64 {
+        if self.events == 0 {
+            0.0
+        } else {
+            self.total / self.events as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_moments() {
+        let mut s = Summary::new();
+        for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+            s.add(x);
+        }
+        assert_eq!(s.count(), 8);
+        assert!((s.mean() - 5.0).abs() < 1e-12);
+        assert!((s.variance() - 4.0).abs() < 1e-12);
+        assert_eq!(s.min(), 2.0);
+        assert_eq!(s.max(), 9.0);
+        assert!((s.sum() - 40.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn summary_merge_equals_combined() {
+        let data: Vec<f64> = (0..100).map(|i| (i as f64).sin() * 10.0).collect();
+        let mut all = Summary::new();
+        for &x in &data {
+            all.add(x);
+        }
+        let mut a = Summary::new();
+        let mut b = Summary::new();
+        for (i, &x) in data.iter().enumerate() {
+            if i % 2 == 0 {
+                a.add(x)
+            } else {
+                b.add(x)
+            }
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), all.count());
+        assert!((a.mean() - all.mean()).abs() < 1e-9);
+        assert!((a.variance() - all.variance()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_summary_is_zeroed() {
+        let s = Summary::new();
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.std_dev(), 0.0);
+        assert_eq!(s.min(), 0.0);
+        assert_eq!(s.max(), 0.0);
+    }
+
+    #[test]
+    fn percentile_quantiles() {
+        let mut p = Percentiles::new();
+        for i in 1..=100 {
+            p.add(i as f64);
+        }
+        assert!((p.median() - 50.5).abs() < 1e-9);
+        assert!((p.quantile(0.0) - 1.0).abs() < 1e-9);
+        assert!((p.quantile(1.0) - 100.0).abs() < 1e-9);
+        assert!((p.quantile(0.9) - 90.1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn percentile_cdf() {
+        let mut p = Percentiles::new();
+        for i in 1..=10 {
+            p.add(i as f64);
+        }
+        assert!((p.cdf_at(5.0) - 0.5).abs() < 1e-9);
+        assert_eq!(p.cdf_at(0.0), 0.0);
+        assert_eq!(p.cdf_at(100.0), 1.0);
+        let pts = p.cdf_points(10);
+        assert_eq!(pts.len(), 11);
+        assert_eq!(pts[0].1, 0.0);
+        assert_eq!(pts[10].1, 1.0);
+    }
+
+    #[test]
+    fn percentile_merge() {
+        let mut a = Percentiles::new();
+        let mut b = Percentiles::new();
+        for i in 0..50 {
+            a.add(i as f64);
+        }
+        for i in 50..100 {
+            b.add(i as f64);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), 100);
+        assert!((a.median() - 49.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn timeseries_buckets() {
+        let mut ts = TimeSeries::new(10.0);
+        ts.record(1.0, 2.0);
+        ts.record(5.0, 4.0);
+        ts.record(15.0, 10.0);
+        let means = ts.means();
+        assert_eq!(means.len(), 2);
+        assert_eq!(means[0], (5.0, 3.0));
+        assert_eq!(means[1], (15.0, 10.0));
+        let sums = ts.sums();
+        assert_eq!(sums[0].1, 6.0);
+        assert_eq!(sums[1].1, 10.0);
+    }
+
+    #[test]
+    fn timeseries_ignores_negative_time() {
+        let mut ts = TimeSeries::new(1.0);
+        ts.record(-5.0, 1.0);
+        assert!(ts.means().is_empty());
+    }
+
+    #[test]
+    fn counter_mean() {
+        let mut c = Counter::default();
+        c.add(2.0);
+        c.add(4.0);
+        assert_eq!(c.events, 2);
+        assert_eq!(c.mean(), 3.0);
+    }
+}

@@ -1,0 +1,203 @@
+//! Lightweight event tracing and counting for simulation debugging.
+//!
+//! Discrete-event systems fail in ways that are hard to see from end
+//! metrics alone ("why did nothing play?"). [`TraceCounters`] counts
+//! named event kinds cheaply; [`RingTrace`] keeps the last N annotated
+//! events for post-mortem inspection without unbounded memory.
+
+use crate::time::SimTime;
+use serde::Serialize;
+use std::collections::BTreeMap;
+use std::collections::VecDeque;
+
+/// Cheap named counters for event kinds.
+#[derive(Debug, Clone, Default, Serialize)]
+pub struct TraceCounters {
+    counts: BTreeMap<&'static str, u64>,
+}
+
+impl TraceCounters {
+    /// Creates an empty counter set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Increments the counter for `kind`.
+    pub fn bump(&mut self, kind: &'static str) {
+        *self.counts.entry(kind).or_insert(0) += 1;
+    }
+
+    /// Adds `n` to the counter for `kind`.
+    pub fn add(&mut self, kind: &'static str, n: u64) {
+        *self.counts.entry(kind).or_insert(0) += n;
+    }
+
+    /// Reads one counter (0 if never bumped).
+    pub fn get(&self, kind: &str) -> u64 {
+        self.counts.get(kind).copied().unwrap_or(0)
+    }
+
+    /// All counters, sorted by name.
+    pub fn all(&self) -> impl Iterator<Item = (&'static str, u64)> + '_ {
+        self.counts.iter().map(|(&k, &v)| (k, v))
+    }
+
+    /// Total events counted.
+    pub fn total(&self) -> u64 {
+        self.counts.values().sum()
+    }
+
+    /// Merges another counter set into this one.
+    pub fn merge(&mut self, other: &TraceCounters) {
+        for (&k, &v) in &other.counts {
+            *self.counts.entry(k).or_insert(0) += v;
+        }
+    }
+}
+
+impl std::fmt::Display for TraceCounters {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        for (k, v) in &self.counts {
+            writeln!(f, "{k:<32} {v:>12}")?;
+        }
+        Ok(())
+    }
+}
+
+/// One recorded trace entry.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub struct TraceEntry {
+    /// When the event fired.
+    pub at: SimTime,
+    /// Event kind.
+    pub kind: &'static str,
+    /// Free-form detail (entity ids, sizes).
+    pub detail: String,
+}
+
+/// A bounded ring buffer of recent trace entries.
+#[derive(Debug, Clone)]
+pub struct RingTrace {
+    entries: VecDeque<TraceEntry>,
+    capacity: usize,
+    /// Entries dropped because the ring was full.
+    dropped: u64,
+}
+
+impl RingTrace {
+    /// Creates a ring holding at most `capacity` entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0`.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "ring capacity must be positive");
+        RingTrace {
+            entries: VecDeque::with_capacity(capacity),
+            capacity,
+            dropped: 0,
+        }
+    }
+
+    /// Records an event, evicting the oldest entry when full.
+    pub fn record(&mut self, at: SimTime, kind: &'static str, detail: impl Into<String>) {
+        if self.entries.len() == self.capacity {
+            self.entries.pop_front();
+            self.dropped += 1;
+        }
+        self.entries.push_back(TraceEntry {
+            at,
+            kind,
+            detail: detail.into(),
+        });
+    }
+
+    /// The retained entries, oldest first.
+    pub fn entries(&self) -> impl Iterator<Item = &TraceEntry> {
+        self.entries.iter()
+    }
+
+    /// Retained entries of one kind, oldest first.
+    pub fn of_kind<'a>(&'a self, kind: &'a str) -> impl Iterator<Item = &'a TraceEntry> + 'a {
+        self.entries.iter().filter(move |e| e.kind == kind)
+    }
+
+    /// Number of retained entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether nothing has been retained.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Entries evicted so far.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_merge() {
+        let mut a = TraceCounters::new();
+        a.bump("frame");
+        a.bump("frame");
+        a.add("packet", 10);
+        assert_eq!(a.get("frame"), 2);
+        assert_eq!(a.get("packet"), 10);
+        assert_eq!(a.get("never"), 0);
+        assert_eq!(a.total(), 12);
+
+        let mut b = TraceCounters::new();
+        b.bump("frame");
+        b.bump("stall");
+        a.merge(&b);
+        assert_eq!(a.get("frame"), 3);
+        assert_eq!(a.get("stall"), 1);
+    }
+
+    #[test]
+    fn counters_display_sorted() {
+        let mut c = TraceCounters::new();
+        c.bump("zebra");
+        c.bump("alpha");
+        let text = c.to_string();
+        let za = text.find("zebra").expect("zebra present");
+        let al = text.find("alpha").expect("alpha present");
+        assert!(al < za, "sorted by name");
+    }
+
+    #[test]
+    fn ring_evicts_oldest() {
+        let mut ring = RingTrace::new(3);
+        for i in 0..5u64 {
+            ring.record(SimTime::from_secs(i), "tick", format!("i={i}"));
+        }
+        assert_eq!(ring.len(), 3);
+        assert_eq!(ring.dropped(), 2);
+        let first = ring.entries().next().expect("non-empty");
+        assert_eq!(first.at, SimTime::from_secs(2));
+    }
+
+    #[test]
+    fn ring_kind_filter() {
+        let mut ring = RingTrace::new(10);
+        ring.record(SimTime::ZERO, "a", "1");
+        ring.record(SimTime::ZERO, "b", "2");
+        ring.record(SimTime::ZERO, "a", "3");
+        assert_eq!(ring.of_kind("a").count(), 2);
+        assert_eq!(ring.of_kind("b").count(), 1);
+        assert_eq!(ring.of_kind("c").count(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn zero_capacity_rejected() {
+        RingTrace::new(0);
+    }
+}

@@ -1,0 +1,158 @@
+//! Property-based tests of the simulation substrate invariants.
+
+use proptest::prelude::*;
+use rlive_sim::link::{Link, LinkConfig, TxOutcome};
+use rlive_sim::metrics::{Percentiles, Summary};
+use rlive_sim::rng::EmpiricalCdf;
+use rlive_sim::{EventQueue, SimDuration, SimRng, SimTime};
+
+proptest! {
+    /// Events always pop in non-decreasing time order, whatever the
+    /// schedule order, and ties preserve scheduling order.
+    #[test]
+    fn event_queue_pops_sorted(times in prop::collection::vec(0u64..10_000, 1..200)) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.schedule(SimTime::from_micros(t), i);
+        }
+        let mut last_time = SimTime::ZERO;
+        let mut last_seq_at_time: Option<usize> = None;
+        while let Some((at, seq)) = q.pop() {
+            prop_assert!(at >= last_time);
+            if at == last_time {
+                if let Some(prev) = last_seq_at_time {
+                    if times[prev] == times[seq] {
+                        prop_assert!(seq > prev, "FIFO broken within an instant");
+                    }
+                }
+            }
+            last_time = at;
+            last_seq_at_time = Some(seq);
+        }
+        prop_assert!(q.is_empty());
+    }
+
+    /// Cancelled events never pop; everything else pops exactly once.
+    #[test]
+    fn event_queue_cancellation(
+        times in prop::collection::vec(0u64..1_000, 1..100),
+        cancel_mask in prop::collection::vec(any::<bool>(), 1..100),
+    ) {
+        let mut q = EventQueue::new();
+        let handles: Vec<_> = times
+            .iter()
+            .enumerate()
+            .map(|(i, &t)| (i, q.schedule(SimTime::from_micros(t), i)))
+            .collect();
+        let mut cancelled = std::collections::HashSet::new();
+        for (i, h) in &handles {
+            if *cancel_mask.get(*i % cancel_mask.len()).unwrap_or(&false) {
+                q.cancel(*h);
+                cancelled.insert(*i);
+            }
+        }
+        let mut popped = std::collections::HashSet::new();
+        while let Some((_, i)) = q.pop() {
+            prop_assert!(!cancelled.contains(&i), "cancelled event popped");
+            prop_assert!(popped.insert(i), "event popped twice");
+        }
+        prop_assert_eq!(popped.len() + cancelled.len(), times.len());
+    }
+
+    /// A FIFO link delivers packets in send order (no reordering within
+    /// one link) and queueing delay never goes negative.
+    #[test]
+    fn link_is_fifo(sizes in prop::collection::vec(64usize..1_500, 1..100)) {
+        let cfg = LinkConfig {
+            bandwidth_bps: 5_000_000,
+            propagation: SimDuration::from_millis(10),
+            max_queue_delay: SimDuration::from_secs(60),
+            loss_good: 0.0,
+            loss_bad: 0.0,
+            p_good_to_bad: 0.0,
+            p_bad_to_good: 1.0,
+            jitter_episode_mean_gap: SimDuration::ZERO,
+            jitter_episode_mean_len: SimDuration::ZERO,
+            jitter_peak: SimDuration::ZERO,
+        };
+        let mut link = Link::new(cfg, SimRng::new(1));
+        let mut last = SimTime::ZERO;
+        for (i, &sz) in sizes.iter().enumerate() {
+            let now = SimTime::from_millis(i as u64);
+            match link.transmit(now, sz) {
+                TxOutcome::Delivered(at) => {
+                    prop_assert!(at >= last, "reordered delivery");
+                    prop_assert!(at >= now, "delivery before send");
+                    last = at;
+                }
+                other => prop_assert!(false, "unexpected {other:?}"),
+            }
+        }
+    }
+
+    /// Percentile quantiles are monotone in q and bounded by min/max.
+    #[test]
+    fn percentiles_monotone(samples in prop::collection::vec(-1e6f64..1e6, 1..500)) {
+        let mut p = Percentiles::new();
+        let mut s = Summary::new();
+        for &x in &samples {
+            p.add(x);
+            s.add(x);
+        }
+        let mut last = f64::NEG_INFINITY;
+        for i in 0..=20 {
+            let q = p.quantile(i as f64 / 20.0);
+            prop_assert!(q >= last - 1e-9);
+            prop_assert!(q >= s.min() - 1e-9 && q <= s.max() + 1e-9);
+            last = q;
+        }
+        prop_assert!((p.quantile(0.0) - s.min()).abs() < 1e-9);
+        prop_assert!((p.quantile(1.0) - s.max()).abs() < 1e-9);
+    }
+
+    /// Summary::merge is equivalent to adding all samples to one summary.
+    #[test]
+    fn summary_merge_equivalence(
+        a in prop::collection::vec(-1e3f64..1e3, 0..100),
+        b in prop::collection::vec(-1e3f64..1e3, 0..100),
+    ) {
+        let mut all = Summary::new();
+        let mut left = Summary::new();
+        let mut right = Summary::new();
+        for &x in &a {
+            all.add(x);
+            left.add(x);
+        }
+        for &x in &b {
+            all.add(x);
+            right.add(x);
+        }
+        left.merge(&right);
+        prop_assert_eq!(left.count(), all.count());
+        if all.count() > 0 {
+            prop_assert!((left.mean() - all.mean()).abs() < 1e-6);
+            prop_assert!((left.variance() - all.variance()).abs() < 1e-3);
+        }
+    }
+
+    /// EmpiricalCdf: quantile and cdf are inverse-ish and bounded.
+    #[test]
+    fn empirical_cdf_inverse(qs in prop::collection::vec(0.0f64..1.0, 1..50)) {
+        let cdf = EmpiricalCdf::from_points(&[(1.0, 0.0), (5.0, 0.4), (20.0, 0.9), (100.0, 1.0)]);
+        for &q in &qs {
+            let v = cdf.quantile(q);
+            prop_assert!((1.0..=100.0).contains(&v));
+            let back = cdf.cdf(v);
+            prop_assert!((back - q).abs() < 1e-6, "q {q} -> v {v} -> {back}");
+        }
+    }
+
+    /// The RNG's bounded integer sampler is always in range.
+    #[test]
+    fn rng_below_in_range(seed in any::<u64>(), n in 1u64..1_000_000) {
+        let mut rng = SimRng::new(seed);
+        for _ in 0..50 {
+            prop_assert!(rng.below(n) < n);
+        }
+    }
+}

@@ -1,0 +1,25 @@
+//! Workload generation for RLive experiments.
+//!
+//! The paper's evaluation runs on production traffic we cannot access;
+//! this crate synthesises statistically equivalent workloads:
+//!
+//! - [`nodes`]: best-effort node populations matching Fig 1(b)
+//!   bandwidth capacities, Fig 2(c) lifespans and the production NAT
+//!   mix;
+//! - [`streams`]: Zipf stream popularity and the Table 1 diurnal
+//!   pattern of concurrent streams and nodes;
+//! - [`scenario`]: end-to-end experiment scenarios (evening peak,
+//!   double peak, the 2022 FIFA World Cup burst);
+//! - [`traces`]: synthetic retransmission traces reproducing Fig 3.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod nodes;
+pub mod scenario;
+pub mod streams;
+pub mod traces;
+
+pub use nodes::{NodePopulation, NodeSpec, PopulationConfig};
+pub use scenario::{Scenario, ScenarioKind};
+pub use streams::{DiurnalModel, StreamPopularity};

@@ -1,0 +1,176 @@
+//! End-to-end experiment scenarios.
+//!
+//! A [`Scenario`] bundles the knobs an experiment run needs: simulated
+//! wall-clock window, viewer/node scale, stream popularity, and demand
+//! multipliers. The presets mirror the paper's evaluation settings:
+//! evening-peak A/B tests (§7.1), double-peak (§7.1), the two-tier
+//! multi-vs-single comparison (§7.2), and the FIFA World Cup burst
+//! (§7.3.3).
+
+use crate::nodes::PopulationConfig;
+use crate::streams::DiurnalModel;
+use rlive_sim::SimDuration;
+use serde::{Deserialize, Serialize};
+
+/// Which preset a scenario was built from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ScenarioKind {
+    /// §7.1 Test 1: evening peak hours (8–11 pm).
+    EveningPeak,
+    /// §7.1 Test 2: noon plus evening peaks.
+    DoublePeak,
+    /// §7.3.3: a mega-broadcast burst (×demand on few streams).
+    FifaWorldCup,
+    /// An off-peak control window.
+    OffPeak,
+}
+
+/// A fully specified experiment scenario.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Scenario {
+    /// The preset.
+    pub kind: ScenarioKind,
+    /// Simulated duration of the run.
+    pub duration: SimDuration,
+    /// Hour of day the run starts at (0–24).
+    pub start_hour: f64,
+    /// Peak concurrent viewers (scaled down from production).
+    pub peak_viewers: usize,
+    /// Number of distinct live streams.
+    pub streams: usize,
+    /// Zipf exponent of stream popularity.
+    pub zipf_s: f64,
+    /// Node population settings.
+    pub population: PopulationConfig,
+    /// Demand multiplier applied on top of the diurnal curve (FIFA uses
+    /// a large one to model the broadcast surge).
+    pub demand_multiplier: f64,
+    /// The diurnal curve.
+    pub diurnal: DiurnalModel,
+}
+
+impl Scenario {
+    /// The §7.1 Test 1 setting: evening peak, defaults scaled for a
+    /// laptop-sized simulation.
+    pub fn evening_peak() -> Self {
+        Scenario {
+            kind: ScenarioKind::EveningPeak,
+            duration: SimDuration::from_secs(600),
+            start_hour: 21.0,
+            peak_viewers: 600,
+            streams: 12,
+            zipf_s: 1.0,
+            population: PopulationConfig {
+                count: 400,
+                ..PopulationConfig::default()
+            },
+            demand_multiplier: 1.0,
+            diurnal: DiurnalModel::default(),
+        }
+    }
+
+    /// The §7.1 Test 2 setting: noon peak window (the second A/B test
+    /// extends RLive usage to noon; evening behaviour is unchanged).
+    pub fn noon_peak() -> Self {
+        Scenario {
+            kind: ScenarioKind::DoublePeak,
+            start_hour: 12.0,
+            ..Scenario::evening_peak()
+        }
+    }
+
+    /// An off-peak control window (6 am trough).
+    pub fn off_peak() -> Self {
+        Scenario {
+            kind: ScenarioKind::OffPeak,
+            start_hour: 6.0,
+            ..Scenario::evening_peak()
+        }
+    }
+
+    /// The §7.3.3 FIFA World Cup case: a handful of mega streams, a
+    /// demand surge well beyond the usual evening peak.
+    pub fn fifa_world_cup() -> Self {
+        Scenario {
+            kind: ScenarioKind::FifaWorldCup,
+            duration: SimDuration::from_secs(600),
+            start_hour: 21.0,
+            peak_viewers: 1_500,
+            streams: 3,
+            zipf_s: 1.5,
+            population: PopulationConfig {
+                count: 800,
+                ..PopulationConfig::default()
+            },
+            demand_multiplier: 1.6,
+            diurnal: DiurnalModel::default(),
+        }
+    }
+
+    /// Concurrent-viewer target at an offset into the run.
+    pub fn viewers_at(&self, offset: SimDuration) -> usize {
+        let hour = self.start_hour + offset.as_secs_f64() / 3600.0;
+        let base = self.diurnal.load_at(hour) * self.peak_viewers as f64;
+        (base * self.demand_multiplier).round() as usize
+    }
+
+    /// Scales viewer and node counts by `factor` (for quick test runs
+    /// and for stress sweeps).
+    pub fn scaled(mut self, factor: f64) -> Self {
+        self.peak_viewers = ((self.peak_viewers as f64 * factor).round() as usize).max(1);
+        self.population.count =
+            ((self.population.count as f64 * factor).round() as usize).max(1);
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_have_expected_windows() {
+        assert_eq!(Scenario::evening_peak().start_hour, 21.0);
+        assert_eq!(Scenario::noon_peak().start_hour, 12.0);
+        assert_eq!(Scenario::off_peak().start_hour, 6.0);
+    }
+
+    #[test]
+    fn evening_peak_demand_exceeds_off_peak() {
+        let evening = Scenario::evening_peak();
+        let off = Scenario::off_peak();
+        assert!(
+            evening.viewers_at(SimDuration::ZERO) > 2 * off.viewers_at(SimDuration::ZERO),
+            "evening {} off {}",
+            evening.viewers_at(SimDuration::ZERO),
+            off.viewers_at(SimDuration::ZERO)
+        );
+    }
+
+    #[test]
+    fn fifa_surges_beyond_evening() {
+        let fifa = Scenario::fifa_world_cup();
+        let evening = Scenario::evening_peak();
+        assert!(fifa.viewers_at(SimDuration::ZERO) > 2 * evening.viewers_at(SimDuration::ZERO));
+        assert!(fifa.streams < evening.streams, "FIFA concentrates demand");
+    }
+
+    #[test]
+    fn scaling_preserves_shape() {
+        let s = Scenario::evening_peak().scaled(0.5);
+        assert_eq!(s.peak_viewers, 300);
+        assert_eq!(s.population.count, 200);
+        let tiny = Scenario::evening_peak().scaled(0.0001);
+        assert!(tiny.peak_viewers >= 1);
+    }
+
+    #[test]
+    fn viewers_follow_diurnal_within_run() {
+        // A run starting at 6 am should see demand grow towards noon.
+        let mut s = Scenario::off_peak();
+        s.duration = SimDuration::from_secs(6 * 3600);
+        let early = s.viewers_at(SimDuration::ZERO);
+        let later = s.viewers_at(SimDuration::from_secs(5 * 3600));
+        assert!(later > early);
+    }
+}

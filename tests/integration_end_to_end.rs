@@ -1,0 +1,187 @@
+//! End-to-end world integration: full RLive stacks running on the
+//! simulator, checking system-level invariants across delivery modes.
+
+use rlive::config::{DeliveryMode, SystemConfig};
+use rlive::world::{GroupPolicy, RunReport, World};
+use rlive_sim::SimDuration;
+use rlive_workload::scenario::Scenario;
+
+fn scenario() -> Scenario {
+    let mut s = Scenario::evening_peak().scaled(0.08);
+    s.duration = SimDuration::from_secs(90);
+    s.streams = 3;
+    s.population.isps = 2;
+    s.population.regions = 4;
+    s
+}
+
+fn config(mode: DeliveryMode) -> SystemConfig {
+    let mut cfg = SystemConfig::for_mode(mode);
+    cfg.multi_source_after = SimDuration::from_secs(5);
+    cfg.popularity_threshold = 1;
+    cfg.cdn_edge_mbps = 110;
+    cfg
+}
+
+fn run(mode: DeliveryMode, seed: u64) -> RunReport {
+    World::new(scenario(), config(mode), GroupPolicy::uniform(mode), seed).run()
+}
+
+#[test]
+fn every_mode_plays_video() {
+    for (i, mode) in [
+        DeliveryMode::CdnOnly,
+        DeliveryMode::SingleSource,
+        DeliveryMode::RLive,
+        DeliveryMode::RedundantMulti,
+        DeliveryMode::RLiveCentralSequencing,
+    ]
+    .into_iter()
+    .enumerate()
+    {
+        let r = run(mode, 100 + i as u64);
+        assert!(r.test_qoe.views > 5, "{mode:?}: views {}", r.test_qoe.views);
+        assert!(
+            r.test_qoe.watch_secs > 60.0,
+            "{mode:?}: watch {}",
+            r.test_qoe.watch_secs
+        );
+        assert!(
+            r.test_qoe.bitrate_bps.mean() > 400_000.0,
+            "{mode:?}: bitrate {}",
+            r.test_qoe.bitrate_bps.mean()
+        );
+    }
+}
+
+#[test]
+fn traffic_conservation_invariants() {
+    let r = run(DeliveryMode::RLive, 7);
+    let t = &r.test_traffic;
+    // Clients can only receive what some class served.
+    assert_eq!(
+        t.client_bytes(),
+        t.dedicated_serving + t.best_effort_serving
+    );
+    // Best-effort relays cannot serve without pulling from the CDN.
+    if t.best_effort_serving > 0 {
+        assert!(t.dedicated_backhaul > 0);
+    }
+    // EqT with unit dedicated cost equals raw byte total.
+    let raw = (t.dedicated_bytes() + t.best_effort_serving) as f64;
+    assert!((t.equivalent_traffic(1.0) - raw).abs() < 1.0);
+    // Dedicated premium strictly increases EqT when dedicated bytes flow.
+    assert!(t.equivalent_traffic(1.35) > t.equivalent_traffic(1.0));
+}
+
+#[test]
+fn cdn_only_never_touches_best_effort() {
+    let r = run(DeliveryMode::CdnOnly, 8);
+    assert_eq!(r.test_traffic.dedicated_backhaul, 0);
+    assert!(r.relay_expansion_rates.is_empty());
+}
+
+#[test]
+fn rlive_offloads_meaningful_traffic() {
+    let r = run(DeliveryMode::RLive, 9);
+    let share = r.test_traffic.best_effort_serving as f64
+        / r.test_traffic.client_bytes().max(1) as f64;
+    assert!(share > 0.15, "best-effort share {share}");
+}
+
+#[test]
+fn redundant_multi_costs_more_backhaul_than_rlive() {
+    let rlive = run(DeliveryMode::RLive, 10);
+    let redundant = run(DeliveryMode::RedundantMulti, 10);
+    // Redundant replication pulls every substream twice and pushes two
+    // copies to every client; per second of video watched it must move
+    // more bytes than the redundancy-free design (the §2.3 argument).
+    let rl = (rlive.test_traffic.dedicated_backhaul
+        + rlive.test_traffic.best_effort_serving) as f64
+        / rlive.test_qoe.watch_secs.max(1.0);
+    let rd = (redundant.test_traffic.dedicated_backhaul
+        + redundant.test_traffic.best_effort_serving) as f64
+        / redundant.test_qoe.watch_secs.max(1.0);
+    assert!(
+        rd > rl * 1.15,
+        "redundant bytes/watch-sec {rd} should clearly exceed rlive {rl}"
+    );
+}
+
+#[test]
+fn runs_are_deterministic() {
+    let a = run(DeliveryMode::RLive, 11);
+    let b = run(DeliveryMode::RLive, 11);
+    assert_eq!(a.test_qoe.views, b.test_qoe.views);
+    assert_eq!(a.test_qoe.viewers, b.test_qoe.viewers);
+    assert_eq!(
+        a.test_traffic.best_effort_serving,
+        b.test_traffic.best_effort_serving
+    );
+    assert_eq!(a.test_traffic.dedicated_serving, b.test_traffic.dedicated_serving);
+    assert_eq!(a.scheduler_requests, b.scheduler_requests);
+    assert!((a.test_qoe.watch_secs - b.test_qoe.watch_secs).abs() < 1e-9);
+}
+
+#[test]
+fn different_seeds_differ() {
+    let a = run(DeliveryMode::RLive, 12);
+    let b = run(DeliveryMode::RLive, 13);
+    // Extremely unlikely to coincide if seeds actually propagate.
+    assert!(
+        a.test_traffic.dedicated_serving != b.test_traffic.dedicated_serving
+            || a.test_qoe.views != b.test_qoe.views
+    );
+}
+
+#[test]
+fn ab_split_isolates_policies() {
+    let r = World::new(
+        scenario(),
+        config(DeliveryMode::RLive),
+        GroupPolicy::ab(DeliveryMode::CdnOnly, DeliveryMode::RLive),
+        14,
+    )
+    .run();
+    assert!(r.control_qoe.views > 0);
+    assert!(r.test_qoe.views > 0);
+    assert_eq!(r.control_traffic.best_effort_serving, 0);
+    assert_eq!(r.control_traffic.dedicated_backhaul, 0);
+    assert!(r.test_traffic.best_effort_serving > 0);
+}
+
+#[test]
+fn scheduler_latency_percentiles_shape() {
+    let r = run(DeliveryMode::RLive, 15);
+    let lat = &r.scheduler_latency_ms;
+    assert!(lat.len() == 101);
+    // Monotone percentiles, sane magnitudes (Fig 12a ballpark).
+    for w in lat.windows(2) {
+        assert!(w[1] >= w[0] - 1e-9);
+    }
+    assert!(lat[50] > 20.0 && lat[50] < 150.0, "P50 {}", lat[50]);
+    assert!(lat[90] > lat[50]);
+}
+
+#[test]
+fn energy_percentages_are_sane() {
+    let r = run(DeliveryMode::RLive, 16);
+    let (cpu, mem, temp, bat) = r.test_energy;
+    assert!((99.0..110.0).contains(&cpu), "cpu {cpu}");
+    assert!((99.0..110.0).contains(&mem), "mem {mem}");
+    assert!((99.0..102.0).contains(&temp), "temp {temp}");
+    assert!((99.0..105.0).contains(&bat), "battery {bat}");
+}
+
+#[test]
+fn central_sequencing_retransmits_more_than_distributed() {
+    // Table 3's direction: the distributed design cuts retransmissions.
+    let central = run(DeliveryMode::RLiveCentralSequencing, 17);
+    let distributed = run(DeliveryMode::RLive, 17);
+    let c = central.test_qoe.retx_per_100s.mean();
+    let d = distributed.test_qoe.retx_per_100s.mean();
+    assert!(
+        c > d,
+        "central {c} retx/100s should exceed distributed {d}"
+    );
+}
