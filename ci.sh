@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# CI entry point: build, test, format check, lint. Fails on the first
+# broken step. Run from the repo root.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "==> cargo build --release"
+cargo build --release
+
+# Release profile: the world simulations are several times slower under
+# debug, and this reuses the build step's cache.
+echo "==> cargo test -q"
+cargo test --release -q
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "==> cargo clippy -- -D warnings"
+cargo clippy --workspace --all-targets --release -- -D warnings
+
+echo "==> CI green"

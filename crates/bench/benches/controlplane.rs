@@ -4,8 +4,8 @@
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
 use rlive_control::features::{
-    ClientId, ClientInfo, ConnectionType, Heartbeat, NodeClass, NodeId, NodeStatus,
-    StaticFeatures, StreamKey,
+    ClientId, ClientInfo, ConnectionType, Heartbeat, NodeClass, NodeId, NodeStatus, StaticFeatures,
+    StreamKey,
 };
 use rlive_control::registry::{AttrQuery, HashTreeRegistry};
 use rlive_control::scheduler::{GlobalScheduler, SchedulerConfig};

@@ -129,7 +129,11 @@ fn bench_recovery_decide(c: &mut Criterion) {
             deadline: SimDuration::from_millis(200 + i * 33),
             size: 12_000,
             missing_packets: 1 + (i % 5) as u32,
-            frame_type: if i % 8 == 0 { FrameType::I } else { FrameType::P },
+            frame_type: if i % 8 == 0 {
+                FrameType::I
+            } else {
+                FrameType::P
+            },
             substream: (i % 4) as u16,
         })
         .collect();

@@ -8,38 +8,58 @@ use rlive_sim::{SimRng, SimTime};
 fn main() {
     let mut gen = GopGenerator::new(5, GopConfig::default(), SimRng::new(2));
     let mut chains = ChainGenerator::new(PACKET_PAYLOAD);
-    let stream: Vec<_> = gen.take_frames(60).into_iter().map(|f| {
-        let chain = chains.observe(&f.header);
-        let ss = substream_of(&f.header, 4).0;
-        (f, packetize(&f, ss, &chain, ss as u32))
-    }).collect();
+    let stream: Vec<_> = gen
+        .take_frames(60)
+        .into_iter()
+        .map(|f| {
+            let chain = chains.observe(&f.header);
+            let ss = substream_of(&f.header, 4).0;
+            (f, packetize(&f, ss, &chain, ss as u32))
+        })
+        .collect();
     let dead = 2u16;
     let mut rb = ReorderBuffer::new();
     for (i, (f, pkts)) in stream.iter().enumerate() {
-        if substream_of(&f.header, 4).0 == dead { continue; }
-        for p in pkts { rb.ingest(SimTime::from_millis(i as u64 * 33), p); }
+        if substream_of(&f.header, 4).0 == dead {
+            continue;
+        }
+        for p in pkts {
+            rb.ingest(SimTime::from_millis(i as u64 * 33), p);
+        }
     }
-    let now = SimTime::from_millis(60*33+500);
+    let now = SimTime::from_millis(60 * 33 + 500);
     let mut released: Vec<u64> = Vec::new();
     for (f, _) in &stream {
         if substream_of(&f.header, 4).0 == dead {
-            released.extend(rb.ingest_whole_frame(now, f.header).iter().map(|r| r.header.dts_ms));
+            released.extend(
+                rb.ingest_whole_frame(now, f.header)
+                    .iter()
+                    .map(|r| r.header.dts_ms),
+            );
         } else {
             released.extend(rb.drain_ready(now).iter().map(|r| r.header.dts_ms));
         }
     }
-    let all: Vec<u64> = stream.iter().map(|(f,_)| f.header.dts_ms).collect();
-    let missing: Vec<(usize, u64, u16)> = all.iter().enumerate()
+    let all: Vec<u64> = stream.iter().map(|(f, _)| f.header.dts_ms).collect();
+    let missing: Vec<(usize, u64, u16)> = all
+        .iter()
+        .enumerate()
         .filter(|(_, d)| !released.contains(d))
         .map(|(i, d)| (i, *d, substream_of(&stream[i].0.header, 4).0))
         .collect();
     println!("released={} missing={:?}", released.len(), missing);
     println!("chain remaining: {:?}", rb.chain().dts_sequence());
-    println!("blocked_complete={} assembling={}", rb.blocked_complete(), rb.assembling_count());
+    println!(
+        "blocked_complete={} assembling={}",
+        rb.blocked_complete(),
+        rb.assembling_count()
+    );
     // substream pattern around missing
     for (i, _, _) in &missing {
         let lo = i.saturating_sub(5);
-        let pat: Vec<u16> = (lo..(i+5).min(60)).map(|j| substream_of(&stream[j].0.header, 4).0).collect();
+        let pat: Vec<u16> = (lo..(i + 5).min(60))
+            .map(|j| substream_of(&stream[j].0.header, 4).0)
+            .collect();
         println!("around {i}: {pat:?}");
     }
 }

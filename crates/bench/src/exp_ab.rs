@@ -4,8 +4,8 @@
 use rlive::config::DeliveryMode;
 use rlive::world::{GroupPolicy, World};
 use rlive_bench::{
-    compare_head, compare_row, fanout_config, fanout_scenario, header, peak_config,
-    peak_scenario, print_daily, DailyDiffs, DAY_SEEDS,
+    compare_head, compare_row, fanout_config, fanout_scenario, header, peak_config, peak_scenario,
+    print_daily, runner, DailyDiffs, DAY_SEEDS,
 };
 use rlive_workload::scenario::Scenario;
 
@@ -40,7 +40,11 @@ pub fn fig8(seed: u64) {
         "~0.01 % at 1e9 views",
         &format!("{:+.2} % at ~1e2 views", mean(&views)),
     );
-    compare_row("mean |viewers diff|", "~0.01 %", &format!("{:+.2} %", mean(&viewers)));
+    compare_row(
+        "mean |viewers diff|",
+        "~0.01 %",
+        &format!("{:+.2} %", mean(&viewers)),
+    );
     println!("\nnote: the split is binomial; expected |diff| scales as 1/sqrt(views).");
 }
 
@@ -57,7 +61,10 @@ pub fn fig9(seed: u64) {
         &peak_config(),
         &seeds,
     );
-    print_daily("rebuffering diff", &t1.series(|r| r.diff.rebuffer_events_pct));
+    print_daily(
+        "rebuffering diff",
+        &t1.series(|r| r.diff.rebuffer_events_pct),
+    );
     print_daily("bitrate diff", &t1.series(|r| r.diff.bitrate_pct));
     print_daily("E2E latency diff", &t1.series(|r| r.diff.e2e_latency_pct));
 
@@ -74,7 +81,10 @@ pub fn fig9(seed: u64) {
         &peak_config(),
         &seeds,
     );
-    print_daily("rebuffering diff", &t2.series(|r| r.diff.rebuffer_events_pct));
+    print_daily(
+        "rebuffering diff",
+        &t2.series(|r| r.diff.rebuffer_events_pct),
+    );
     print_daily("bitrate diff", &t2.series(|r| r.diff.bitrate_pct));
     print_daily("E2E latency diff", &t2.series(|r| r.diff.e2e_latency_pct));
 
@@ -128,20 +138,35 @@ pub fn table2(seed: u64) {
     print_daily("EqT diff per day", &eqt);
 
     // Per-byte economics from a uniform fanout run.
-    let r = World::new(
-        fanout_scenario(),
-        fanout_config(DeliveryMode::RLive),
-        GroupPolicy::uniform(DeliveryMode::RLive),
-        seed,
-    )
-    .run();
+    let r = runner::map_cells("table2-fanout", &[seed], |&s| {
+        World::new(
+            fanout_scenario(),
+            fanout_config(DeliveryMode::RLive),
+            GroupPolicy::uniform(DeliveryMode::RLive),
+            s,
+        )
+        .run()
+    })
+    .remove(0);
     let t = &r.test_traffic;
     let gamma = t.expansion_rate().unwrap_or(0.0);
     let per_byte = t.equivalent_traffic(1.35) / t.client_bytes().max(1) as f64;
     compare_head();
-    compare_row("evening EqT reduction (Test 1)", "-7.99 %", &format!("{:+.1} %", d.mean(|x| x.eqt_pct)));
-    compare_row("per-byte EqT vs dedicated (1.35)", "< 1.35", &format!("{per_byte:.3}"));
-    compare_row("traffic expansion rate γ", "~7 in production", &format!("{gamma:.2}"));
+    compare_row(
+        "evening EqT reduction (Test 1)",
+        "-7.99 %",
+        &format!("{:+.1} %", d.mean(|x| x.eqt_pct)),
+    );
+    compare_row(
+        "per-byte EqT vs dedicated (1.35)",
+        "< 1.35",
+        &format!("{per_byte:.3}"),
+    );
+    compare_row(
+        "traffic expansion rate γ",
+        "~7 in production",
+        &format!("{gamma:.2}"),
+    );
     println!(
         "\nnote: EqT falls once fan-out amortises backhaul (γ > ~4); the A/B's test \
          group also delivers more bits (higher bitrate), which EqT-per-watch-second \
@@ -165,8 +190,24 @@ pub fn fig10(seed: u64) {
     print_daily("temperature delta (pp)", &d.series(|r| r.energy_delta.2));
     print_daily("battery delta (pp)", &d.series(|r| r.energy_delta.3));
     compare_head();
-    compare_row("cpu", "+0.58 to +0.74 pp", &format!("{:+.2} pp", d.mean(|r| r.energy_delta.0)));
-    compare_row("memory", "+0.21 to +0.22 pp", &format!("{:+.2} pp", d.mean(|r| r.energy_delta.1)));
-    compare_row("temperature", "+0.02 to +0.03 pp", &format!("{:+.3} pp", d.mean(|r| r.energy_delta.2)));
-    compare_row("battery", "+0.13 to +0.15 pp", &format!("{:+.3} pp", d.mean(|r| r.energy_delta.3)));
+    compare_row(
+        "cpu",
+        "+0.58 to +0.74 pp",
+        &format!("{:+.2} pp", d.mean(|r| r.energy_delta.0)),
+    );
+    compare_row(
+        "memory",
+        "+0.21 to +0.22 pp",
+        &format!("{:+.2} pp", d.mean(|r| r.energy_delta.1)),
+    );
+    compare_row(
+        "temperature",
+        "+0.02 to +0.03 pp",
+        &format!("{:+.3} pp", d.mean(|r| r.energy_delta.2)),
+    );
+    compare_row(
+        "battery",
+        "+0.13 to +0.15 pp",
+        &format!("{:+.3} pp", d.mean(|r| r.energy_delta.3)),
+    );
 }

@@ -2,10 +2,14 @@
 //! sections: probe count (§4.1.2), substream count K (§6/§8.3),
 //! exploration mixing (§8.2), NAT traversal refinement (§8.1) and chain
 //! length δ (§5.2).
+//!
+//! Every world-running ablation fans its configuration sweep out as
+//! runner cells; rows are printed from the cell-ordered results, so the
+//! tables are identical for any `--jobs` value.
 
 use rlive::config::DeliveryMode;
-use rlive::world::{GroupPolicy, World};
-use rlive_bench::{compare_head, compare_row, header, peak_config, peak_scenario};
+use rlive::world::{GroupPolicy, RunReport, World};
+use rlive_bench::{compare_head, compare_row, header, peak_config, peak_scenario, runner};
 use rlive_data::sequencing::{GlobalChain, MatchResult};
 use rlive_media::footprint::{ChainGenerator, LocalChain, CHAIN_LEN};
 use rlive_media::gop::{GopConfig, GopGenerator};
@@ -25,6 +29,20 @@ pub fn all(seed: u64) {
     partition_strategy(seed);
 }
 
+/// Runs one peak-scenario RLive world with a caller-tweaked config.
+fn peak_run(seed: u64, tweak: impl Fn(&mut rlive::config::SystemConfig)) -> RunReport {
+    let mut cfg = peak_config();
+    cfg.mode = DeliveryMode::RLive;
+    tweak(&mut cfg);
+    World::new(
+        peak_scenario(),
+        cfg,
+        GroupPolicy::uniform(DeliveryMode::RLive),
+        seed,
+    )
+    .run()
+}
+
 /// §8.3 (open question, implemented here): criticality-aware substream
 /// partitioning — I-frames pinned to substream 0, which the control
 /// plane homes on the most stable candidate relay.
@@ -36,38 +54,27 @@ pub fn partition_strategy(seed: u64) {
         "strategy", "rebuf/100s", "rebuf ms/100s", "E2E ms", "bitrate"
     );
     println!("{}", "-".repeat(72));
-    for (label, strategy) in [
+    let strategies = [
         ("static-hash", PartitionStrategy::StaticHash),
         ("size-aware", PartitionStrategy::SizeAware),
-    ] {
-        let mut rebuf = 0.0;
-        let mut dur = 0.0;
-        let mut e2e = 0.0;
-        let mut bitrate = 0.0;
-        let days = 3u64;
-        for d in 0..days {
-            let mut cfg = peak_config();
-            cfg.mode = DeliveryMode::RLive;
-            cfg.partition = strategy;
-            let r = World::new(
-                peak_scenario(),
-                cfg,
-                GroupPolicy::uniform(DeliveryMode::RLive),
-                seed + d,
-            )
-            .run();
-            rebuf += r.test_qoe.rebuffers_per_100s.mean();
-            dur += r.test_qoe.rebuffer_ms_per_100s.mean();
-            e2e += r.test_qoe.e2e_latency_ms.mean();
-            bitrate += r.test_qoe.bitrate_bps.mean() / 1e6;
-        }
+    ];
+    let days = 3u64;
+    let cells: Vec<(PartitionStrategy, u64)> = strategies
+        .iter()
+        .flat_map(|&(_, strategy)| (0..days).map(move |d| (strategy, seed + d)))
+        .collect();
+    let reports = runner::map_cells("ablation-partition", &cells, |&(strategy, s)| {
+        peak_run(s, |cfg| cfg.partition = strategy)
+    });
+    for ((label, _), group) in strategies.iter().zip(reports.chunks(days as usize)) {
         let n = days as f64;
+        let sum = |f: &dyn Fn(&RunReport) -> f64| group.iter().map(f).sum::<f64>();
         println!(
             "{label:<14} {:>14.2} {:>16.0} {:>12.0} {:>12.2}",
-            rebuf / n,
-            dur / n,
-            e2e / n,
-            bitrate / n
+            sum(&|r| r.test_qoe.rebuffers_per_100s.mean()) / n,
+            sum(&|r| r.test_qoe.rebuffer_ms_per_100s.mean()) / n,
+            sum(&|r| r.test_qoe.e2e_latency_ms.mean()) / n,
+            sum(&|r| r.test_qoe.bitrate_bps.mean() / 1e6) / n,
         );
     }
     println!(
@@ -85,22 +92,17 @@ pub fn chunked_delivery(seed: u64) {
         "granularity", "E2E ms", "rebuf/100s", "bitrate Mbps"
     );
     println!("{}", "-".repeat(60));
-    for (label, chunk) in [
+    let variants: [(&str, Option<u32>); 4] = [
         ("frame-level", None),
         ("0.5 s chunks", Some(15u32)),
         ("1 s chunks", Some(30)),
         ("2 s chunks", Some(60)),
-    ] {
-        let mut cfg = peak_config();
-        cfg.mode = DeliveryMode::RLive;
-        cfg.chunk_frames = chunk;
-        let r = World::new(
-            peak_scenario(),
-            cfg,
-            GroupPolicy::uniform(DeliveryMode::RLive),
-            seed,
-        )
-        .run();
+    ];
+    let cells: Vec<Option<u32>> = variants.iter().map(|&(_, chunk)| chunk).collect();
+    let reports = runner::map_cells("ablation-chunk", &cells, |&chunk| {
+        peak_run(seed, |cfg| cfg.chunk_frames = chunk)
+    });
+    for ((label, _), r) in variants.iter().zip(&reports) {
         println!(
             "{label:<16} {:>12.0} {:>14.2} {:>14.2}",
             r.test_qoe.e2e_latency_ms.mean(),
@@ -122,17 +124,11 @@ pub fn dns_bypass(seed: u64) {
         "bypass", "rebuf/100s", "rebuf ms/100s", "E2E ms"
     );
     println!("{}", "-".repeat(58));
-    for bypass in [true, false] {
-        let mut cfg = peak_config();
-        cfg.mode = DeliveryMode::RLive;
-        cfg.dns_bypass = bypass;
-        let r = World::new(
-            peak_scenario(),
-            cfg,
-            GroupPolicy::uniform(DeliveryMode::RLive),
-            seed,
-        )
-        .run();
+    let cells = [true, false];
+    let reports = runner::map_cells("ablation-dns", &cells, |&bypass| {
+        peak_run(seed, |cfg| cfg.dns_bypass = bypass)
+    });
+    for (bypass, r) in cells.iter().zip(&reports) {
         println!(
             "{:<12} {:>14.2} {:>16.0} {:>12.0}",
             bypass,
@@ -141,8 +137,10 @@ pub fn dns_bypass(seed: u64) {
             r.test_qoe.e2e_latency_ms.mean()
         );
     }
-    println!("
-the bypass removes a resolver RTT from every dedicated recovery request.");
+    println!(
+        "
+the bypass removes a resolver RTT from every dedicated recovery request."
+    );
 }
 
 /// §4.1.2: probing more than three candidates yields <1 % success gain.
@@ -153,17 +151,11 @@ pub fn probes(seed: u64) {
         "probes", "mapping success", "rebuf/100s", "bitrate Mbps"
     );
     println!("{}", "-".repeat(58));
-    for max_probes in [1usize, 2, 3, 5] {
-        let mut cfg = peak_config();
-        cfg.mode = DeliveryMode::RLive;
-        cfg.client_controller.max_probes = max_probes;
-        let r = World::new(
-            peak_scenario(),
-            cfg,
-            GroupPolicy::uniform(DeliveryMode::RLive),
-            seed,
-        )
-        .run();
+    let cells = [1usize, 2, 3, 5];
+    let reports = runner::map_cells("ablation-probes", &cells, |&max_probes| {
+        peak_run(seed, |cfg| cfg.client_controller.max_probes = max_probes)
+    });
+    for (max_probes, r) in cells.iter().zip(&reports) {
         let success = 1.0 - r.invalid_candidate_fraction;
         println!(
             "{max_probes:<10} {:>15.1}% {:>14.2} {:>14.2}",
@@ -183,18 +175,14 @@ pub fn substreams(seed: u64) {
         "K", "rebuf/100s", "rebuf ms/100s", "bitrate Mbps", "E2E ms"
     );
     println!("{}", "-".repeat(64));
-    for k in [1u16, 2, 4, 8] {
-        let mut cfg = peak_config();
-        cfg.mode = DeliveryMode::RLive;
-        cfg.substreams = k;
-        cfg.recovery.substream_count = k;
-        let r = World::new(
-            peak_scenario(),
-            cfg,
-            GroupPolicy::uniform(DeliveryMode::RLive),
-            seed,
-        )
-        .run();
+    let cells = [1u16, 2, 4, 8];
+    let reports = runner::map_cells("ablation-substreams", &cells, |&k| {
+        peak_run(seed, |cfg| {
+            cfg.substreams = k;
+            cfg.recovery.substream_count = k;
+        })
+    });
+    for (k, r) in cells.iter().zip(&reports) {
         println!(
             "{k:<6} {:>12.2} {:>16.0} {:>14.2} {:>12.0}",
             r.test_qoe.rebuffers_per_100s.mean(),
@@ -214,17 +202,11 @@ pub fn explore(seed: u64) {
         "explore", "rebuf/100s", "bitrate Mbps", "invalid cands"
     );
     println!("{}", "-".repeat(58));
-    for frac in [0.0, 0.2, 0.5] {
-        let mut cfg = peak_config();
-        cfg.mode = DeliveryMode::RLive;
-        cfg.scheduler.explore_fraction = frac;
-        let r = World::new(
-            peak_scenario(),
-            cfg,
-            GroupPolicy::uniform(DeliveryMode::RLive),
-            seed,
-        )
-        .run();
+    let cells = [0.0, 0.2, 0.5];
+    let reports = runner::map_cells("ablation-explore", &cells, |&frac| {
+        peak_run(seed, |cfg| cfg.scheduler.explore_fraction = frac)
+    });
+    for (frac, r) in cells.iter().zip(&reports) {
         println!(
             "{frac:<10} {:>14.2} {:>14.2} {:>15.1}%",
             r.test_qoe.rebuffers_per_100s.mean(),
@@ -245,7 +227,11 @@ pub fn nat_refinement() {
     let usable_refined = refined.usable_fraction(&mix, 0.6);
     let gain = (usable_refined - usable_base) / usable_base * 100.0;
     compare_head();
-    compare_row("usable pool, RFC 5780 only", "baseline", &format!("{:.1} %", usable_base * 100.0));
+    compare_row(
+        "usable pool, RFC 5780 only",
+        "baseline",
+        &format!("{:.1} %", usable_base * 100.0),
+    );
     compare_row(
         "usable pool, refined techniques",
         "+~22 %",
@@ -258,7 +244,8 @@ pub fn chain_length(seed: u64) {
     header("Ablation — frame chain length δ (deployed: 4)");
     // Measure how often a gap of `g` consecutive lost chains is bridged
     // by the next arriving chain, for the deployed δ=4 (structural: a
-    // chain of length δ bridges gaps up to δ-1).
+    // chain of length δ bridges gaps up to δ-1). The frame stream is
+    // generated once; each gap size is an independent cell over it.
     let mut gen = GopGenerator::new(1, GopConfig::default(), SimRng::new(seed));
     let frames = gen.take_frames(400);
     let mut cg = ChainGenerator::new(PACKET_PAYLOAD);
@@ -268,7 +255,8 @@ pub fn chain_length(seed: u64) {
         "chain-loss gap", "bridged (δ=4)", "needs mismatch pool"
     );
     println!("{}", "-".repeat(60));
-    for gap in 1usize..=5 {
+    let gaps: Vec<usize> = (1..=5).collect();
+    let rows = runner::map_cells("ablation-chain", &gaps, |&gap| {
         let mut bridged = 0;
         let mut pooled = 0;
         let mut trials = 0;
@@ -286,10 +274,13 @@ pub fn chain_length(seed: u64) {
             }
             trials += 1;
         }
+        (bridged, pooled, trials)
+    });
+    for (gap, (bridged, pooled, trials)) in gaps.iter().zip(&rows) {
         println!(
             "{gap:<18} {:>15.0}% {:>21.0}%",
-            bridged as f64 / trials as f64 * 100.0,
-            pooled as f64 / trials as f64 * 100.0
+            *bridged as f64 / *trials as f64 * 100.0,
+            *pooled as f64 / *trials as f64 * 100.0
         );
     }
     println!(

@@ -1,11 +1,14 @@
 //! Case studies and discussion experiments: Fig 13 (RTM protocol
 //! generality), Table 4 (FIFA World Cup burst) and the §7.4 fallback
 //! threshold trade-off.
+//!
+//! Each experiment fans out one runner cell per seeded world and folds
+//! results in cell-index order (see `rlive_bench::runner`).
 
 use rlive::config::{DeliveryMode, SystemConfig, TransportProfile};
 use rlive::qoe::GroupQoe;
 use rlive::world::{GroupPolicy, RunReport, World};
-use rlive_bench::{compare_head, compare_row, header, peak_config, peak_scenario};
+use rlive_bench::{compare_head, compare_row, header, peak_config, peak_scenario, runner};
 use rlive_sim::SimDuration;
 use rlive_workload::scenario::Scenario;
 
@@ -13,28 +16,28 @@ use rlive_workload::scenario::Scenario;
 pub fn fig13(seed: u64) {
     header("Fig 13 — protocol generality: RTM vs FLV (both under RLive)");
     let days: Vec<u64> = (0..4).map(|d| seed + d).collect();
+    // One cell per (day, transport): FLV first, RTM second.
+    let cells: Vec<(u64, TransportProfile)> = days
+        .iter()
+        .flat_map(|&s| [(s, TransportProfile::Flv), (s, TransportProfile::Rtm)])
+        .collect();
+    let reports: Vec<RunReport> = runner::map_cells("fig13", &cells, |&(s, transport)| {
+        let mut cfg = peak_config();
+        cfg.mode = DeliveryMode::RLive;
+        cfg.transport = transport;
+        World::new(
+            peak_scenario(),
+            cfg,
+            GroupPolicy::uniform(DeliveryMode::RLive),
+            s,
+        )
+        .run()
+    });
     let mut lat = Vec::new();
     let mut rebuf = Vec::new();
     let mut bitrate = Vec::new();
-    for &s in &days {
-        let mut flv_cfg = peak_config();
-        flv_cfg.mode = DeliveryMode::RLive;
-        let mut rtm_cfg = flv_cfg.clone();
-        rtm_cfg.transport = TransportProfile::Rtm;
-        let flv = World::new(
-            peak_scenario(),
-            flv_cfg,
-            GroupPolicy::uniform(DeliveryMode::RLive),
-            s,
-        )
-        .run();
-        let rtm = World::new(
-            peak_scenario(),
-            rtm_cfg,
-            GroupPolicy::uniform(DeliveryMode::RLive),
-            s,
-        )
-        .run();
+    for day in reports.chunks(2) {
+        let (flv, rtm) = (&day[0], &day[1]);
         lat.push(GroupQoe::diff_pct(
             rtm.test_qoe.e2e_latency_ms.mean(),
             flv.test_qoe.e2e_latency_ms.mean(),
@@ -50,9 +53,21 @@ pub fn fig13(seed: u64) {
     }
     let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
     compare_head();
-    compare_row("E2E latency (RTM vs FLV)", "~+1 %", &format!("{:+.1} %", mean(&lat)));
-    compare_row("bitrate", "~unchanged", &format!("{:+.1} %", mean(&bitrate)));
-    compare_row("rebuffering", "~unchanged", &format!("{:+.1} %", mean(&rebuf)));
+    compare_row(
+        "E2E latency (RTM vs FLV)",
+        "~+1 %",
+        &format!("{:+.1} %", mean(&lat)),
+    );
+    compare_row(
+        "bitrate",
+        "~unchanged",
+        &format!("{:+.1} %", mean(&bitrate)),
+    );
+    compare_row(
+        "rebuffering",
+        "~unchanged",
+        &format!("{:+.1} %", mean(&rebuf)),
+    );
 }
 
 fn fifa_run(mode: DeliveryMode, seed: u64) -> RunReport {
@@ -71,13 +86,18 @@ fn fifa_run(mode: DeliveryMode, seed: u64) -> RunReport {
 pub fn table4(seed: u64) {
     header("Table 4 — FIFA World Cup case study (RLive vs CDNs)");
     let days: Vec<u64> = (0..3).map(|d| seed + d).collect();
+    let cells: Vec<(u64, DeliveryMode)> = days
+        .iter()
+        .flat_map(|&s| [(s, DeliveryMode::CdnOnly), (s, DeliveryMode::RLive)])
+        .collect();
+    let reports: Vec<RunReport> =
+        runner::map_cells("table4", &cells, |&(s, mode)| fifa_run(mode, s));
     let mut views = Vec::new();
     let mut rebuf = Vec::new();
     let mut bitrate = Vec::new();
     let mut lat = Vec::new();
-    for &s in &days {
-        let cdn = fifa_run(DeliveryMode::CdnOnly, s);
-        let rlive = fifa_run(DeliveryMode::RLive, s);
+    for day in reports.chunks(2) {
+        let (cdn, rlive) = (&day[0], &day[1]);
         views.push(GroupQoe::diff_pct(
             rlive.test_qoe.views as f64,
             cdn.test_qoe.views as f64,
@@ -98,7 +118,11 @@ pub fn table4(seed: u64) {
     let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
     compare_head();
     compare_row("#views", "+21.78 %", &format!("{:+.1} %", mean(&views)));
-    compare_row("rebufferings", "-8.82 %", &format!("{:+.1} %", mean(&rebuf)));
+    compare_row(
+        "rebufferings",
+        "-8.82 %",
+        &format!("{:+.1} %", mean(&rebuf)),
+    );
     compare_row("bitrate", "+1.72 %", &format!("{:+.1} %", mean(&bitrate)));
     compare_row("E2E latency", "-4.75 %", &format!("{:+.1} %", mean(&lat)));
     println!(
@@ -115,24 +139,32 @@ pub fn fallback_threshold(seed: u64) {
         "threshold", "rebuf/100s", "rebuf ms/100s", "E2E ms", "fallbacks"
     );
     println!("{}", "-".repeat(72));
+    let days = 3u64;
+    // The full (threshold × day) grid is one flat cell list.
+    let cells: Vec<(u64, u64)> = [300u64, 400, 500]
+        .iter()
+        .flat_map(|&t| (0..days).map(move |d| (t, seed + d)))
+        .collect();
+    let reports: Vec<RunReport> = runner::map_cells("fallback", &cells, |&(threshold_ms, s)| {
+        let mut cfg = peak_config();
+        cfg.mode = DeliveryMode::RLive;
+        cfg.fallback_threshold = SimDuration::from_millis(threshold_ms);
+        World::new(
+            peak_scenario(),
+            cfg,
+            GroupPolicy::uniform(DeliveryMode::RLive),
+            s,
+        )
+        .run()
+    });
     let mut results = Vec::new();
-    for threshold_ms in [300u64, 400, 500] {
+    for (group, reports) in reports.chunks(days as usize).enumerate() {
+        let threshold_ms = [300u64, 400, 500][group];
         let mut rebuf = 0.0;
         let mut dur = 0.0;
         let mut e2e = 0.0;
         let mut fallbacks = 0u64;
-        let days = 3u64;
-        for d in 0..days {
-            let mut cfg = peak_config();
-            cfg.mode = DeliveryMode::RLive;
-            cfg.fallback_threshold = SimDuration::from_millis(threshold_ms);
-            let r = World::new(
-                peak_scenario(),
-                cfg,
-                GroupPolicy::uniform(DeliveryMode::RLive),
-                seed + d,
-            )
-            .run();
+        for r in reports {
             rebuf += r.test_qoe.rebuffers_per_100s.mean();
             dur += r.test_qoe.rebuffer_ms_per_100s.mean();
             e2e += r.test_qoe.e2e_latency_ms.mean();

@@ -3,27 +3,41 @@
 
 use rlive::config::DeliveryMode;
 use rlive::world::{GroupPolicy, World};
-use rlive_bench::{compare_head, compare_row, header, peak_config, peak_scenario, print_series};
+use rlive_bench::{
+    compare_head, compare_row, header, peak_config, peak_scenario, print_series, runner,
+};
 use rlive_workload::streams::DiurnalModel;
 
-/// Fig 12: global control plane statistics.
+/// Fig 12: global control plane statistics (a single world cell; the
+/// projection onto the diurnal curve is pure arithmetic).
 pub fn fig12(seed: u64) {
     header("Fig 12 — global control plane statistics");
-    let mut cfg = peak_config();
-    cfg.mode = DeliveryMode::RLive;
-    let r = World::new(
-        peak_scenario(),
-        cfg,
-        GroupPolicy::uniform(DeliveryMode::RLive),
-        seed,
-    )
-    .run();
+    let r = runner::map_cells("fig12", &[seed], |&s| {
+        let mut cfg = peak_config();
+        cfg.mode = DeliveryMode::RLive;
+        World::new(
+            peak_scenario(),
+            cfg,
+            GroupPolicy::uniform(DeliveryMode::RLive),
+            s,
+        )
+        .run()
+    })
+    .remove(0);
 
     // (a) recommendation service time distribution.
     let lat = &r.scheduler_latency_ms;
     compare_head();
-    compare_row("recommendation P50", "58.2 ms", &format!("{:.1} ms", lat[50]));
-    compare_row("recommendation P90", "111.5 ms", &format!("{:.1} ms", lat[90]));
+    compare_row(
+        "recommendation P50",
+        "58.2 ms",
+        &format!("{:.1} ms", lat[50]),
+    );
+    compare_row(
+        "recommendation P90",
+        "111.5 ms",
+        &format!("{:.1} ms", lat[90]),
+    );
     let pts: Vec<(f64, f64)> = lat
         .iter()
         .enumerate()
@@ -71,5 +85,8 @@ pub fn fig12(seed: u64) {
             (h, m.load_at(h) * production_peak_qps / 1e6)
         })
         .collect();
-    print_series("fig12c_scheduler_qps_diurnal (hour, MQPS at production scale)", &pts);
+    print_series(
+        "fig12c_scheduler_qps_diurnal (hour, MQPS at production scale)",
+        &pts,
+    );
 }

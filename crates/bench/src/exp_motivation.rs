@@ -1,10 +1,14 @@
 //! Motivation / characterisation experiments: Fig 1(b), Fig 2(a–d),
 //! Fig 3 and Table 1 of the paper.
+//!
+//! Every multi-run figure decomposes into runner cells (one seeded
+//! simulation or sampling pass per cell); per-cell outputs come back in
+//! cell-index order, so stdout is identical for any `--jobs` value.
 
 use rlive::config::DeliveryMode;
-use rlive::world::{GroupPolicy, World};
+use rlive::world::{GroupPolicy, RunReport, World};
 use rlive_bench::{
-    compare_head, compare_row, header, healthy_cdn_config, print_series, two_tier_scenario,
+    compare_head, compare_row, header, healthy_cdn_config, print_series, runner, two_tier_scenario,
 };
 use rlive_sim::churn::ChurnModel;
 use rlive_sim::link::{Link, LinkConfig};
@@ -17,19 +21,30 @@ use rlive_workload::traces::{RetxServer, RetxTraceGenerator};
 /// Fig 1(b): distribution of bandwidth capacity among best-effort nodes.
 pub fn fig1b(seed: u64) {
     header("Fig 1(b) — best-effort node bandwidth capacity CDF");
-    let mut rng = SimRng::new(seed);
-    let pop = NodePopulation::generate(
-        &PopulationConfig {
-            count: 20_000,
-            ..PopulationConfig::default()
-        },
-        &mut rng,
-    );
+    let pop = runner::map_cells("fig1b", &[seed], |&s| {
+        let mut rng = SimRng::new(s);
+        NodePopulation::generate(
+            &PopulationConfig {
+                count: 20_000,
+                ..PopulationConfig::default()
+            },
+            &mut rng,
+        )
+    })
+    .remove(0);
     let below10 = pop.fraction_below(10.0);
     let above100 = 1.0 - pop.fraction_below(100.0);
     compare_head();
-    compare_row("nodes below 10 Mbps", "~29 %", &format!("{:.1} %", below10 * 100.0));
-    compare_row("nodes above 100 Mbps", "~12 %", &format!("{:.1} %", above100 * 100.0));
+    compare_row(
+        "nodes below 10 Mbps",
+        "~29 %",
+        &format!("{:.1} %", below10 * 100.0),
+    );
+    compare_row(
+        "nodes above 100 Mbps",
+        "~12 %",
+        &format!("{:.1} %", above100 * 100.0),
+    );
 
     let mut p = Percentiles::new();
     for n in &pop.nodes {
@@ -48,40 +63,40 @@ pub fn fig1b(seed: u64) {
 pub fn fig2a(seed: u64) {
     header("Fig 2(a) — single-source vs CDN-only QoE (the §2.2 strawman)");
     println!("setting: healthy CDN, scarce top-tier best-effort layer; 6 day-seeds");
+    // One cell per (day, mode): 12 independent worlds.
+    let cells: Vec<(u64, DeliveryMode)> = (0..6u64)
+        .flat_map(|day| {
+            [
+                (seed + day, DeliveryMode::CdnOnly),
+                (seed + day, DeliveryMode::SingleSource),
+            ]
+        })
+        .collect();
+    let reports: Vec<RunReport> = runner::map_cells("fig2a", &cells, |&(s, mode)| {
+        World::new(
+            two_tier_scenario().scaled(1.4),
+            healthy_cdn_config_mode(mode),
+            GroupPolicy::uniform(mode),
+            s,
+        )
+        .run()
+    });
     let mut cdn_rebuf = Vec::new();
     let mut single_rebuf = Vec::new();
     let mut cdn_disrupt = Vec::new();
     let mut single_disrupt = Vec::new();
     let mut cdn_e2e = Vec::new();
     let mut single_e2e = Vec::new();
-    for day in 0..6u64 {
-        let s = seed + day;
-        let scenario = two_tier_scenario().scaled(1.4);
-        let c = World::new(
-            scenario.clone(),
-            healthy_cdn_config_mode(DeliveryMode::CdnOnly),
-            GroupPolicy::uniform(DeliveryMode::CdnOnly),
-            s,
-        )
-        .run();
-        let b = World::new(
-            scenario,
-            healthy_cdn_config_mode(DeliveryMode::SingleSource),
-            GroupPolicy::uniform(DeliveryMode::SingleSource),
-            s,
-        )
-        .run();
+    for day in reports.chunks(2) {
+        let (c, b) = (&day[0], &day[1]);
         cdn_rebuf.push(c.test_qoe.rebuffers_per_100s.mean());
         single_rebuf.push(b.test_qoe.rebuffers_per_100s.mean());
         // Playback disruptions = stalls plus deadline-skipped frames; a
         // skip is the player trading a stall for a visible glitch, so
         // both count against the strawman.
-        cdn_disrupt.push(
-            c.test_qoe.rebuffers_per_100s.mean() + c.test_qoe.skips_per_100s.mean(),
-        );
-        single_disrupt.push(
-            b.test_qoe.rebuffers_per_100s.mean() + b.test_qoe.skips_per_100s.mean(),
-        );
+        cdn_disrupt.push(c.test_qoe.rebuffers_per_100s.mean() + c.test_qoe.skips_per_100s.mean());
+        single_disrupt
+            .push(b.test_qoe.rebuffers_per_100s.mean() + b.test_qoe.skips_per_100s.mean());
         cdn_e2e.push(c.test_qoe.e2e_latency_ms.mean());
         single_e2e.push(b.test_qoe.e2e_latency_ms.mean());
     }
@@ -91,9 +106,21 @@ pub fn fig2a(seed: u64) {
         (mean(&single_disrupt) - mean(&cdn_disrupt)) / mean(&cdn_disrupt).max(1e-9) * 100.0;
     let e2e_diff = (mean(&single_e2e) - mean(&cdn_e2e)) / mean(&cdn_e2e).max(1e-9) * 100.0;
     compare_head();
-    compare_row("rebuffering increase", "+37.5 to +44.7 %", &format!("{rebuf_diff:+.1} %"));
-    compare_row("playback disruptions (incl. skips)", "positive", &format!("{disrupt_diff:+.1} %"));
-    compare_row("E2E latency increase", "+26 to +35 %", &format!("{e2e_diff:+.1} %"));
+    compare_row(
+        "rebuffering increase",
+        "+37.5 to +44.7 %",
+        &format!("{rebuf_diff:+.1} %"),
+    );
+    compare_row(
+        "playback disruptions (incl. skips)",
+        "positive",
+        &format!("{disrupt_diff:+.1} %"),
+    );
+    compare_row(
+        "E2E latency increase",
+        "+26 to +35 %",
+        &format!("{e2e_diff:+.1} %"),
+    );
     println!("\nper-day rebuffers/100s    CDN-only: {cdn_rebuf:.2?}");
     println!("per-day rebuffers/100s    single:   {single_rebuf:.2?}");
     println!("per-day disruptions/100s  CDN-only: {cdn_disrupt:.2?}");
@@ -112,24 +139,32 @@ fn healthy_cdn_config_mode(mode: DeliveryMode) -> rlive::config::SystemConfig {
 /// Fig 2(b): traffic expansion rate γ under single-source transmission.
 pub fn fig2b(seed: u64) {
     header("Fig 2(b) — traffic expansion rate γ (single-source)");
-    let mut gammas = Vec::new();
-    for day in 0..3u64 {
-        let r = World::new(
+    let days: Vec<u64> = (0..3u64).map(|d| seed + d).collect();
+    // One world per day-cell; each returns its relay expansion rates and
+    // the per-day vectors are concatenated in day order.
+    let per_day: Vec<Vec<f64>> = runner::map_cells("fig2b", &days, |&s| {
+        World::new(
             two_tier_scenario(),
             healthy_cdn_config_mode(DeliveryMode::SingleSource),
             GroupPolicy::uniform(DeliveryMode::SingleSource),
-            seed + day,
+            s,
         )
-        .run();
-        gammas.extend(r.relay_expansion_rates);
-    }
+        .run()
+        .relay_expansion_rates
+    });
     let mut p = Percentiles::new();
-    for &g in &gammas {
-        p.add(g);
+    for day in &per_day {
+        for &g in day {
+            p.add(g);
+        }
     }
     compare_head();
     compare_row("median γ", "3.7", &format!("{:.2}", p.median()));
-    compare_row("fraction with γ <= 5", "58.5 %", &format!("{:.1} %", p.cdf_at(5.0) * 100.0));
+    compare_row(
+        "fraction with γ <= 5",
+        "58.5 %",
+        &format!("{:.1} %", p.cdf_at(5.0) * 100.0),
+    );
     let pts: Vec<(f64, f64)> = (0..=20)
         .map(|i| {
             let q = i as f64 / 20.0;
@@ -143,16 +178,30 @@ pub fn fig2b(seed: u64) {
 /// Fig 2(c): life span distribution of best-effort nodes.
 pub fn fig2c(seed: u64) {
     header("Fig 2(c) — best-effort node lifespan CDF");
-    let model = ChurnModel::production();
-    let mut rng = SimRng::new(seed);
+    let samples = runner::map_cells("fig2c", &[seed], |&s| {
+        let model = ChurnModel::production();
+        let mut rng = SimRng::new(s);
+        (0..20_000)
+            .map(|_| model.sample_lifespan(&mut rng).as_secs_f64() / 3600.0)
+            .collect::<Vec<f64>>()
+    })
+    .remove(0);
     let mut p = Percentiles::new();
-    for _ in 0..20_000 {
-        p.add(model.sample_lifespan(&mut rng).as_secs_f64() / 3600.0);
+    for x in samples {
+        p.add(x);
     }
     compare_head();
     compare_row("median lifespan", "25.4 h", &format!("{:.1} h", p.median()));
-    compare_row("lifespan <= 1 day", "~50 %", &format!("{:.1} %", p.cdf_at(24.0) * 100.0));
-    compare_row("lifespan <= 1 h", "~18 %", &format!("{:.1} %", p.cdf_at(1.0) * 100.0));
+    compare_row(
+        "lifespan <= 1 day",
+        "~50 %",
+        &format!("{:.1} %", p.cdf_at(24.0) * 100.0),
+    );
+    compare_row(
+        "lifespan <= 1 h",
+        "~18 %",
+        &format!("{:.1} %", p.cdf_at(1.0) * 100.0),
+    );
     let pts: Vec<(f64, f64)> = (0..=20)
         .map(|i| {
             let q = i as f64 / 20.0;
@@ -165,29 +214,44 @@ pub fn fig2c(seed: u64) {
 /// Fig 2(d): one-way delay jitter through one best-effort node.
 pub fn fig2d(seed: u64) {
     header("Fig 2(d) — one-way delay jitter through one best-effort node");
-    let cfg = LinkConfig::best_effort(12.0, 14);
-    let mut link = Link::new(cfg, SimRng::new(seed));
-    let mut pts = Vec::new();
-    let mut max_ms: f64 = 0.0;
-    for t in 0..1_000u64 {
-        let now = SimTime::from_millis(t * 100);
-        let d = link.jitter_delay(now).as_millis_f64()
-            + link.config().propagation.as_millis_f64();
-        max_ms = max_ms.max(d);
-        pts.push((t as f64 / 10.0, d));
-    }
+    let pts = runner::map_cells("fig2d", &[seed], |&s| {
+        let cfg = LinkConfig::best_effort(12.0, 14);
+        let mut link = Link::new(cfg, SimRng::new(s));
+        (0..1_000u64)
+            .map(|t| {
+                let now = SimTime::from_millis(t * 100);
+                let d = link.jitter_delay(now).as_millis_f64()
+                    + link.config().propagation.as_millis_f64();
+                (t as f64 / 10.0, d)
+            })
+            .collect::<Vec<(f64, f64)>>()
+    })
+    .remove(0);
+    let max_ms = pts.iter().map(|&(_, d)| d).fold(0.0f64, f64::max);
     compare_head();
-    compare_row("jitter spikes", "up to ~250 ms", &format!("peak {max_ms:.0} ms"));
-    print_series("fig2d_one_way_delay (seconds, ms)", &pts[..300.min(pts.len())]);
+    compare_row(
+        "jitter spikes",
+        "up to ~250 ms",
+        &format!("peak {max_ms:.0} ms"),
+    );
+    print_series(
+        "fig2d_one_way_delay (seconds, ms)",
+        &pts[..300.min(pts.len())],
+    );
 }
 
 /// Fig 3: retransmission success rate and latency, dedicated vs
 /// best-effort nodes.
 pub fn fig3(seed: u64) {
     header("Fig 3 — retransmission comparison (dedicated vs best-effort)");
-    let gen = RetxTraceGenerator::new();
-    let mut rng = SimRng::new(seed);
-    let mut stats = |server: RetxServer| {
+    // One cell per server class, each with its own derived RNG stream.
+    let cells = [
+        (RetxServer::Dedicated, seed),
+        (RetxServer::BestEffort, seed.wrapping_add(1)),
+    ];
+    let mut stats: Vec<(f64, Percentiles)> = runner::map_cells("fig3", &cells, |&(server, s)| {
+        let gen = RetxTraceGenerator::new();
+        let mut rng = SimRng::new(s);
         let records = gen.sample_many(server, 100_000, &mut rng);
         let succ = records.iter().filter(|r| r.success).count() as f64 / records.len() as f64;
         let mut p = Percentiles::new();
@@ -195,14 +259,30 @@ pub fn fig3(seed: u64) {
             p.add(r.spent_ms);
         }
         (succ, p)
-    };
-    let (succ_d, mut lat_d) = stats(RetxServer::Dedicated);
-    let (succ_b, mut lat_b) = stats(RetxServer::BestEffort);
+    });
+    let (succ_b, mut lat_b) = stats.remove(1);
+    let (succ_d, mut lat_d) = stats.remove(0);
     compare_head();
-    compare_row("dedicated success rate", "94.09 %", &format!("{:.2} %", succ_d * 100.0));
-    compare_row("best-effort success rate", "91.44 %", &format!("{:.2} %", succ_b * 100.0));
-    compare_row("dedicated median latency", "71.1 ms", &format!("{:.1} ms", lat_d.median()));
-    compare_row("best-effort median latency", "778 ms", &format!("{:.0} ms", lat_b.median()));
+    compare_row(
+        "dedicated success rate",
+        "94.09 %",
+        &format!("{:.2} %", succ_d * 100.0),
+    );
+    compare_row(
+        "best-effort success rate",
+        "91.44 %",
+        &format!("{:.2} %", succ_b * 100.0),
+    );
+    compare_row(
+        "dedicated median latency",
+        "71.1 ms",
+        &format!("{:.1} ms", lat_d.median()),
+    );
+    compare_row(
+        "best-effort median latency",
+        "778 ms",
+        &format!("{:.0} ms", lat_b.median()),
+    );
     let cdf = |p: &mut Percentiles| -> Vec<(f64, f64)> {
         (0..=20)
             .map(|i| {
@@ -216,6 +296,7 @@ pub fn fig3(seed: u64) {
 }
 
 /// Table 1: live streaming service overview (streams / nodes by hour).
+/// Pure table formatting from the diurnal model — no cells to run.
 pub fn table1() {
     header("Table 1 — service overview by time of day (diurnal shape)");
     let m = DiurnalModel::default();

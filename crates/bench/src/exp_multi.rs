@@ -1,13 +1,17 @@
 //! §7.2 multi- vs single-source transmission (Fig 11) and §7.3.2
 //! centralized vs distributed frame sequencing (Table 3).
+//!
+//! Both experiments decompose into one runner cell per (day, mode)
+//! world; results are consumed in cell-index order so the printed
+//! tables are identical for any `--jobs` value.
 
 use rlive::config::DeliveryMode;
 use rlive::world::{GroupPolicy, RunReport, World};
-use rlive_bench::{
-    compare_head, compare_row, header, healthy_cdn_config, print_daily, two_tier_scenario,
-};
 use rlive_bench::peak_config;
 use rlive_bench::peak_scenario;
+use rlive_bench::{
+    compare_head, compare_row, header, healthy_cdn_config, print_daily, runner, two_tier_scenario,
+};
 
 fn two_tier_run(mode: DeliveryMode, seed: u64) -> RunReport {
     let mut cfg = healthy_cdn_config();
@@ -22,6 +26,13 @@ fn two_tier_run(mode: DeliveryMode, seed: u64) -> RunReport {
 pub fn fig11(seed: u64) {
     header("Fig 11 — multi-source (Multi) vs single-source (Single)");
     let days: Vec<u64> = (0..5).map(|d| seed + d).collect();
+    // One cell per (day, mode) pair, single first then multi.
+    let cells: Vec<(u64, DeliveryMode)> = days
+        .iter()
+        .flat_map(|&s| [(s, DeliveryMode::SingleSource), (s, DeliveryMode::RLive)])
+        .collect();
+    let reports: Vec<RunReport> =
+        runner::map_cells("fig11", &cells, |&(s, mode)| two_tier_run(mode, s));
     let mut lat_s = Vec::new();
     let mut lat_m = Vec::new();
     let mut rebuf_s = Vec::new();
@@ -32,9 +43,8 @@ pub fn fig11(seed: u64) {
     let mut bitrate_m = Vec::new();
     let mut gamma_single = Vec::new();
     let mut gamma_multi = Vec::new();
-    for &s in &days {
-        let single = two_tier_run(DeliveryMode::SingleSource, s);
-        let multi = two_tier_run(DeliveryMode::RLive, s);
+    for day in reports.chunks(2) {
+        let (single, multi) = (&day[0], &day[1]);
         lat_s.push(single.test_qoe.e2e_latency_ms.mean());
         lat_m.push(multi.test_qoe.e2e_latency_ms.mean());
         rebuf_s.push(single.test_qoe.rebuffers_per_100s.mean());
@@ -42,9 +52,8 @@ pub fn fig11(seed: u64) {
         disrupt_s.push(
             single.test_qoe.rebuffers_per_100s.mean() + single.test_qoe.skips_per_100s.mean(),
         );
-        disrupt_m.push(
-            multi.test_qoe.rebuffers_per_100s.mean() + multi.test_qoe.skips_per_100s.mean(),
-        );
+        disrupt_m
+            .push(multi.test_qoe.rebuffers_per_100s.mean() + multi.test_qoe.skips_per_100s.mean());
         bitrate_s.push(single.test_qoe.bitrate_bps.mean() / 1e6);
         bitrate_m.push(multi.test_qoe.bitrate_bps.mean() / 1e6);
         gamma_single.push(single.test_traffic.expansion_rate().unwrap_or(0.0));
@@ -63,8 +72,12 @@ pub fn fig11(seed: u64) {
     println!("single: {lat_s:.0?}\nmulti:  {lat_m:.0?}");
     println!("\n(b) QoE per day (Single then Multi):");
     println!("rebuffers/100s    single: {rebuf_s:.2?}\nrebuffers/100s    multi:  {rebuf_m:.2?}");
-    println!("disruptions/100s  single: {disrupt_s:.2?}\ndisruptions/100s  multi:  {disrupt_m:.2?}");
-    println!("bitrate Mbps      single: {bitrate_s:.2?}\nbitrate Mbps      multi:  {bitrate_m:.2?}");
+    println!(
+        "disruptions/100s  single: {disrupt_s:.2?}\ndisruptions/100s  multi:  {disrupt_m:.2?}"
+    );
+    println!(
+        "bitrate Mbps      single: {bitrate_s:.2?}\nbitrate Mbps      multi:  {bitrate_m:.2?}"
+    );
     println!("\n(c) traffic expansion rate γ per day:");
     println!("single (high-capacity tier): {gamma_single:.2?}");
     println!("multi  (weak tier):          {gamma_multi:.2?}");
@@ -72,21 +85,40 @@ pub fn fig11(seed: u64) {
     let rebuf_num_diff = [pooled(&rebuf_m, &rebuf_s)];
     let rebuf_dur_diff = [pooled(&disrupt_m, &disrupt_s)];
 
-    // γ over the run, one representative day of each mode (Fig 11c's
-    // time axis).
-    let single = two_tier_run(DeliveryMode::SingleSource, seed);
-    let multi = two_tier_run(DeliveryMode::RLive, seed);
-    rlive_bench::print_series("fig11c_gamma_single (seconds, gamma)", &single.gamma_over_time);
-    rlive_bench::print_series("fig11c_gamma_multi (seconds, gamma)", &multi.gamma_over_time);
+    // γ over the run on Fig 11(c)'s time axis: day 0 of each mode is the
+    // representative trace, reused straight from the cells above (cells
+    // 0 and 1 are day 0's single/multi worlds).
+    let single = &reports[0];
+    let multi = &reports[1];
+    rlive_bench::print_series(
+        "fig11c_gamma_single (seconds, gamma)",
+        &single.gamma_over_time,
+    );
+    rlive_bench::print_series(
+        "fig11c_gamma_multi (seconds, gamma)",
+        &multi.gamma_over_time,
+    );
 
     // γ per Mbps of tier capacity: the substream granularity makes weak
     // nodes useful — the robust simulator-scale version of Fig 11(c).
     let eff_single = mean0(&gamma_single) / 500.0;
     let eff_multi = mean0(&gamma_multi) / 30.0;
     compare_head();
-    compare_row("latency Multi vs Single", "-12 to -30 %", &format!("{:+.1} %", lat_diff[0]));
-    compare_row("rebuffer count diff (pooled)", "negative", &format!("{:+.1} %", rebuf_num_diff[0]));
-    compare_row("disruption diff (pooled)", "negative", &format!("{:+.1} %", rebuf_dur_diff[0]));
+    compare_row(
+        "latency Multi vs Single",
+        "-12 to -30 %",
+        &format!("{:+.1} %", lat_diff[0]),
+    );
+    compare_row(
+        "rebuffer count diff (pooled)",
+        "negative",
+        &format!("{:+.1} %", rebuf_num_diff[0]),
+    );
+    compare_row(
+        "disruption diff (pooled)",
+        "negative",
+        &format!("{:+.1} %", rebuf_dur_diff[0]),
+    );
     compare_row(
         "γ per tier-capacity Mbps (multi/single)",
         "~2x in production",
@@ -102,32 +134,33 @@ pub fn fig11(seed: u64) {
 pub fn table3(seed: u64) {
     header("Table 3 — centralized vs distributed frame sequencing");
     let days: Vec<u64> = (0..4).map(|d| seed + d).collect();
+    let cells: Vec<(u64, DeliveryMode)> = days
+        .iter()
+        .flat_map(|&s| {
+            [
+                (s, DeliveryMode::RLiveCentralSequencing),
+                (s, DeliveryMode::RLive),
+            ]
+        })
+        .collect();
+    let reports: Vec<RunReport> = runner::map_cells("table3", &cells, |&(s, mode)| {
+        World::new(
+            peak_scenario(),
+            {
+                let mut c = peak_config();
+                c.mode = mode;
+                c
+            },
+            GroupPolicy::uniform(mode),
+            s,
+        )
+        .run()
+    });
     let mut retx_red = Vec::new();
     let mut rebuf_times_red = Vec::new();
     let mut rebuf_dur_red = Vec::new();
-    for &s in &days {
-        let central = World::new(
-            peak_scenario(),
-            {
-                let mut c = peak_config();
-                c.mode = DeliveryMode::RLiveCentralSequencing;
-                c
-            },
-            GroupPolicy::uniform(DeliveryMode::RLiveCentralSequencing),
-            s,
-        )
-        .run();
-        let distributed = World::new(
-            peak_scenario(),
-            {
-                let mut c = peak_config();
-                c.mode = DeliveryMode::RLive;
-                c
-            },
-            GroupPolicy::uniform(DeliveryMode::RLive),
-            s,
-        )
-        .run();
+    for day in reports.chunks(2) {
+        let (central, distributed) = (&day[0], &day[1]);
         let red = |central: f64, dist: f64| {
             if central.abs() < 1e-9 {
                 0.0

@@ -10,6 +10,8 @@ use rlive::config::{DeliveryMode, SystemConfig};
 use rlive_sim::SimDuration;
 use rlive_workload::scenario::Scenario;
 
+pub mod runner;
+
 /// Default per-"day" seeds: the paper averages A/B metrics over daily
 /// windows; we average over independent seeded runs.
 pub const DAY_SEEDS: [u64; 7] = [101, 102, 103, 104, 105, 106, 107];
@@ -109,7 +111,8 @@ pub struct DailyDiffs {
 }
 
 impl DailyDiffs {
-    /// Runs one A/B per seed.
+    /// Runs one A/B per seed, one runner cell per day; results come back
+    /// in seed order regardless of worker count.
     pub fn run(
         control: DeliveryMode,
         test: DeliveryMode,
@@ -117,12 +120,9 @@ impl DailyDiffs {
         config: &SystemConfig,
         seeds: &[u64],
     ) -> Self {
-        let days = seeds
-            .iter()
-            .map(|&seed| {
-                ab_test(control, test, scenario.clone(), config.clone(), seed).run()
-            })
-            .collect();
+        let days = runner::map_cells("daily-ab", seeds, |&seed| {
+            ab_test(control, test, scenario.clone(), config.clone(), seed).run()
+        });
         DailyDiffs { days }
     }
 

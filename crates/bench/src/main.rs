@@ -20,7 +20,11 @@ mod exp_multi;
 const USAGE: &str = "\
 experiments — regenerate the RLive paper's tables and figures
 
-USAGE: experiments <subcommand> [seed]
+USAGE: experiments <subcommand> [seed] [--jobs N]
+
+  --jobs N   worker threads for the cell runner (default: available
+             parallelism). Output is byte-identical for any N; only
+             wall-clock time changes.
 
   fig1b      Best-effort node bandwidth capacity CDF
   fig2a      Single-source vs CDN-only QoE degradation
@@ -44,9 +48,36 @@ USAGE: experiments <subcommand> [seed]
 ";
 
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    let cmd = args.get(1).map(String::as_str).unwrap_or("help");
-    let seed: u64 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(2026);
+    // Accept `--jobs N` / `--jobs=N` anywhere on the command line; the
+    // remaining positional args are `<subcommand> [seed]`.
+    let mut positional: Vec<String> = Vec::new();
+    let mut raw = std::env::args().skip(1);
+    while let Some(arg) = raw.next() {
+        if arg == "--jobs" {
+            match raw.next().and_then(|v| v.parse::<usize>().ok()) {
+                Some(n) if n > 0 => rlive_bench::runner::set_jobs(n),
+                _ => {
+                    eprintln!("--jobs expects a positive integer");
+                    std::process::exit(2);
+                }
+            }
+        } else if let Some(v) = arg.strip_prefix("--jobs=") {
+            match v.parse::<usize>() {
+                Ok(n) if n > 0 => rlive_bench::runner::set_jobs(n),
+                _ => {
+                    eprintln!("--jobs expects a positive integer");
+                    std::process::exit(2);
+                }
+            }
+        } else {
+            positional.push(arg);
+        }
+    }
+    let cmd = positional.first().map(String::as_str).unwrap_or("help");
+    let seed: u64 = positional
+        .get(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(2026);
 
     match cmd {
         "fig1b" => exp_motivation::fig1b(seed),

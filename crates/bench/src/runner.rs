@@ -1,0 +1,259 @@
+//! Parallel, deterministic experiment runner.
+//!
+//! The paper's evaluation is a grid of independent *cells*: one
+//! simulated world per (seed, delivery mode, scenario) combination.
+//! Cells share no state — [`rlive::world::World`] owns its RNG, event
+//! queue and metric accumulators — so they can execute on any number of
+//! worker threads. Determinism comes from two rules:
+//!
+//! 1. **Cell decomposition is fixed up front.** An experiment builds the
+//!    full `Vec` of cell inputs before any cell runs; the decomposition
+//!    never depends on worker count or timing.
+//! 2. **Results are combined in cell-index order.** Workers return
+//!    `(index, output)` pairs; the runner slots each output at its index
+//!    and hands back a `Vec` in input order. Downstream reductions
+//!    (`Summary::merge_ordered`, `Percentiles::merge_ordered`, or the
+//!    experiments' own mean-over-days folds) therefore see per-cell
+//!    results in the same order whether `--jobs 1` or `--jobs 64` ran
+//!    the sweep — floating-point merges are order-sensitive, so pinning
+//!    the order makes output tables byte-for-byte identical.
+//!
+//! All runner chrome (progress line, per-cell wall-clock accounting)
+//! goes to **stderr**; stdout carries only experiment output, keeping it
+//! byte-comparable across worker counts.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
+use std::thread;
+use std::time::{Duration, Instant};
+
+/// Requested worker count: 0 means "use the host's available
+/// parallelism". Set once from the CLI via [`set_jobs`].
+static JOBS: AtomicUsize = AtomicUsize::new(0);
+
+/// Sets the worker count used by subsequent [`map_cells`] calls
+/// (0 restores the default of available parallelism).
+pub fn set_jobs(n: usize) {
+    JOBS.store(n, Ordering::Relaxed);
+}
+
+/// The effective worker count: the value from [`set_jobs`], or the
+/// host's available parallelism when unset.
+pub fn jobs() -> usize {
+    match JOBS.load(Ordering::Relaxed) {
+        0 => thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
+        n => n,
+    }
+}
+
+/// Wall-clock accounting for one [`run_cells`] sweep.
+#[derive(Debug, Clone)]
+pub struct RunnerStats {
+    /// Number of cells executed.
+    pub cells: usize,
+    /// Worker threads used.
+    pub jobs: usize,
+    /// Wall-clock time of the whole sweep.
+    pub wall: Duration,
+    /// Per-cell wall-clock times, in cell-index order.
+    pub per_cell: Vec<Duration>,
+}
+
+impl RunnerStats {
+    /// Sum of per-cell wall-clock times (the sweep's total CPU-ish cost).
+    pub fn cell_wall_sum(&self) -> Duration {
+        self.per_cell.iter().sum()
+    }
+
+    /// Ratio of summed cell time to sweep wall time (> 1 when worker
+    /// parallelism is actually overlapping cells).
+    pub fn speedup(&self) -> f64 {
+        let wall = self.wall.as_secs_f64();
+        if wall <= 0.0 {
+            return 1.0;
+        }
+        self.cell_wall_sum().as_secs_f64() / wall
+    }
+}
+
+/// Runs `f` over every input on a worker pool and returns the outputs
+/// **in input (cell-index) order**, plus accounting.
+///
+/// Workers pull the next unclaimed index from a shared counter, so cells
+/// are claimed in index order and load-balance naturally; completion
+/// order is irrelevant because each output lands at its own index.
+pub fn run_cells<I, T, F>(label: &str, inputs: &[I], f: F) -> (Vec<T>, RunnerStats)
+where
+    I: Sync,
+    T: Send,
+    F: Fn(&I) -> T + Sync,
+{
+    let started = Instant::now();
+    let total = inputs.len();
+    let workers = jobs().clamp(1, total.max(1));
+    let mut slots: Vec<Option<(T, Duration)>> = Vec::with_capacity(total);
+    slots.resize_with(total, || None);
+
+    if total > 0 {
+        let next = AtomicUsize::new(0);
+        let f = &f;
+        thread::scope(|scope| {
+            let (tx, rx) = mpsc::channel::<(usize, T, Duration)>();
+            for _ in 0..workers {
+                let tx = tx.clone();
+                let next = &next;
+                scope.spawn(move || loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= total {
+                        break;
+                    }
+                    let cell_start = Instant::now();
+                    let out = f(&inputs[i]);
+                    if tx.send((i, out, cell_start.elapsed())).is_err() {
+                        break;
+                    }
+                });
+            }
+            drop(tx);
+            let mut done = 0usize;
+            // recv() errors out once every worker has exited (normally or
+            // by panic); scope join then propagates any worker panic.
+            while let Ok((i, out, took)) = rx.recv() {
+                slots[i] = Some((out, took));
+                done += 1;
+                if total > 1 {
+                    eprint!(
+                        "\r[{label}] {done}/{total} cells ({workers} worker{})   ",
+                        if workers == 1 { "" } else { "s" }
+                    );
+                }
+            }
+            if total > 1 {
+                eprintln!();
+            }
+        });
+    }
+
+    let mut outputs = Vec::with_capacity(total);
+    let mut per_cell = Vec::with_capacity(total);
+    for (i, slot) in slots.into_iter().enumerate() {
+        let (out, took) = slot.unwrap_or_else(|| panic!("[{label}] cell {i} produced no result"));
+        outputs.push(out);
+        per_cell.push(took);
+    }
+    let stats = RunnerStats {
+        cells: total,
+        jobs: workers,
+        wall: started.elapsed(),
+        per_cell,
+    };
+    (outputs, stats)
+}
+
+/// [`run_cells`] plus a one-line accounting report on stderr — the form
+/// the experiment subcommands use.
+pub fn map_cells<I, T, F>(label: &str, inputs: &[I], f: F) -> Vec<T>
+where
+    I: Sync,
+    T: Send,
+    F: Fn(&I) -> T + Sync,
+{
+    let (outputs, stats) = run_cells(label, inputs, f);
+    if stats.cells > 0 {
+        eprintln!(
+            "[{label}] {} cell{} in {:.2}s wall ({:.2}s summed, {:.2}x overlap, {} worker{})",
+            stats.cells,
+            if stats.cells == 1 { "" } else { "s" },
+            stats.wall.as_secs_f64(),
+            stats.cell_wall_sum().as_secs_f64(),
+            stats.speedup(),
+            stats.jobs,
+            if stats.jobs == 1 { "" } else { "s" },
+        );
+    }
+    outputs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Restores the previous jobs setting on drop so tests can't leak
+    /// their override into each other.
+    struct JobsGuard(usize);
+    impl JobsGuard {
+        fn set(n: usize) -> Self {
+            let prev = JOBS.swap(n, Ordering::Relaxed);
+            JobsGuard(prev)
+        }
+    }
+    impl Drop for JobsGuard {
+        fn drop(&mut self) {
+            JOBS.store(self.0, Ordering::Relaxed);
+        }
+    }
+
+    #[test]
+    fn outputs_are_in_input_order() {
+        let _g = JobsGuard::set(4);
+        // Make early cells the slowest so completion order inverts
+        // input order; results must still come back in input order.
+        let inputs: Vec<u64> = (0..12).collect();
+        let (outputs, stats) = run_cells("test", &inputs, |&i| {
+            std::thread::sleep(Duration::from_millis((12 - i) * 3));
+            i * 10
+        });
+        assert_eq!(outputs, (0..12).map(|i| i * 10).collect::<Vec<_>>());
+        assert_eq!(stats.cells, 12);
+        assert_eq!(stats.per_cell.len(), 12);
+        assert!(stats.per_cell.iter().all(|d| *d > Duration::ZERO));
+    }
+
+    #[test]
+    fn identical_results_for_any_worker_count() {
+        let inputs: Vec<u64> = (0..40).collect();
+        let run = |jobs: usize| {
+            let _g = JobsGuard::set(jobs);
+            let (out, _) = run_cells("test", &inputs, |&i| {
+                // A deterministic but order-sensitive-looking reduction.
+                (0..1000u64).fold(i, |acc, k| acc.wrapping_mul(31).wrapping_add(k))
+            });
+            out
+        };
+        let sequential = run(1);
+        for jobs in [2, 3, 8] {
+            assert_eq!(run(jobs), sequential, "jobs={jobs} diverged");
+        }
+    }
+
+    #[test]
+    fn empty_input_is_fine() {
+        let (out, stats) = run_cells::<u8, u8, _>("test", &[], |&x| x);
+        assert!(out.is_empty());
+        assert_eq!(stats.cells, 0);
+    }
+
+    #[test]
+    fn single_cell_runs_inline_shape() {
+        let _g = JobsGuard::set(8);
+        let (out, stats) = run_cells("test", &[7u32], |&x| x + 1);
+        assert_eq!(out, vec![8]);
+        // Worker count is clamped to the cell count.
+        assert_eq!(stats.jobs, 1);
+    }
+
+    #[test]
+    fn jobs_default_is_positive() {
+        let _g = JobsGuard::set(0);
+        assert!(jobs() >= 1);
+    }
+
+    #[test]
+    fn map_cells_matches_run_cells() {
+        let _g = JobsGuard::set(2);
+        let inputs = [1u32, 2, 3];
+        assert_eq!(map_cells("test", &inputs, |&x| x * x), vec![1, 4, 9]);
+    }
+}

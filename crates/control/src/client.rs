@@ -249,20 +249,10 @@ mod tests {
         let mut c = controller();
         let current = NodeId(1);
         // Candidate is 10ms better but t_change is 60ms: stay.
-        let d = c.assess_switch(
-            SimTime::ZERO,
-            current,
-            ms(50),
-            &[(NodeId(2), ms(40))],
-        );
+        let d = c.assess_switch(SimTime::ZERO, current, ms(50), &[(NodeId(2), ms(40))]);
         assert_eq!(d, SwitchDecision::Stay);
         // Candidate is 100ms better: switch.
-        let d = c.assess_switch(
-            SimTime::ZERO,
-            current,
-            ms(150),
-            &[(NodeId(2), ms(40))],
-        );
+        let d = c.assess_switch(SimTime::ZERO, current, ms(150), &[(NodeId(2), ms(40))]);
         assert_eq!(d, SwitchDecision::SwitchTo(NodeId(2)));
     }
 
@@ -273,7 +263,11 @@ mod tests {
             SimTime::ZERO,
             NodeId(1),
             ms(500),
-            &[(NodeId(2), ms(100)), (NodeId(3), ms(50)), (NodeId(4), ms(80))],
+            &[
+                (NodeId(2), ms(100)),
+                (NodeId(3), ms(50)),
+                (NodeId(4), ms(80)),
+            ],
         );
         assert_eq!(d, SwitchDecision::SwitchTo(NodeId(3)));
     }

@@ -40,15 +40,7 @@ pub struct AttrQuery {
 
 /// How specific a retrieval result still is after relaxation.
 #[derive(
-    Debug,
-    Clone,
-    Copy,
-    PartialEq,
-    Eq,
-    PartialOrd,
-    Ord,
-    serde::Serialize,
-    serde::Deserialize,
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, serde::Serialize, serde::Deserialize,
 )]
 pub enum MatchLevel {
     /// Full path matched: stream + ISP + class + region.

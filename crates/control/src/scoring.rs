@@ -177,8 +177,20 @@ mod tests {
         let hist = NatSuccessHistory::default();
         let status = NodeStatus::idle(50.0);
         let c = client();
-        let same_prefix = score(&weights(), &node(100, (0.0, 0.0), NatType::Public), &status, &c, &hist);
-        let same_isp = score(&weights(), &node(200, (0.0, 0.0), NatType::Public), &status, &c, &hist);
+        let same_prefix = score(
+            &weights(),
+            &node(100, (0.0, 0.0), NatType::Public),
+            &status,
+            &c,
+            &hist,
+        );
+        let same_isp = score(
+            &weights(),
+            &node(200, (0.0, 0.0), NatType::Public),
+            &status,
+            &c,
+            &hist,
+        );
         let mut foreign_static = node(200, (0.0, 0.0), NatType::Public);
         foreign_static.isp = 9;
         let foreign = score(&weights(), &foreign_static, &status, &c, &hist);
@@ -191,8 +203,20 @@ mod tests {
         let hist = NatSuccessHistory::default();
         let status = NodeStatus::idle(50.0);
         let c = client();
-        let near = score(&weights(), &node(100, (1.0, 0.0), NatType::Public), &status, &c, &hist);
-        let far = score(&weights(), &node(100, (20.0, 0.0), NatType::Public), &status, &c, &hist);
+        let near = score(
+            &weights(),
+            &node(100, (1.0, 0.0), NatType::Public),
+            &status,
+            &c,
+            &hist,
+        );
+        let far = score(
+            &weights(),
+            &node(100, (20.0, 0.0), NatType::Public),
+            &status,
+            &c,
+            &hist,
+        );
         assert!(near > far);
     }
 
@@ -201,8 +225,20 @@ mod tests {
         let hist = NatSuccessHistory::default();
         let status = NodeStatus::idle(50.0);
         let c = client();
-        let easy = score(&weights(), &node(100, (0.0, 0.0), NatType::FullCone), &status, &c, &hist);
-        let hard = score(&weights(), &node(100, (0.0, 0.0), NatType::Symmetric), &status, &c, &hist);
+        let easy = score(
+            &weights(),
+            &node(100, (0.0, 0.0), NatType::FullCone),
+            &status,
+            &c,
+            &hist,
+        );
+        let hard = score(
+            &weights(),
+            &node(100, (0.0, 0.0), NatType::Symmetric),
+            &status,
+            &c,
+            &hist,
+        );
         assert!(easy > hard);
     }
 

@@ -4,7 +4,9 @@
 
 use proptest::prelude::*;
 use rlive_control::client::{ClientController, ClientControllerConfig, SwitchDecision};
-use rlive_control::features::{ClientId, ClientInfo, ConnectionType, NodeClass, NodeId, NodeStatus, StaticFeatures, StreamKey};
+use rlive_control::features::{
+    ClientId, ClientInfo, ConnectionType, NodeClass, NodeId, NodeStatus, StaticFeatures, StreamKey,
+};
 use rlive_control::quota::NodeQuotas;
 use rlive_control::registry::{AttrQuery, HashTreeRegistry};
 use rlive_control::scoring::{score, NatSuccessHistory, Platform, ScoreWeights};
@@ -13,14 +15,26 @@ use rlive_sim::{SimDuration, SimTime};
 
 #[derive(Debug, Clone)]
 enum RegistryOp {
-    Index { node: u64, isp: u16, region: u16, stream: u64 },
-    Remove { node: u64 },
+    Index {
+        node: u64,
+        isp: u16,
+        region: u16,
+        stream: u64,
+    },
+    Remove {
+        node: u64,
+    },
 }
 
 fn arb_op() -> impl Strategy<Value = RegistryOp> {
     prop_oneof![
         (0u64..40, 0u16..3, 0u16..4, 0u64..5).prop_map(|(node, isp, region, stream)| {
-            RegistryOp::Index { node, isp, region, stream }
+            RegistryOp::Index {
+                node,
+                isp,
+                region,
+                stream,
+            }
         }),
         (0u64..40).prop_map(|node| RegistryOp::Remove { node }),
     ]

@@ -113,8 +113,8 @@ impl AbTest {
             run.control_qoe.views.max(1) as f64,
         );
         // Normalise EqT by watch time so group sizes cancel.
-        let eqt_test = run.test_traffic.equivalent_traffic(dedicated_cost)
-            / run.test_qoe.watch_secs.max(1.0);
+        let eqt_test =
+            run.test_traffic.equivalent_traffic(dedicated_cost) / run.test_qoe.watch_secs.max(1.0);
         let eqt_control = run.control_traffic.equivalent_traffic(dedicated_cost)
             / run.control_qoe.watch_secs.max(1.0);
         let eqt_pct = GroupQoe::diff_pct(eqt_test, eqt_control);
@@ -133,6 +133,17 @@ impl AbTest {
         }
     }
 }
+
+// The parallel experiment runner executes one `AbTest` per worker
+// thread and sends the `AbReport` back over a channel; pin the
+// auto-traits at compile time so world-construction state can't silently
+// regress per-cell isolation.
+const _: () = {
+    const fn assert_send<T: Send>() {}
+    assert_send::<AbTest>();
+    assert_send::<AbReport>();
+    assert_send::<QoeDiff>();
+};
 
 #[cfg(test)]
 mod tests {

@@ -1,7 +1,7 @@
 //! System configuration for end-to-end simulations.
 
-use rlive_control::{ClientControllerConfig, SchedulerConfig};
 use rlive_control::adviser::AdviserConfig;
+use rlive_control::{ClientControllerConfig, SchedulerConfig};
 use rlive_data::recovery::RecoveryConfig;
 use rlive_sim::SimDuration;
 use serde::{Deserialize, Serialize};
@@ -201,9 +201,7 @@ mod tests {
 
     #[test]
     fn rtm_has_more_overhead_than_flv() {
-        assert!(
-            TransportProfile::Rtm.packet_overhead() > TransportProfile::Flv.packet_overhead()
-        );
+        assert!(TransportProfile::Rtm.packet_overhead() > TransportProfile::Flv.packet_overhead());
         assert!(TransportProfile::Rtm.hop_overhead() > TransportProfile::Flv.hop_overhead());
     }
 

@@ -166,7 +166,8 @@ impl GroupQoe {
             self.first_frame_ms.add(ff.as_millis_f64());
         }
         let secs = s.watch_time.as_secs_f64();
-        self.retx_per_100s.add(s.retx_requests as f64 * 100.0 / secs);
+        self.retx_per_100s
+            .add(s.retx_requests as f64 * 100.0 / secs);
         self.skips_per_100s
             .add(s.frames_skipped as f64 * 100.0 / secs);
     }
@@ -214,10 +215,7 @@ mod tests {
     #[test]
     fn first_frame_latency() {
         let s = session_with(100, 0);
-        assert_eq!(
-            s.first_frame_latency(),
-            Some(SimDuration::from_millis(700))
-        );
+        assert_eq!(s.first_frame_latency(), Some(SimDuration::from_millis(700)));
         let empty = SessionMetrics::new(SimTime::ZERO);
         assert_eq!(empty.first_frame_latency(), None);
     }

@@ -29,10 +29,10 @@ use rlive_media::frame::FrameHeader;
 use rlive_media::gop::{GopConfig, GopGenerator};
 use rlive_media::packet::PACKET_PAYLOAD;
 use rlive_sim::churn::ChurnTimeline;
-use rlive_sim::metrics::TimeSeries;
-use rlive_sim::trace::TraceCounters;
 use rlive_sim::link::{Link, LinkConfig, TxOutcome};
+use rlive_sim::metrics::TimeSeries;
 use rlive_sim::nat::TraversalModel;
+use rlive_sim::trace::TraceCounters;
 use rlive_sim::{EventQueue, SimDuration, SimRng, SimTime};
 use rlive_workload::nodes::{NodePopulation, NodeSpec};
 use rlive_workload::scenario::Scenario;
@@ -85,18 +85,45 @@ impl GroupPolicy {
 
 #[derive(Debug, Clone)]
 enum Event {
-    StreamFrame { stream: u32 },
-    RelayFrame { relay: u32, stream: u32, dts: u64 },
+    StreamFrame {
+        stream: u32,
+    },
+    RelayFrame {
+        relay: u32,
+        stream: u32,
+        dts: u64,
+    },
     ClientSlice(Box<SliceDelivery>),
-    ChainDelivery { client: u64, stream: u32, dts: u64 },
-    PlayerTick { client: u64 },
-    ControlTick { client: u64 },
-    RecoveryOutcome { client: u64, dts: u64, action: RecoveryAction, success: bool },
-    RelayTick { relay: u32 },
-    CdnTick { edge: u32 },
+    ChainDelivery {
+        client: u64,
+        stream: u32,
+        dts: u64,
+    },
+    PlayerTick {
+        client: u64,
+    },
+    ControlTick {
+        client: u64,
+    },
+    RecoveryOutcome {
+        client: u64,
+        dts: u64,
+        action: RecoveryAction,
+        success: bool,
+    },
+    RelayTick {
+        relay: u32,
+    },
+    CdnTick {
+        edge: u32,
+    },
     ClientArrival,
-    MultiSourceUpgrade { client: u64 },
-    ClientDeparture { client: u64 },
+    MultiSourceUpgrade {
+        client: u64,
+    },
+    ClientDeparture {
+        client: u64,
+    },
 }
 
 #[derive(Debug, Clone)]
@@ -183,8 +210,13 @@ enum SubSource {
 
 enum ClientMode {
     CdnFull,
-    SingleSource { relay: u32 },
-    Multi { sources: Vec<SubSource>, redundant: Vec<Option<u32>> },
+    SingleSource {
+        relay: u32,
+    },
+    Multi {
+        sources: Vec<SubSource>,
+        redundant: Vec<Option<u32>>,
+    },
 }
 
 struct Client {
@@ -235,8 +267,7 @@ impl Client {
         // burst arrived "at once" (gap 0), which is itself jitter.
         let mut sample = (gap - 33.3).abs();
         for _ in 0..count {
-            self.jitter_ewma_ms =
-                (1.0 - alpha) * self.jitter_ewma_ms + alpha * sample;
+            self.jitter_ewma_ms = (1.0 - alpha) * self.jitter_ewma_ms + alpha * sample;
             sample = 33.3;
         }
     }
@@ -355,7 +386,11 @@ impl World {
         let popularity = StreamPopularity::new(scenario.streams, scenario.zipf_s);
         let streams: Vec<StreamState> = (0..scenario.streams)
             .map(|i| StreamState {
-                generator: GopGenerator::new(i as u64, GopConfig::default(), rng.fork(100 + i as u64)),
+                generator: GopGenerator::new(
+                    i as u64,
+                    GopConfig::default(),
+                    rng.fork(100 + i as u64),
+                ),
                 chains: ChainGenerator::new(PACKET_PAYLOAD),
                 recent: HashMap::new(),
                 recent_order: VecDeque::new(),
@@ -620,9 +655,11 @@ impl World {
                 self.on_relay_frame(now, relay, stream, dts)
             }
             Event::ClientSlice(d) => self.on_client_slice(now, *d),
-            Event::ChainDelivery { client, stream, dts } => {
-                self.on_chain_delivery(now, client, stream, dts)
-            }
+            Event::ChainDelivery {
+                client,
+                stream,
+                dts,
+            } => self.on_chain_delivery(now, client, stream, dts),
             Event::PlayerTick { client } => self.on_player_tick(now, client),
             Event::ControlTick { client } => self.on_control_tick(now, client),
             Event::RecoveryOutcome {
@@ -788,9 +825,8 @@ impl World {
             TxOutcome::Delivered(at) => {
                 self.ledger_mut(group)
                     .add(TrafficClass::DedicatedServing, wire as u64);
-                let arrive = at
-                    + SimDuration::from_millis(rtt / 2)
-                    + self.cfg.transport.hop_overhead();
+                let arrive =
+                    at + SimDuration::from_millis(rtt / 2) + self.cfg.transport.hop_overhead();
                 // Dedicated links lose individual packets rarely; sample
                 // residual loss per frame.
                 let received: Vec<u32> = (0..total).collect();
@@ -871,8 +907,7 @@ impl World {
     }
 
     fn on_relay_frame(&mut self, now: SimTime, relay: u32, stream: u32, dts: u64) {
-        let Some((header, chain)) = self.streams[stream as usize].recent.get(&dts).cloned()
-        else {
+        let Some((header, chain)) = self.streams[stream as usize].recent.get(&dts).cloned() else {
             return;
         };
         if !self.relays[relay as usize].online {
@@ -887,7 +922,10 @@ impl World {
         // Push to full-stream subscribers and this substream's
         // subscribers.
         let mut targets: Vec<(u64, u16)> = Vec::new();
-        if let Some(subs) = self.relays[relay as usize].subscribers.get(&(stream, FULL_STREAM)) {
+        if let Some(subs) = self.relays[relay as usize]
+            .subscribers
+            .get(&(stream, FULL_STREAM))
+        {
             targets.extend(subs.iter().map(|&c| (c, ss)));
         }
         if let Some(subs) = self.relays[relay as usize].subscribers.get(&(stream, ss)) {
@@ -954,7 +992,6 @@ impl World {
                 self.schedule_super_node_chain(now, cid, stream, dts);
             }
         }
-
     }
 
     fn schedule_super_node_chain(&mut self, now: SimTime, cid: u64, stream: u32, dts: u64) {
@@ -971,9 +1008,7 @@ impl World {
         }
         // Load-dependent latency: scales with concurrent streams.
         let base = 15.0 + 2.0 * self.streams.len() as f64;
-        let latency = SimDuration::from_secs_f64(
-            (base + self.rng.exponential(20.0)) / 1000.0,
-        );
+        let latency = SimDuration::from_secs_f64((base + self.rng.exponential(20.0)) / 1000.0);
         self.queue.schedule(
             now + latency,
             Event::ChainDelivery {
@@ -1010,7 +1045,9 @@ impl World {
         }
         let elapsed = now.saturating_since(client.last_slice_at);
         client.last_slice_at = now;
-        client.abr.observe(d.bytes, elapsed.min(SimDuration::from_millis(500)));
+        client
+            .abr
+            .observe(d.bytes, elapsed.min(SimDuration::from_millis(500)));
         client.session.bytes_received += d.bytes;
         client
             .energy
@@ -1029,23 +1066,18 @@ impl World {
         client.observe_releases(now, ready.len());
         for f in &ready {
             client.playback.push(f.header);
-            client
-                .energy
-                .add_cpu(self.energy_model.per_frame_decode);
+            client.energy.add_cpu(self.energy_model.per_frame_decode);
         }
-        client
-            .energy
-            .observe_mem_kb(client.playback.len() as f64 * self.energy_model.mem_per_buffered_frame);
+        client.energy.observe_mem_kb(
+            client.playback.len() as f64 * self.energy_model.mem_per_buffered_frame,
+        );
 
         // Start playback once the startup buffer fills.
-        if !client.playback.is_started()
-            && client.playback.occupancy() >= self.cfg.startup_buffer
-        {
+        if !client.playback.is_started() && client.playback.occupancy() >= self.cfg.startup_buffer {
             client.playback.start();
             client.session.first_frame_at = Some(now);
             let cid = d.client;
-            self.queue
-                .schedule(now, Event::PlayerTick { client: cid });
+            self.queue.schedule(now, Event::PlayerTick { client: cid });
         }
     }
 
@@ -1097,13 +1129,10 @@ impl World {
                 // Sample E2E latency every ~second.
                 if client.session.frames_played % 30 == 0 {
                     let stream = client.stream as usize;
-                    let source_time = self.streams[stream].epoch
-                        + SimDuration::from_millis(header.dts_ms);
+                    let source_time =
+                        self.streams[stream].epoch + SimDuration::from_millis(header.dts_ms);
                     let latency = now.saturating_since(source_time);
-                    client
-                        .session
-                        .e2e_latency_ms
-                        .push(latency.as_millis_f64());
+                    client.session.e2e_latency_ms.push(latency.as_millis_f64());
                 }
             }
             None => {
@@ -1181,9 +1210,11 @@ impl World {
         if self.clients[&cid].departed {
             return;
         }
-        self.clients.get_mut(&cid).expect("checked").energy.add_cpu(
-            self.energy_model.per_control_round,
-        );
+        self.clients
+            .get_mut(&cid)
+            .expect("checked")
+            .energy
+            .add_cpu(self.energy_model.per_control_round);
 
         self.control_fallback_check(now, cid);
         self.control_failover_and_switch(now, cid);
@@ -1192,7 +1223,8 @@ impl World {
             client.abr.evaluate(now);
             let next = now + self.cfg.control_interval;
             if next <= self.end_at && next < client.leaves_at {
-                self.queue.schedule(next, Event::ControlTick { client: cid });
+                self.queue
+                    .schedule(next, Event::ControlTick { client: cid });
             }
         }
     }
@@ -1217,8 +1249,22 @@ impl World {
             if let Some(dead) = current_relay {
                 let full_mbps = BITRATE_LADDER[BASE_RUNG] as f64 / 1e6;
                 if let Some(next) = self.pick_relay_for(now, cid, 0) {
-                    if next != dead && self.subscribe(cid, next, self.clients[&cid].stream, FULL_STREAM, full_mbps) {
-                        self.unsubscribe(cid, dead, self.clients[&cid].stream, FULL_STREAM, full_mbps);
+                    if next != dead
+                        && self.subscribe(
+                            cid,
+                            next,
+                            self.clients[&cid].stream,
+                            FULL_STREAM,
+                            full_mbps,
+                        )
+                    {
+                        self.unsubscribe(
+                            cid,
+                            dead,
+                            self.clients[&cid].stream,
+                            FULL_STREAM,
+                            full_mbps,
+                        );
                         if let Some(client) = self.clients.get_mut(&cid) {
                             client.mode = ClientMode::SingleSource { relay: next };
                         }
@@ -1311,12 +1357,9 @@ impl World {
         if let Some((rid, cur_rtt)) = worst {
             let decision = {
                 let client = self.clients.get_mut(&cid).expect("exists");
-                client.controller.assess_switch(
-                    now,
-                    NodeId(rid as u64),
-                    cur_rtt,
-                    &candidate_rtts,
-                )
+                client
+                    .controller
+                    .assess_switch(now, NodeId(rid as u64), cur_rtt, &candidate_rtts)
             };
             match decision {
                 rlive_control::client::SwitchDecision::SwitchTo(node) => {
@@ -1364,9 +1407,7 @@ impl World {
                 return;
             };
             let stream = client.stream as usize;
-            let incomplete = client
-                .reorder
-                .incomplete_frames(now, self.cfg.retx_timeout);
+            let incomplete = client.reorder.incomplete_frames(now, self.cfg.retx_timeout);
             let mut states: Vec<FrameState> = incomplete
                 .iter()
                 .filter(|f| {
@@ -1409,11 +1450,11 @@ impl World {
             // carries authoritative ordering. This is the extra
             // retransmission load the distributed design eliminates.
             if client.mode_policy == DeliveryMode::RLiveCentralSequencing {
-                for dts in client.reorder.unorderable_complete(
-                    now,
-                    SimDuration::from_millis(400),
-                    8,
-                ) {
+                for dts in
+                    client
+                        .reorder
+                        .unorderable_complete(now, SimDuration::from_millis(400), 8)
+                {
                     if !Self::may_redecide(now, client.requested_recovery.get(&dts)) {
                         continue;
                     }
@@ -1458,8 +1499,7 @@ impl World {
             let client = self.clients.get_mut(&cid).expect("exists");
             // Skip if this would merely repeat a fresh in-flight action.
             if let Some((a, issued)) = client.requested_recovery.get(&d.dts_ms) {
-                if *a == d.action
-                    && now.saturating_since(*issued) <= SimDuration::from_millis(600)
+                if *a == d.action && now.saturating_since(*issued) <= SimDuration::from_millis(600)
                 {
                     continue;
                 }
@@ -1472,7 +1512,9 @@ impl World {
             let group = client.group;
             match d.action {
                 RecoveryAction::BestEffortPackets => {
-                    let rec = self.retx_traces.sample(RetxServer::BestEffort, &mut self.rng);
+                    let rec = self
+                        .retx_traces
+                        .sample(RetxServer::BestEffort, &mut self.rng);
                     let at = now + SimDuration::from_secs_f64(rec.spent_ms / 1000.0);
                     self.queue.schedule(
                         at,
@@ -1487,7 +1529,9 @@ impl World {
                 RecoveryAction::DedicatedFrame
                 | RecoveryAction::SwitchSubstream
                 | RecoveryAction::FullStream => {
-                    let rec = self.retx_traces.sample(RetxServer::Dedicated, &mut self.rng);
+                    let rec = self
+                        .retx_traces
+                        .sample(RetxServer::Dedicated, &mut self.rng);
                     // Without the §8.1 DNS bypass, each dedicated
                     // recovery pays a resolver round trip first.
                     let dns = if self.cfg.dns_bypass {
@@ -1733,9 +1777,9 @@ impl World {
                 .flatten()
                 .copied()
                 .collect(),
-            SwitchSuggestion::QosOutlier { clients, .. } =>
-
-                clients.iter().map(|(c, _)| c.0).collect(),
+            SwitchSuggestion::QosOutlier { clients, .. } => {
+                clients.iter().map(|(c, _)| c.0).collect()
+            }
         };
         for cid in client_ids {
             if let Some(client) = self.clients.get_mut(&cid) {
@@ -1757,11 +1801,7 @@ impl World {
         if !relay.quotas.reserve(bandwidth_mbps * 1.6, 0.02, 4.0) {
             return false;
         }
-        relay
-            .subscribers
-            .entry((stream, ss))
-            .or_default()
-            .push(cid);
+        relay.subscribers.entry((stream, ss)).or_default().push(cid);
         relay.peak_subscribers = relay.peak_subscribers.max(relay.subscriber_count());
         relay.feeding_streams.insert(stream);
         let key = StreamKey {
@@ -1805,13 +1845,18 @@ impl World {
             return;
         };
         let stream = client.stream;
-        let per_sub_mbps =
-            BITRATE_LADDER[BASE_RUNG] as f64 / 1e6 / self.cfg.substreams as f64;
+        let per_sub_mbps = BITRATE_LADDER[BASE_RUNG] as f64 / 1e6 / self.cfg.substreams as f64;
         match &client.mode {
             ClientMode::CdnFull => {}
             ClientMode::SingleSource { relay } => {
                 let rid = *relay;
-                self.unsubscribe(cid, rid, stream, FULL_STREAM, BITRATE_LADDER[BASE_RUNG] as f64 / 1e6);
+                self.unsubscribe(
+                    cid,
+                    rid,
+                    stream,
+                    FULL_STREAM,
+                    BITRATE_LADDER[BASE_RUNG] as f64 / 1e6,
+                );
             }
             ClientMode::Multi { sources, redundant } => {
                 let sources = sources.clone();
@@ -1835,8 +1880,7 @@ impl World {
             return;
         };
         let stream = client.stream;
-        let per_sub_mbps =
-            BITRATE_LADDER[BASE_RUNG] as f64 / 1e6 / self.cfg.substreams as f64;
+        let per_sub_mbps = BITRATE_LADDER[BASE_RUNG] as f64 / 1e6 / self.cfg.substreams as f64;
         let old = match &client.mode {
             ClientMode::Multi { sources, .. } => sources.get(ss as usize).copied(),
             _ => None,
@@ -1860,9 +1904,7 @@ impl World {
             let Some(client) = self.clients.get_mut(&cid) else {
                 return;
             };
-            client
-                .controller
-                .record_failure(now, NodeId(dead as u64));
+            client.controller.record_failure(now, NodeId(dead as u64));
             let stream = client.stream;
             let mut affected = Vec::new();
             match &mut client.mode {
@@ -1887,8 +1929,7 @@ impl World {
             }
             (stream, affected)
         };
-        let per_sub_mbps =
-            BITRATE_LADDER[BASE_RUNG] as f64 / 1e6 / self.cfg.substreams as f64;
+        let per_sub_mbps = BITRATE_LADDER[BASE_RUNG] as f64 / 1e6 / self.cfg.substreams as f64;
         for ss in affected {
             if ss == usize::MAX {
                 // Single-source re-map: another top-tier relay, or the
@@ -1927,8 +1968,7 @@ impl World {
             return;
         };
         let stream = client.stream;
-        let per_sub_mbps =
-            BITRATE_LADDER[BASE_RUNG] as f64 / 1e6 / self.cfg.substreams as f64;
+        let per_sub_mbps = BITRATE_LADDER[BASE_RUNG] as f64 / 1e6 / self.cfg.substreams as f64;
         match &client.mode {
             ClientMode::SingleSource { relay } if *relay == from => {
                 let full_mbps = BITRATE_LADDER[BASE_RUNG] as f64 / 1e6;
@@ -2004,8 +2044,8 @@ impl World {
     ) -> Option<u32> {
         let policy = self.clients.get(&cid).map(|c| c.mode_policy);
         let hq_only = policy == Some(DeliveryMode::SingleSource);
-        let weak_only = self.cfg.multi_on_weak_tier
-            && policy.map(|p| p.is_multi_source()).unwrap_or(false);
+        let weak_only =
+            self.cfg.multi_on_weak_tier && policy.map(|p| p.is_multi_source()).unwrap_or(false);
         let (candidates, mut exclude) = {
             let relays = &self.relays;
             let client = self.clients.get_mut(&cid)?;
@@ -2086,8 +2126,7 @@ impl World {
             .rng
             .below((self.scenario.peak_viewers as u64 * 4).max(10));
         self.users_seen.insert(user);
-        let group = if (rlive_media::hash::fnv1a_u64(user) as f64
-            / u64::MAX as f64)
+        let group = if (rlive_media::hash::fnv1a_u64(user) as f64 / u64::MAX as f64)
             < self.policy.test_fraction
         {
             Group::Test
@@ -2103,7 +2142,9 @@ impl World {
         let region = self.rng.below(self.scenario.population.regions as u64) as u16;
         let isp = self.rng.below(self.scenario.population.isps as u64) as u16;
         let bgp = region as u32 * self.scenario.population.prefixes_per_region
-            + self.rng.below(self.scenario.population.prefixes_per_region as u64) as u32;
+            + self
+                .rng
+                .below(self.scenario.population.prefixes_per_region as u64) as u32;
         let geo = (
             (region % 4) as f64 * 10.0 + self.rng.range_f64(0.0, 10.0),
             (region / 4) as f64 * 10.0 + self.rng.range_f64(0.0, 10.0),
@@ -2168,8 +2209,10 @@ impl World {
             now + self.cfg.control_interval,
             Event::ControlTick { client: cid },
         );
-        self.queue
-            .schedule(leaves_at.min(self.end_at), Event::ClientDeparture { client: cid });
+        self.queue.schedule(
+            leaves_at.min(self.end_at),
+            Event::ClientDeparture { client: cid },
+        );
         // Fast startup: burst the initial playout buffer from the CDN.
         self.cdn_prefill(now, cid);
     }
@@ -2278,6 +2321,18 @@ impl World {
     }
 }
 
+// A `World` is one runner cell: it must own all of its state (RNG, event
+// queue, metric accumulators) so cells can run on any worker thread.
+// These compile-time pins fail the build if a field ever introduces
+// shared mutable state (`Rc`, raw pointers, …) that would break per-cell
+// isolation.
+const _: () = {
+    const fn assert_send<T: Send>() {}
+    assert_send::<World>();
+    assert_send::<RunReport>();
+    assert_send::<GroupPolicy>();
+};
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -2302,7 +2357,11 @@ mod tests {
     #[test]
     fn cdn_only_world_plays_video() {
         let report = run(DeliveryMode::CdnOnly, 1);
-        assert!(report.test_qoe.views > 10, "views {}", report.test_qoe.views);
+        assert!(
+            report.test_qoe.views > 10,
+            "views {}",
+            report.test_qoe.views
+        );
         assert!(report.test_qoe.watch_secs > 100.0);
         assert!(report.test_qoe.bitrate_bps.mean() > 500_000.0);
         assert!(report.test_traffic.dedicated_serving > 0);
@@ -2406,7 +2465,10 @@ mod tests {
         )
         .run();
         // Only a handful of relays (the HQ tier) may carry traffic.
-        let hq_count = (report.relay_expansion_rates.len(), report.relay_subscriber_counts.len());
+        let hq_count = (
+            report.relay_expansion_rates.len(),
+            report.relay_subscriber_counts.len(),
+        );
         assert!(hq_count.1 <= 6, "too many relays used: {hq_count:?}");
     }
 
@@ -2488,10 +2550,8 @@ mod tests {
         .run();
         // 2-second accumulation at every relay must hurt QoE: stalls or
         // bitrate, one of them gives (§5.1's head-of-line argument).
-        let a_score = a.test_qoe.rebuffers_per_100s.mean()
-            - a.test_qoe.bitrate_bps.mean() / 1e6;
-        let b_score = b.test_qoe.rebuffers_per_100s.mean()
-            - b.test_qoe.bitrate_bps.mean() / 1e6;
+        let a_score = a.test_qoe.rebuffers_per_100s.mean() - a.test_qoe.bitrate_bps.mean() / 1e6;
+        let b_score = b.test_qoe.rebuffers_per_100s.mean() - b.test_qoe.bitrate_bps.mean() / 1e6;
         assert!(
             b_score > a_score,
             "chunked ({b_score}) should be worse than frame-level ({a_score})"
@@ -2529,12 +2589,7 @@ mod tests {
         cfg.multi_source_after = SimDuration::from_secs(5);
         cfg.popularity_threshold = 1;
         cfg.cdn_edge_mbps = 140;
-        let mut world = World::new(
-            scenario,
-            cfg,
-            GroupPolicy::uniform(DeliveryMode::RLive),
-            25,
-        );
+        let mut world = World::new(scenario, cfg, GroupPolicy::uniform(DeliveryMode::RLive), 25);
         // Swap every relay's timeline for an aggressive one: online
         // episodes of 20-60 s.
         let aggressive = ChurnModel::from_lifespan_cdf(

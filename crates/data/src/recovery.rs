@@ -112,8 +112,7 @@ impl RecoveryStats {
         // Prior: Fig 3(a) best-effort success ≈ 0.91.
         let prior_n = 20.0;
         let prior_p = 0.91;
-        (self.retx_succeeded as f64 + prior_p * prior_n)
-            / (self.retx_attempts as f64 + prior_n)
+        (self.retx_succeeded as f64 + prior_p * prior_n) / (self.retx_attempts as f64 + prior_n)
     }
 
     /// Records one best-effort retransmission outcome.
@@ -292,8 +291,7 @@ impl RecoveryDecider {
             }
             // All substreams redirect.
             RecoveryAction::FullStream => {
-                self.cfg.switch_request_kb
-                    + self.cfg.switch_horizon_frames * frame_kb * price_delta
+                self.cfg.switch_request_kb + self.cfg.switch_horizon_frames * frame_kb * price_delta
             }
         }
     }
@@ -354,8 +352,8 @@ impl RecoveryDecider {
                     let f = &frames[i];
                     // Shared setup cost: charge the horizon once, spread
                     // evenly; risk term per frame.
-                    let shared_cost = self.cost(RecoveryAction::SwitchSubstream, f)
-                        / members.len() as f64;
+                    let shared_cost =
+                        self.cost(RecoveryAction::SwitchSubstream, f) / members.len() as f64;
                     shared_cost
                         + self.cfg.lambda
                             * self.failure_probability(RecoveryAction::SwitchSubstream, f, stats)
@@ -507,7 +505,10 @@ mod tests {
         for deadline in [30u64, 60, 120, 240, 480, 960] {
             let f = frame(deadline, 3, FrameType::P);
             let p = d.failure_probability(RecoveryAction::BestEffortPackets, &f, &stats);
-            assert!(p <= last + 1e-12, "p not monotone at {deadline}: {p} > {last}");
+            assert!(
+                p <= last + 1e-12,
+                "p not monotone at {deadline}: {p} > {last}"
+            );
             last = p;
         }
     }

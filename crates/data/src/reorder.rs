@@ -390,8 +390,7 @@ impl ReorderBuffer {
         self.complete
             .iter()
             .filter(|(dts, r)| {
-                now.saturating_since(r.completed_at) >= age
-                    && self.chain.status_of(**dts).is_none()
+                now.saturating_since(r.completed_at) >= age && self.chain.status_of(**dts).is_none()
             })
             .map(|(&dts, _)| dts)
             .take(limit)
@@ -465,7 +464,11 @@ impl PlaybackBuffer {
     /// Inserts a frame delivered in decode order. Frames at or behind
     /// the playhead arrive too late to present and are dropped.
     pub fn push(&mut self, header: FrameHeader) {
-        if self.playhead_dts.map(|p| header.dts_ms <= p).unwrap_or(false) {
+        if self
+            .playhead_dts
+            .map(|p| header.dts_ms <= p)
+            .unwrap_or(false)
+        {
             return;
         }
         self.frames.insert(header.dts_ms, header);
@@ -717,7 +720,10 @@ mod tests {
             rb.ingest(t(0), &frame_pkts[0]);
         }
         let assembling_before = rb.assembling_count();
-        assert!(assembling_before >= 4, "multi-packet frames still assembling");
+        assert!(
+            assembling_before >= 4,
+            "multi-packet frames still assembling"
+        );
         rb.expire_before(pkts[4][0].frame.dts_ms);
         assert!(rb.assembling_count() <= 1);
     }
@@ -769,7 +775,10 @@ mod tests {
         let pkts = make_packets(3);
         pb.push(pkts[2][0].frame);
         pb.start();
-        assert_eq!(pb.tick(t(0)).map(|h| h.dts_ms), Some(pkts[2][0].frame.dts_ms));
+        assert_eq!(
+            pb.tick(t(0)).map(|h| h.dts_ms),
+            Some(pkts[2][0].frame.dts_ms)
+        );
         // An older frame arriving now is behind the playhead; a tick
         // prunes it instead of playing it.
         pb.push(pkts[0][0].frame);

@@ -169,7 +169,11 @@ impl GlobalChain {
         let need_from_tail = CRC_DEPTH - (idx - start);
         if need_from_tail > 0 {
             let tl = self.tail_context.len();
-            for h in self.tail_context.iter().skip(tl.saturating_sub(need_from_tail)) {
+            for h in self
+                .tail_context
+                .iter()
+                .skip(tl.saturating_sub(need_from_tail))
+            {
                 prior.push(*h);
             }
         }
@@ -200,11 +204,7 @@ impl GlobalChain {
         // Bootstrap: adopt the first chain wholesale.
         if self.entries.is_empty() {
             for fp in lchain.footprints() {
-                if self
-                    .consumed_until
-                    .map(|c| fp.dts_ms <= c)
-                    .unwrap_or(false)
-                {
+                if self.consumed_until.map(|c| fp.dts_ms <= c).unwrap_or(false) {
                     continue;
                 }
                 // Skip frames from before this client joined.
@@ -294,8 +294,7 @@ impl GlobalChain {
                 self.drain_mismatched();
             }
             MatchResult::Deferred => {
-                if self.mismatched.len() < self.max_mismatched
-                    && !self.mismatched.contains(lchain)
+                if self.mismatched.len() < self.max_mismatched && !self.mismatched.contains(lchain)
                 {
                     self.mismatched.push(lchain.clone());
                 }
@@ -387,11 +386,8 @@ impl GlobalChain {
         if self.headers.len() < 1024 {
             return;
         }
-        let live: std::collections::HashSet<u64> = self
-            .entries
-            .iter()
-            .map(|e| e.footprint.dts_ms)
-            .collect();
+        let live: std::collections::HashSet<u64> =
+            self.entries.iter().map(|e| e.footprint.dts_ms).collect();
         let floor = self.consumed_until.unwrap_or(0).saturating_sub(10_000);
         self.headers
             .retain(|dts, _| live.contains(dts) || *dts >= floor);
@@ -468,7 +464,7 @@ mod tests {
             gc.ingest_header(*h);
         }
         gc.ingest_chain(&chains[3]); // gChain = f0..f3
-        // chains[4] lost; chains[5] covers f2..f5 and overlaps f3.
+                                     // chains[4] lost; chains[5] covers f2..f5 and overlaps f3.
         assert_eq!(gc.ingest_chain(&chains[5]), MatchResult::Matched);
         assert_eq!(gc.len(), 6);
         assert_eq!(gc.status_of(headers[5].dts_ms), Some(LinkStatus::Linked));
@@ -482,7 +478,7 @@ mod tests {
             gc.ingest_header(*h);
         }
         gc.ingest_chain(&chains[3]); // f0..f3
-        // A chain far ahead cannot connect: f8..f11.
+                                     // A chain far ahead cannot connect: f8..f11.
         assert_eq!(gc.ingest_chain(&chains[11]), MatchResult::Deferred);
         assert_eq!(gc.mismatched_count(), 1);
         // The bridging chain f5..f8 also cannot connect (terminal f3 not

@@ -302,7 +302,11 @@ mod tests {
     #[test]
     fn messages_are_compact() {
         for msg in all_messages() {
-            assert!(msg.wire_size() <= 64, "{msg:?} is {} bytes", msg.wire_size());
+            assert!(
+                msg.wire_size() <= 64,
+                "{msg:?} is {} bytes",
+                msg.wire_size()
+            );
         }
     }
 

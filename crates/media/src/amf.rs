@@ -193,10 +193,7 @@ impl OnMetaData {
         map.insert("width".to_owned(), Amf0::Number(self.width));
         map.insert("height".to_owned(), Amf0::Number(self.height));
         map.insert("framerate".to_owned(), Amf0::Number(self.framerate));
-        map.insert(
-            "videodatarate".to_owned(),
-            Amf0::Number(self.videodatarate),
-        );
+        map.insert("videodatarate".to_owned(), Amf0::Number(self.videodatarate));
         Amf0::EcmaArray(map).encode(&mut out);
         out
     }

@@ -151,11 +151,7 @@ pub fn decode_tag(buf: &[u8]) -> Result<(Tag, usize), FlvError> {
         return Err(FlvError::Truncated);
     }
     let payload = Bytes::copy_from_slice(&buf[11..11 + size as usize]);
-    let back = u32::from_be_bytes(
-        buf[11 + size as usize..total]
-            .try_into()
-            .expect("4 bytes"),
-    );
+    let back = u32::from_be_bytes(buf[11 + size as usize..total].try_into().expect("4 bytes"));
     if back != 11 + size {
         return Err(FlvError::BadBackPointer {
             found: back,
@@ -272,7 +268,10 @@ mod tests {
 
     #[test]
     fn file_header_rejects_garbage() {
-        assert_eq!(decode_file_header(b"GIF89a..............."), Err(FlvError::BadFileHeader));
+        assert_eq!(
+            decode_file_header(b"GIF89a..............."),
+            Err(FlvError::BadFileHeader)
+        );
         assert_eq!(decode_file_header(b"FLV"), Err(FlvError::Truncated));
     }
 

@@ -235,7 +235,10 @@ mod tests {
         for i in 0..hs.len() {
             let prior = &hs[i.saturating_sub(2)..i];
             let fp = Footprint::compute(&hs[i], prior, 1);
-            assert!(seen.insert((fp.dts_ms, fp.crc)), "duplicate footprint at {i}");
+            assert!(
+                seen.insert((fp.dts_ms, fp.crc)),
+                "duplicate footprint at {i}"
+            );
         }
     }
 

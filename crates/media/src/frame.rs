@@ -150,7 +150,11 @@ mod tests {
         h.size = 1201;
         assert_eq!(Frame::new(h).packet_count(1200), 2);
         h.size = 0;
-        assert_eq!(Frame::new(h).packet_count(1200), 1, "empty frame still needs one packet");
+        assert_eq!(
+            Frame::new(h).packet_count(1200),
+            1,
+            "empty frame still needs one packet"
+        );
     }
 
     #[test]

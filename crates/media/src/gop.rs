@@ -114,8 +114,7 @@ impl GopGenerator {
     fn type_for(&self, idx_in_gop: u64) -> FrameType {
         if idx_in_gop == 0 {
             FrameType::I
-        } else if self.cfg.b_frames == 0
-            || idx_in_gop.is_multiple_of(self.cfg.b_frames as u64 + 1)
+        } else if self.cfg.b_frames == 0 || idx_in_gop.is_multiple_of(self.cfg.b_frames as u64 + 1)
         {
             FrameType::P
         } else {
@@ -262,8 +261,16 @@ mod tests {
 
     #[test]
     fn deterministic_given_seed() {
-        let a: Vec<u32> = generator(7).take_frames(50).iter().map(|f| f.size()).collect();
-        let b: Vec<u32> = generator(7).take_frames(50).iter().map(|f| f.size()).collect();
+        let a: Vec<u32> = generator(7)
+            .take_frames(50)
+            .iter()
+            .map(|f| f.size())
+            .collect();
+        let b: Vec<u32> = generator(7)
+            .take_frames(50)
+            .iter()
+            .map(|f| f.size())
+            .collect();
         assert_eq!(a, b);
     }
 }

@@ -145,24 +145,51 @@ mod tests {
 
     #[test]
     fn h264_types() {
-        assert_eq!(parse(Codec::H264, &encode(Codec::H264, 1)).unwrap().class, NaluClass::Slice);
-        assert_eq!(parse(Codec::H264, &encode(Codec::H264, 7)).unwrap().class, NaluClass::ParameterSet);
-        assert_eq!(parse(Codec::H264, &encode(Codec::H264, 6)).unwrap().class, NaluClass::Metadata);
-        assert_eq!(parse(Codec::H264, &encode(Codec::H264, 12)).unwrap().class, NaluClass::Other);
+        assert_eq!(
+            parse(Codec::H264, &encode(Codec::H264, 1)).unwrap().class,
+            NaluClass::Slice
+        );
+        assert_eq!(
+            parse(Codec::H264, &encode(Codec::H264, 7)).unwrap().class,
+            NaluClass::ParameterSet
+        );
+        assert_eq!(
+            parse(Codec::H264, &encode(Codec::H264, 6)).unwrap().class,
+            NaluClass::Metadata
+        );
+        assert_eq!(
+            parse(Codec::H264, &encode(Codec::H264, 12)).unwrap().class,
+            NaluClass::Other
+        );
     }
 
     #[test]
     fn h265_types() {
-        assert_eq!(parse(Codec::H265, &encode(Codec::H265, 19)).unwrap().class, NaluClass::Idr);
-        assert_eq!(parse(Codec::H265, &encode(Codec::H265, 1)).unwrap().class, NaluClass::Slice);
-        assert_eq!(parse(Codec::H265, &encode(Codec::H265, 33)).unwrap().class, NaluClass::ParameterSet);
-        assert_eq!(parse(Codec::H265, &encode(Codec::H265, 39)).unwrap().class, NaluClass::Metadata);
+        assert_eq!(
+            parse(Codec::H265, &encode(Codec::H265, 19)).unwrap().class,
+            NaluClass::Idr
+        );
+        assert_eq!(
+            parse(Codec::H265, &encode(Codec::H265, 1)).unwrap().class,
+            NaluClass::Slice
+        );
+        assert_eq!(
+            parse(Codec::H265, &encode(Codec::H265, 33)).unwrap().class,
+            NaluClass::ParameterSet
+        );
+        assert_eq!(
+            parse(Codec::H265, &encode(Codec::H265, 39)).unwrap().class,
+            NaluClass::Metadata
+        );
     }
 
     #[test]
     fn forbidden_bit_rejected() {
         assert_eq!(parse(Codec::H264, &[0x85]), Err(NaluError::ForbiddenBit));
-        assert_eq!(parse(Codec::H265, &[0x80, 0x01]), Err(NaluError::ForbiddenBit));
+        assert_eq!(
+            parse(Codec::H265, &[0x80, 0x01]),
+            Err(NaluError::ForbiddenBit)
+        );
     }
 
     #[test]

@@ -10,22 +10,22 @@ use rlive_media::packet::{packetize, DataPacket, PACKET_PAYLOAD};
 use rlive_media::substream::{substream_of, Partitioner};
 
 fn arb_frame_type() -> impl Strategy<Value = FrameType> {
-    prop_oneof![
-        Just(FrameType::I),
-        Just(FrameType::P),
-        Just(FrameType::B),
-    ]
+    prop_oneof![Just(FrameType::I), Just(FrameType::P), Just(FrameType::B),]
 }
 
 fn arb_header() -> impl Strategy<Value = FrameHeader> {
-    (any::<u64>(), 0u64..1 << 40, arb_frame_type(), 1u32..5_000_000).prop_map(
-        |(stream_id, dts_ms, frame_type, size)| FrameHeader {
+    (
+        any::<u64>(),
+        0u64..1 << 40,
+        arb_frame_type(),
+        1u32..5_000_000,
+    )
+        .prop_map(|(stream_id, dts_ms, frame_type, size)| FrameHeader {
             stream_id,
             dts_ms,
             frame_type,
             size,
-        },
-    )
+        })
 }
 
 proptest! {

@@ -111,7 +111,10 @@ impl ChurnTimeline {
             model,
             rng,
             episode_start: SimTime::ZERO,
-            episode_end: SimTime::ZERO + len.saturating_sub(SimDuration::ZERO).max(SimDuration::from_secs(1)),
+            episode_end: SimTime::ZERO
+                + len
+                    .saturating_sub(SimDuration::ZERO)
+                    .max(SimDuration::from_secs(1)),
             online,
             scripted_offline: None,
         }

@@ -4,15 +4,42 @@
 //! Every experiment in the paper reports either a distribution (CDF
 //! figures), a percentile table, or a time series; this module provides
 //! the accumulators the harness uses to produce those outputs.
+//!
+//! # Deterministic merging
+//!
+//! The parallel experiment runner (`crates/bench`) splits a sweep into
+//! independent cells, runs them on a worker pool, and combines per-cell
+//! accumulators afterwards. For results to be bit-for-bit identical
+//! regardless of worker count, the combine step must not depend on
+//! completion order, so every accumulator here follows one contract:
+//!
+//! * merging is performed in **cell-index order** (the runner guarantees
+//!   this; [`Summary::merge_ordered`] / [`Percentiles::merge_ordered`]
+//!   encode the left-to-right fold), and
+//! * the merge operation itself is plain component-wise arithmetic
+//!   ([`Summary`] keeps raw moments rather than Welford's running mean,
+//!   [`Percentiles`] concatenates samples), so a fixed merge order gives
+//!   a fixed result, and whenever the sums are exactly representable
+//!   (integer-valued samples within 2^53) the merge is *exactly*
+//!   associative — any partition of the same sample stream produces
+//!   identical bits.
 
 use serde::{Deserialize, Serialize};
 
-/// Streaming mean / variance / min / max over f64 samples (Welford).
+/// Streaming mean / variance / min / max over f64 samples.
+///
+/// Internally stores raw moments (count, sum, sum of squares) rather
+/// than Welford's running mean: component-wise addition makes
+/// [`Summary::merge`] independent of the *nesting* of merges, which the
+/// deterministic parallel runner relies on (see the module docs). The
+/// simulator's metrics are well-scaled (milliseconds, Mbps, percentages),
+/// so the classical cancellation caveat of the raw-moment form does not
+/// bite at these magnitudes.
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct Summary {
     n: u64,
-    mean: f64,
-    m2: f64,
+    sum: f64,
+    sum_sq: f64,
     min: f64,
     max: f64,
 }
@@ -22,8 +49,8 @@ impl Summary {
     pub fn new() -> Self {
         Summary {
             n: 0,
-            mean: 0.0,
-            m2: 0.0,
+            sum: 0.0,
+            sum_sq: 0.0,
             min: f64::INFINITY,
             max: f64::NEG_INFINITY,
         }
@@ -32,9 +59,8 @@ impl Summary {
     /// Adds one sample.
     pub fn add(&mut self, x: f64) {
         self.n += 1;
-        let d = x - self.mean;
-        self.mean += d / self.n as f64;
-        self.m2 += d * (x - self.mean);
+        self.sum += x;
+        self.sum_sq += x * x;
         self.min = self.min.min(x);
         self.max = self.max.max(x);
     }
@@ -49,17 +75,18 @@ impl Summary {
         if self.n == 0 {
             0.0
         } else {
-            self.mean
+            self.sum / self.n as f64
         }
     }
 
     /// Population variance (0 if fewer than two samples).
     pub fn variance(&self) -> f64 {
         if self.n < 2 {
-            0.0
-        } else {
-            self.m2 / self.n as f64
+            return 0.0;
         }
+        let mean = self.sum / self.n as f64;
+        // Clamp: the raw-moment form can go infinitesimally negative.
+        (self.sum_sq / self.n as f64 - mean * mean).max(0.0)
     }
 
     /// Population standard deviation.
@@ -87,10 +114,14 @@ impl Summary {
 
     /// Sum of all samples.
     pub fn sum(&self) -> f64 {
-        self.mean() * self.n as f64
+        if self.n == 0 {
+            0.0
+        } else {
+            self.sum
+        }
     }
 
-    /// Merges another summary into this one.
+    /// Merges another summary into this one (component-wise).
     pub fn merge(&mut self, other: &Summary) {
         if other.n == 0 {
             return;
@@ -99,14 +130,24 @@ impl Summary {
             *self = other.clone();
             return;
         }
-        let n = self.n + other.n;
-        let d = other.mean - self.mean;
-        let mean = self.mean + d * other.n as f64 / n as f64;
-        self.m2 += other.m2 + d * d * self.n as f64 * other.n as f64 / n as f64;
-        self.mean = mean;
-        self.n = n;
+        self.n += other.n;
+        self.sum += other.sum;
+        self.sum_sq += other.sum_sq;
         self.min = self.min.min(other.min);
         self.max = self.max.max(other.max);
+    }
+
+    /// Folds `parts` left-to-right into one summary.
+    ///
+    /// This is the canonical deterministic reduction for per-cell
+    /// results: callers pass parts in **cell-index order** and obtain a
+    /// result independent of which worker finished first.
+    pub fn merge_ordered<'a>(parts: impl IntoIterator<Item = &'a Summary>) -> Summary {
+        let mut acc = Summary::new();
+        for p in parts {
+            acc.merge(p);
+        }
+        acc
     }
 }
 
@@ -147,8 +188,11 @@ impl Percentiles {
 
     fn ensure_sorted(&mut self) {
         if !self.sorted {
-            self.samples
-                .sort_by(|a, b| a.partial_cmp(b).expect("finite samples"));
+            // total_cmp gives a total order (NaN sorts last) so a stray
+            // NaN sample cannot panic the accumulator, and the sorted
+            // vector is identical for any insertion order of the same
+            // multiset — the property deterministic merging needs.
+            self.samples.sort_by(f64::total_cmp);
             self.sorted = true;
         }
     }
@@ -160,7 +204,7 @@ impl Percentiles {
             return 0.0;
         }
         self.ensure_sorted();
-        let q = q.clamp(0.0, 1.0);
+        let q = if q.is_nan() { 0.0 } else { q.clamp(0.0, 1.0) };
         let pos = q * (self.samples.len() - 1) as f64;
         let lo = pos.floor() as usize;
         let hi = pos.ceil() as usize;
@@ -173,7 +217,7 @@ impl Percentiles {
         self.quantile(0.5)
     }
 
-    /// Sample mean.
+    /// Sample mean (0 if empty).
     pub fn mean(&self) -> f64 {
         if self.samples.is_empty() {
             0.0
@@ -182,7 +226,7 @@ impl Percentiles {
         }
     }
 
-    /// Fraction of samples at or below `x`.
+    /// Fraction of samples at or below `x`. Returns 0 if empty.
     pub fn cdf_at(&mut self, x: f64) -> f64 {
         if self.samples.is_empty() {
             return 0.0;
@@ -207,10 +251,24 @@ impl Percentiles {
             .collect()
     }
 
-    /// Merges another accumulator into this one.
+    /// Merges another accumulator into this one (sample concatenation).
     pub fn merge(&mut self, other: &Percentiles) {
         self.samples.extend_from_slice(&other.samples);
         self.sorted = false;
+    }
+
+    /// Folds `parts` left-to-right into one accumulator.
+    ///
+    /// Because merging concatenates the underlying samples and every
+    /// query sorts with a total order, the result of any partition of
+    /// the same sample stream is bit-for-bit identical — the runner
+    /// still passes parts in cell-index order for uniformity.
+    pub fn merge_ordered<'a>(parts: impl IntoIterator<Item = &'a Percentiles>) -> Percentiles {
+        let mut acc = Percentiles::new();
+        for p in parts {
+            acc.merge(p);
+        }
+        acc
     }
 }
 
@@ -294,7 +352,7 @@ impl Counter {
         self.total += magnitude;
     }
 
-    /// Mean magnitude per event.
+    /// Mean magnitude per event (0 if no events were recorded).
     pub fn mean(&self) -> f64 {
         if self.events == 0 {
             0.0
@@ -302,7 +360,23 @@ impl Counter {
             self.total / self.events as f64
         }
     }
+
+    /// Merges another counter into this one (component-wise).
+    pub fn merge(&mut self, other: &Counter) {
+        self.events += other.events;
+        self.total += other.total;
+    }
 }
+
+// The parallel runner moves accumulators across worker threads; pin the
+// auto-traits at compile time so a future field can't silently lose them.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<Summary>();
+    assert_send_sync::<Percentiles>();
+    assert_send_sync::<TimeSeries>();
+    assert_send_sync::<Counter>();
+};
 
 #[cfg(test)]
 mod tests {
@@ -345,12 +419,47 @@ mod tests {
     }
 
     #[test]
+    fn summary_merge_is_partition_exact_for_integer_samples() {
+        // Integer-valued samples keep every sum exactly representable,
+        // so any partition must reproduce the sequential result bit for
+        // bit — the deterministic-runner invariant.
+        let data: Vec<f64> = (0..1000).map(|i| ((i * 37) % 1024) as f64).collect();
+        let mut all = Summary::new();
+        for &x in &data {
+            all.add(x);
+        }
+        for split in [1usize, 7, 250, 999] {
+            let (lo, hi) = data.split_at(split);
+            let mut a = Summary::new();
+            let mut b = Summary::new();
+            lo.iter().for_each(|&x| a.add(x));
+            hi.iter().for_each(|&x| b.add(x));
+            let merged = Summary::merge_ordered([&a, &b]);
+            assert_eq!(merged.count(), all.count());
+            assert_eq!(merged.mean().to_bits(), all.mean().to_bits());
+            assert_eq!(merged.variance().to_bits(), all.variance().to_bits());
+            assert_eq!(merged.min().to_bits(), all.min().to_bits());
+            assert_eq!(merged.max().to_bits(), all.max().to_bits());
+        }
+    }
+
+    #[test]
     fn empty_summary_is_zeroed() {
         let s = Summary::new();
         assert_eq!(s.mean(), 0.0);
         assert_eq!(s.std_dev(), 0.0);
         assert_eq!(s.min(), 0.0);
         assert_eq!(s.max(), 0.0);
+        assert_eq!(s.sum(), 0.0);
+    }
+
+    #[test]
+    fn merge_ordered_of_empties_is_empty() {
+        let merged = Summary::merge_ordered(std::iter::empty());
+        assert_eq!(merged.count(), 0);
+        assert_eq!(merged.mean(), 0.0);
+        let p = Percentiles::merge_ordered(std::iter::empty());
+        assert!(p.is_empty());
     }
 
     #[test]
@@ -363,6 +472,31 @@ mod tests {
         assert!((p.quantile(0.0) - 1.0).abs() < 1e-9);
         assert!((p.quantile(1.0) - 100.0).abs() < 1e-9);
         assert!((p.quantile(0.9) - 90.1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn percentile_empty_inputs_are_defined() {
+        let mut p = Percentiles::new();
+        assert_eq!(p.quantile(0.5), 0.0);
+        assert_eq!(p.median(), 0.0);
+        assert_eq!(p.cdf_at(42.0), 0.0);
+        assert_eq!(p.mean(), 0.0);
+        assert!(p.cdf_points(10).is_empty());
+        // A NaN quantile argument is clamped rather than propagated.
+        p.add(7.0);
+        assert_eq!(p.quantile(f64::NAN), 7.0);
+    }
+
+    #[test]
+    fn percentile_tolerates_nan_samples() {
+        // total_cmp sorts NaN after every finite value, so quantiles of
+        // the finite range remain defined instead of panicking mid-sort.
+        let mut p = Percentiles::new();
+        p.add(3.0);
+        p.add(f64::NAN);
+        p.add(1.0);
+        assert_eq!(p.quantile(0.0), 1.0);
+        assert!((p.cdf_at(3.0) - 2.0 / 3.0).abs() < 1e-9);
     }
 
     #[test]
@@ -396,6 +530,26 @@ mod tests {
     }
 
     #[test]
+    fn percentile_merge_ordered_matches_sequential() {
+        let data: Vec<f64> = (0..200).map(|i| ((i * 131) % 97) as f64).collect();
+        let mut all = Percentiles::new();
+        data.iter().for_each(|&x| all.add(x));
+        let parts: Vec<Percentiles> = data
+            .chunks(37)
+            .map(|c| {
+                let mut p = Percentiles::new();
+                c.iter().for_each(|&x| p.add(x));
+                p
+            })
+            .collect();
+        let mut merged = Percentiles::merge_ordered(parts.iter());
+        for i in 0..=20 {
+            let q = i as f64 / 20.0;
+            assert_eq!(merged.quantile(q).to_bits(), all.quantile(q).to_bits());
+        }
+    }
+
+    #[test]
     fn timeseries_buckets() {
         let mut ts = TimeSeries::new(10.0);
         ts.record(1.0, 2.0);
@@ -424,5 +578,22 @@ mod tests {
         c.add(4.0);
         assert_eq!(c.events, 2);
         assert_eq!(c.mean(), 3.0);
+    }
+
+    #[test]
+    fn counter_empty_mean_is_zero() {
+        assert_eq!(Counter::default().mean(), 0.0);
+    }
+
+    #[test]
+    fn counter_merge() {
+        let mut a = Counter::default();
+        a.add(2.0);
+        let mut b = Counter::default();
+        b.add(4.0);
+        b.add(6.0);
+        a.merge(&b);
+        assert_eq!(a.events, 3);
+        assert_eq!(a.mean(), 4.0);
     }
 }

@@ -47,10 +47,7 @@ impl SimRng {
 
     /// Returns the next raw 64-bit output.
     pub fn next_u64(&mut self) -> u64 {
-        let result = self.s[1]
-            .wrapping_mul(5)
-            .rotate_left(7)
-            .wrapping_mul(9);
+        let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
         let t = self.s[1] << 17;
         self.s[2] ^= self.s[0];
         self.s[3] ^= self.s[1];
@@ -286,7 +283,11 @@ impl EmpiricalCdf {
     /// Evaluates the CDF at `x` with linear interpolation.
     pub fn cdf(&self, x: f64) -> f64 {
         if x <= self.values[0] {
-            return if x < self.values[0] { 0.0 } else { self.probs[0] };
+            return if x < self.values[0] {
+                0.0
+            } else {
+                self.probs[0]
+            };
         }
         for i in 1..self.values.len() {
             if x <= self.values[i] {

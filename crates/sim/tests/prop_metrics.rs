@@ -1,0 +1,116 @@
+//! Property tests of the metric-merge invariants the parallel
+//! experiment runner depends on: merging per-partition accumulators in
+//! partition order must reproduce the sequential whole-stream result,
+//! for *any* partition of the same sample stream.
+
+use proptest::prelude::*;
+use rlive_sim::metrics::{Percentiles, Summary};
+
+/// Splits `data` into contiguous parts at pseudo-random cut points
+/// derived from `cut_seed` (deterministic per input).
+fn partition(data: &[f64], cut_seed: u64, max_parts: usize) -> Vec<&[f64]> {
+    if data.is_empty() {
+        return vec![data];
+    }
+    let mut cuts = vec![0usize];
+    let mut state = cut_seed | 1;
+    let parts = 1 + (cut_seed as usize % max_parts);
+    for _ in 1..parts {
+        // splitmix-style scramble; collisions just mean fewer parts.
+        state = state
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(0xD1B5_4A32_D192_ED03);
+        cuts.push((state >> 32) as usize % data.len());
+    }
+    cuts.sort_unstable();
+    cuts.dedup();
+    cuts.push(data.len());
+    cuts.windows(2).map(|w| &data[w[0]..w[1]]).collect()
+}
+
+fn summarize(part: &[f64]) -> Summary {
+    let mut s = Summary::new();
+    part.iter().for_each(|&x| s.add(x));
+    s
+}
+
+fn percentiles(part: &[f64]) -> Percentiles {
+    let mut p = Percentiles::new();
+    part.iter().for_each(|&x| p.add(x));
+    p
+}
+
+proptest! {
+    /// With integer-valued samples every sum is exactly representable, so
+    /// `Summary::merge_ordered` over any partition must equal the
+    /// sequential summary bit for bit. This is the exact contract the
+    /// parallel runner's cell-index-ordered reduction relies on.
+    #[test]
+    fn summary_partition_merge_is_bit_exact(
+        raw in prop::collection::vec(0u32..1_000_000, 1..300),
+        cut_seed in any::<u64>(),
+    ) {
+        let data: Vec<f64> = raw.iter().map(|&x| x as f64).collect();
+        let all = summarize(&data);
+        let parts: Vec<Summary> = partition(&data, cut_seed, 8)
+            .into_iter()
+            .map(summarize)
+            .collect();
+        let merged = Summary::merge_ordered(parts.iter());
+        prop_assert_eq!(merged.count(), all.count());
+        prop_assert_eq!(merged.sum().to_bits(), all.sum().to_bits());
+        prop_assert_eq!(merged.mean().to_bits(), all.mean().to_bits());
+        prop_assert_eq!(merged.variance().to_bits(), all.variance().to_bits());
+        prop_assert_eq!(merged.min().to_bits(), all.min().to_bits());
+        prop_assert_eq!(merged.max().to_bits(), all.max().to_bits());
+    }
+
+    /// For continuous samples the merged moments agree with the
+    /// sequential ones to floating-point accuracy (partitioning only
+    /// reassociates the sums), and min/max/count stay exact.
+    #[test]
+    fn summary_partition_merge_is_accurate_for_reals(
+        data in prop::collection::vec(-1e6f64..1e6, 1..300),
+        cut_seed in any::<u64>(),
+    ) {
+        let all = summarize(&data);
+        let parts: Vec<Summary> = partition(&data, cut_seed, 8)
+            .into_iter()
+            .map(summarize)
+            .collect();
+        let merged = Summary::merge_ordered(parts.iter());
+        prop_assert_eq!(merged.count(), all.count());
+        prop_assert_eq!(merged.min().to_bits(), all.min().to_bits());
+        prop_assert_eq!(merged.max().to_bits(), all.max().to_bits());
+        let scale = 1.0 + all.mean().abs();
+        prop_assert!((merged.mean() - all.mean()).abs() / scale < 1e-9);
+        let vscale = 1.0 + all.variance().abs();
+        prop_assert!((merged.variance() - all.variance()).abs() / vscale < 1e-6);
+    }
+
+    /// `Percentiles::merge_ordered` over any partition is bit-identical
+    /// to the sequential accumulator on every quantile and CDF query:
+    /// merging concatenates samples and queries sort with a total order,
+    /// so the partition cannot be observed at all.
+    #[test]
+    fn percentiles_partition_merge_is_bit_exact(
+        data in prop::collection::vec(-1e9f64..1e9, 1..300),
+        cut_seed in any::<u64>(),
+    ) {
+        let mut all = percentiles(&data);
+        let parts: Vec<Percentiles> = partition(&data, cut_seed, 8)
+            .into_iter()
+            .map(percentiles)
+            .collect();
+        let mut merged = Percentiles::merge_ordered(parts.iter());
+        prop_assert_eq!(merged.count(), all.count());
+        for i in 0..=16 {
+            let q = i as f64 / 16.0;
+            prop_assert_eq!(merged.quantile(q).to_bits(), all.quantile(q).to_bits());
+        }
+        for &x in data.iter().take(16) {
+            prop_assert_eq!(merged.cdf_at(x).to_bits(), all.cdf_at(x).to_bits());
+        }
+        prop_assert_eq!(merged.mean().to_bits(), all.mean().to_bits());
+    }
+}

@@ -97,8 +97,8 @@ impl NodePopulation {
             let cap = capacity.sample(rng);
             let isp = rng.below(cfg.isps as u64) as u16;
             let region = rng.below(cfg.regions as u64) as u16;
-            let bgp_prefix =
-                region as u32 * cfg.prefixes_per_region + rng.below(cfg.prefixes_per_region as u64) as u32;
+            let bgp_prefix = region as u32 * cfg.prefixes_per_region
+                + rng.below(cfg.prefixes_per_region as u64) as u32;
             // Regions are laid out on a grid; nodes scatter within one.
             let rx = (region % 4) as f64 * 10.0 + rng.range_f64(0.0, 10.0);
             let ry = (region / 4) as f64 * 10.0 + rng.range_f64(0.0, 10.0);
@@ -156,10 +156,7 @@ impl NodePopulation {
         if self.nodes.is_empty() {
             return 0.0;
         }
-        self.nodes
-            .iter()
-            .filter(|n| n.capacity_mbps < mbps)
-            .count() as f64
+        self.nodes.iter().filter(|n| n.capacity_mbps < mbps).count() as f64
             / self.nodes.len() as f64
     }
 }

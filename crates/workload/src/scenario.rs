@@ -118,8 +118,7 @@ impl Scenario {
     /// and for stress sweeps).
     pub fn scaled(mut self, factor: f64) -> Self {
         self.peak_viewers = ((self.peak_viewers as f64 * factor).round() as usize).max(1);
-        self.population.count =
-            ((self.population.count as f64 * factor).round() as usize).max(1);
+        self.population.count = ((self.population.count as f64 * factor).round() as usize).max(1);
         self
     }
 }

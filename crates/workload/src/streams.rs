@@ -61,9 +61,9 @@ impl Default for DiurnalModel {
         // peak normalised to 1.0 and an early-morning trough.
         DiurnalModel {
             anchors: vec![
-                (0.0, 0.56),  // midnight: 1.38M / 2.47M
+                (0.0, 0.56), // midnight: 1.38M / 2.47M
                 (3.0, 0.35),
-                (6.0, 0.28),  // 6 am: 0.70M
+                (6.0, 0.28), // 6 am: 0.70M
                 (9.0, 0.48),
                 (12.0, 0.65), // noon peak: 1.60M
                 (14.0, 0.60),
@@ -204,11 +204,18 @@ mod tests {
         let arr = ViewerArrivals::new(DiurnalModel::default(), 100.0);
         let mut rng = SimRng::new(5);
         let n = 5_000;
-        let mean_peak: f64 =
-            (0..n).map(|_| arr.next_gap_secs(21.0, &mut rng)).sum::<f64>() / n as f64;
-        let mean_trough: f64 =
-            (0..n).map(|_| arr.next_gap_secs(6.0, &mut rng)).sum::<f64>() / n as f64;
-        assert!(mean_trough > mean_peak * 2.0, "{mean_trough} vs {mean_peak}");
+        let mean_peak: f64 = (0..n)
+            .map(|_| arr.next_gap_secs(21.0, &mut rng))
+            .sum::<f64>()
+            / n as f64;
+        let mean_trough: f64 = (0..n)
+            .map(|_| arr.next_gap_secs(6.0, &mut rng))
+            .sum::<f64>()
+            / n as f64;
+        assert!(
+            mean_trough > mean_peak * 2.0,
+            "{mean_trough} vs {mean_peak}"
+        );
     }
 
     #[test]

@@ -138,8 +138,7 @@ mod tests {
         let gen = RetxTraceGenerator::new();
         let mut rng = SimRng::new(9);
         let records = gen.sample_many(server, 50_000, &mut rng);
-        let success =
-            records.iter().filter(|r| r.success).count() as f64 / records.len() as f64;
+        let success = records.iter().filter(|r| r.success).count() as f64 / records.len() as f64;
         let mut spent: Vec<f64> = records.iter().map(|r| r.spent_ms).collect();
         spent.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
         (success, spent[spent.len() / 2])

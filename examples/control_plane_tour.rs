@@ -8,7 +8,9 @@
 //! ```
 
 use rlive_control::adviser::{AdviserConfig, EdgeAdviser};
-use rlive_control::client::{ClientController, ClientControllerConfig, ProbeOutcome, SwitchDecision};
+use rlive_control::client::{
+    ClientController, ClientControllerConfig, ProbeOutcome, SwitchDecision,
+};
 use rlive_control::features::{
     ClientId, ClientInfo, ConnectionType, Heartbeat, NodeClass, NodeId, NodeStatus, StreamKey,
 };
@@ -47,7 +49,11 @@ fn main() {
             conn_type: ConnectionType::Cable,
             nat: spec.nat,
         };
-        scheduler.register_node(NodeId(spec.id), statics, NodeStatus::idle(spec.capacity_mbps));
+        scheduler.register_node(
+            NodeId(spec.id),
+            statics,
+            NodeStatus::idle(spec.capacity_mbps),
+        );
     }
     println!("registered {} best-effort nodes", scheduler.node_count());
 

@@ -41,7 +41,11 @@ fn main() {
 
     let row = |name: &str, c: f64, r: f64, better_low: bool| {
         let diff = GroupQoe::diff_pct(r, c);
-        let marker = if (diff < 0.0) == better_low { "improved" } else { "regressed" };
+        let marker = if (diff < 0.0) == better_low {
+            "improved"
+        } else {
+            "regressed"
+        };
         println!("{name:<22} {c:>9.2} {r:>9.2}  {diff:+6.1} % ({marker})");
     };
 
@@ -76,8 +80,7 @@ fn main() {
          ({:.1} Mbps of it from best-effort nodes)",
         cdn.test_traffic.client_bytes() as f64 * 8.0 / 1e6 / cdn.duration.as_secs_f64(),
         rlive.test_traffic.client_bytes() as f64 * 8.0 / 1e6 / rlive.duration.as_secs_f64(),
-        rlive.test_traffic.best_effort_serving as f64 * 8.0 / 1e6
-            / rlive.duration.as_secs_f64(),
+        rlive.test_traffic.best_effort_serving as f64 * 8.0 / 1e6 / rlive.duration.as_secs_f64(),
     );
     println!(
         "Scheduler handled {} recommendation requests (paper: 1.7M QPS at peak).",

@@ -21,7 +21,12 @@ fn main() {
     // The stream source: a 30 fps GoP generator.
     let mut source = GopGenerator::new(1, GopConfig::default(), SimRng::new(99));
     let frames = source.take_frames(12);
-    println!("stream: {} frames, dts {}..{} ms", frames.len(), frames[0].dts_ms(), frames[11].dts_ms());
+    println!(
+        "stream: {} frames, dts {}..{} ms",
+        frames.len(),
+        frames[0].dts_ms(),
+        frames[11].dts_ms()
+    );
 
     // Two relays serving substreams 0 and 1 of a K=2 split. Both see the
     // full header sequence (the CDN ships headers of all substreams) and
@@ -60,10 +65,16 @@ fn main() {
     // frame 5's chain overlaps the global chain's terminal frame and
     // bridges the gap.
     assert_eq!(global.ingest_chain(&chains[3]), MatchResult::Matched);
-    println!("\ningested chain of frame 3 -> global chain {:?}", global.dts_sequence());
+    println!(
+        "\ningested chain of frame 3 -> global chain {:?}",
+        global.dts_sequence()
+    );
     println!("chain of frame 4 LOST in transit");
     assert_eq!(global.ingest_chain(&chains[5]), MatchResult::Matched);
-    println!("ingested chain of frame 5 -> global chain {:?}", global.dts_sequence());
+    println!(
+        "ingested chain of frame 5 -> global chain {:?}",
+        global.dts_sequence()
+    );
 
     // A chain that cannot connect yet is pooled (misMatchChains)...
     assert_eq!(global.ingest_chain(&chains[11]), MatchResult::Deferred);

@@ -3,8 +3,13 @@
 //! probing + switching flows, and adviser interplay.
 
 use rlive_control::adviser::{AdviserConfig, EdgeAdviser, SwitchSuggestion};
-use rlive_control::client::{ClientController, ClientControllerConfig, ProbeOutcome, SwitchDecision};
-use rlive_control::features::{ClientId, ClientInfo, ConnectionType, Heartbeat, NodeClass, NodeId, NodeStatus, StaticFeatures, StreamKey};
+use rlive_control::client::{
+    ClientController, ClientControllerConfig, ProbeOutcome, SwitchDecision,
+};
+use rlive_control::features::{
+    ClientId, ClientInfo, ConnectionType, Heartbeat, NodeClass, NodeId, NodeStatus, StaticFeatures,
+    StreamKey,
+};
 use rlive_control::scheduler::{GlobalScheduler, SchedulerConfig};
 use rlive_control::scoring::Platform;
 use rlive_sim::nat::TraversalModel;
@@ -44,7 +49,11 @@ fn scheduler_from_population(n: usize, seed: u64) -> (GlobalScheduler, NodePopul
             conn_type: ConnectionType::Cable,
             nat: spec.nat,
         };
-        sched.register_node(NodeId(spec.id), statics, NodeStatus::idle(spec.capacity_mbps));
+        sched.register_node(
+            NodeId(spec.id),
+            statics,
+            NodeStatus::idle(spec.capacity_mbps),
+        );
     }
     (sched, pop)
 }
@@ -55,7 +64,10 @@ fn client(region: u16) -> ClientInfo {
         isp: 0,
         region,
         bgp_prefix: region as u32 * 8,
-        geo: ((region % 4) as f64 * 10.0 + 5.0, (region / 4) as f64 * 10.0 + 5.0),
+        geo: (
+            (region % 4) as f64 * 10.0 + 5.0,
+            (region / 4) as f64 * 10.0 + 5.0,
+        ),
         platform: Platform::Android,
     }
 }
@@ -162,7 +174,10 @@ fn adviser_cost_trigger_consults_scheduler_stream_utilization() {
     let suggestions = adviser.evaluate(SimTime::from_secs(10), key(0), stream_util);
     assert!(matches!(
         suggestions.as_slice(),
-        [SwitchSuggestion::CostConsolidation { node: NodeId(0), .. }]
+        [SwitchSuggestion::CostConsolidation {
+            node: NodeId(0),
+            ..
+        }]
     ));
 }
 

@@ -2,7 +2,9 @@
 //! chaining/packetisation → client-side reordering and recovery
 //! decisions, exercised together the way the world wires them.
 
-use rlive_data::recovery::{FrameState, RecoveryAction, RecoveryConfig, RecoveryDecider, RecoveryStats};
+use rlive_data::recovery::{
+    FrameState, RecoveryAction, RecoveryConfig, RecoveryDecider, RecoveryStats,
+};
 use rlive_data::reorder::ReorderBuffer;
 use rlive_data::sequencing::GlobalChain;
 use rlive_media::footprint::ChainGenerator;
@@ -169,12 +171,7 @@ fn packet_loss_recovery_round_trip() {
     // Retransmit everything; the stream completes fully in order, with
     // the join floor excluding only frames wholly lost before the first
     // successful delivery.
-    let anchor_dts = rb
-        .chain()
-        .dts_sequence()
-        .first()
-        .copied()
-        .unwrap_or(0);
+    let anchor_dts = rb.chain().dts_sequence().first().copied().unwrap_or(0);
     let mut released = 0;
     for p in &dropped {
         released += rb.ingest_retransmission(now, p).len();
@@ -264,6 +261,9 @@ fn global_chain_and_reorder_agree_on_order() {
     }
     assert_eq!(
         gc_order,
-        stream.iter().map(|(f, _)| f.header.dts_ms).collect::<Vec<_>>()
+        stream
+            .iter()
+            .map(|(f, _)| f.header.dts_ms)
+            .collect::<Vec<_>>()
     );
 }

@@ -84,8 +84,8 @@ fn cdn_only_never_touches_best_effort() {
 #[test]
 fn rlive_offloads_meaningful_traffic() {
     let r = run(DeliveryMode::RLive, 9);
-    let share = r.test_traffic.best_effort_serving as f64
-        / r.test_traffic.client_bytes().max(1) as f64;
+    let share =
+        r.test_traffic.best_effort_serving as f64 / r.test_traffic.client_bytes().max(1) as f64;
     assert!(share > 0.15, "best-effort share {share}");
 }
 
@@ -96,8 +96,8 @@ fn redundant_multi_costs_more_backhaul_than_rlive() {
     // Redundant replication pulls every substream twice and pushes two
     // copies to every client; per second of video watched it must move
     // more bytes than the redundancy-free design (the §2.3 argument).
-    let rl = (rlive.test_traffic.dedicated_backhaul
-        + rlive.test_traffic.best_effort_serving) as f64
+    let rl = (rlive.test_traffic.dedicated_backhaul + rlive.test_traffic.best_effort_serving)
+        as f64
         / rlive.test_qoe.watch_secs.max(1.0);
     let rd = (redundant.test_traffic.dedicated_backhaul
         + redundant.test_traffic.best_effort_serving) as f64
@@ -118,7 +118,10 @@ fn runs_are_deterministic() {
         a.test_traffic.best_effort_serving,
         b.test_traffic.best_effort_serving
     );
-    assert_eq!(a.test_traffic.dedicated_serving, b.test_traffic.dedicated_serving);
+    assert_eq!(
+        a.test_traffic.dedicated_serving,
+        b.test_traffic.dedicated_serving
+    );
     assert_eq!(a.scheduler_requests, b.scheduler_requests);
     assert!((a.test_qoe.watch_secs - b.test_qoe.watch_secs).abs() < 1e-9);
 }
@@ -180,8 +183,5 @@ fn central_sequencing_retransmits_more_than_distributed() {
     let distributed = run(DeliveryMode::RLive, 17);
     let c = central.test_qoe.retx_per_100s.mean();
     let d = distributed.test_qoe.retx_per_100s.mean();
-    assert!(
-        c > d,
-        "central {c} retx/100s should exceed distributed {d}"
-    );
+    assert!(c > d, "central {c} retx/100s should exceed distributed {d}");
 }

@@ -36,11 +36,7 @@ fn mass_relay_outage_is_survivable() {
     // multi-source design re-maps / falls back; sessions keep playing.
     let baseline = run_with(DeliveryMode::RLive, 41, |_| {});
     let outaged = run_with(DeliveryMode::RLive, 41, |w| {
-        w.inject_mass_outage(
-            SimTime::from_secs(50),
-            SimDuration::from_secs(30),
-            0.5,
-        );
+        w.inject_mass_outage(SimTime::from_secs(50), SimDuration::from_secs(30), 0.5);
     });
     assert!(outaged.test_qoe.views > 5);
     assert!(
@@ -67,18 +63,18 @@ fn total_relay_outage_falls_back_to_cdn() {
     // Every relay dies for the rest of the run: all sessions must end up
     // on CDN delivery and keep playing.
     let r = run_with(DeliveryMode::RLive, 42, |w| {
-        w.inject_mass_outage(
-            SimTime::from_secs(40),
-            SimDuration::from_secs(600),
-            1.0,
-        );
+        w.inject_mass_outage(SimTime::from_secs(40), SimDuration::from_secs(600), 1.0);
     });
     assert!(r.test_qoe.views > 5);
-    assert!(r.test_qoe.watch_secs > 60.0, "watch {}", r.test_qoe.watch_secs);
+    assert!(
+        r.test_qoe.watch_secs > 60.0,
+        "watch {}",
+        r.test_qoe.watch_secs
+    );
     // After the outage begins, best-effort traffic stops growing, so the
     // dedicated share of client bytes must dominate.
-    let ded_share = r.test_traffic.dedicated_serving as f64
-        / r.test_traffic.client_bytes().max(1) as f64;
+    let ded_share =
+        r.test_traffic.dedicated_serving as f64 / r.test_traffic.client_bytes().max(1) as f64;
     assert!(ded_share > 0.4, "dedicated share {ded_share}");
 }
 
@@ -123,8 +119,8 @@ fn zero_relay_population_degrades_to_cdn_only() {
     assert!(r.test_qoe.views > 5);
     assert!(r.test_qoe.watch_secs > 60.0);
     // Nearly everything must have come from the CDN.
-    let ded_share = r.test_traffic.dedicated_serving as f64
-        / r.test_traffic.client_bytes().max(1) as f64;
+    let ded_share =
+        r.test_traffic.dedicated_serving as f64 / r.test_traffic.client_bytes().max(1) as f64;
     assert!(ded_share > 0.8, "dedicated share {ded_share}");
 }
 

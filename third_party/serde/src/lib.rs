@@ -1,0 +1,36 @@
+//! Minimal offline facade for `serde`.
+//!
+//! The build environment cannot reach crates.io, so the workspace
+//! vendors this facade. The repo only uses serde for
+//! `#[derive(Serialize, Deserialize)]` annotations (no serializer is
+//! ever instantiated), so marker traits with blanket impls are
+//! sufficient: every type trivially satisfies `Serialize` /
+//! `Deserialize` bounds, and the derives (see
+//! `third_party/serde_derive`) expand to nothing.
+//!
+//! If real serialization is ever needed, replace this facade with the
+//! actual `serde` crate — the API surface used by the repo is a strict
+//! subset, so no call sites need to change.
+
+/// Marker stand-in for `serde::Serialize`; blanket-implemented for all
+/// types.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker stand-in for `serde::Deserialize`; blanket-implemented for
+/// all types.
+pub trait Deserialize<'de> {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
+
+/// Marker stand-in for `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned {}
+impl<T: ?Sized> DeserializeOwned for T {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Stand-in for `serde::de`, so `serde::de::DeserializeOwned` paths
+/// resolve.
+pub mod de {
+    pub use crate::DeserializeOwned;
+}

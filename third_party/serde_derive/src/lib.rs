@@ -1,0 +1,24 @@
+//! No-op derive macros standing in for `serde_derive`.
+//!
+//! The build environment has no network access to crates.io, so the
+//! workspace vendors a minimal serde facade (see `third_party/serde`).
+//! Serialization is not exercised anywhere in the repo — the derives
+//! exist so `#[derive(Serialize, Deserialize)]` annotations compile —
+//! and the `serde` facade provides blanket trait impls, so these
+//! derives expand to nothing.
+
+use proc_macro::TokenStream;
+
+/// No-op `Serialize` derive: the blanket impl in the vendored `serde`
+/// crate already covers every type.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `Deserialize` derive: the blanket impl in the vendored `serde`
+/// crate already covers every type.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
