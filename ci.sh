@@ -18,4 +18,14 @@ cargo fmt --check
 echo "==> cargo clippy -- -D warnings"
 cargo clippy --workspace --all-targets --release -- -D warnings
 
+# Examples are documentation that must keep running: smoke-run the
+# quickstart against the release build.
+echo "==> cargo run --release --example quickstart"
+cargo run --release --example quickstart
+
+# API docs must build warning-free (broken intra-doc links, missing
+# docs on public items under #[warn(missing_docs)] crates).
+echo "==> cargo doc --no-deps"
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
+
 echo "==> CI green"

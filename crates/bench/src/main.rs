@@ -16,6 +16,7 @@ mod exp_cases;
 mod exp_control;
 mod exp_motivation;
 mod exp_multi;
+mod exp_trace;
 
 const USAGE: &str = "\
 experiments — regenerate the RLive paper's tables and figures
@@ -44,6 +45,8 @@ USAGE: experiments <subcommand> [seed] [--jobs N]
   table4     FIFA World Cup case study
   fallback   Fallback threshold trade-off sweep (§7.4)
   ablation   Design ablations: probes, substreams, explore, nat, chain
+  trace      Structured per-session event timeline of one traced world
+             (--seed N selects the run, --stream S filters sessions)
   all        Run everything
 ";
 
@@ -51,9 +54,43 @@ fn main() {
     // Accept `--jobs N` / `--jobs=N` anywhere on the command line; the
     // remaining positional args are `<subcommand> [seed]`.
     let mut positional: Vec<String> = Vec::new();
+    let mut seed_flag: Option<u64> = None;
+    let mut stream_filter: Option<u64> = None;
     let mut raw = std::env::args().skip(1);
     while let Some(arg) = raw.next() {
-        if arg == "--jobs" {
+        if arg == "--seed" {
+            match raw.next().and_then(|v| v.parse::<u64>().ok()) {
+                Some(n) => seed_flag = Some(n),
+                None => {
+                    eprintln!("--seed expects an integer");
+                    std::process::exit(2);
+                }
+            }
+        } else if let Some(v) = arg.strip_prefix("--seed=") {
+            match v.parse::<u64>() {
+                Ok(n) => seed_flag = Some(n),
+                Err(_) => {
+                    eprintln!("--seed expects an integer");
+                    std::process::exit(2);
+                }
+            }
+        } else if arg == "--stream" {
+            match raw.next().and_then(|v| v.parse::<u64>().ok()) {
+                Some(n) => stream_filter = Some(n),
+                None => {
+                    eprintln!("--stream expects an integer");
+                    std::process::exit(2);
+                }
+            }
+        } else if let Some(v) = arg.strip_prefix("--stream=") {
+            match v.parse::<u64>() {
+                Ok(n) => stream_filter = Some(n),
+                Err(_) => {
+                    eprintln!("--stream expects an integer");
+                    std::process::exit(2);
+                }
+            }
+        } else if arg == "--jobs" {
             match raw.next().and_then(|v| v.parse::<usize>().ok()) {
                 Some(n) if n > 0 => rlive_bench::runner::set_jobs(n),
                 _ => {
@@ -74,10 +111,12 @@ fn main() {
         }
     }
     let cmd = positional.first().map(String::as_str).unwrap_or("help");
-    let seed: u64 = positional
-        .get(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(2026);
+    let seed: u64 = seed_flag.unwrap_or_else(|| {
+        positional
+            .get(1)
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(2026)
+    });
 
     match cmd {
         "fig1b" => exp_motivation::fig1b(seed),
@@ -98,6 +137,7 @@ fn main() {
         "table4" => exp_cases::table4(seed),
         "fallback" => exp_cases::fallback_threshold(seed),
         "ablation" => exp_ablation::all(seed),
+        "trace" => exp_trace::trace(seed, stream_filter),
         "all" => {
             exp_motivation::fig1b(seed);
             exp_motivation::fig2a(seed);

@@ -15,6 +15,7 @@
 //!   can spot before the client).
 
 use crate::features::{ClientId, NodeId, StreamKey};
+use rlive_sim::trace::{TraceEvent, TraceSink};
 use rlive_sim::{SimDuration, SimTime};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
@@ -96,6 +97,9 @@ pub struct EdgeAdviser {
     /// Latest QoS metric (e.g. smoothed RTT in ms) per connection.
     connection_qos: HashMap<ClientId, f64>,
     last_evaluation: SimTime,
+    /// Structured trace sink (disabled by default): cost and QoS
+    /// triggers are emitted when they fire.
+    trace: TraceSink,
 }
 
 impl EdgeAdviser {
@@ -107,7 +111,13 @@ impl EdgeAdviser {
             util_window: Vec::new(),
             connection_qos: HashMap::new(),
             last_evaluation: SimTime::ZERO,
+            trace: TraceSink::disabled(),
         }
+    }
+
+    /// Attaches a structured trace sink for trigger events.
+    pub fn set_trace_sink(&mut self, sink: TraceSink) {
+        self.trace = sink;
     }
 
     /// The node this adviser belongs to.
@@ -170,6 +180,15 @@ impl EdgeAdviser {
         if self.util_window.len() >= self.cfg.util_window && u_node < self.cfg.util_threshold {
             if let Some(u_stream) = stream_util {
                 if u_stream < self.cfg.util_threshold {
+                    self.trace.emit(
+                        now,
+                        None,
+                        TraceEvent::AdviserCostTrigger {
+                            node: self.node.0,
+                            node_util: u_node,
+                            stream_util: u_stream,
+                        },
+                    );
                     out.push(SwitchSuggestion::CostConsolidation {
                         node: self.node,
                         key,
@@ -181,6 +200,14 @@ impl EdgeAdviser {
         // QoS-aware trigger.
         if let Some(outliers) = self.qos_outliers() {
             if !outliers.is_empty() {
+                self.trace.emit(
+                    now,
+                    None,
+                    TraceEvent::AdviserQosTrigger {
+                        node: self.node.0,
+                        outliers: outliers.len() as u32,
+                    },
+                );
                 out.push(SwitchSuggestion::QosOutlier {
                     node: self.node,
                     clients: outliers,

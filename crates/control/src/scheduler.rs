@@ -15,6 +15,7 @@ use crate::features::{
 use crate::registry::{AttrQuery, HashTreeRegistry, MatchLevel};
 use crate::scoring::{score, NatSuccessHistory, ScoreWeights};
 use rlive_sim::metrics::{Percentiles, Summary};
+use rlive_sim::trace::{TraceEvent, TraceSink};
 use rlive_sim::{SimDuration, SimRng, SimTime};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
@@ -118,6 +119,9 @@ pub struct GlobalScheduler {
     requests: u64,
     heartbeats: u64,
     heartbeat_bytes: u64,
+    /// Structured trace sink (disabled by default): every served
+    /// recommendation is emitted as a `SchedulerRecommendation` event.
+    trace: TraceSink,
 }
 
 impl GlobalScheduler {
@@ -133,12 +137,18 @@ impl GlobalScheduler {
             requests: 0,
             heartbeats: 0,
             heartbeat_bytes: 0,
+            trace: TraceSink::disabled(),
         }
     }
 
     /// The configuration.
     pub fn config(&self) -> &SchedulerConfig {
         &self.cfg
+    }
+
+    /// Attaches a structured trace sink for recommendation events.
+    pub fn set_trace_sink(&mut self, sink: TraceSink) {
+        self.trace = sink;
     }
 
     /// Registers a node's static features (on first sight / re-register).
@@ -308,6 +318,16 @@ impl GlobalScheduler {
 
         let service_time = self.sample_service_time(scored.len());
         self.service_times.add(service_time.as_millis_f64());
+        self.trace.emit(
+            now,
+            Some(client.id.0),
+            TraceEvent::SchedulerRecommendation {
+                stream: key.stream_id,
+                substream: key.substream,
+                candidates: result.len() as u32,
+                service_time_ms: service_time.as_millis_f64(),
+            },
+        );
         Recommendation {
             key,
             candidates: result,

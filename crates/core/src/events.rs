@@ -1,0 +1,131 @@
+//! The typed event vocabulary of a [`World`](crate::world::World).
+//!
+//! Every interaction between actors — streams, CDN edges, relays,
+//! clients and the control plane — crosses the event queue as one of
+//! the [`Event`] variants below. Actors never call each other
+//! directly; they schedule events and the world routes each one to the
+//! owning actor's handler. This module also re-exports the structured
+//! observability vocabulary ([`TraceEvent`] and friends) that the same
+//! layers emit into the [`telemetry`](crate::telemetry) sink.
+
+use rlive_data::recovery::RecoveryAction;
+use rlive_media::footprint::LocalChain;
+use rlive_media::frame::FrameHeader;
+
+pub use rlive_sim::trace::{TraceEvent, TraceRecord, TraceSink};
+
+/// Substream index used for full-stream relay subscriptions.
+pub(crate) const FULL_STREAM: u16 = u16::MAX;
+
+/// A scheduled simulation event; the unit of work of the event loop.
+#[derive(Debug, Clone)]
+pub enum Event {
+    /// A live stream produces its next GoP frame.
+    StreamFrame {
+        /// Producing stream index.
+        stream: u32,
+    },
+    /// A backhauled frame arrives at a relay and is forwarded.
+    RelayFrame {
+        /// Receiving relay index.
+        relay: u32,
+        /// Stream the frame belongs to.
+        stream: u32,
+        /// Frame timestamp (identifies the frame in the stream record).
+        dts: u64,
+    },
+    /// A (partial) frame arrives at a client.
+    ClientSlice(Box<SliceDelivery>),
+    /// Central sequencing metadata arrives at a client.
+    ChainDelivery {
+        /// Receiving client.
+        client: u64,
+        /// Stream the chain belongs to.
+        stream: u32,
+        /// Frame timestamp of the chain entry.
+        dts: u64,
+    },
+    /// A client's playout loop advances one frame interval.
+    PlayerTick {
+        /// Ticking client.
+        client: u64,
+    },
+    /// A client's coarse control loop runs (fallback, switch, ABR).
+    ControlTick {
+        /// Ticking client.
+        client: u64,
+    },
+    /// A loss-recovery attempt issued earlier completes.
+    RecoveryOutcome {
+        /// Requesting client.
+        client: u64,
+        /// Frame timestamp that was recovered.
+        dts: u64,
+        /// The action that was attempted.
+        action: RecoveryAction,
+        /// Whether the retransmission succeeded.
+        success: bool,
+    },
+    /// A relay's maintenance loop runs (churn, load, heartbeat).
+    RelayTick {
+        /// Ticking relay index.
+        relay: u32,
+    },
+    /// A CDN edge's background-load loop runs.
+    CdnTick {
+        /// Ticking edge index.
+        edge: u32,
+    },
+    /// The arrival process spawns the next viewer session.
+    ClientArrival,
+    /// The multi-source promotion gate evaluates a session.
+    MultiSourceUpgrade {
+        /// Candidate client.
+        client: u64,
+    },
+    /// A viewer session ends.
+    ClientDeparture {
+        /// Departing client.
+        client: u64,
+    },
+}
+
+impl Event {
+    /// Counter label of this event kind (simulator instrumentation).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Event::StreamFrame { .. } => "stream_frame",
+            Event::RelayFrame { .. } => "relay_frame",
+            Event::ClientSlice(_) => "client_slice",
+            Event::ChainDelivery { .. } => "chain_delivery",
+            Event::PlayerTick { .. } => "player_tick",
+            Event::ControlTick { .. } => "control_tick",
+            Event::RecoveryOutcome { .. } => "recovery_outcome",
+            Event::RelayTick { .. } => "relay_tick",
+            Event::CdnTick { .. } => "cdn_tick",
+            Event::ClientArrival => "client_arrival",
+            Event::MultiSourceUpgrade { .. } => "multi_source_upgrade",
+            Event::ClientDeparture { .. } => "client_departure",
+        }
+    }
+}
+
+/// Payload of an [`Event::ClientSlice`]: one frame's worth of packets
+/// delivered to a client from either a CDN edge or a relay.
+#[derive(Debug, Clone)]
+pub struct SliceDelivery {
+    /// Receiving client.
+    pub client: u64,
+    /// Header of the delivered frame.
+    pub header: FrameHeader,
+    /// Substream the slice travelled on.
+    pub substream: u16,
+    /// Indices of the packets that actually arrived.
+    pub received: Vec<u32>,
+    /// Total packets of the (scaled) frame.
+    pub total: u32,
+    /// Embedded sequencing chain, if the path carries one.
+    pub chain: Option<LocalChain>,
+    /// Bytes that actually arrived (for throughput/energy accounting).
+    pub bytes: u64,
+}

@@ -33,11 +33,15 @@
 
 pub mod abr;
 pub mod abtest;
+pub(crate) mod actors;
 pub mod config;
 pub mod cost;
 pub mod energy;
+pub mod events;
 pub mod qoe;
 pub mod report;
+pub(crate) mod session;
+pub mod telemetry;
 pub mod world;
 
 pub use abtest::{AbReport, AbTest};

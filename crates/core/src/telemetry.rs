@@ -1,0 +1,170 @@
+//! Structured-trace rendering: per-session timelines from a drained
+//! [`TraceSink`].
+//!
+//! The simulation is single-threaded, so a sink's record order is a pure
+//! function of the seed. Rendering only sorts *grouped* output (sessions
+//! by id) and never reorders records within a group, so the rendered
+//! timeline is deterministic too: same seed, same ring capacity, same
+//! text.
+//!
+//! Determinism rules for emitters (enforced by convention, validated by
+//! the golden-output harness):
+//!
+//! 1. **Never draw randomness to decide whether to emit.** Emission must
+//!    be a side effect of a decision the simulation already made.
+//! 2. **A disabled sink is free.** All emit paths go through
+//!    [`TraceSink::emit`], which is a no-op unless a ring was attached,
+//!    so `experiments` output is byte-identical with tracing off.
+//! 3. **Attribute session-scoped events to the client id** and leave
+//!    `session = None` for node/world-level events (churn, adviser and
+//!    scheduler activity), so timelines can be grouped faithfully.
+
+pub use rlive_sim::trace::{TraceEvent, TraceRecord, TraceSink};
+use std::collections::BTreeMap;
+
+/// Renders drained trace records as a human-readable timeline.
+///
+/// Output begins with a `world` section holding records with no session
+/// attribution, followed by one block per session (sorted by client id).
+/// Each line is `t=<ms>ms <event>`. When `stream_filter` is given, only
+/// sessions whose [`TraceEvent::SessionJoin`] names that stream are
+/// rendered (the world section is always kept, as node-level events are
+/// not attributable to a single stream).
+pub fn render_timeline(records: &[TraceRecord], stream_filter: Option<u64>) -> String {
+    // Map each session to the stream it joined, so filtering works even
+    // for records that do not themselves carry a stream id.
+    let mut session_stream: BTreeMap<u64, u64> = BTreeMap::new();
+    for r in records {
+        if let (Some(sid), TraceEvent::SessionJoin { stream, .. }) = (r.session, &r.event) {
+            session_stream.entry(sid).or_insert(*stream);
+        }
+    }
+
+    let mut world_lines: Vec<String> = Vec::new();
+    let mut per_session: BTreeMap<u64, Vec<String>> = BTreeMap::new();
+    for r in records {
+        let line = format!("  t={}ms {}", r.at.as_millis(), r.event);
+        match r.session {
+            None => world_lines.push(line),
+            Some(sid) => {
+                if let Some(want) = stream_filter {
+                    // Sessions with an unknown stream (join fell out of
+                    // the ring) are excluded by an explicit filter.
+                    if session_stream.get(&sid) != Some(&want) {
+                        continue;
+                    }
+                }
+                per_session.entry(sid).or_default().push(line);
+            }
+        }
+    }
+
+    let mut out = String::new();
+    out.push_str(&format!("trace: {} records\n", records.len()));
+    if !world_lines.is_empty() {
+        out.push_str("world:\n");
+        for l in &world_lines {
+            out.push_str(l);
+            out.push('\n');
+        }
+    }
+    for (sid, lines) in &per_session {
+        match session_stream.get(sid) {
+            Some(stream) => out.push_str(&format!("session {sid} (stream {stream}):\n")),
+            None => out.push_str(&format!("session {sid}:\n")),
+        }
+        for l in lines {
+            out.push_str(l);
+            out.push('\n');
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rlive_sim::SimTime;
+
+    fn rec(at_ms: u64, session: Option<u64>, event: TraceEvent) -> TraceRecord {
+        TraceRecord {
+            at: SimTime::from_millis(at_ms),
+            session,
+            event,
+        }
+    }
+
+    fn sample() -> Vec<TraceRecord> {
+        vec![
+            rec(
+                0,
+                None,
+                TraceEvent::Churn {
+                    node: 3,
+                    online: false,
+                },
+            ),
+            rec(
+                10,
+                Some(7),
+                TraceEvent::SessionJoin {
+                    stream: 2,
+                    group: "test",
+                    mode: "rlive",
+                },
+            ),
+            rec(
+                11,
+                Some(5),
+                TraceEvent::SessionJoin {
+                    stream: 1,
+                    group: "test",
+                    mode: "rlive",
+                },
+            ),
+            rec(20, Some(7), TraceEvent::CdnPrefill { frames: 12 }),
+            rec(
+                30,
+                Some(5),
+                TraceEvent::SessionDepart {
+                    frames_played: 100,
+                    rebuffer_events: 0,
+                },
+            ),
+        ]
+    }
+
+    #[test]
+    fn groups_by_session_sorted_by_id() {
+        let text = render_timeline(&sample(), None);
+        let s5 = text.find("session 5 (stream 1):").expect("session 5");
+        let s7 = text.find("session 7 (stream 2):").expect("session 7");
+        assert!(s5 < s7, "sessions sorted by id");
+        assert!(text.starts_with("trace: 5 records\n"));
+        assert!(text.contains("world:\n  t=0ms churn node=3 offline"));
+    }
+
+    #[test]
+    fn stream_filter_keeps_world_and_matching_sessions() {
+        let text = render_timeline(&sample(), Some(2));
+        assert!(text.contains("session 7 (stream 2):"));
+        assert!(!text.contains("session 5"));
+        assert!(text.contains("world:"), "world section always kept");
+    }
+
+    #[test]
+    fn unattributed_session_excluded_by_filter() {
+        // A session whose join fell out of the ring has no known stream;
+        // an explicit filter must drop it rather than guess.
+        let records = vec![rec(5, Some(9), TraceEvent::CdnPrefill { frames: 1 })];
+        let filtered = render_timeline(&records, Some(0));
+        assert!(!filtered.contains("session 9"));
+        let unfiltered = render_timeline(&records, None);
+        assert!(unfiltered.contains("session 9:\n"));
+    }
+
+    #[test]
+    fn empty_input_renders_header_only() {
+        assert_eq!(render_timeline(&[], None), "trace: 0 records\n");
+    }
+}

@@ -1,47 +1,37 @@
-//! The end-to-end simulated delivery world.
+//! The end-to-end simulated delivery world: event loop and routing.
 //!
 //! A [`World`] wires every RLive component onto the discrete-event
-//! substrate: live streams generate GoP frames; CDN edges feed clients
-//! and best-effort relays over capacity-limited links; relays packetise,
-//! chain and push substreams to subscribers; clients reorder, recover,
-//! adapt bitrate and play out; the collaborative control plane maps
-//! users to nodes and re-maps them on churn, QoS degradation or
-//! under-utilisation. Per-client delivery mode supports A/B testing of
-//! control vs test policies inside one shared world.
+//! substrate. The actors themselves live in `crate::actors` (stream
+//! sources, CDN edges, relays, clients) and the session/control
+//! orchestration in `crate::session`; this module owns only the event
+//! queue, the per-event routing that resolves typed views across
+//! actors, and [`RunReport`] assembly. Per-client delivery mode
+//! supports A/B testing of control vs test policies inside one shared
+//! world.
 
-use crate::abr::{AbrConfig, AbrState};
-use crate::config::{DeliveryMode, SystemConfig, BASE_RUNG, BITRATE_LADDER};
-use crate::cost::{TrafficClass, TrafficLedger};
-use crate::energy::{EnergyAccount, EnergyModel};
-use crate::qoe::{GroupQoe, SessionMetrics};
-use rlive_control::adviser::SwitchSuggestion;
-use rlive_control::features::{heartbeat_interval_secs, ClientId, Heartbeat};
-use rlive_control::quota::NodeQuotas;
-use rlive_control::scheduler::Candidate;
-use rlive_control::{
-    ClientController, ClientInfo, EdgeAdviser, GlobalScheduler, NodeClass, NodeId, NodeStatus,
-    Platform, StaticFeatures, StreamKey,
-};
-use rlive_data::recovery::{FrameState, RecoveryAction, RecoveryDecider, RecoveryStats};
-use rlive_data::reorder::{PlaybackBuffer, ReorderBuffer};
-use rlive_media::footprint::{ChainGenerator, LocalChain};
+use crate::actors::actor_ctx;
+use crate::actors::cdn::CdnEdge;
+use crate::actors::client::{Client, ClientMode, SubSource};
+use crate::actors::relay::{Relay, SubscriberView};
+use crate::actors::stream::{StreamState, SuperNode};
+use crate::config::{DeliveryMode, SystemConfig};
+use crate::cost::TrafficLedger;
+use crate::energy::EnergyModel;
+use crate::events::{Event, TraceEvent, TraceSink, FULL_STREAM};
+use crate::qoe::GroupQoe;
+use crate::session;
+use rlive_control::features::Heartbeat;
+use rlive_control::{GlobalScheduler, NodeClass, NodeId, NodeStatus, StaticFeatures};
 use rlive_media::frame::FrameHeader;
-use rlive_media::gop::{GopConfig, GopGenerator};
-use rlive_media::packet::PACKET_PAYLOAD;
-use rlive_sim::churn::ChurnTimeline;
-use rlive_sim::link::{Link, LinkConfig, TxOutcome};
 use rlive_sim::metrics::TimeSeries;
 use rlive_sim::nat::TraversalModel;
 use rlive_sim::trace::TraceCounters;
 use rlive_sim::{EventQueue, SimDuration, SimRng, SimTime};
-use rlive_workload::nodes::{NodePopulation, NodeSpec};
+use rlive_workload::nodes::NodePopulation;
 use rlive_workload::scenario::Scenario;
-use rlive_workload::streams::{sample_view_duration_secs, StreamPopularity};
-use rlive_workload::traces::{RetxServer, RetxTraceGenerator};
-use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet, VecDeque};
-
-/// Substream index used for full-stream relay subscriptions.
-const FULL_STREAM: u16 = u16::MAX;
+use rlive_workload::streams::StreamPopularity;
+use rlive_workload::traces::RetxTraceGenerator;
+use std::collections::{BTreeMap, HashSet};
 
 /// Experiment group of a client, for A/B splits.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -79,226 +69,6 @@ impl GroupPolicy {
             control,
             test,
             test_fraction: 0.5,
-        }
-    }
-}
-
-#[derive(Debug, Clone)]
-enum Event {
-    StreamFrame {
-        stream: u32,
-    },
-    RelayFrame {
-        relay: u32,
-        stream: u32,
-        dts: u64,
-    },
-    ClientSlice(Box<SliceDelivery>),
-    ChainDelivery {
-        client: u64,
-        stream: u32,
-        dts: u64,
-    },
-    PlayerTick {
-        client: u64,
-    },
-    ControlTick {
-        client: u64,
-    },
-    RecoveryOutcome {
-        client: u64,
-        dts: u64,
-        action: RecoveryAction,
-        success: bool,
-    },
-    RelayTick {
-        relay: u32,
-    },
-    CdnTick {
-        edge: u32,
-    },
-    ClientArrival,
-    MultiSourceUpgrade {
-        client: u64,
-    },
-    ClientDeparture {
-        client: u64,
-    },
-}
-
-#[derive(Debug, Clone)]
-struct SliceDelivery {
-    client: u64,
-    header: FrameHeader,
-    substream: u16,
-    received: Vec<u32>,
-    total: u32,
-    chain: Option<LocalChain>,
-    /// Bytes that actually arrived (for throughput/energy accounting).
-    bytes: u64,
-}
-
-struct StreamState {
-    generator: GopGenerator,
-    chains: ChainGenerator,
-    /// Recent frames: dts -> (header, canonical chain).
-    recent: HashMap<u64, (FrameHeader, LocalChain)>,
-    recent_order: VecDeque<u64>,
-    /// Active viewers (popularity gate).
-    viewers: usize,
-    /// The sim time at which dts = 0 was produced.
-    epoch: SimTime,
-}
-
-impl StreamState {
-    fn remember(&mut self, header: FrameHeader, chain: LocalChain) {
-        self.recent.insert(header.dts_ms, (header, chain));
-        self.recent_order.push_back(header.dts_ms);
-        while self.recent_order.len() > 600 {
-            if let Some(old) = self.recent_order.pop_front() {
-                self.recent.remove(&old);
-            }
-        }
-    }
-}
-
-struct CdnEdge {
-    link: Link,
-    rtt_ms: u64,
-    base_mbps: u64,
-    /// Ornstein–Uhlenbeck-ish state of the background-load fluctuation.
-    bg_state: f64,
-    /// End of the current sharp overload spike, if one is active.
-    spike_until: SimTime,
-}
-
-struct Relay {
-    spec: NodeSpec,
-    uplink: Link,
-    /// Mean fraction of the uplink consumed by the node's other tenants
-    /// (best-effort boxes are shared; advertised bandwidth is far less
-    /// reliable than dedicated servers, §8.1).
-    bg_mean: f64,
-    /// Mean-reverting fluctuation state of the background load.
-    bg_state: f64,
-    quotas: NodeQuotas,
-    churn: ChurnTimeline,
-    online: bool,
-    adviser: EdgeAdviser,
-    /// (stream, substream-or-FULL) -> subscriber client ids.
-    subscribers: BTreeMap<(u32, u16), Vec<u64>>,
-    forwarding: BTreeSet<StreamKey>,
-    serving_bytes: u64,
-    backward_bytes: u64,
-    /// High-water mark of concurrent subscribers.
-    peak_subscribers: usize,
-    /// Streams for which this relay receives the full header sequence.
-    feeding_streams: BTreeSet<u32>,
-}
-
-impl Relay {
-    fn subscriber_count(&self) -> usize {
-        self.subscribers.values().map(|v| v.len()).sum()
-    }
-}
-
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum SubSource {
-    Relay(u32),
-    Cdn,
-}
-
-enum ClientMode {
-    CdnFull,
-    SingleSource {
-        relay: u32,
-    },
-    Multi {
-        sources: Vec<SubSource>,
-        redundant: Vec<Option<u32>>,
-    },
-}
-
-struct Client {
-    id: u64,
-    group: Group,
-    mode_policy: DeliveryMode,
-    info: ClientInfo,
-    stream: u32,
-    cdn_edge: usize,
-    mode: ClientMode,
-    controller: ClientController,
-    reorder: ReorderBuffer,
-    playback: PlaybackBuffer,
-    abr: AbrState,
-    recovery_stats: RecoveryStats,
-    session: SessionMetrics,
-    energy: EnergyAccount,
-    /// In-flight recovery requests: dts -> (action, issue time).
-    requested_recovery: HashMap<u64, (RecoveryAction, SimTime)>,
-    /// Cached candidate lists from the scheduler, per substream (the
-    /// mapping unit is the user–substream pair, §2.3).
-    candidates: HashMap<u16, Vec<Candidate>>,
-    /// Set when a relay sent a proactive switch suggestion.
-    switch_suggested: bool,
-    last_slice_at: SimTime,
-    /// Completion time of the last frame released to playback.
-    last_release_at: SimTime,
-    /// EWMA of |inter-release gap − frame interval| in ms — the jitter
-    /// margin the player must buffer against.
-    jitter_ewma_ms: f64,
-    leaves_at: SimTime,
-    /// Next dts the player needs (deadline estimation).
-    next_needed_dts: u64,
-    departed: bool,
-    upgrade_scheduled: bool,
-}
-
-impl Client {
-    /// Feeds released-frame completion times into the jitter estimate.
-    fn observe_releases(&mut self, now: SimTime, count: usize) {
-        if count == 0 {
-            return;
-        }
-        let gap = now.saturating_since(self.last_release_at).as_millis_f64();
-        self.last_release_at = now;
-        let alpha = 0.05;
-        // First frame of the batch carries the real gap; the rest of a
-        // burst arrived "at once" (gap 0), which is itself jitter.
-        let mut sample = (gap - 33.3).abs();
-        for _ in 0..count {
-            self.jitter_ewma_ms = (1.0 - alpha) * self.jitter_ewma_ms + alpha * sample;
-            sample = 33.3;
-        }
-    }
-
-    /// The latency pad the player holds against delivery jitter: the
-    /// chase floor is `base + pad`, so jitterier paths settle at higher
-    /// end-to-end latency (production players adapt target latency the
-    /// same way).
-    fn jitter_pad(&self) -> SimDuration {
-        SimDuration::from_millis((6.0 * self.jitter_ewma_ms).clamp(150.0, 2_500.0) as u64)
-    }
-
-    fn uses_best_effort(&self) -> bool {
-        !matches!(self.mode, ClientMode::CdnFull)
-    }
-
-    fn relay_sources(&self) -> Vec<u32> {
-        match &self.mode {
-            ClientMode::CdnFull => Vec::new(),
-            ClientMode::SingleSource { relay } => vec![*relay],
-            ClientMode::Multi { sources, redundant } => {
-                let mut v: Vec<u32> = sources
-                    .iter()
-                    .filter_map(|s| match s {
-                        SubSource::Relay(r) => Some(*r),
-                        SubSource::Cdn => None,
-                    })
-                    .collect();
-                v.extend(redundant.iter().flatten().copied());
-                v
-            }
         }
     }
 }
@@ -341,38 +111,41 @@ pub struct RunReport {
 
 /// The world: all simulated state plus the event loop.
 pub struct World {
-    cfg: SystemConfig,
-    scenario: Scenario,
-    policy: GroupPolicy,
-    queue: EventQueue<Event>,
-    rng: SimRng,
-    scheduler: GlobalScheduler,
-    traversal: TraversalModel,
-    retx_traces: RetxTraceGenerator,
-    energy_model: EnergyModel,
-    streams: Vec<StreamState>,
-    popularity: StreamPopularity,
-    cdn: Vec<CdnEdge>,
-    relays: Vec<Relay>,
-    clients: BTreeMap<u64, Client>,
-    next_client: u64,
-    users_seen: HashSet<u64>,
-    control_qoe: GroupQoe,
-    test_qoe: GroupQoe,
-    control_traffic: TrafficLedger,
-    test_traffic: TrafficLedger,
-    control_energy: Vec<(f64, f64, f64, f64)>,
-    test_energy: Vec<(f64, f64, f64, f64)>,
-    candidate_probes: u64,
-    candidate_invalid: u64,
+    pub(crate) cfg: SystemConfig,
+    pub(crate) scenario: Scenario,
+    pub(crate) policy: GroupPolicy,
+    pub(crate) queue: EventQueue<Event>,
+    pub(crate) rng: SimRng,
+    pub(crate) scheduler: GlobalScheduler,
+    pub(crate) traversal: TraversalModel,
+    pub(crate) retx_traces: RetxTraceGenerator,
+    pub(crate) energy_model: EnergyModel,
+    pub(crate) streams: Vec<StreamState>,
+    pub(crate) popularity: StreamPopularity,
+    pub(crate) cdn: Vec<CdnEdge>,
+    pub(crate) relays: Vec<Relay>,
+    pub(crate) clients: BTreeMap<u64, Client>,
+    pub(crate) next_client: u64,
+    pub(crate) users_seen: HashSet<u64>,
+    pub(crate) control_qoe: GroupQoe,
+    pub(crate) test_qoe: GroupQoe,
+    pub(crate) control_traffic: TrafficLedger,
+    pub(crate) test_traffic: TrafficLedger,
+    pub(crate) control_energy: Vec<(f64, f64, f64, f64)>,
+    pub(crate) test_energy: Vec<(f64, f64, f64, f64)>,
+    pub(crate) candidate_probes: u64,
+    pub(crate) candidate_invalid: u64,
     /// Event-kind counters for debugging and reporting.
-    counters: TraceCounters,
+    pub(crate) counters: TraceCounters,
     /// Aggregate traffic expansion rate sampled over time (Fig 11c).
-    gamma_series: TimeSeries,
-    last_gamma_sample: (u64, u64, SimTime),
-    end_at: SimTime,
-    /// Centralised sequencing super-node state: outage windows.
-    super_node_down_until: SimTime,
+    pub(crate) gamma_series: TimeSeries,
+    pub(crate) last_gamma_sample: (u64, u64, SimTime),
+    pub(crate) end_at: SimTime,
+    /// Centralised sequencing super-node state (§7.3.2).
+    pub(crate) super_node: SuperNode,
+    /// Structured-event telemetry sink; disabled (zero-cost) unless a
+    /// sink is attached via [`World::attach_trace_sink`].
+    pub(crate) trace: TraceSink,
 }
 
 impl World {
@@ -385,32 +158,12 @@ impl World {
         // Streams.
         let popularity = StreamPopularity::new(scenario.streams, scenario.zipf_s);
         let streams: Vec<StreamState> = (0..scenario.streams)
-            .map(|i| StreamState {
-                generator: GopGenerator::new(
-                    i as u64,
-                    GopConfig::default(),
-                    rng.fork(100 + i as u64),
-                ),
-                chains: ChainGenerator::new(PACKET_PAYLOAD),
-                recent: HashMap::new(),
-                recent_order: VecDeque::new(),
-                viewers: 0,
-                epoch: SimTime::ZERO,
-            })
+            .map(|i| StreamState::new(i as u64, rng.fork(100 + i as u64)))
             .collect();
 
         // CDN edges.
         let cdn: Vec<CdnEdge> = (0..cfg.cdn_edges)
-            .map(|i| CdnEdge {
-                link: Link::new(
-                    LinkConfig::dedicated(cfg.cdn_edge_mbps, cfg.cdn_rtt_ms),
-                    rng.fork(200 + i as u64),
-                ),
-                rtt_ms: cfg.cdn_rtt_ms,
-                base_mbps: cfg.cdn_edge_mbps,
-                bg_state: 0.0,
-                spike_until: SimTime::ZERO,
-            })
+            .map(|i| CdnEdge::new(cfg.cdn_edge_mbps, cfg.cdn_rtt_ms, rng.fork(200 + i as u64)))
             .collect();
 
         // Relays.
@@ -436,26 +189,12 @@ impl World {
                     statics,
                     NodeStatus::idle(spec.capacity_mbps),
                 );
-                let sessions = (spec.capacity_mbps / 0.5).clamp(4.0, 200.0);
-                Relay {
-                    bg_mean: rng.range_f64(0.15, 0.55),
-                    bg_state: 0.0,
-                    uplink: Link::new(
-                        LinkConfig::best_effort(spec.capacity_mbps, spec.base_rtt_ms),
-                        rng.fork(300 + spec.id),
-                    ),
-                    quotas: NodeQuotas::new(spec.capacity_mbps, 2.0, 512.0, sessions),
-                    churn: ChurnTimeline::new(population.churn.clone(), rng.fork(4000 + spec.id)),
-                    online: true,
-                    adviser: EdgeAdviser::new(NodeId(spec.id), cfg.adviser.clone()),
-                    subscribers: BTreeMap::new(),
-                    forwarding: BTreeSet::new(),
-                    serving_bytes: 0,
-                    backward_bytes: 0,
-                    peak_subscribers: 0,
-                    feeding_streams: BTreeSet::new(),
-                    spec: spec.clone(),
-                }
+                Relay::new(
+                    spec,
+                    cfg.adviser.clone(),
+                    population.churn.clone(),
+                    &mut rng,
+                )
             })
             .collect();
 
@@ -489,7 +228,8 @@ impl World {
             gamma_series: TimeSeries::new(15.0),
             last_gamma_sample: (0, 0, SimTime::ZERO),
             end_at,
-            super_node_down_until: SimTime::ZERO,
+            super_node: SuperNode::new(),
+            trace: TraceSink::disabled(),
         };
         world.bootstrap();
         world
@@ -512,28 +252,64 @@ impl World {
         self.queue.schedule(SimTime::ZERO, Event::ClientArrival);
     }
 
+    /// Attaches a structured-event telemetry sink. Every layer (world
+    /// routing, session control, relays' advisers, clients' reorder
+    /// buffers, the scheduler) emits [`TraceEvent`]s into it from now
+    /// on. Attaching a sink never changes simulation behaviour: the
+    /// sink is write-only and all randomness stays on [`SimRng`].
+    pub fn attach_trace_sink(&mut self, sink: TraceSink) {
+        self.trace = sink.clone();
+        self.scheduler.set_trace_sink(sink.clone());
+        for relay in &mut self.relays {
+            relay.set_trace(sink.clone());
+        }
+        for (cid, client) in self.clients.iter_mut() {
+            client.reorder.set_trace_sink(*cid, sink.clone());
+        }
+    }
+
     /// Replaces every relay's churn timeline with one drawn from
     /// `model` — a failure-injection hook for robustness tests.
     pub fn inject_churn_model(&mut self, model: &rlive_sim::churn::ChurnModel) {
         for (i, relay) in self.relays.iter_mut().enumerate() {
-            relay.churn = ChurnTimeline::new(model.clone(), self.rng.fork(9_000 + i as u64));
+            relay.set_churn(rlive_sim::churn::ChurnTimeline::new(
+                model.clone(),
+                self.rng.fork(9_000 + i as u64),
+            ));
         }
     }
 
     /// Failure injection: a `fraction` of relays (chosen
     /// deterministically) goes offline at `at` for `outage`, then
     /// resumes normal churn. Models a correlated vendor/region outage.
-    pub fn inject_mass_outage(&mut self, at: SimTime, outage: SimDuration, fraction: f64) {
+    ///
+    /// `fraction` is clamped to `[0, 1]`; a non-finite fraction or a
+    /// zero-length outage is rejected rather than silently scripting a
+    /// no-op timeline. Returns the number of relays scripted.
+    pub fn inject_mass_outage(
+        &mut self,
+        at: SimTime,
+        outage: SimDuration,
+        fraction: f64,
+    ) -> Result<usize, &'static str> {
+        if outage.as_millis() == 0 {
+            return Err("mass outage duration must be non-zero");
+        }
+        if !fraction.is_finite() {
+            return Err("mass outage fraction must be finite");
+        }
         let n = (self.relays.len() as f64 * fraction.clamp(0.0, 1.0)).round() as usize;
-        for i in 0..n.min(self.relays.len()) {
+        let n = n.min(self.relays.len());
+        for i in 0..n {
             let rng = self.rng.fork(17_000 + i as u64);
-            self.relays[i].churn = ChurnTimeline::scripted(
+            self.relays[i].set_churn(rlive_sim::churn::ChurnTimeline::scripted(
                 rlive_sim::churn::ChurnModel::production(),
                 rng,
                 at,
                 outage,
-            );
+            ));
         }
+        Ok(n)
     }
 
     /// Runs the world to completion and produces the report.
@@ -558,7 +334,7 @@ impl World {
         let ids: Vec<u64> = self.clients.keys().copied().collect();
         let end = self.end_at;
         for id in ids {
-            self.close_session(end, id);
+            session::close_session(&mut self, end, id);
         }
         let relay_expansion_rates: Vec<f64> = self
             .relays
@@ -614,20 +390,20 @@ impl World {
         }
     }
 
-    fn hour_at(&self, now: SimTime) -> f64 {
+    pub(crate) fn hour_at(&self, now: SimTime) -> f64 {
         self.scenario.start_hour + now.as_secs_f64() / 3600.0
     }
 
-    fn frame_interval(&self) -> SimDuration {
+    pub(crate) fn frame_interval(&self) -> SimDuration {
         SimDuration::from_secs_f64(1.0 / 30.0)
     }
 
     /// Maps a frame to its substream under the configured strategy.
-    fn substream_for(&self, header: &FrameHeader) -> u16 {
+    pub(crate) fn substream_for(&self, header: &FrameHeader) -> u16 {
         self.cfg.partition.assign(header, self.cfg.substreams).0
     }
 
-    fn ledger_mut(&mut self, group: Group) -> &mut TrafficLedger {
+    pub(crate) fn ledger_mut(&mut self, group: Group) -> &mut TrafficLedger {
         match group {
             Group::Control => &mut self.control_traffic,
             Group::Test => &mut self.test_traffic,
@@ -635,20 +411,7 @@ impl World {
     }
 
     fn handle(&mut self, now: SimTime, event: Event) {
-        self.counters.bump(match &event {
-            Event::StreamFrame { .. } => "stream_frame",
-            Event::RelayFrame { .. } => "relay_frame",
-            Event::ClientSlice(_) => "client_slice",
-            Event::ChainDelivery { .. } => "chain_delivery",
-            Event::PlayerTick { .. } => "player_tick",
-            Event::ControlTick { .. } => "control_tick",
-            Event::RecoveryOutcome { .. } => "recovery_outcome",
-            Event::RelayTick { .. } => "relay_tick",
-            Event::CdnTick { .. } => "cdn_tick",
-            Event::ClientArrival => "client_arrival",
-            Event::MultiSourceUpgrade { .. } => "multi_source_upgrade",
-            Event::ClientDeparture { .. } => "client_departure",
-        });
+        self.counters.bump(event.kind());
         match event {
             Event::StreamFrame { stream } => self.on_stream_frame(now, stream),
             Event::RelayFrame { relay, stream, dts } => {
@@ -661,18 +424,18 @@ impl World {
                 dts,
             } => self.on_chain_delivery(now, client, stream, dts),
             Event::PlayerTick { client } => self.on_player_tick(now, client),
-            Event::ControlTick { client } => self.on_control_tick(now, client),
+            Event::ControlTick { client } => session::on_control_tick(self, now, client),
             Event::RecoveryOutcome {
                 client,
                 dts,
                 action,
                 success,
-            } => self.on_recovery_outcome(now, client, dts, action, success),
+            } => session::on_recovery_outcome(self, now, client, dts, action, success),
             Event::RelayTick { relay } => self.on_relay_tick(now, relay),
             Event::CdnTick { edge } => self.on_cdn_tick(now, edge),
-            Event::ClientArrival => self.on_client_arrival(now),
-            Event::MultiSourceUpgrade { client } => self.on_upgrade(now, client),
-            Event::ClientDeparture { client } => self.close_session(now, client),
+            Event::ClientArrival => session::on_client_arrival(self, now),
+            Event::MultiSourceUpgrade { client } => session::on_upgrade(self, now, client),
+            Event::ClientDeparture { client } => session::close_session(self, now, client),
         }
     }
 
@@ -680,13 +443,7 @@ impl World {
 
     fn on_stream_frame(&mut self, now: SimTime, stream: u32) {
         let s = stream as usize;
-        let (header, chain) = {
-            let st = &mut self.streams[s];
-            let frame = st.generator.next_frame();
-            let chain = st.chains.observe(&frame.header);
-            st.remember(frame.header, chain.clone());
-            (frame.header, chain)
-        };
+        let (header, chain) = self.streams[s].next_frame();
         let ss = self.substream_for(&header);
 
         // Feed relays that forward this stream (full frames for their
@@ -695,73 +452,50 @@ impl World {
             .relays
             .iter()
             .enumerate()
-            .filter(|(_, r)| r.feeding_streams.contains(&stream))
+            .filter(|(_, r)| r.feeds(stream))
             .map(|(i, _)| i as u32)
             .collect();
         for rid in feeding {
-            let relay = &self.relays[rid as usize];
-            if !relay.online {
-                continue;
-            }
-            let full = relay.subscribers.contains_key(&(stream, FULL_STREAM));
-            let this_ss = relay.subscribers.contains_key(&(stream, ss));
-            let needs_payload = full || this_ss;
-            // The relay pulls the highest rung any subscriber watches.
-            let max_scale = relay
-                .subscribers
-                .iter()
-                .filter(|((st, sub), _)| *st == stream && (*sub == FULL_STREAM || *sub == ss))
-                .flat_map(|(_, subs)| subs.iter())
-                .filter_map(|cid| self.clients.get(cid).map(|c| c.abr.scale()))
-                .fold(0.0f64, f64::max)
-                .max(if needs_payload { 0.25 } else { 0.0 });
-            let bytes = if needs_payload {
-                (header.size as f64 * max_scale) as usize + 64
-            } else {
-                64 // header-only feed
-            };
-            let edge = (relay.spec.id as usize) % self.cdn.len();
-            let outcome = self.cdn[edge].link.transmit(now, bytes);
-            if let TxOutcome::Delivered(at) = outcome {
-                if needs_payload {
-                    let relay = &mut self.relays[rid as usize];
-                    relay.backward_bytes += bytes as u64;
-                    relay.quotas.bandwidth.used = relay.quotas.bandwidth.used.max(0.0);
+            let (needs_payload, bytes, edge) = {
+                let relay = &self.relays[rid as usize];
+                if !relay.online {
+                    continue;
                 }
-                // Backhaul is dedicated traffic; attribute it to the
-                // subscriber groups proportionally.
-                if needs_payload {
-                    let (test_subs, control_subs) = self.group_counts(rid);
-                    let total = (test_subs + control_subs).max(1);
-                    let test_share = bytes as u64 * test_subs as u64 / total as u64;
-                    self.test_traffic
-                        .add(TrafficClass::DedicatedBackhaul, test_share);
-                    self.control_traffic
-                        .add(TrafficClass::DedicatedBackhaul, bytes as u64 - test_share);
-                }
-                // Chunk-based forwarding (§5.1): the relay holds the
-                // frame until its chunk completes, adding head-of-line
-                // accumulation latency that frame-level push avoids.
-                let chunk_delay = match self.cfg.chunk_frames {
-                    Some(chunk) if chunk > 1 => {
-                        let idx = header.dts_ms / 33;
-                        let pos = idx % chunk as u64;
-                        SimDuration::from_millis((chunk as u64 - 1 - pos) * 33)
-                    }
-                    _ => SimDuration::ZERO,
+                let needs_payload =
+                    relay.has_subscribers(stream, FULL_STREAM) || relay.has_subscribers(stream, ss);
+                // The relay pulls the highest rung any subscriber watches.
+                let max_scale = relay
+                    .interested_clients(stream, ss)
+                    .iter()
+                    .filter_map(|cid| self.clients.get(cid).map(|c| c.abr.scale()))
+                    .fold(0.0f64, f64::max)
+                    .max(if needs_payload { 0.25 } else { 0.0 });
+                let bytes = if needs_payload {
+                    (header.size as f64 * max_scale) as usize + 64
+                } else {
+                    64 // header-only feed
                 };
-                let arrive = at
-                    + chunk_delay
-                    + SimDuration::from_millis(self.relays[rid as usize].spec.base_rtt_ms / 2);
-                self.queue.schedule(
-                    arrive,
-                    Event::RelayFrame {
-                        relay: rid,
-                        stream,
-                        dts: header.dts_ms,
-                    },
-                );
-            }
+                let edge = (relay.spec.id as usize) % self.cdn.len();
+                (needs_payload, bytes, edge)
+            };
+            // Backhaul is dedicated traffic; attribute it to the
+            // subscriber groups proportionally.
+            let counts = if needs_payload {
+                session::group_counts(self, rid)
+            } else {
+                (0, 0)
+            };
+            let mut ctx = actor_ctx!(self, now);
+            self.relays[rid as usize].pull_backhaul(
+                &mut ctx,
+                &mut self.cdn[edge],
+                rid,
+                &header,
+                stream,
+                needs_payload,
+                bytes,
+                counts,
+            );
         }
 
         // Serve clients pulling the full stream straight from the CDN.
@@ -772,7 +506,7 @@ impl World {
             .map(|c| c.id)
             .collect();
         for cid in direct {
-            self.cdn_deliver_frame(now, cid, header, Some(chain.clone()), ss);
+            session::cdn_deliver_frame(self, now, cid, header, Some(chain.clone()), ss);
         }
         // Serve substreams that fell back to CDN sourcing.
         let cdn_sub: Vec<u64> = self
@@ -790,7 +524,7 @@ impl World {
             .map(|c| c.id)
             .collect();
         for cid in cdn_sub {
-            self.cdn_deliver_frame(now, cid, header, Some(chain.clone()), ss);
+            session::cdn_deliver_frame(self, now, cid, header, Some(chain.clone()), ss);
         }
 
         // Next frame.
@@ -800,846 +534,92 @@ impl World {
         }
     }
 
-    /// Delivers one frame from the client's CDN edge directly.
-    fn cdn_deliver_frame(
-        &mut self,
-        now: SimTime,
-        cid: u64,
-        header: FrameHeader,
-        chain: Option<LocalChain>,
-        ss: u16,
-    ) {
-        let Some(client) = self.clients.get(&cid) else {
-            return;
-        };
-        let edge = client.cdn_edge;
-        let scale = client.abr.scale();
-        let group = client.group;
-        let size = (header.size as f64 * scale) as u32;
-        let total = size.div_ceil(PACKET_PAYLOAD).max(1);
-        let overhead = self.cfg.transport.packet_overhead() as u32;
-        let wire = size + total * overhead;
-        let rtt = self.cdn[edge].rtt_ms;
-        let outcome = self.cdn[edge].link.transmit(now, wire as usize);
-        match outcome {
-            TxOutcome::Delivered(at) => {
-                self.ledger_mut(group)
-                    .add(TrafficClass::DedicatedServing, wire as u64);
-                let arrive =
-                    at + SimDuration::from_millis(rtt / 2) + self.cfg.transport.hop_overhead();
-                // Dedicated links lose individual packets rarely; sample
-                // residual loss per frame.
-                let received: Vec<u32> = (0..total).collect();
-                self.queue.schedule(
-                    arrive,
-                    Event::ClientSlice(Box::new(SliceDelivery {
-                        client: cid,
-                        header,
-                        substream: ss,
-                        received,
-                        total,
-                        chain,
-                        bytes: wire as u64,
-                    })),
-                );
-            }
-            TxOutcome::Lost | TxOutcome::QueueDrop => {
-                // Congestion drop: the whole burst is gone; the client's
-                // recovery path will notice via timeout.
-            }
-        }
-    }
-
-    /// Bursts recent frames of the client's stream from the CDN to fill
-    /// the playout buffer — used at startup (§4.1: "pulling the full
-    /// stream from the original CDN to fill the initial playout buffer")
-    /// and when the buffer runs low (§8.2: aggressive CDN usage to
-    /// safeguard QoE).
-    fn cdn_prefill(&mut self, now: SimTime, cid: u64) {
-        let (stream, floor) = {
-            let Some(client) = self.clients.get(&cid) else {
-                return;
-            };
-            (client.stream as usize, client.next_needed_dts)
-        };
-        let order: Vec<u64> = self.streams[stream].recent_order.iter().copied().collect();
-        let Some(&latest) = order.last() else {
-            return;
-        };
-        let window = self.cfg.target_buffer.as_millis();
-        // Refill from where the player is, so stalls translate into
-        // end-to-end latency drift (live viewers lag behind after
-        // rebuffering). Only re-anchor towards the live edge when the
-        // session has fallen hopelessly behind ("latency chasing").
-        let from = if floor == 0 || latest.saturating_sub(floor) > 3 * window {
-            latest.saturating_sub(window)
-        } else {
-            floor
-        };
-        for dts in order {
-            if dts < from {
-                continue;
-            }
-            let Some((header, chain)) = self.streams[stream].recent.get(&dts).cloned() else {
-                continue;
-            };
-            let ss = self.substream_for(&header);
-            self.cdn_deliver_frame(now, cid, header, Some(chain), ss);
-        }
-    }
-
-    /// Counts (test, control) subscribers of a relay, for proportional
-    /// backhaul attribution.
-    fn group_counts(&self, relay: u32) -> (usize, usize) {
-        let r = &self.relays[relay as usize];
-        let mut test = 0usize;
-        let mut control = 0usize;
-        for subs in r.subscribers.values() {
-            for cid in subs {
-                match self.clients.get(cid).map(|c| c.group) {
-                    Some(Group::Test) => test += 1,
-                    Some(Group::Control) => control += 1,
-                    None => {}
-                }
-            }
-        }
-        (test, control)
-    }
-
     fn on_relay_frame(&mut self, now: SimTime, relay: u32, stream: u32, dts: u64) {
-        let Some((header, chain)) = self.streams[stream as usize].recent.get(&dts).cloned() else {
+        let Some((header, chain)) = self.streams[stream as usize].recent_frame(dts).cloned() else {
             return;
         };
         if !self.relays[relay as usize].online {
             return;
         }
         let ss = self.substream_for(&header);
-        let embedded_chain = match self.cfg.mode {
-            DeliveryMode::RLiveCentralSequencing => None,
-            _ => Some(chain.clone()),
-        };
+        let central_world = matches!(self.cfg.mode, DeliveryMode::RLiveCentralSequencing);
+        let embedded_chain = if central_world { None } else { Some(chain) };
 
-        // Push to full-stream subscribers and this substream's
-        // subscribers.
-        let mut targets: Vec<(u64, u16)> = Vec::new();
-        if let Some(subs) = self.relays[relay as usize]
-            .subscribers
-            .get(&(stream, FULL_STREAM))
-        {
-            targets.extend(subs.iter().map(|&c| (c, ss)));
-        }
-        if let Some(subs) = self.relays[relay as usize].subscribers.get(&(stream, ss)) {
-            targets.extend(subs.iter().map(|&c| (c, ss)));
-        }
-        for (cid, sub) in targets {
-            let Some(client) = self.clients.get(&cid) else {
-                continue;
-            };
-            let scale = client.abr.scale();
-            let group = client.group;
-            let client_chain = match &client.mode_policy {
-                DeliveryMode::RLiveCentralSequencing => None,
-                _ => embedded_chain.clone(),
-            };
-            let size = (header.size as f64 * scale) as u32;
-            let total = size.div_ceil(PACKET_PAYLOAD).max(1);
-            let overhead = self.cfg.transport.packet_overhead() as u32;
-            let mut received = Vec::with_capacity(total as usize);
-            let mut last_arrival = None;
-            let mut bytes = 0u64;
-            for i in 0..total {
-                let payload = if i + 1 == total {
-                    (size - (total - 1) * PACKET_PAYLOAD.min(size)).max(64)
-                } else {
-                    PACKET_PAYLOAD
-                };
-                let pkt_bytes = payload as usize + overhead as usize;
-                match self.relays[relay as usize].uplink.transmit(now, pkt_bytes) {
-                    TxOutcome::Delivered(at) => {
-                        received.push(i);
-                        bytes += pkt_bytes as u64;
-                        last_arrival = Some(last_arrival.map_or(at, |l: SimTime| l.max(at)));
-                    }
-                    TxOutcome::Lost | TxOutcome::QueueDrop => {}
-                }
-            }
-            self.relays[relay as usize].serving_bytes += bytes;
-            self.ledger_mut(group)
-                .add(TrafficClass::BestEffortServing, bytes);
-            if let Some(at) = last_arrival {
-                let arrive = at + self.cfg.transport.hop_overhead();
-                self.queue.schedule(
-                    arrive,
-                    Event::ClientSlice(Box::new(SliceDelivery {
-                        client: cid,
-                        header,
-                        substream: sub,
-                        received,
-                        total,
-                        chain: client_chain,
-                        bytes,
-                    })),
-                );
-            }
-            // Centralised sequencing: the super node ships the chain
-            // separately, later, and not at all during outages.
-            if matches!(self.cfg.mode, DeliveryMode::RLiveCentralSequencing)
-                && matches!(
-                    self.clients.get(&cid).map(|c| c.mode_policy),
-                    Some(DeliveryMode::RLiveCentralSequencing)
-                )
-            {
-                self.schedule_super_node_chain(now, cid, stream, dts);
-            }
-        }
-    }
-
-    fn schedule_super_node_chain(&mut self, now: SimTime, cid: u64, stream: u32, dts: u64) {
-        // Super-node outages: occasionally the sequencing service stalls
-        // for seconds (§7.3.2: super-node failures delayed sequence
-        // recovery significantly).
-        if now < self.super_node_down_until {
-            return;
-        }
-        if self.rng.chance(0.0005) {
-            self.super_node_down_until =
-                now + SimDuration::from_millis(2_000 + self.rng.below(4_000));
-            return;
-        }
-        // Load-dependent latency: scales with concurrent streams.
-        let base = 15.0 + 2.0 * self.streams.len() as f64;
-        let latency = SimDuration::from_secs_f64((base + self.rng.exponential(20.0)) / 1000.0);
-        self.queue.schedule(
-            now + latency,
-            Event::ChainDelivery {
-                client: cid,
-                stream,
-                dts,
-            },
+        // Resolve subscriber state into typed views so the relay actor
+        // never reads client fields itself.
+        let views: Vec<SubscriberView> = self.relays[relay as usize]
+            .targets_for(stream, ss)
+            .into_iter()
+            .filter_map(|cid| {
+                let client = self.clients.get(&cid)?;
+                let central_client =
+                    matches!(client.mode_policy, DeliveryMode::RLiveCentralSequencing);
+                Some(SubscriberView {
+                    client: cid,
+                    scale: client.abr.scale(),
+                    group: client.group,
+                    chain: if central_client {
+                        None
+                    } else {
+                        embedded_chain.clone()
+                    },
+                    super_chain: central_world && central_client,
+                })
+            })
+            .collect();
+        let streams_len = self.streams.len();
+        let mut ctx = actor_ctx!(self, now);
+        self.relays[relay as usize].forward_frame(
+            &mut ctx,
+            header,
+            stream,
+            dts,
+            ss,
+            &views,
+            &mut self.super_node,
+            streams_len,
         );
     }
 
     fn on_chain_delivery(&mut self, now: SimTime, cid: u64, stream: u32, dts: u64) {
-        let Some((_, chain)) = self.streams[stream as usize].recent.get(&dts).cloned() else {
+        let Some((_, chain)) = self.streams[stream as usize].recent_frame(dts).cloned() else {
             return;
         };
-        let Some(client) = self.clients.get_mut(&cid) else {
-            return;
-        };
-        client.reorder.ingest_chain_only(&chain);
-        let ready = client.reorder.drain_ready(now);
-        client.observe_releases(now, ready.len());
-        for f in ready {
-            client.playback.push(f.header);
-        }
-        client.energy.add_cpu(self.energy_model.per_chain_merge);
-        let _ = now;
-    }
-
-    fn on_client_slice(&mut self, now: SimTime, d: SliceDelivery) {
-        let Some(client) = self.clients.get_mut(&d.client) else {
-            return;
-        };
-        if client.departed {
-            return;
-        }
-        let elapsed = now.saturating_since(client.last_slice_at);
-        client.last_slice_at = now;
-        client
-            .abr
-            .observe(d.bytes, elapsed.min(SimDuration::from_millis(500)));
-        client.session.bytes_received += d.bytes;
-        client
-            .energy
-            .add_cpu(self.energy_model.per_packet * d.received.len() as f64);
-        if d.chain.is_some() {
-            client.energy.add_cpu(self.energy_model.per_chain_merge);
-        }
-        let ready = client.reorder.ingest_slice(
-            now,
-            d.header,
-            d.substream,
-            &d.received,
-            d.total,
-            d.chain.as_ref(),
-        );
-        client.observe_releases(now, ready.len());
-        for f in &ready {
-            client.playback.push(f.header);
-            client.energy.add_cpu(self.energy_model.per_frame_decode);
-        }
-        client.energy.observe_mem_kb(
-            client.playback.len() as f64 * self.energy_model.mem_per_buffered_frame,
-        );
-
-        // Start playback once the startup buffer fills.
-        if !client.playback.is_started() && client.playback.occupancy() >= self.cfg.startup_buffer {
-            client.playback.start();
-            client.session.first_frame_at = Some(now);
-            let cid = d.client;
-            self.queue.schedule(now, Event::PlayerTick { client: cid });
+        let mut ctx = actor_ctx!(self, now);
+        if let Some(client) = self.clients.get_mut(&cid) {
+            client.ingest_chain(&mut ctx, &chain);
         }
     }
 
-    // ----- player / control loops --------------------------------------
+    fn on_client_slice(&mut self, now: SimTime, d: crate::events::SliceDelivery) {
+        let cid = d.client;
+        let mut ctx = actor_ctx!(self, now);
+        if let Some(client) = self.clients.get_mut(&cid) {
+            client.ingest_slice(&mut ctx, d);
+        }
+    }
+
+    // ----- player loop -------------------------------------------------
 
     fn on_player_tick(&mut self, now: SimTime, cid: u64) {
-        let interval = self.frame_interval();
-        let target = self.cfg.target_buffer;
-        let Some(client) = self.clients.get_mut(&cid) else {
+        let stream_epoch = self
+            .clients
+            .get(&cid)
+            .map(|c| self.streams[c.stream as usize].epoch);
+        let Some(stream_epoch) = stream_epoch else {
             return;
         };
-        if client.departed {
-            return;
-        }
-        // Buffer-protection playback pacing around the jitter-adaptive
-        // floor. Over-full (after a catch-up refill): drop a frame per
-        // tick to chase latency back down. Eroded: present every fourth
-        // frame a tick longer so the buffer regrows. Jitterier paths
-        // therefore settle at proportionally higher end-to-end latency.
-        let effective_target = target.mul_f64(0.5) + client.jitter_pad();
-        let occ = client.playback.occupancy();
-        if occ > effective_target + SimDuration::from_millis(400) {
-            client.playback.drop_oldest();
-        } else if occ < effective_target.saturating_sub(SimDuration::from_millis(300))
-            && client.playback.is_started()
-            && client.session.frames_played % 4 == 0
-            && !client.playback.is_empty()
-        {
-            client.session.frames_played += 1; // pace: present previous frame longer
-            client.session.watch_time += interval;
-            client.session.bitrate_weighted +=
-                client.abr.bitrate_bps() as f64 * interval.as_secs_f64();
-            client.energy.add_playback(interval.as_secs_f64());
-            let next = now + interval;
-            if next <= self.end_at && next < client.leaves_at {
-                self.queue.schedule(next, Event::PlayerTick { client: cid });
-            }
-            return;
-        }
-        let before_rebuffers = client.playback.rebuffer_events();
-        match client.playback.tick(now) {
-            Some(header) => {
-                client.session.frames_played += 1;
-                client.next_needed_dts = header.dts_ms + 33;
-                client.session.watch_time += interval;
-                client.session.bitrate_weighted +=
-                    client.abr.bitrate_bps() as f64 * interval.as_secs_f64();
-                client.energy.add_playback(interval.as_secs_f64());
-                // Sample E2E latency every ~second.
-                if client.session.frames_played % 30 == 0 {
-                    let stream = client.stream as usize;
-                    let source_time =
-                        self.streams[stream].epoch + SimDuration::from_millis(header.dts_ms);
-                    let latency = now.saturating_since(source_time);
-                    client.session.e2e_latency_ms.push(latency.as_millis_f64());
-                }
-            }
-            None => {
-                if client.playback.rebuffer_events() > before_rebuffers {
-                    client.abr.on_rebuffer(now);
-                    if std::env::var("RLIVE_DEBUG").is_ok() {
-                        eprintln!(
-                            "t={:.1} c{} STALL mode={} blocked_age={:?} asm={} bc={} missing={} inflight={} skips={}",
-                            now.as_secs_f64(),
-                            cid,
-                            match &client.mode { ClientMode::CdnFull => "cdn".into(), ClientMode::SingleSource{relay} => format!("single:{relay}"), ClientMode::Multi{sources,..} => format!("{sources:?}") },
-                            client.reorder.head_blocked_since().map(|b| now.saturating_since(b).as_millis()),
-                            client.reorder.assembling_count(),
-                            client.reorder.blocked_complete(),
-                            client.reorder.missing_chain_frames(now, SimDuration::ZERO).len(),
-                            client.requested_recovery.len(),
-                            client.reorder.skipped_count(),
-                        );
-                    }
-                }
-            }
-        }
-        // Deadline skip, codec-aware. A blocked B-frame is droppable
-        // without corrupting decode, so it is abandoned once overdue. A
-        // blocked P/I frame forces the player to wait; only once the
-        // buffer has actually run dry (a counted stall) does the player
-        // give up and jump forward past the damaged stretch to the next
-        // decodable run — the "stall then jump" behaviour of production
-        // players.
-        if let Some(since) = client.reorder.head_blocked_since() {
-            let blocked_for = now.saturating_since(since);
-            let droppable = matches!(
-                client.reorder.head_frame_type(),
-                Some(rlive_media::frame::FrameType::B)
-            );
-            if droppable && blocked_for > SimDuration::from_millis(800) {
-                let ready = client.reorder.skip_blocked_head(now);
-                for f in ready {
-                    client.playback.push(f.header);
-                }
-            } else if client.playback.is_empty()
-                && client.playback.is_started()
-                && blocked_for > SimDuration::from_millis(300)
-            {
-                for _ in 0..90 {
-                    let ready = client.reorder.skip_blocked_head(now);
-                    let released = !ready.is_empty();
-                    for f in ready {
-                        client.playback.push(f.header);
-                    }
-                    if released || client.reorder.head_blocked_since().is_none() {
-                        break;
-                    }
-                }
-            }
-        }
-        client.session.rebuffer_events = client.playback.rebuffer_events();
-        client.session.rebuffer_duration = client.playback.rebuffer_duration();
-        let frames_played = client.session.frames_played;
-        let next = now + interval;
-        if next <= self.end_at && next < client.leaves_at {
-            self.queue.schedule(next, Event::PlayerTick { client: cid });
-        }
+        let recover = {
+            let mut ctx = actor_ctx!(self, now);
+            let Some(client) = self.clients.get_mut(&cid) else {
+                return;
+            };
+            client.player_tick(&mut ctx, stream_epoch)
+        };
         // Loss recovery runs at sub-frame cadence: fast retransmission
         // cannot wait for the coarse control loop (§5.3).
-        if frames_played % 4 == 0 {
-            self.control_recovery(now, cid);
-        }
-    }
-
-    fn on_control_tick(&mut self, now: SimTime, cid: u64) {
-        if !self.clients.contains_key(&cid) {
-            return;
-        }
-        if self.clients[&cid].departed {
-            return;
-        }
-        self.clients
-            .get_mut(&cid)
-            .expect("checked")
-            .energy
-            .add_cpu(self.energy_model.per_control_round);
-
-        self.control_fallback_check(now, cid);
-        self.control_failover_and_switch(now, cid);
-        self.control_recovery(now, cid);
-        if let Some(client) = self.clients.get_mut(&cid) {
-            client.abr.evaluate(now);
-            let next = now + self.cfg.control_interval;
-            if next <= self.end_at && next < client.leaves_at {
-                self.queue
-                    .schedule(next, Event::ControlTick { client: cid });
-            }
-        }
-    }
-
-    /// §7.4: occupancy below the fallback threshold sends the client
-    /// back to CDN full-stream delivery. The §2.2 strawman predates this
-    /// safety net: degraded single-source clients re-map to another
-    /// top-tier relay instead of returning to the CDN data path.
-    fn control_fallback_check(&mut self, now: SimTime, cid: u64) {
-        let (needs_fallback, strawman, current_relay) = {
-            let client = &self.clients[&cid];
-            (
-                client.uses_best_effort() && client.playback.below_fallback_threshold(),
-                client.mode_policy == DeliveryMode::SingleSource,
-                match &client.mode {
-                    ClientMode::SingleSource { relay } => Some(*relay),
-                    _ => None,
-                },
-            )
-        };
-        if needs_fallback && strawman {
-            if let Some(dead) = current_relay {
-                let full_mbps = BITRATE_LADDER[BASE_RUNG] as f64 / 1e6;
-                if let Some(next) = self.pick_relay_for(now, cid, 0) {
-                    if next != dead
-                        && self.subscribe(
-                            cid,
-                            next,
-                            self.clients[&cid].stream,
-                            FULL_STREAM,
-                            full_mbps,
-                        )
-                    {
-                        self.unsubscribe(
-                            cid,
-                            dead,
-                            self.clients[&cid].stream,
-                            FULL_STREAM,
-                            full_mbps,
-                        );
-                        if let Some(client) = self.clients.get_mut(&cid) {
-                            client.mode = ClientMode::SingleSource { relay: next };
-                        }
-                        // Refill through the new relay's CDN feed path.
-                        self.cdn_prefill(now, cid);
-                    }
-                }
-            }
-            return;
-        }
-        if needs_fallback {
-            if std::env::var("RLIVE_DEBUG").is_ok() {
-                let c = &self.clients[&cid];
-                eprintln!(
-                    "t={:.1} c{} FALLBACK occ={}ms blocked_age={:?} asm={} blocked_complete={} skips={} missing={} mode_relays={:?}",
-                    now.as_secs_f64(),
-                    cid,
-                    c.playback.occupancy().as_millis(),
-                    c.reorder.head_blocked_since().map(|b| now.saturating_since(b).as_millis()),
-                    c.reorder.assembling_count(),
-                    c.reorder.blocked_complete(),
-                    c.reorder.skipped_count(),
-                    c.reorder.missing_chain_frames(now, SimDuration::ZERO).len(),
-                    c.relay_sources(),
-                );
-            }
-            self.teardown_relay_subscriptions(cid);
-            let client = self.clients.get_mut(&cid).expect("exists");
-            client.mode = ClientMode::CdnFull;
-            client.session.fell_back_to_cdn = true;
-            // Try multi-source again once stabilised.
-            let retry = now + SimDuration::from_secs(15);
-            client.upgrade_scheduled = true;
-            self.queue
-                .schedule(retry, Event::MultiSourceUpgrade { client: cid });
-            // Refill the buffer aggressively from the CDN (§8.2).
-            self.cdn_prefill(now, cid);
-        }
-    }
-
-    fn relay_rtt_estimate(&mut self, relay: u32, now: SimTime) -> SimDuration {
-        let r = &mut self.relays[relay as usize];
-        SimDuration::from_millis(r.spec.base_rtt_ms)
-            + r.uplink.queue_delay(now)
-            + r.uplink.jitter_delay(now)
-    }
-
-    fn control_failover_and_switch(&mut self, now: SimTime, cid: u64) {
-        let (sources, suggested) = {
-            let client = &self.clients[&cid];
-            (client.relay_sources(), client.switch_suggested)
-        };
-        if sources.is_empty() {
-            return;
-        }
-        // Rapid failover: replace offline relays immediately.
-        for rid in &sources {
-            if !self.relays[*rid as usize].online {
-                self.replace_relay_source(now, cid, *rid);
-            }
-        }
-        // Periodic RTT-based switching (§4.2.1), also entered on a
-        // proactive suggestion (§4.2.2).
-        let (sources, candidates) = {
-            let client = &self.clients[&cid];
-            let mut all: Vec<Candidate> = client.candidates.values().flatten().copied().collect();
-            all.sort_by_key(|c| c.node);
-            all.dedup_by_key(|c| c.node);
-            (client.relay_sources(), all)
-        };
-        if sources.is_empty() {
-            return;
-        }
-        let hq_only = self.clients[&cid].mode_policy == DeliveryMode::SingleSource;
-        let mut candidate_rtts: Vec<(NodeId, SimDuration)> = Vec::new();
-        for c in &candidates {
-            let idx = c.node.0 as usize;
-            if idx < self.relays.len()
-                && self.relays[idx].online
-                && (!hq_only || self.relays[idx].spec.high_quality)
-            {
-                let rtt = self.relay_rtt_estimate(c.node.0 as u32, now);
-                candidate_rtts.push((c.node, rtt));
-            }
-        }
-        let worst = sources
-            .iter()
-            .map(|&rid| (rid, self.relay_rtt_estimate(rid, now)))
-            .max_by_key(|(_, rtt)| *rtt);
-        if let Some((rid, cur_rtt)) = worst {
-            let decision = {
-                let client = self.clients.get_mut(&cid).expect("exists");
-                client
-                    .controller
-                    .assess_switch(now, NodeId(rid as u64), cur_rtt, &candidate_rtts)
-            };
-            match decision {
-                rlive_control::client::SwitchDecision::SwitchTo(node) => {
-                    self.swap_relay(now, cid, rid, node.0 as u32);
-                }
-                rlive_control::client::SwitchDecision::Stay => {
-                    if suggested {
-                        // No better node: ignore the suggestion but ask
-                        // the scheduler for fresh candidates (§4.2.2).
-                        self.refresh_candidates(now, cid);
-                    }
-                }
-            }
-        }
-        if let Some(client) = self.clients.get_mut(&cid) {
-            client.switch_suggested = false;
-        }
-    }
-
-    fn frame_deadline(client: &Client, dts: u64) -> SimDuration {
-        if client.next_needed_dts > 0 {
-            SimDuration::from_millis(dts.saturating_sub(client.next_needed_dts).min(60_000))
-        } else {
-            client.playback.occupancy() + SimDuration::from_millis(500)
-        }
-    }
-
-    /// Whether a frame with an in-flight request may be re-decided: a
-    /// slow best-effort attempt can be overridden by a dedicated
-    /// retrieval when the deadline shrinks, and even a dedicated
-    /// retrieval is re-requested once it exceeds its expected latency
-    /// envelope (§5.3 re-evaluates the loss function under the current
-    /// state; §8.2 accepts the occasional duplicate this creates).
-    fn may_redecide(now: SimTime, in_flight: Option<&(RecoveryAction, SimTime)>) -> bool {
-        match in_flight {
-            None => true,
-            Some((RecoveryAction::BestEffortPackets, _)) => true,
-            Some((_, issued)) => now.saturating_since(*issued) > SimDuration::from_millis(600),
-        }
-    }
-
-    fn control_recovery(&mut self, now: SimTime, cid: u64) {
-        let decisions = {
-            let Some(client) = self.clients.get(&cid) else {
-                return;
-            };
-            let stream = client.stream as usize;
-            let incomplete = client.reorder.incomplete_frames(now, self.cfg.retx_timeout);
-            let mut states: Vec<FrameState> = incomplete
-                .iter()
-                .filter(|f| {
-                    Self::may_redecide(now, client.requested_recovery.get(&f.header.dts_ms))
-                })
-                .map(|f| FrameState {
-                    dts_ms: f.header.dts_ms,
-                    deadline: Self::frame_deadline(client, f.header.dts_ms),
-                    size: f.header.size,
-                    missing_packets: f.missing.len() as u32,
-                    frame_type: f.header.frame_type,
-                    substream: f.substream,
-                })
-                .collect();
-            // Wholly-lost frames announced by chains but never received:
-            // reconstruct their headers from the stream source record.
-            for (dts, cnt) in client
-                .reorder
-                .missing_chain_frames(now, self.cfg.retx_timeout)
-            {
-                if !Self::may_redecide(now, client.requested_recovery.get(&dts)) {
-                    continue;
-                }
-                let Some((header, _)) = self.streams[stream].recent.get(&dts) else {
-                    continue;
-                };
-                states.push(FrameState {
-                    dts_ms: dts,
-                    deadline: Self::frame_deadline(client, dts),
-                    size: header.size.max(cnt * 1_000),
-                    missing_packets: cnt,
-                    frame_type: header.frame_type,
-                    substream: self.substream_for(header),
-                });
-            }
-            // Centralised sequencing (§7.3.2): frames whose data arrived
-            // but whose sequence metadata is missing or late cannot be
-            // handed to the decoder; after a timeout the client
-            // conservatively re-pulls them from the CDN, whose response
-            // carries authoritative ordering. This is the extra
-            // retransmission load the distributed design eliminates.
-            if client.mode_policy == DeliveryMode::RLiveCentralSequencing {
-                for dts in
-                    client
-                        .reorder
-                        .unorderable_complete(now, SimDuration::from_millis(400), 8)
-                {
-                    if !Self::may_redecide(now, client.requested_recovery.get(&dts)) {
-                        continue;
-                    }
-                    let Some((header, _)) = self.streams[stream].recent.get(&dts) else {
-                        continue;
-                    };
-                    states.push(FrameState {
-                        dts_ms: dts,
-                        deadline: Self::frame_deadline(client, dts),
-                        size: header.size,
-                        missing_packets: header.size.div_ceil(1_200).max(1),
-                        frame_type: header.frame_type,
-                        substream: self.substream_for(header),
-                    });
-                }
-            }
-            if states.is_empty() {
-                return;
-            }
-            let decider = RecoveryDecider::new(self.cfg.recovery.clone());
-            let mut decisions = decider.decide(&states, &client.recovery_stats);
-            // The §2.2 strawman has no QoE-driven recovery: lost data is
-            // re-requested from the same best-effort relay, full stop.
-            // (CDN-full phases still recover from the CDN.)
-            if client.mode_policy == DeliveryMode::SingleSource && client.uses_best_effort() {
-                for d in &mut decisions {
-                    d.action = RecoveryAction::BestEffortPackets;
-                }
-            }
-            // A client on CDN full-stream delivery has no best-effort
-            // publisher to retransmit from; recovery goes to the CDN.
-            if !client.uses_best_effort() {
-                for d in &mut decisions {
-                    if d.action == RecoveryAction::BestEffortPackets {
-                        d.action = RecoveryAction::DedicatedFrame;
-                    }
-                }
-            }
-            decisions
-        };
-        for d in decisions {
-            let client = self.clients.get_mut(&cid).expect("exists");
-            // Skip if this would merely repeat a fresh in-flight action.
-            if let Some((a, issued)) = client.requested_recovery.get(&d.dts_ms) {
-                if *a == d.action && now.saturating_since(*issued) <= SimDuration::from_millis(600)
-                {
-                    continue;
-                }
-            }
-            client.requested_recovery.insert(d.dts_ms, (d.action, now));
-            client.session.retx_requests += 1;
-            client
-                .energy
-                .add_cpu(self.energy_model.per_recovery_decision);
-            let group = client.group;
-            match d.action {
-                RecoveryAction::BestEffortPackets => {
-                    let rec = self
-                        .retx_traces
-                        .sample(RetxServer::BestEffort, &mut self.rng);
-                    let at = now + SimDuration::from_secs_f64(rec.spent_ms / 1000.0);
-                    self.queue.schedule(
-                        at,
-                        Event::RecoveryOutcome {
-                            client: cid,
-                            dts: d.dts_ms,
-                            action: d.action,
-                            success: rec.success,
-                        },
-                    );
-                }
-                RecoveryAction::DedicatedFrame
-                | RecoveryAction::SwitchSubstream
-                | RecoveryAction::FullStream => {
-                    let rec = self
-                        .retx_traces
-                        .sample(RetxServer::Dedicated, &mut self.rng);
-                    // Without the §8.1 DNS bypass, each dedicated
-                    // recovery pays a resolver round trip first.
-                    let dns = if self.cfg.dns_bypass {
-                        SimDuration::ZERO
-                    } else {
-                        SimDuration::from_secs_f64(self.rng.lognormal(3.4, 0.6) / 1000.0)
-                    };
-                    let at = now + dns + SimDuration::from_secs_f64(rec.spent_ms / 1000.0);
-                    self.ledger_mut(group)
-                        .add(TrafficClass::DedicatedServing, 1_500);
-                    self.queue.schedule(
-                        at,
-                        Event::RecoveryOutcome {
-                            client: cid,
-                            dts: d.dts_ms,
-                            action: d.action,
-                            success: rec.success,
-                        },
-                    );
-                }
-            }
-        }
-    }
-
-    fn on_recovery_outcome(
-        &mut self,
-        now: SimTime,
-        cid: u64,
-        dts: u64,
-        action: RecoveryAction,
-        success: bool,
-    ) {
-        let stream = match self.clients.get(&cid) {
-            Some(c) if !c.departed => c.stream,
-            _ => return,
-        };
-        let header = self.streams[stream as usize]
-            .recent
-            .get(&dts)
-            .map(|(h, _)| *h);
-        {
-            let client = self.clients.get_mut(&cid).expect("checked above");
-            client.recovery_stats.observe_retx(success);
-            if client.requested_recovery.get(&dts).map(|(a, _)| *a) == Some(action) {
-                client.requested_recovery.remove(&dts);
-            }
-        }
-        if !success {
-            // Re-evaluate right away; the shrunken deadline usually
-            // escalates the action (§5.3).
-            self.control_recovery(now, cid);
-        }
-        if success {
-            if let Some(header) = header {
-                let group;
-                {
-                    let chain = self.streams[stream as usize]
-                        .recent
-                        .get(&dts)
-                        .map(|(_, c)| c.clone());
-                    let client = self.clients.get_mut(&cid).expect("checked above");
-                    group = client.group;
-                    let scale = client.abr.scale();
-                    let bytes = (header.size as f64 * scale) as u64;
-                    client.session.bytes_received += bytes;
-                    // A CDN reply carries authoritative ordering (the
-                    // frame is indexed by dts at the source, §6); this
-                    // is what unblocks centralised-sequencing clients
-                    // whose metadata channel lost the entry.
-                    if client.mode_policy == DeliveryMode::RLiveCentralSequencing {
-                        if let Some(c) = &chain {
-                            client.reorder.ingest_chain_only(c);
-                        }
-                    }
-                    let ready = client.reorder.ingest_whole_frame(now, header);
-                    client.observe_releases(now, ready.len());
-                    for f in ready {
-                        client.playback.push(f.header);
-                    }
-                }
-                let bytes = (header.size as f64) as u64;
-                match action {
-                    RecoveryAction::BestEffortPackets => {
-                        self.ledger_mut(group)
-                            .add(TrafficClass::BestEffortServing, bytes / 3);
-                    }
-                    _ => {
-                        self.ledger_mut(group)
-                            .add(TrafficClass::DedicatedServing, bytes);
-                    }
-                }
-            }
-        }
-        match action {
-            RecoveryAction::SwitchSubstream => {
-                if let Some(header) = header {
-                    let ss = self.substream_for(&header);
-                    self.switch_substream_to_cdn(cid, ss);
-                }
-            }
-            RecoveryAction::FullStream => {
-                self.teardown_relay_subscriptions(cid);
-                if let Some(client) = self.clients.get_mut(&cid) {
-                    client.mode = ClientMode::CdnFull;
-                    client.session.fell_back_to_cdn = true;
-                }
-            }
-            _ => {}
+        if recover {
+            session::control_recovery(self, now, cid);
         }
     }
 
@@ -1649,26 +629,9 @@ impl World {
     fn on_cdn_tick(&mut self, now: SimTime, edge: u32) {
         if self.cfg.cdn_background_peak_frac > 0.0 {
             let hour = self.hour_at(now);
-            let mean = self.cfg.cdn_background_peak_frac * self.scenario.diurnal.load_at(hour);
-            // Slow mean-reverting fluctuation: overload arrives as
-            // multi-second swells, not per-tick noise...
-            let bgn = self.rng.normal();
-            let spike_roll = self.rng.f64();
-            let spike_len = 1_000 + self.rng.below(3_000);
             let load = self.scenario.diurnal.load_at(hour);
-            let e = &mut self.cdn[edge as usize];
-            e.bg_state = 0.97 * e.bg_state + 0.12 * bgn;
-            let mut bg = (mean * (1.0 + 0.55 * e.bg_state)).clamp(0.02, 0.85);
-            // ...plus occasional sharp flash-crowd spikes at busy hours
-            // that briefly overwhelm even minimum-bitrate demand.
-            if now < e.spike_until {
-                bg = bg.max(0.88);
-            } else if spike_roll < 0.009 * mean * load {
-                e.spike_until = now + SimDuration::from_millis(spike_len);
-                bg = bg.max(0.88);
-            }
-            let effective = ((e.base_mbps as f64) * (1.0 - bg)).max(5.0);
-            e.link.set_bandwidth_bps((effective * 1e6) as u64);
+            let mean = self.cfg.cdn_background_peak_frac * load;
+            self.cdn[edge as usize].tick_background(now, mean, load, &mut self.rng);
         }
         // Sample the windowed aggregate expansion rate γ (Fig 11c):
         // best-effort serving bytes over backhaul bytes since the last
@@ -1694,630 +657,38 @@ impl World {
     // ----- relay maintenance -------------------------------------------
 
     fn on_relay_tick(&mut self, now: SimTime, rid: u32) {
-        let interval = {
-            let relay = &mut self.relays[rid as usize];
-            let was_online = relay.online;
-            relay.online = relay.churn.is_online(now);
-            if was_online && !relay.online {
-                // Node went offline: drop all state; subscribers find out
-                // through stalls and failover.
-                relay.subscribers.clear();
-                relay.forwarding.clear();
-                relay.feeding_streams.clear();
-                relay.quotas = NodeQuotas::new(
-                    relay.spec.capacity_mbps,
-                    2.0,
-                    512.0,
-                    (relay.spec.capacity_mbps / 0.5).clamp(4.0, 200.0),
-                );
-            }
-            let active = !relay.forwarding.is_empty();
-            SimDuration::from_secs(heartbeat_interval_secs(active && relay.online))
-        };
-
-        // Background load of co-tenant services modulates the usable
-        // uplink (§8.1: nodes bottleneck well below advertised rates).
-        {
-            let bgn = self.rng.normal();
-            let relay = &mut self.relays[rid as usize];
-            relay.bg_state = 0.9 * relay.bg_state + 0.35 * bgn;
-            let bg = (relay.bg_mean * (1.0 + 0.7 * relay.bg_state)).clamp(0.0, 0.9);
-            let effective = (relay.spec.capacity_mbps * (1.0 - bg)).max(0.3);
-            relay.uplink.set_bandwidth_bps((effective * 1e6) as u64);
+        let outcome = self.relays[rid as usize].tick(now, &mut self.rng);
+        if let Some(online) = outcome.transition {
+            self.trace.emit(
+                now,
+                None,
+                TraceEvent::Churn {
+                    node: rid as u64,
+                    online,
+                },
+            );
         }
-
-        // Heartbeat (only online nodes report; offline nodes go stale in
-        // the scheduler and are filtered out).
-        if self.relays[rid as usize].online {
-            let relay = &self.relays[rid as usize];
-            let status = NodeStatus {
-                capacity_mbps: relay.spec.capacity_mbps,
-                used_mbps: relay.quotas.bandwidth.used,
-                conn_success_rate: 0.95,
-                forwarding: relay.forwarding.clone(),
-                subscribers: relay.subscriber_count() as u32,
-            };
+        // Heartbeat (only online nodes report; offline nodes go stale
+        // in the scheduler and are filtered out).
+        if let Some(status) = outcome.heartbeat {
             self.scheduler.ingest_heartbeat(Heartbeat {
                 node: NodeId(rid as u64),
                 at: now,
                 status,
             });
-
-            // Adviser evaluation (§4.2.2) every other tick (10 s).
-            let utilization = self.relays[rid as usize].quotas.bandwidth.utilization();
-            self.relays[rid as usize]
-                .adviser
-                .record_utilization(utilization);
-            if self.relays[rid as usize].adviser.due(now) {
-                let first_key = self.relays[rid as usize].forwarding.iter().next().copied();
-                if let Some(key) = first_key {
-                    let stream_util = self.scheduler.stream_utilization(key);
-                    let suggestions =
-                        self.relays[rid as usize]
-                            .adviser
-                            .evaluate(now, key, stream_util);
-                    for s in suggestions {
-                        self.deliver_suggestion(rid, &s);
-                    }
-                }
+        }
+        // Adviser evaluation (§4.2.2) every other tick (10 s).
+        if let Some(key) = outcome.adviser_key {
+            let stream_util = self.scheduler.stream_utilization(key);
+            let suggestions = self.relays[rid as usize].advise(now, key, stream_util);
+            for s in suggestions {
+                session::deliver_suggestion(self, rid, &s);
             }
         }
-
-        let next = now + interval;
+        let next = now + outcome.interval;
         if next <= self.end_at {
             self.queue.schedule(next, Event::RelayTick { relay: rid });
         }
-    }
-
-    fn deliver_suggestion(&mut self, rid: u32, s: &SwitchSuggestion) {
-        let client_ids: Vec<u64> = match s {
-            SwitchSuggestion::CostConsolidation { .. } => self.relays[rid as usize]
-                .subscribers
-                .values()
-                .flatten()
-                .copied()
-                .collect(),
-            SwitchSuggestion::QosOutlier { clients, .. } => {
-                clients.iter().map(|(c, _)| c.0).collect()
-            }
-        };
-        for cid in client_ids {
-            if let Some(client) = self.clients.get_mut(&cid) {
-                client.switch_suggested = true;
-            }
-        }
-    }
-
-    // ----- mapping: subscribe / unsubscribe / switch ---------------------
-
-    fn subscribe(&mut self, cid: u64, rid: u32, stream: u32, ss: u16, bandwidth_mbps: f64) -> bool {
-        let relay = &mut self.relays[rid as usize];
-        if !relay.online {
-            return false;
-        }
-        // Reserve 1.6x the average rate: frame-level substream splitting
-        // concentrates whole I-frames on single relays, so admission at
-        // the mean rate would tail-drop every keyframe burst.
-        if !relay.quotas.reserve(bandwidth_mbps * 1.6, 0.02, 4.0) {
-            return false;
-        }
-        relay.subscribers.entry((stream, ss)).or_default().push(cid);
-        relay.peak_subscribers = relay.peak_subscribers.max(relay.subscriber_count());
-        relay.feeding_streams.insert(stream);
-        let key = StreamKey {
-            stream_id: stream as u64,
-            substream: if ss == FULL_STREAM { 0 } else { ss },
-        };
-        relay.forwarding.insert(key);
-        if let Some(client) = self.clients.get(&cid) {
-            let client_id = ClientId(cid);
-            let rtt = self.relays[rid as usize].spec.base_rtt_ms as f64;
-            self.relays[rid as usize]
-                .adviser
-                .record_connection_qos(client_id, rtt);
-            let _ = client;
-        }
-        true
-    }
-
-    fn unsubscribe(&mut self, cid: u64, rid: u32, stream: u32, ss: u16, bandwidth_mbps: f64) {
-        let relay = &mut self.relays[rid as usize];
-        if let Some(subs) = relay.subscribers.get_mut(&(stream, ss)) {
-            subs.retain(|&c| c != cid);
-            if subs.is_empty() {
-                relay.subscribers.remove(&(stream, ss));
-                let key = StreamKey {
-                    stream_id: stream as u64,
-                    substream: if ss == FULL_STREAM { 0 } else { ss },
-                };
-                relay.forwarding.remove(&key);
-            }
-        }
-        if !relay.subscribers.keys().any(|(s, _)| *s == stream) {
-            relay.feeding_streams.remove(&stream);
-        }
-        relay.quotas.release(bandwidth_mbps * 1.6, 0.02, 4.0);
-        relay.adviser.remove_connection(ClientId(cid));
-    }
-
-    fn teardown_relay_subscriptions(&mut self, cid: u64) {
-        let Some(client) = self.clients.get(&cid) else {
-            return;
-        };
-        let stream = client.stream;
-        let per_sub_mbps = BITRATE_LADDER[BASE_RUNG] as f64 / 1e6 / self.cfg.substreams as f64;
-        match &client.mode {
-            ClientMode::CdnFull => {}
-            ClientMode::SingleSource { relay } => {
-                let rid = *relay;
-                self.unsubscribe(
-                    cid,
-                    rid,
-                    stream,
-                    FULL_STREAM,
-                    BITRATE_LADDER[BASE_RUNG] as f64 / 1e6,
-                );
-            }
-            ClientMode::Multi { sources, redundant } => {
-                let sources = sources.clone();
-                let redundant = redundant.clone();
-                for (ss, src) in sources.iter().enumerate() {
-                    if let SubSource::Relay(rid) = src {
-                        self.unsubscribe(cid, *rid, stream, ss as u16, per_sub_mbps);
-                    }
-                }
-                for (ss, r) in redundant.iter().enumerate() {
-                    if let Some(rid) = r {
-                        self.unsubscribe(cid, *rid, stream, ss as u16, per_sub_mbps);
-                    }
-                }
-            }
-        }
-    }
-
-    fn switch_substream_to_cdn(&mut self, cid: u64, ss: u16) {
-        let Some(client) = self.clients.get(&cid) else {
-            return;
-        };
-        let stream = client.stream;
-        let per_sub_mbps = BITRATE_LADDER[BASE_RUNG] as f64 / 1e6 / self.cfg.substreams as f64;
-        let old = match &client.mode {
-            ClientMode::Multi { sources, .. } => sources.get(ss as usize).copied(),
-            _ => None,
-        };
-        if let Some(SubSource::Relay(rid)) = old {
-            self.unsubscribe(cid, rid, stream, ss, per_sub_mbps);
-        }
-        if let Some(client) = self.clients.get_mut(&cid) {
-            if let ClientMode::Multi { sources, .. } = &mut client.mode {
-                if let Some(slot) = sources.get_mut(ss as usize) {
-                    *slot = SubSource::Cdn;
-                }
-            }
-        }
-    }
-
-    fn replace_relay_source(&mut self, now: SimTime, cid: u64, dead: u32) {
-        // Probe fresh candidates and re-home every substream served by
-        // the dead relay; CDN covers the gap when no candidate admits.
-        let (stream, affected) = {
-            let Some(client) = self.clients.get_mut(&cid) else {
-                return;
-            };
-            client.controller.record_failure(now, NodeId(dead as u64));
-            let stream = client.stream;
-            let mut affected = Vec::new();
-            match &mut client.mode {
-                ClientMode::SingleSource { relay } if *relay == dead => {
-                    // Handled below: try another top-tier relay first.
-                    affected.push(usize::MAX);
-                }
-                ClientMode::Multi { sources, redundant } => {
-                    for (i, src) in sources.iter_mut().enumerate() {
-                        if *src == SubSource::Relay(dead) {
-                            *src = SubSource::Cdn;
-                            affected.push(i);
-                        }
-                    }
-                    for r in redundant.iter_mut() {
-                        if *r == Some(dead) {
-                            *r = None;
-                        }
-                    }
-                }
-                _ => {}
-            }
-            (stream, affected)
-        };
-        let per_sub_mbps = BITRATE_LADDER[BASE_RUNG] as f64 / 1e6 / self.cfg.substreams as f64;
-        for ss in affected {
-            if ss == usize::MAX {
-                // Single-source re-map: another top-tier relay, or the
-                // CDN as last resort.
-                let full_mbps = BITRATE_LADDER[BASE_RUNG] as f64 / 1e6;
-                let next = self.pick_relay_for(now, cid, 0);
-                let subscribed = next
-                    .map(|rid| self.subscribe(cid, rid, stream, FULL_STREAM, full_mbps))
-                    .unwrap_or(false);
-                if let Some(client) = self.clients.get_mut(&cid) {
-                    client.mode = match (subscribed, next) {
-                        (true, Some(rid)) => ClientMode::SingleSource { relay: rid },
-                        _ => {
-                            client.session.fell_back_to_cdn = true;
-                            ClientMode::CdnFull
-                        }
-                    };
-                }
-                continue;
-            }
-            // Try to find a replacement relay right away.
-            if let Some(new_rid) = self.pick_relay_for(now, cid, ss as u16) {
-                if self.subscribe(cid, new_rid, stream, ss as u16, per_sub_mbps) {
-                    if let Some(client) = self.clients.get_mut(&cid) {
-                        if let ClientMode::Multi { sources, .. } = &mut client.mode {
-                            sources[ss] = SubSource::Relay(new_rid);
-                        }
-                    }
-                }
-            }
-        }
-    }
-
-    fn swap_relay(&mut self, now: SimTime, cid: u64, from: u32, to: u32) {
-        let Some(client) = self.clients.get(&cid) else {
-            return;
-        };
-        let stream = client.stream;
-        let per_sub_mbps = BITRATE_LADDER[BASE_RUNG] as f64 / 1e6 / self.cfg.substreams as f64;
-        match &client.mode {
-            ClientMode::SingleSource { relay } if *relay == from => {
-                let full_mbps = BITRATE_LADDER[BASE_RUNG] as f64 / 1e6;
-                if self.subscribe(cid, to, stream, FULL_STREAM, full_mbps) {
-                    self.unsubscribe(cid, from, stream, FULL_STREAM, full_mbps);
-                    if let Some(client) = self.clients.get_mut(&cid) {
-                        client.mode = ClientMode::SingleSource { relay: to };
-                    }
-                }
-            }
-            ClientMode::Multi { sources, .. } => {
-                let affected: Vec<usize> = sources
-                    .iter()
-                    .enumerate()
-                    .filter(|(_, s)| **s == SubSource::Relay(from))
-                    .map(|(i, _)| i)
-                    .collect();
-                // Move one substream per assessment round (gradual
-                // re-mapping limits disruption).
-                if let Some(&ss) = affected.first() {
-                    if self.subscribe(cid, to, stream, ss as u16, per_sub_mbps) {
-                        self.unsubscribe(cid, from, stream, ss as u16, per_sub_mbps);
-                        if let Some(client) = self.clients.get_mut(&cid) {
-                            if let ClientMode::Multi { sources, .. } = &mut client.mode {
-                                sources[ss] = SubSource::Relay(to);
-                            }
-                        }
-                    }
-                }
-            }
-            _ => {}
-        }
-        let _ = now;
-    }
-
-    fn refresh_candidates(&mut self, now: SimTime, cid: u64) {
-        let Some(client) = self.clients.get(&cid) else {
-            return;
-        };
-        let info = client.info;
-        let stream = client.stream as u64;
-        let k = if client.mode_policy.is_multi_source() {
-            self.cfg.substreams
-        } else {
-            1
-        };
-        for ss in 0..k {
-            let key = StreamKey {
-                stream_id: stream,
-                substream: ss,
-            };
-            let rec = self.scheduler.recommend(now, &info, key);
-            if let Some(client) = self.clients.get_mut(&cid) {
-                client.candidates.insert(ss, rec.candidates);
-            }
-        }
-    }
-
-    /// Probes up to three candidates (§4.1.2) for a substream and
-    /// returns the first admitting, traversable, online relay.
-    fn pick_relay_for(&mut self, now: SimTime, cid: u64, ss: u16) -> Option<u32> {
-        self.pick_relay_excluding(now, cid, ss, &[])
-    }
-
-    /// Like [`World::pick_relay_for`], additionally excluding `extra`
-    /// (relays already chosen in this mapping round).
-    fn pick_relay_excluding(
-        &mut self,
-        now: SimTime,
-        cid: u64,
-        ss: u16,
-        extra: &[u32],
-    ) -> Option<u32> {
-        let policy = self.clients.get(&cid).map(|c| c.mode_policy);
-        let hq_only = policy == Some(DeliveryMode::SingleSource);
-        let weak_only =
-            self.cfg.multi_on_weak_tier && policy.map(|p| p.is_multi_source()).unwrap_or(false);
-        let (candidates, mut exclude) = {
-            let relays = &self.relays;
-            let client = self.clients.get_mut(&cid)?;
-            let list = client
-                .candidates
-                .get(&ss)
-                .or_else(|| client.candidates.get(&0));
-            let ids: Vec<NodeId> = list
-                .map(|l| l.iter().map(|c| c.node).collect::<Vec<_>>())
-                .unwrap_or_default()
-                .into_iter()
-                .filter(|n| !extra.contains(&(n.0 as u32)))
-                // The §2.2 strawman extends the CDN with *only* the
-                // top-tier nodes; everything else is invisible to it.
-                .filter(|n| {
-                    let hq = relays
-                        .get(n.0 as usize)
-                        .map(|r| r.spec.high_quality)
-                        .unwrap_or(false);
-                    (!hq_only || hq) && (!weak_only || !hq)
-                })
-                .collect();
-            let probe_ids = client.controller.probe_list(now, &ids);
-            (probe_ids, client.relay_sources())
-        };
-        exclude.extend_from_slice(extra);
-        for node in candidates {
-            let rid = node.0 as u32;
-            if exclude.contains(&rid) {
-                continue;
-            }
-            let idx = rid as usize;
-            if idx >= self.relays.len() {
-                continue;
-            }
-            self.candidate_probes += 1;
-            let relay = &self.relays[idx];
-            let usable = relay.online
-                && relay.quotas.admits(0.75 * 1.6, 0.02, 4.0)
-                && self.traversal.attempt(relay.spec.nat, &mut self.rng);
-            self.scheduler.observe_connection(node, usable);
-            if usable {
-                let rtt = SimDuration::from_millis(relay.spec.base_rtt_ms);
-                if let Some(client) = self.clients.get_mut(&cid) {
-                    client.controller.record_success(node, rtt);
-                }
-                return Some(rid);
-            }
-            self.candidate_invalid += 1;
-            if let Some(client) = self.clients.get_mut(&cid) {
-                client.controller.record_failure(now, node);
-            }
-        }
-        None
-    }
-
-    // ----- client lifecycle ----------------------------------------------
-
-    fn on_client_arrival(&mut self, now: SimTime) {
-        // Schedule the next arrival from the diurnal rate.
-        let hour = self.hour_at(now);
-        let load = self.scenario.diurnal.load_at(hour) * self.scenario.demand_multiplier;
-        // Keep mean concurrency at `viewers(t)`: arrival rate =
-        // target / mean session length.
-        let mean_session = 110.0;
-        let target = (self.scenario.peak_viewers as f64 * load).max(1.0);
-        let rate = target / mean_session;
-        let gap = SimDuration::from_secs_f64(self.rng.exponential(1.0 / rate).clamp(0.001, 30.0));
-        if now + gap <= self.end_at {
-            self.queue.schedule(now + gap, Event::ClientArrival);
-        }
-
-        // Create the client.
-        let cid = self.next_client;
-        self.next_client += 1;
-        // Users return: pick from a pool ~60 % the size of total views.
-        let user = self
-            .rng
-            .below((self.scenario.peak_viewers as u64 * 4).max(10));
-        self.users_seen.insert(user);
-        let group = if (rlive_media::hash::fnv1a_u64(user) as f64 / u64::MAX as f64)
-            < self.policy.test_fraction
-        {
-            Group::Test
-        } else {
-            Group::Control
-        };
-        let mode_policy = match group {
-            Group::Control => self.policy.control,
-            Group::Test => self.policy.test,
-        };
-        let stream = self.popularity.sample_stream(&mut self.rng) as u32;
-        self.streams[stream as usize].viewers += 1;
-        let region = self.rng.below(self.scenario.population.regions as u64) as u16;
-        let isp = self.rng.below(self.scenario.population.isps as u64) as u16;
-        let bgp = region as u32 * self.scenario.population.prefixes_per_region
-            + self
-                .rng
-                .below(self.scenario.population.prefixes_per_region as u64) as u32;
-        let geo = (
-            (region % 4) as f64 * 10.0 + self.rng.range_f64(0.0, 10.0),
-            (region / 4) as f64 * 10.0 + self.rng.range_f64(0.0, 10.0),
-        );
-        let info = ClientInfo {
-            id: ClientId(cid),
-            isp,
-            region,
-            bgp_prefix: bgp,
-            geo,
-            platform: Platform::Android,
-        };
-        let view_secs = sample_view_duration_secs(&mut self.rng);
-        let leaves_at = now + SimDuration::from_secs_f64(view_secs);
-        let frame_interval = self.frame_interval();
-        let client = Client {
-            id: cid,
-            group,
-            mode_policy,
-            info,
-            stream,
-            cdn_edge: (region as usize) % self.cdn.len(),
-            mode: ClientMode::CdnFull,
-            controller: ClientController::new(self.cfg.client_controller.clone()),
-            reorder: ReorderBuffer::new(),
-            playback: PlaybackBuffer::new(frame_interval, self.cfg.fallback_threshold),
-            abr: AbrState::new(AbrConfig::default()),
-            recovery_stats: RecoveryStats::default(),
-            session: SessionMetrics::new(now),
-            energy: EnergyAccount::new(),
-            requested_recovery: HashMap::new(),
-            candidates: HashMap::new(),
-            switch_suggested: false,
-            last_slice_at: now,
-            last_release_at: now,
-            jitter_ewma_ms: 10.0,
-            leaves_at,
-            next_needed_dts: 0,
-            departed: false,
-            upgrade_scheduled: false,
-        };
-        match group {
-            Group::Control => self.control_qoe.add_viewer(),
-            Group::Test => self.test_qoe.add_viewer(),
-        }
-        self.clients.insert(cid, client);
-
-        // Kick off candidate retrieval in parallel with CDN startup
-        // (§4.1: parallelism keeps first-frame latency low).
-        if mode_policy.uses_best_effort() {
-            self.refresh_candidates(now, cid);
-            let upgrade_at = now + self.cfg.multi_source_after;
-            if upgrade_at < leaves_at {
-                if let Some(c) = self.clients.get_mut(&cid) {
-                    c.upgrade_scheduled = true;
-                }
-                self.queue
-                    .schedule(upgrade_at, Event::MultiSourceUpgrade { client: cid });
-            }
-        }
-        self.queue.schedule(
-            now + self.cfg.control_interval,
-            Event::ControlTick { client: cid },
-        );
-        self.queue.schedule(
-            leaves_at.min(self.end_at),
-            Event::ClientDeparture { client: cid },
-        );
-        // Fast startup: burst the initial playout buffer from the CDN.
-        self.cdn_prefill(now, cid);
-    }
-
-    fn on_upgrade(&mut self, now: SimTime, cid: u64) {
-        let Some(client) = self.clients.get(&cid) else {
-            return;
-        };
-        if client.departed || !matches!(client.mode, ClientMode::CdnFull) {
-            return;
-        }
-        let mode_policy = client.mode_policy;
-        let stream = client.stream;
-        // Popularity gate (§7.1.1).
-        if self.streams[stream as usize].viewers < self.cfg.popularity_threshold {
-            return;
-        }
-        if let Some(c) = self.clients.get_mut(&cid) {
-            c.upgrade_scheduled = false;
-        }
-        self.refresh_candidates(now, cid);
-        match mode_policy {
-            DeliveryMode::CdnOnly => {}
-            DeliveryMode::SingleSource => {
-                let full_mbps = BITRATE_LADDER[BASE_RUNG] as f64 / 1e6;
-                if let Some(rid) = self.pick_relay_for(now, cid, 0) {
-                    if self.subscribe(cid, rid, stream, FULL_STREAM, full_mbps) {
-                        if let Some(client) = self.clients.get_mut(&cid) {
-                            client.mode = ClientMode::SingleSource { relay: rid };
-                        }
-                    }
-                }
-            }
-            DeliveryMode::RLive
-            | DeliveryMode::RedundantMulti
-            | DeliveryMode::RLiveCentralSequencing => {
-                let k = self.cfg.substreams as usize;
-                let per_sub_mbps = BITRATE_LADDER[BASE_RUNG] as f64 / 1e6 / k as f64;
-                let mut sources = vec![SubSource::Cdn; k];
-                let mut redundant = vec![None; k];
-                let mut any = false;
-                let mut taken: Vec<u32> = Vec::new();
-                for ss in 0..k {
-                    if let Some(rid) = self.pick_relay_excluding(now, cid, ss as u16, &taken) {
-                        if self.subscribe(cid, rid, stream, ss as u16, per_sub_mbps) {
-                            sources[ss] = SubSource::Relay(rid);
-                            taken.push(rid);
-                            any = true;
-                        }
-                    }
-                    if mode_policy == DeliveryMode::RedundantMulti {
-                        if let Some(rid2) = self.pick_relay_excluding(now, cid, ss as u16, &taken) {
-                            if self.subscribe(cid, rid2, stream, ss as u16, per_sub_mbps) {
-                                redundant[ss] = Some(rid2);
-                                taken.push(rid2);
-                            }
-                        }
-                    }
-                }
-                if any {
-                    if let Some(client) = self.clients.get_mut(&cid) {
-                        client.mode = ClientMode::Multi { sources, redundant };
-                    }
-                }
-            }
-        }
-    }
-
-    fn close_session(&mut self, now: SimTime, cid: u64) {
-        let Some(client) = self.clients.get(&cid) else {
-            return;
-        };
-        if client.departed {
-            return;
-        }
-        self.teardown_relay_subscriptions(cid);
-        let client = self.clients.get_mut(&cid).expect("exists");
-        client.departed = true;
-        let stream = client.stream as usize;
-        let group = client.group;
-        let energy = if client.energy.playback_secs >= 5.0 {
-            Some((
-                client.energy.cpu_pct(&EnergyModel::default()),
-                client.energy.mem_pct(),
-                client.energy.temp_pct(&EnergyModel::default()),
-                client.energy.battery_pct(&EnergyModel::default()),
-            ))
-        } else {
-            None
-        };
-        client.session.frames_skipped = client.reorder.skipped_count();
-        let session = client.session.clone();
-        let _ = now;
-        self.streams[stream].viewers = self.streams[stream].viewers.saturating_sub(1);
-        match group {
-            Group::Control => {
-                self.control_qoe.add_session(&session);
-                self.control_energy.extend(energy);
-            }
-            Group::Test => {
-                self.test_qoe.add_session(&session);
-                self.test_energy.extend(energy);
-            }
-        }
-        self.clients.remove(&cid);
     }
 }
 
@@ -2329,280 +700,4 @@ impl World {
 const _: () = {
     const fn assert_send<T: Send>() {}
     assert_send::<World>();
-    assert_send::<RunReport>();
-    assert_send::<GroupPolicy>();
 };
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use rlive_workload::scenario::Scenario;
-
-    fn tiny_scenario() -> Scenario {
-        let mut s = Scenario::evening_peak().scaled(0.1);
-        s.duration = SimDuration::from_secs(90);
-        s.streams = 4;
-        s
-    }
-
-    fn run(mode: DeliveryMode, seed: u64) -> RunReport {
-        let mut cfg = SystemConfig::for_mode(mode);
-        cfg.multi_source_after = SimDuration::from_secs(5);
-        cfg.popularity_threshold = 1;
-        // Scale CDN capacity down with the scenario.
-        cfg.cdn_edge_mbps = 140;
-        World::new(tiny_scenario(), cfg, GroupPolicy::uniform(mode), seed).run()
-    }
-
-    #[test]
-    fn cdn_only_world_plays_video() {
-        let report = run(DeliveryMode::CdnOnly, 1);
-        assert!(
-            report.test_qoe.views > 10,
-            "views {}",
-            report.test_qoe.views
-        );
-        assert!(report.test_qoe.watch_secs > 100.0);
-        assert!(report.test_qoe.bitrate_bps.mean() > 500_000.0);
-        assert!(report.test_traffic.dedicated_serving > 0);
-        assert_eq!(report.test_traffic.best_effort_serving, 0);
-    }
-
-    #[test]
-    fn rlive_world_offloads_to_best_effort() {
-        let report = run(DeliveryMode::RLive, 2);
-        assert!(report.test_qoe.views > 10);
-        assert!(
-            report.test_traffic.best_effort_serving > 0,
-            "no best-effort traffic"
-        );
-        assert!(report.test_traffic.dedicated_backhaul > 0);
-        // Client bytes should be mostly best-effort.
-        let be = report.test_traffic.best_effort_serving as f64;
-        let total = report.test_traffic.client_bytes() as f64;
-        assert!(be / total > 0.2, "offload share {}", be / total);
-    }
-
-    #[test]
-    fn rlive_reduces_cdn_load_vs_cdn_only() {
-        let cdn_only = run(DeliveryMode::CdnOnly, 3);
-        let rlive = run(DeliveryMode::RLive, 3);
-        assert!(
-            rlive.test_traffic.dedicated_serving < cdn_only.test_traffic.dedicated_serving,
-            "rlive {} vs cdn {}",
-            rlive.test_traffic.dedicated_serving,
-            cdn_only.test_traffic.dedicated_serving
-        );
-    }
-
-    #[test]
-    fn expansion_rates_positive_under_rlive() {
-        let report = run(DeliveryMode::RLive, 4);
-        assert!(
-            !report.relay_expansion_rates.is_empty(),
-            "no relays carried traffic"
-        );
-        for &g in &report.relay_expansion_rates {
-            assert!(g > 0.0);
-        }
-    }
-
-    #[test]
-    fn ab_split_is_fair_and_differentiated() {
-        let mut cfg = SystemConfig::for_mode(DeliveryMode::RLive);
-        cfg.multi_source_after = SimDuration::from_secs(5);
-        cfg.popularity_threshold = 1;
-        cfg.cdn_edge_mbps = 140;
-        let report = World::new(
-            tiny_scenario(),
-            cfg,
-            GroupPolicy::ab(DeliveryMode::CdnOnly, DeliveryMode::RLive),
-            5,
-        )
-        .run();
-        // Both groups should have comparable view counts (hash split).
-        let c = report.control_qoe.views as f64;
-        let t = report.test_qoe.views as f64;
-        assert!(c > 0.0 && t > 0.0);
-        assert!((c / t - 1.0).abs() < 1.2, "imbalance {c} vs {t}");
-        // Only the test group generates best-effort traffic.
-        assert_eq!(report.control_traffic.best_effort_serving, 0);
-        assert!(report.test_traffic.best_effort_serving > 0);
-    }
-
-    #[test]
-    fn deterministic_given_seed() {
-        let a = run(DeliveryMode::RLive, 7);
-        let b = run(DeliveryMode::RLive, 7);
-        assert_eq!(a.test_qoe.views, b.test_qoe.views);
-        assert_eq!(
-            a.test_traffic.best_effort_serving,
-            b.test_traffic.best_effort_serving
-        );
-        assert_eq!(a.scheduler_requests, b.scheduler_requests);
-    }
-
-    #[test]
-    fn scheduler_sees_requests() {
-        let report = run(DeliveryMode::RLive, 8);
-        assert!(report.scheduler_requests > 0);
-        assert!(report.scheduler_latency_ms.len() > 10);
-    }
-
-    #[test]
-    fn single_source_stays_on_high_quality_tier() {
-        let mut cfg = SystemConfig::for_mode(DeliveryMode::SingleSource);
-        cfg.multi_source_after = SimDuration::from_secs(5);
-        cfg.popularity_threshold = 1;
-        cfg.cdn_edge_mbps = 140;
-        let mut scenario = tiny_scenario();
-        scenario.population.high_quality_fraction = 0.10;
-        let report = World::new(
-            scenario,
-            cfg,
-            GroupPolicy::uniform(DeliveryMode::SingleSource),
-            21,
-        )
-        .run();
-        // Only a handful of relays (the HQ tier) may carry traffic.
-        let hq_count = (
-            report.relay_expansion_rates.len(),
-            report.relay_subscriber_counts.len(),
-        );
-        assert!(hq_count.1 <= 6, "too many relays used: {hq_count:?}");
-    }
-
-    #[test]
-    fn weak_tier_restriction_excludes_hq_nodes() {
-        let mut cfg = SystemConfig::for_mode(DeliveryMode::RLive);
-        cfg.multi_source_after = SimDuration::from_secs(5);
-        cfg.popularity_threshold = 1;
-        cfg.cdn_edge_mbps = 140;
-        cfg.multi_on_weak_tier = true;
-        let mut scenario = tiny_scenario();
-        scenario.population.high_quality_fraction = 0.10;
-        let report = World::new(scenario, cfg, GroupPolicy::uniform(DeliveryMode::RLive), 22).run();
-        // Weak-tier relays have small capacities; with HQ excluded the
-        // subscriber fan-out spreads over many relays.
-        assert!(report.test_traffic.best_effort_serving > 0);
-    }
-
-    #[test]
-    fn dns_bypass_reduces_recovery_latency_effects() {
-        let mut base = SystemConfig::for_mode(DeliveryMode::RLive);
-        base.multi_source_after = SimDuration::from_secs(5);
-        base.popularity_threshold = 1;
-        base.cdn_edge_mbps = 140;
-        let mut no_bypass = base.clone();
-        no_bypass.dns_bypass = false;
-        let with_dns = World::new(
-            tiny_scenario(),
-            base,
-            GroupPolicy::uniform(DeliveryMode::RLive),
-            23,
-        )
-        .run();
-        let without = World::new(
-            tiny_scenario(),
-            no_bypass,
-            GroupPolicy::uniform(DeliveryMode::RLive),
-            23,
-        )
-        .run();
-        // Both play; disabling the bypass cannot help QoE.
-        assert!(with_dns.test_qoe.watch_secs > 50.0);
-        assert!(without.test_qoe.watch_secs > 50.0);
-    }
-
-    #[test]
-    fn gamma_series_populated_for_rlive() {
-        let report = run(DeliveryMode::RLive, 24);
-        assert!(
-            !report.gamma_over_time.is_empty(),
-            "no gamma samples recorded"
-        );
-        for &(t, g) in &report.gamma_over_time {
-            assert!(t >= 0.0 && g >= 0.0);
-        }
-    }
-
-    #[test]
-    fn chunked_forwarding_degrades_qoe() {
-        let mut frame_level = SystemConfig::for_mode(DeliveryMode::RLive);
-        frame_level.multi_source_after = SimDuration::from_secs(5);
-        frame_level.popularity_threshold = 1;
-        frame_level.cdn_edge_mbps = 140;
-        let mut chunked = frame_level.clone();
-        chunked.chunk_frames = Some(60);
-        let a = World::new(
-            tiny_scenario(),
-            frame_level,
-            GroupPolicy::uniform(DeliveryMode::RLive),
-            26,
-        )
-        .run();
-        let b = World::new(
-            tiny_scenario(),
-            chunked,
-            GroupPolicy::uniform(DeliveryMode::RLive),
-            26,
-        )
-        .run();
-        // 2-second accumulation at every relay must hurt QoE: stalls or
-        // bitrate, one of them gives (§5.1's head-of-line argument).
-        let a_score = a.test_qoe.rebuffers_per_100s.mean() - a.test_qoe.bitrate_bps.mean() / 1e6;
-        let b_score = b.test_qoe.rebuffers_per_100s.mean() - b.test_qoe.bitrate_bps.mean() / 1e6;
-        assert!(
-            b_score > a_score,
-            "chunked ({b_score}) should be worse than frame-level ({a_score})"
-        );
-    }
-
-    #[test]
-    fn size_aware_partition_plays_video() {
-        let mut cfg = SystemConfig::for_mode(DeliveryMode::RLive);
-        cfg.multi_source_after = SimDuration::from_secs(5);
-        cfg.popularity_threshold = 1;
-        cfg.cdn_edge_mbps = 140;
-        cfg.partition = rlive_media::substream::PartitionStrategy::SizeAware;
-        let r = World::new(
-            tiny_scenario(),
-            cfg,
-            GroupPolicy::uniform(DeliveryMode::RLive),
-            27,
-        )
-        .run();
-        assert!(r.test_qoe.views > 5);
-        assert!(r.test_qoe.watch_secs > 50.0);
-        assert!(r.test_traffic.best_effort_serving > 0);
-    }
-
-    #[test]
-    fn sessions_survive_heavy_relay_churn() {
-        // Failure injection: a churn model where relays die every few
-        // minutes. Failover + recovery must keep sessions alive.
-        use rlive_sim::churn::ChurnModel;
-        use rlive_sim::rng::EmpiricalCdf;
-        let mut scenario = tiny_scenario();
-        scenario.duration = SimDuration::from_secs(120);
-        let mut cfg = SystemConfig::for_mode(DeliveryMode::RLive);
-        cfg.multi_source_after = SimDuration::from_secs(5);
-        cfg.popularity_threshold = 1;
-        cfg.cdn_edge_mbps = 140;
-        let mut world = World::new(scenario, cfg, GroupPolicy::uniform(DeliveryMode::RLive), 25);
-        // Swap every relay's timeline for an aggressive one: online
-        // episodes of 20-60 s.
-        let aggressive = ChurnModel::from_lifespan_cdf(
-            EmpiricalCdf::from_points(&[(0.005, 0.0), (0.017, 1.0)]),
-            0.003,
-        );
-        world.inject_churn_model(&aggressive);
-        let report = world.run();
-        assert!(report.test_qoe.views > 5);
-        assert!(
-            report.test_qoe.watch_secs > 50.0,
-            "watch {}",
-            report.test_qoe.watch_secs
-        );
-    }
-}

@@ -19,7 +19,8 @@
 
 use rlive_media::frame::FrameType;
 use rlive_sim::rng::EmpiricalCdf;
-use rlive_sim::SimDuration;
+use rlive_sim::trace::{TraceEvent, TraceSink};
+use rlive_sim::{SimDuration, SimTime};
 use serde::{Deserialize, Serialize};
 
 /// The four recovery actions of §5.3.
@@ -44,6 +45,16 @@ impl RecoveryAction {
         RecoveryAction::SwitchSubstream,
         RecoveryAction::FullStream,
     ];
+
+    /// Short label for trace records and timelines.
+    pub fn label(&self) -> &'static str {
+        match self {
+            RecoveryAction::BestEffortPackets => "best_effort_packets",
+            RecoveryAction::DedicatedFrame => "dedicated_frame",
+            RecoveryAction::SwitchSubstream => "switch_substream",
+            RecoveryAction::FullStream => "full_stream",
+        }
+    }
 }
 
 /// Recovery state of one incomplete frame — the per-frame slice of the
@@ -374,6 +385,36 @@ impl RecoveryDecider {
                         ),
                     };
                 }
+            }
+        }
+        decisions
+    }
+
+    /// [`RecoveryDecider::decide`] plus structured observability: every
+    /// chosen action is emitted into `sink` as a
+    /// [`TraceEvent::RecoveryDecision`], attributed to `session`.
+    /// Decisions are byte-identical to the untraced path.
+    pub fn decide_traced(
+        &self,
+        frames: &[FrameState],
+        stats: &RecoveryStats,
+        sink: &TraceSink,
+        now: SimTime,
+        session: u64,
+    ) -> Vec<Decision> {
+        let decisions = self.decide(frames, stats);
+        if sink.is_enabled() {
+            for d in &decisions {
+                sink.emit(
+                    now,
+                    Some(session),
+                    TraceEvent::RecoveryDecision {
+                        dts_ms: d.dts_ms,
+                        action: d.action.label(),
+                        loss: d.loss,
+                        failure_probability: d.failure_probability,
+                    },
+                );
             }
         }
         decisions

@@ -12,6 +12,7 @@
 use crate::sequencing::GlobalChain;
 use rlive_media::frame::FrameHeader;
 use rlive_media::packet::DataPacket;
+use rlive_sim::trace::{TraceEvent, TraceSink};
 use rlive_sim::{SimDuration, SimTime};
 use std::collections::{BTreeMap, HashSet};
 
@@ -94,6 +95,10 @@ pub struct ReorderBuffer {
     /// this map is what lets the recovery engine find wholly-lost
     /// frames.
     chain_announced: BTreeMap<u64, (SimTime, u32)>,
+    /// Structured trace sink (disabled by default) and the session the
+    /// buffer belongs to, for deadline-skip observability.
+    trace: TraceSink,
+    trace_session: u64,
 }
 
 impl Default for ReorderBuffer {
@@ -116,7 +121,16 @@ impl ReorderBuffer {
             blocked_since: None,
             skipped: 0,
             chain_announced: BTreeMap::new(),
+            trace: TraceSink::disabled(),
+            trace_session: 0,
         }
+    }
+
+    /// Attaches a structured trace sink; deadline skips are emitted as
+    /// [`TraceEvent::ReorderHeadSkip`] attributed to `session`.
+    pub fn set_trace_sink(&mut self, session: u64, sink: TraceSink) {
+        self.trace = sink;
+        self.trace_session = session;
     }
 
     /// Access to the underlying global chain (for inspection).
@@ -313,7 +327,16 @@ impl ReorderBuffer {
         self.released_watermark = Some(fp.dts_ms);
         self.blocked_since = None;
         self.skipped += 1;
-        self.release(now)
+        let released = self.release(now);
+        self.trace.emit(
+            now,
+            Some(self.trace_session),
+            TraceEvent::ReorderHeadSkip {
+                dts_ms: fp.dts_ms,
+                released: released.len() as u32,
+            },
+        );
+        released
     }
 
     /// Frames skipped past their deadline so far.

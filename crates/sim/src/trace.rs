@@ -9,6 +9,7 @@ use crate::time::SimTime;
 use serde::Serialize;
 use std::collections::BTreeMap;
 use std::collections::VecDeque;
+use std::sync::{Arc, Mutex};
 
 /// Cheap named counters for event kinds.
 #[derive(Debug, Clone, Default, Serialize)]
@@ -138,6 +139,333 @@ impl RingTrace {
     }
 }
 
+/// A structured, typed observability event emitted at a decision point
+/// of the delivery system.
+///
+/// The taxonomy spans every layer: the control plane (scheduler
+/// recommendations, adviser triggers), the data plane (recovery action
+/// choices, reorder head skips) and the orchestration layer (churn, mode
+/// switches, session lifecycle). Lower-layer crates emit the variants
+/// they own; the `rlive` core re-exports this type as part of
+/// `rlive::events` and wires every component to one [`TraceSink`].
+///
+/// Variants carry only primitive fields so the taxonomy can live in the
+/// simulation substrate, beneath every emitting crate.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum TraceEvent {
+    /// `control::scheduler` served a candidate recommendation.
+    SchedulerRecommendation {
+        /// Stream id of the request.
+        stream: u64,
+        /// Substream of the request.
+        substream: u16,
+        /// Number of candidates returned.
+        candidates: u32,
+        /// Modelled scheduler service time in milliseconds.
+        service_time_ms: f64,
+    },
+    /// `control::adviser` fired the cost-consolidation trigger.
+    AdviserCostTrigger {
+        /// Node whose adviser fired.
+        node: u64,
+        /// Sliding node utilisation `ū_node`.
+        node_util: f64,
+        /// Scheduler-confirmed stream utilisation `ū_stream`.
+        stream_util: f64,
+    },
+    /// `control::adviser` fired the QoS-outlier trigger.
+    AdviserQosTrigger {
+        /// Node whose adviser fired.
+        node: u64,
+        /// Outlier connections flagged this round.
+        outliers: u32,
+    },
+    /// `data::recovery` chose a recovery action for one frame.
+    RecoveryDecision {
+        /// Frame timestamp.
+        dts_ms: u64,
+        /// Chosen action label.
+        action: &'static str,
+        /// Loss value of the chosen action.
+        loss: f64,
+        /// Modelled deadline-miss probability under that action.
+        failure_probability: f64,
+    },
+    /// `data::reorder` abandoned a blocked head frame (deadline skip).
+    ReorderHeadSkip {
+        /// Timestamp of the abandoned frame.
+        dts_ms: u64,
+        /// Frames that became releasable after the skip.
+        released: u32,
+    },
+    /// A relay went online or offline (churn transition).
+    Churn {
+        /// Node id.
+        node: u64,
+        /// New state.
+        online: bool,
+    },
+    /// A client's delivery mode changed.
+    ModeSwitch {
+        /// Mode before the switch.
+        from: &'static str,
+        /// Mode after the switch.
+        to: &'static str,
+        /// What prompted the switch.
+        reason: &'static str,
+    },
+    /// A viewer session joined.
+    SessionJoin {
+        /// Stream watched.
+        stream: u64,
+        /// Experiment group label.
+        group: &'static str,
+        /// Delivery-mode policy label.
+        mode: &'static str,
+    },
+    /// A viewer session departed.
+    SessionDepart {
+        /// Frames played over the session.
+        frames_played: u64,
+        /// Rebuffer events over the session.
+        rebuffer_events: u64,
+    },
+    /// The CDN burst recent frames to fill or refill a playout buffer.
+    CdnPrefill {
+        /// Frames sent in the burst.
+        frames: u32,
+    },
+    /// The multi-source promotion gate evaluated a session.
+    MultiSourcePromotion {
+        /// Whether best-effort sources were granted.
+        granted: bool,
+        /// Relay subscriptions established.
+        relays: u32,
+    },
+    /// A recovery attempt completed.
+    RecoveryOutcome {
+        /// Frame timestamp.
+        dts_ms: u64,
+        /// Action that was attempted.
+        action: &'static str,
+        /// Whether the retransmission succeeded.
+        success: bool,
+    },
+}
+
+impl TraceEvent {
+    /// Short machine-readable kind label, e.g. for counting or filtering.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            TraceEvent::SchedulerRecommendation { .. } => "scheduler_recommendation",
+            TraceEvent::AdviserCostTrigger { .. } => "adviser_cost_trigger",
+            TraceEvent::AdviserQosTrigger { .. } => "adviser_qos_trigger",
+            TraceEvent::RecoveryDecision { .. } => "recovery_decision",
+            TraceEvent::ReorderHeadSkip { .. } => "reorder_head_skip",
+            TraceEvent::Churn { .. } => "churn",
+            TraceEvent::ModeSwitch { .. } => "mode_switch",
+            TraceEvent::SessionJoin { .. } => "session_join",
+            TraceEvent::SessionDepart { .. } => "session_depart",
+            TraceEvent::CdnPrefill { .. } => "cdn_prefill",
+            TraceEvent::MultiSourcePromotion { .. } => "multi_source_promotion",
+            TraceEvent::RecoveryOutcome { .. } => "recovery_outcome",
+        }
+    }
+}
+
+impl std::fmt::Display for TraceEvent {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TraceEvent::SchedulerRecommendation {
+                stream,
+                substream,
+                candidates,
+                service_time_ms,
+            } => write!(
+                f,
+                "scheduler_recommendation stream={stream} ss={substream} candidates={candidates} service={service_time_ms:.1}ms"
+            ),
+            TraceEvent::AdviserCostTrigger {
+                node,
+                node_util,
+                stream_util,
+            } => write!(
+                f,
+                "adviser_cost_trigger node={node} u_node={node_util:.3} u_stream={stream_util:.3}"
+            ),
+            TraceEvent::AdviserQosTrigger { node, outliers } => {
+                write!(f, "adviser_qos_trigger node={node} outliers={outliers}")
+            }
+            TraceEvent::RecoveryDecision {
+                dts_ms,
+                action,
+                loss,
+                failure_probability,
+            } => write!(
+                f,
+                "recovery_decision dts={dts_ms} action={action} loss={loss:.3} p_fail={failure_probability:.3}"
+            ),
+            TraceEvent::ReorderHeadSkip { dts_ms, released } => {
+                write!(f, "reorder_head_skip dts={dts_ms} released={released}")
+            }
+            TraceEvent::Churn { node, online } => {
+                write!(
+                    f,
+                    "churn node={node} {}",
+                    if *online { "online" } else { "offline" }
+                )
+            }
+            TraceEvent::ModeSwitch { from, to, reason } => {
+                write!(f, "mode_switch {from} -> {to} ({reason})")
+            }
+            TraceEvent::SessionJoin {
+                stream,
+                group,
+                mode,
+            } => write!(f, "session_join stream={stream} group={group} mode={mode}"),
+            TraceEvent::SessionDepart {
+                frames_played,
+                rebuffer_events,
+            } => write!(
+                f,
+                "session_depart frames={frames_played} rebuffers={rebuffer_events}"
+            ),
+            TraceEvent::CdnPrefill { frames } => write!(f, "cdn_prefill frames={frames}"),
+            TraceEvent::MultiSourcePromotion { granted, relays } => {
+                write!(f, "multi_source_promotion granted={granted} relays={relays}")
+            }
+            TraceEvent::RecoveryOutcome {
+                dts_ms,
+                action,
+                success,
+            } => write!(
+                f,
+                "recovery_outcome dts={dts_ms} action={action} success={success}"
+            ),
+        }
+    }
+}
+
+/// One recorded [`TraceEvent`] with its timestamp and (optional)
+/// session attribution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceRecord {
+    /// When the event was emitted.
+    pub at: SimTime,
+    /// The emitting session (client id), or `None` for node/world-level
+    /// events such as churn and adviser triggers.
+    pub session: Option<u64>,
+    /// The event payload.
+    pub event: TraceEvent,
+}
+
+#[derive(Debug)]
+struct TraceRingInner {
+    records: VecDeque<TraceRecord>,
+    capacity: usize,
+    dropped: u64,
+}
+
+/// A cloneable handle to a bounded, typed trace ring — or a disabled
+/// no-op sink (the default).
+///
+/// Every component of a world (scheduler, advisers, reorder buffers,
+/// the world itself) holds a clone; all clones feed one ring. Worlds
+/// are single-threaded, so emission order — and therefore ring content —
+/// is a pure function of the seed. The handle is `Send` so a traced
+/// world can still run as a runner cell on any worker thread.
+#[derive(Debug, Clone, Default)]
+pub struct TraceSink {
+    inner: Option<Arc<Mutex<TraceRingInner>>>,
+}
+
+impl TraceSink {
+    /// A disabled sink: `emit` is a no-op. This is the default wired
+    /// into every component, so tracing costs nothing unless enabled.
+    pub fn disabled() -> Self {
+        TraceSink::default()
+    }
+
+    /// Creates an enabled sink retaining the most recent `capacity`
+    /// records.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0`.
+    pub fn ring(capacity: usize) -> Self {
+        assert!(capacity > 0, "ring capacity must be positive");
+        TraceSink {
+            inner: Some(Arc::new(Mutex::new(TraceRingInner {
+                records: VecDeque::with_capacity(capacity.min(4096)),
+                capacity,
+                dropped: 0,
+            }))),
+        }
+    }
+
+    /// Whether this sink records anything.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Records one event, evicting the oldest record when full.
+    pub fn emit(&self, at: SimTime, session: Option<u64>, event: TraceEvent) {
+        let Some(inner) = &self.inner else {
+            return;
+        };
+        let mut ring = inner.lock().expect("trace ring poisoned");
+        if ring.records.len() == ring.capacity {
+            ring.records.pop_front();
+            ring.dropped += 1;
+        }
+        ring.records.push_back(TraceRecord { at, session, event });
+    }
+
+    /// Takes every retained record out of the ring, oldest first.
+    pub fn drain(&self) -> Vec<TraceRecord> {
+        match &self.inner {
+            None => Vec::new(),
+            Some(inner) => {
+                let mut ring = inner.lock().expect("trace ring poisoned");
+                ring.records.drain(..).collect()
+            }
+        }
+    }
+
+    /// Copies the retained records without clearing the ring.
+    pub fn snapshot(&self) -> Vec<TraceRecord> {
+        match &self.inner {
+            None => Vec::new(),
+            Some(inner) => {
+                let ring = inner.lock().expect("trace ring poisoned");
+                ring.records.iter().cloned().collect()
+            }
+        }
+    }
+
+    /// Records evicted because the ring was full.
+    pub fn dropped(&self) -> u64 {
+        match &self.inner {
+            None => 0,
+            Some(inner) => inner.lock().expect("trace ring poisoned").dropped,
+        }
+    }
+
+    /// Number of retained records.
+    pub fn len(&self) -> usize {
+        match &self.inner {
+            None => 0,
+            Some(inner) => inner.lock().expect("trace ring poisoned").records.len(),
+        }
+    }
+
+    /// Whether nothing is retained (always true when disabled).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -199,5 +527,52 @@ mod tests {
     #[should_panic(expected = "capacity")]
     fn zero_capacity_rejected() {
         RingTrace::new(0);
+    }
+
+    #[test]
+    fn disabled_sink_is_noop() {
+        let sink = TraceSink::disabled();
+        assert!(!sink.is_enabled());
+        sink.emit(
+            SimTime::ZERO,
+            None,
+            TraceEvent::Churn {
+                node: 1,
+                online: false,
+            },
+        );
+        assert!(sink.is_empty());
+        assert_eq!(sink.drain(), Vec::new());
+        assert_eq!(sink.dropped(), 0);
+    }
+
+    #[test]
+    fn sink_ring_retains_and_evicts() {
+        let sink = TraceSink::ring(2);
+        let clone = sink.clone();
+        for i in 0..3u64 {
+            clone.emit(
+                SimTime::from_secs(i),
+                Some(i),
+                TraceEvent::CdnPrefill { frames: i as u32 },
+            );
+        }
+        assert_eq!(sink.len(), 2);
+        assert_eq!(sink.dropped(), 1);
+        let records = sink.drain();
+        assert_eq!(records[0].at, SimTime::from_secs(1));
+        assert_eq!(records[1].session, Some(2));
+        assert!(sink.is_empty());
+    }
+
+    #[test]
+    fn event_kind_and_display() {
+        let e = TraceEvent::ModeSwitch {
+            from: "cdn",
+            to: "multi",
+            reason: "promotion",
+        };
+        assert_eq!(e.kind(), "mode_switch");
+        assert_eq!(e.to_string(), "mode_switch cdn -> multi (promotion)");
     }
 }

@@ -3,8 +3,8 @@
 //! The build environment cannot reach crates.io, so the workspace
 //! vendors the slice of proptest the repo's property tests use:
 //! the [`proptest!`] macro, `prop_assert*` macros, range / tuple /
-//! [`Just`] / [`prop_oneof!`] / `prop::collection::vec` strategies,
-//! [`any`](arbitrary::any), and [`ProptestConfig`].
+//! [`Just`](strategy::Just) / [`prop_oneof!`] / `prop::collection::vec` strategies,
+//! [`any`](arbitrary::any), and [`ProptestConfig`](test_runner::ProptestConfig).
 //!
 //! Differences from real proptest, deliberately accepted:
 //! - Cases are generated from a deterministic per-test seed (derived
