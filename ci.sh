@@ -23,6 +23,19 @@ cargo clippy --workspace --all-targets --release -- -D warnings
 echo "==> cargo run --release --example quickstart"
 cargo run --release --example quickstart
 
+# Sharded-world smoke: one real experiment with the event loop sharded
+# across two workers. Output correctness is pinned by the golden tests;
+# this catches pool deadlocks/panics that only appear end-to-end.
+echo "==> experiments fig10 7 --world-jobs 2 (sharded smoke)"
+cargo run --release -p rlive-bench --bin experiments -- fig10 7 --world-jobs 2 > /dev/null
+
+# Nightly tier: the #[ignore]d suites (full golden sweep sequential and
+# sharded, both expensive). Opt in with RLIVE_CI_NIGHTLY=1.
+if [[ "${RLIVE_CI_NIGHTLY:-0}" == "1" ]]; then
+  echo "==> cargo test -q -- --ignored (nightly tier)"
+  cargo test --release -q -- --ignored
+fi
+
 # API docs must build warning-free (broken intra-doc links, missing
 # docs on public items under #[warn(missing_docs)] crates).
 echo "==> cargo doc --no-deps"

@@ -21,11 +21,14 @@ mod exp_trace;
 const USAGE: &str = "\
 experiments — regenerate the RLive paper's tables and figures
 
-USAGE: experiments <subcommand> [seed] [--jobs N]
+USAGE: experiments <subcommand> [seed] [--jobs N] [--world-jobs N]
 
-  --jobs N   worker threads for the cell runner (default: available
-             parallelism). Output is byte-identical for any N; only
-             wall-clock time changes.
+  --jobs N        worker threads for the cell runner (default: available
+                  parallelism). Output is byte-identical for any N; only
+                  wall-clock time changes.
+  --world-jobs N  worker threads sharding the event loop INSIDE each
+                  world (default 1). Output is byte-identical for any N
+                  here too — see DESIGN.md \"Sharded world execution\".
 
   fig1b      Best-effort node bandwidth capacity CDF
   fig2a      Single-source vs CDN-only QoE degradation
@@ -103,6 +106,22 @@ fn main() {
                 Ok(n) if n > 0 => rlive_bench::runner::set_jobs(n),
                 _ => {
                     eprintln!("--jobs expects a positive integer");
+                    std::process::exit(2);
+                }
+            }
+        } else if arg == "--world-jobs" {
+            match raw.next().and_then(|v| v.parse::<usize>().ok()) {
+                Some(n) if n > 0 => rlive::config::set_default_world_jobs(n),
+                _ => {
+                    eprintln!("--world-jobs expects a positive integer");
+                    std::process::exit(2);
+                }
+            }
+        } else if let Some(v) = arg.strip_prefix("--world-jobs=") {
+            match v.parse::<usize>() {
+                Ok(n) if n > 0 => rlive::config::set_default_world_jobs(n),
+                _ => {
+                    eprintln!("--world-jobs expects a positive integer");
                     std::process::exit(2);
                 }
             }

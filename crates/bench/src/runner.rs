@@ -1,31 +1,29 @@
-//! Parallel, deterministic experiment runner.
+//! Parallel, deterministic experiment runner — the bench-side face of
+//! [`rlive_sim::runner`].
 //!
 //! The paper's evaluation is a grid of independent *cells*: one
 //! simulated world per (seed, delivery mode, scenario) combination.
 //! Cells share no state — [`rlive::world::World`] owns its RNG, event
 //! queue and metric accumulators — so they can execute on any number of
-//! worker threads. Determinism comes from two rules:
+//! worker threads. The claim/merge machinery itself lives in
+//! [`rlive_sim::runner`] (it is shared with sharded world execution);
+//! this module adds the pieces specific to the `experiments` binary:
 //!
-//! 1. **Cell decomposition is fixed up front.** An experiment builds the
-//!    full `Vec` of cell inputs before any cell runs; the decomposition
-//!    never depends on worker count or timing.
-//! 2. **Results are combined in cell-index order.** Workers return
-//!    `(index, output)` pairs; the runner slots each output at its index
-//!    and hands back a `Vec` in input order. Downstream reductions
-//!    (`Summary::merge_ordered`, `Percentiles::merge_ordered`, or the
-//!    experiments' own mean-over-days folds) therefore see per-cell
-//!    results in the same order whether `--jobs 1` or `--jobs 64` ran
-//!    the sweep — floating-point merges are order-sensitive, so pinning
-//!    the order makes output tables byte-for-byte identical.
+//! 1. the process-wide `--jobs` setting ([`set_jobs`] / [`jobs`]),
+//! 2. the stderr progress line and per-sweep accounting report
+//!    ([`map_cells`]).
 //!
-//! All runner chrome (progress line, per-cell wall-clock accounting)
+//! Determinism comes from two rules enforced by the shared pool: cell
+//! decomposition is fixed up front, and results are combined in
+//! cell-index order — so output tables are byte-for-byte identical
+//! whether `--jobs 1` or `--jobs 64` ran the sweep. All runner chrome
 //! goes to **stderr**; stdout carries only experiment output, keeping it
 //! byte-comparable across worker counts.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::mpsc;
 use std::thread;
-use std::time::{Duration, Instant};
+
+pub use rlive_sim::runner::RunnerStats;
 
 /// Requested worker count: 0 means "use the host's available
 /// parallelism". Set once from the CLI via [`set_jobs`].
@@ -48,108 +46,32 @@ pub fn jobs() -> usize {
     }
 }
 
-/// Wall-clock accounting for one [`run_cells`] sweep.
-#[derive(Debug, Clone)]
-pub struct RunnerStats {
-    /// Number of cells executed.
-    pub cells: usize,
-    /// Worker threads used.
-    pub jobs: usize,
-    /// Wall-clock time of the whole sweep.
-    pub wall: Duration,
-    /// Per-cell wall-clock times, in cell-index order.
-    pub per_cell: Vec<Duration>,
-}
-
-impl RunnerStats {
-    /// Sum of per-cell wall-clock times (the sweep's total CPU-ish cost).
-    pub fn cell_wall_sum(&self) -> Duration {
-        self.per_cell.iter().sum()
-    }
-
-    /// Ratio of summed cell time to sweep wall time (> 1 when worker
-    /// parallelism is actually overlapping cells).
-    pub fn speedup(&self) -> f64 {
-        let wall = self.wall.as_secs_f64();
-        if wall <= 0.0 {
-            return 1.0;
-        }
-        self.cell_wall_sum().as_secs_f64() / wall
-    }
-}
-
 /// Runs `f` over every input on a worker pool and returns the outputs
-/// **in input (cell-index) order**, plus accounting.
-///
-/// Workers pull the next unclaimed index from a shared counter, so cells
-/// are claimed in index order and load-balance naturally; completion
-/// order is irrelevant because each output lands at its own index.
+/// **in input (cell-index) order**, plus accounting. Worker count comes
+/// from [`jobs`]; a progress line goes to stderr.
 pub fn run_cells<I, T, F>(label: &str, inputs: &[I], f: F) -> (Vec<T>, RunnerStats)
 where
     I: Sync,
     T: Send,
     F: Fn(&I) -> T + Sync,
 {
-    let started = Instant::now();
-    let total = inputs.len();
-    let workers = jobs().clamp(1, total.max(1));
-    let mut slots: Vec<Option<(T, Duration)>> = Vec::with_capacity(total);
-    slots.resize_with(total, || None);
-
-    if total > 0 {
-        let next = AtomicUsize::new(0);
-        let f = &f;
-        thread::scope(|scope| {
-            let (tx, rx) = mpsc::channel::<(usize, T, Duration)>();
-            for _ in 0..workers {
-                let tx = tx.clone();
-                let next = &next;
-                scope.spawn(move || loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    if i >= total {
-                        break;
-                    }
-                    let cell_start = Instant::now();
-                    let out = f(&inputs[i]);
-                    if tx.send((i, out, cell_start.elapsed())).is_err() {
-                        break;
-                    }
-                });
-            }
-            drop(tx);
-            let mut done = 0usize;
-            // recv() errors out once every worker has exited (normally or
-            // by panic); scope join then propagates any worker panic.
-            while let Ok((i, out, took)) = rx.recv() {
-                slots[i] = Some((out, took));
-                done += 1;
-                if total > 1 {
-                    eprint!(
-                        "\r[{label}] {done}/{total} cells ({workers} worker{})   ",
-                        if workers == 1 { "" } else { "s" }
-                    );
+    rlive_sim::runner::run_cells(
+        label,
+        jobs(),
+        inputs,
+        |done, total, workers| {
+            if total > 1 {
+                eprint!(
+                    "\r[{label}] {done}/{total} cells ({workers} worker{})   ",
+                    if workers == 1 { "" } else { "s" }
+                );
+                if done == total {
+                    eprintln!();
                 }
             }
-            if total > 1 {
-                eprintln!();
-            }
-        });
-    }
-
-    let mut outputs = Vec::with_capacity(total);
-    let mut per_cell = Vec::with_capacity(total);
-    for (i, slot) in slots.into_iter().enumerate() {
-        let (out, took) = slot.unwrap_or_else(|| panic!("[{label}] cell {i} produced no result"));
-        outputs.push(out);
-        per_cell.push(took);
-    }
-    let stats = RunnerStats {
-        cells: total,
-        jobs: workers,
-        wall: started.elapsed(),
-        per_cell,
-    };
-    (outputs, stats)
+        },
+        f,
+    )
 }
 
 /// [`run_cells`] plus a one-line accounting report on stderr — the form
@@ -179,6 +101,7 @@ where
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::time::Duration;
 
     /// Restores the previous jobs setting on drop so tests can't leak
     /// their override into each other.

@@ -5,6 +5,25 @@ use rlive_control::{ClientControllerConfig, SchedulerConfig};
 use rlive_data::recovery::RecoveryConfig;
 use rlive_sim::SimDuration;
 use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Process-wide default for [`SystemConfig::world_jobs`], set once from
+/// the CLI (`--world-jobs N`). Worlds whose config leaves `world_jobs`
+/// at 0 inherit this value; the built-in default of 1 keeps every world
+/// on the sequential (reference) path unless sharding is requested.
+static DEFAULT_WORLD_JOBS: AtomicUsize = AtomicUsize::new(1);
+
+/// Sets the process-wide default shard worker count used by worlds whose
+/// [`SystemConfig::world_jobs`] is 0. A value of 0 restores the built-in
+/// default of 1 (sequential execution).
+pub fn set_default_world_jobs(n: usize) {
+    DEFAULT_WORLD_JOBS.store(n.max(1), Ordering::Relaxed);
+}
+
+/// The current process-wide default shard worker count (≥ 1).
+pub fn default_world_jobs() -> usize {
+    DEFAULT_WORLD_JOBS.load(Ordering::Relaxed).max(1)
+}
 
 /// How a client population is served — the paper's deployment stages.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -143,6 +162,13 @@ pub struct SystemConfig {
     /// curve; models the peak-hour CDN bandwidth bottlenecks of
     /// §7.1.2). Zero disables background load.
     pub cdn_background_peak_frac: f64,
+    /// Worker threads used to shard relay/client event processing
+    /// inside `World::run`. 0 inherits the process-wide default set via
+    /// [`set_default_world_jobs`] (the `--world-jobs` CLI knob); 1 is
+    /// the sequential reference execution. Any value produces
+    /// byte-identical `RunReport`s and traces — see DESIGN.md "Sharded
+    /// world execution".
+    pub world_jobs: usize,
 }
 
 impl Default for SystemConfig {
@@ -172,6 +198,7 @@ impl Default for SystemConfig {
             dns_bypass: true,
             chunk_frames: None,
             partition: rlive_media::substream::PartitionStrategy::StaticHash,
+            world_jobs: 0,
         }
     }
 }
@@ -182,6 +209,16 @@ impl SystemConfig {
         SystemConfig {
             mode,
             ..SystemConfig::default()
+        }
+    }
+
+    /// The effective shard worker count for a world built from this
+    /// config: the explicit [`world_jobs`](Self::world_jobs) when
+    /// non-zero, otherwise the process-wide default (≥ 1).
+    pub fn effective_world_jobs(&self) -> usize {
+        match self.world_jobs {
+            0 => default_world_jobs(),
+            n => n,
         }
     }
 }
@@ -203,6 +240,18 @@ mod tests {
     fn rtm_has_more_overhead_than_flv() {
         assert!(TransportProfile::Rtm.packet_overhead() > TransportProfile::Flv.packet_overhead());
         assert!(TransportProfile::Rtm.hop_overhead() > TransportProfile::Flv.hop_overhead());
+    }
+
+    #[test]
+    fn world_jobs_zero_inherits_process_default() {
+        let cfg = SystemConfig::default();
+        assert_eq!(cfg.world_jobs, 0, "default config inherits");
+        assert!(cfg.effective_world_jobs() >= 1);
+        let explicit = SystemConfig {
+            world_jobs: 3,
+            ..SystemConfig::default()
+        };
+        assert_eq!(explicit.effective_world_jobs(), 3);
     }
 
     #[test]

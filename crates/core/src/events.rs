@@ -90,7 +90,56 @@ pub enum Event {
     },
 }
 
+/// Which worker-pool lane an event may execute on when the world event
+/// loop is sharded (see DESIGN.md "Sharded world execution").
+///
+/// A class groups events whose handlers mutate only their single target
+/// actor, never draw the world RNG, and read sibling state strictly
+/// read-only — the conditions under which a batch of consecutive
+/// same-class events can run on worker threads and merge back
+/// deterministically. Events outside both classes stay on the
+/// sequential reference path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum ShardClass {
+    /// Client-owned events (slice ingest, chain ingest, playout ticks),
+    /// partitioned by client id.
+    Client,
+    /// Relay frame fan-out, partitioned by relay index. Not shardable
+    /// under central sequencing, where fan-out draws the shared world
+    /// RNG and mutates the shared super node.
+    RelayFrame,
+}
+
 impl Event {
+    /// The shard class of this event, or `None` if its handler must run
+    /// on the sequential path (it draws the world RNG or mutates shared
+    /// state: CDN edges, the scheduler, the session table).
+    /// `central_world` is whether the world runs centralised sequencing
+    /// (`DeliveryMode::RLiveCentralSequencing`), which moves relay
+    /// fan-out onto the shared super node and off the shardable set.
+    pub(crate) fn shard_class(&self, central_world: bool) -> Option<ShardClass> {
+        match self {
+            Event::ClientSlice(_) | Event::ChainDelivery { .. } | Event::PlayerTick { .. } => {
+                Some(ShardClass::Client)
+            }
+            Event::RelayFrame { .. } if !central_world => Some(ShardClass::RelayFrame),
+            _ => None,
+        }
+    }
+
+    /// Partition key within the event's shard class: the id of the one
+    /// actor the handler mutates. Events of the same key must land on
+    /// the same shard, in batch order. Zero for unshardable events.
+    pub(crate) fn shard_key(&self) -> u64 {
+        match self {
+            Event::ClientSlice(d) => d.client,
+            Event::ChainDelivery { client, .. } => *client,
+            Event::PlayerTick { client } => *client,
+            Event::RelayFrame { relay, .. } => *relay as u64,
+            _ => 0,
+        }
+    }
+
     /// Counter label of this event kind (simulator instrumentation).
     pub fn kind(&self) -> &'static str {
         match self {

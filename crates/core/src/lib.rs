@@ -41,6 +41,7 @@ pub mod events;
 pub mod qoe;
 pub mod report;
 pub(crate) mod session;
+pub(crate) mod shard;
 pub mod telemetry;
 pub mod world;
 

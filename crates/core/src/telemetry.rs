@@ -88,6 +88,7 @@ mod tests {
 
     fn rec(at_ms: u64, session: Option<u64>, event: TraceEvent) -> TraceRecord {
         TraceRecord {
+            seq: 0,
             at: SimTime::from_millis(at_ms),
             session,
             event,

@@ -105,6 +105,12 @@ pub struct RunReport {
     pub control_energy: (f64, f64, f64, f64),
     /// Test-group energy aggregates.
     pub test_energy: (f64, f64, f64, f64),
+    /// Shardable batches (≥ 2 consecutive same-class events) the event
+    /// loop formed. Formation always runs, so this is invariant across
+    /// `--world-jobs` — the shard-invariance battery relies on that.
+    pub shardable_batches: u64,
+    /// Events covered by those batches.
+    pub shardable_events: u64,
     /// Total simulated duration.
     pub duration: SimDuration,
 }
@@ -141,6 +147,19 @@ pub struct World {
     pub(crate) gamma_series: TimeSeries,
     pub(crate) last_gamma_sample: (u64, u64, SimTime),
     pub(crate) end_at: SimTime,
+    /// Worker threads for sharded batch execution (1 = sequential
+    /// reference path). Resolved from the config at build time;
+    /// override with [`World::set_world_jobs`].
+    pub(crate) world_jobs: usize,
+    /// Smallest batch worth spawning worker threads for; smaller
+    /// batches run inline. Execution-only tuning: it never affects
+    /// results, only which path produces them.
+    pub(crate) shard_min_batch: usize,
+    /// Shardable batches formed (jobs-invariant; see
+    /// [`RunReport::shardable_batches`]).
+    pub(crate) shardable_batches: u64,
+    /// Events covered by shardable batches.
+    pub(crate) shardable_events: u64,
     /// Centralised sequencing super-node state (§7.3.2).
     pub(crate) super_node: SuperNode,
     /// Structured-event telemetry sink; disabled (zero-cost) unless a
@@ -199,6 +218,7 @@ impl World {
             .collect();
 
         let end_at = SimTime::ZERO + scenario.duration;
+        let world_jobs = cfg.effective_world_jobs();
         let mut world = World {
             cfg,
             scenario,
@@ -228,6 +248,10 @@ impl World {
             gamma_series: TimeSeries::new(15.0),
             last_gamma_sample: (0, 0, SimTime::ZERO),
             end_at,
+            world_jobs,
+            shard_min_batch: 4,
+            shardable_batches: 0,
+            shardable_events: 0,
             super_node: SuperNode::new(),
             trace: TraceSink::disabled(),
         };
@@ -312,13 +336,45 @@ impl World {
         Ok(n)
     }
 
+    /// Overrides the shard worker count resolved from the config
+    /// (`SystemConfig::world_jobs` / the `--world-jobs` process
+    /// default). Any value ≥ 1 produces byte-identical results; 1 is
+    /// the sequential reference path.
+    pub fn set_world_jobs(&mut self, jobs: usize) {
+        self.world_jobs = jobs.max(1);
+    }
+
+    /// Lowers (or raises) the smallest batch the pool is used for.
+    /// Execution-path tuning only — results are identical either way.
+    /// Tests lower it to 2 so even tiny worlds exercise the pool.
+    pub fn set_shard_min_batch(&mut self, min: usize) {
+        self.shard_min_batch = min.max(2);
+    }
+
     /// Runs the world to completion and produces the report.
+    ///
+    /// The loop pops one event at a time; shardable events (see
+    /// `Event::shard_class`) are extended into maximal same-class
+    /// batches and executed via the `shard` module — inline at
+    /// `world_jobs == 1` (bit-identical to the plain pop loop by
+    /// construction), on scoped worker threads otherwise, with a
+    /// deterministic merge that makes the two paths indistinguishable.
     pub fn run(mut self) -> RunReport {
+        let central_world = matches!(self.cfg.mode, DeliveryMode::RLiveCentralSequencing);
         while let Some((now, event)) = self.queue.pop() {
             if now > self.end_at {
                 break;
             }
-            self.handle(now, event);
+            let Some(class) = event.shard_class(central_world) else {
+                self.handle(now, event);
+                continue;
+            };
+            let batch = self.form_batch(now, event, class);
+            if batch.events.len() >= 2 {
+                self.shardable_batches += 1;
+                self.shardable_events += batch.events.len() as u64;
+            }
+            self.execute_batch(batch);
         }
         self.finish()
     }
@@ -386,6 +442,8 @@ impl World {
             scheduler_requests: self.scheduler.request_count(),
             control_energy: mean4(&self.control_energy),
             test_energy: mean4(&self.test_energy),
+            shardable_batches: self.shardable_batches,
+            shardable_events: self.shardable_events,
             duration: self.end_at.saturating_since(SimTime::ZERO),
         }
     }
@@ -410,7 +468,7 @@ impl World {
         }
     }
 
-    fn handle(&mut self, now: SimTime, event: Event) {
+    pub(crate) fn handle(&mut self, now: SimTime, event: Event) {
         self.counters.bump(event.kind());
         match event {
             Event::StreamFrame { stream } => self.on_stream_frame(now, stream),

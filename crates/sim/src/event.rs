@@ -124,14 +124,42 @@ impl<E> EventQueue<E> {
 
     /// Returns the timestamp of the next pending event without popping it.
     pub fn peek_time(&mut self) -> Option<SimTime> {
+        self.peek().map(|(at, _)| at)
+    }
+
+    /// Returns the next pending event — timestamp and a borrow of its
+    /// payload — without popping it. Used by batch formation: the world
+    /// inspects the queue head to decide whether the next event extends
+    /// the current shardable batch.
+    pub fn peek(&mut self) -> Option<(SimTime, &E)> {
+        // Lazily discard cancelled heads first (needs a separate loop:
+        // `peek` borrows immutably, `pop` mutably).
         while let Some(entry) = self.heap.peek() {
-            if !self.pending.contains(&entry.seq) {
-                self.heap.pop();
-                continue;
+            if self.pending.contains(&entry.seq) {
+                break;
             }
-            return Some(entry.at);
+            self.heap.pop();
         }
-        None
+        self.heap.peek().map(|entry| (entry.at, &entry.payload))
+    }
+
+    /// Removes every pending event and returns them **in insertion
+    /// (schedule) order**, not pop order, with their scheduled times.
+    ///
+    /// This is the outbox seam of sharded world execution: a worker
+    /// runs actor handlers against a scratch queue, then the merge
+    /// thread replays the drained entries through the world queue via
+    /// [`EventQueue::schedule`]. Because replay re-assigns sequence
+    /// numbers in insertion order, the post-merge queue is byte-for-byte
+    /// the queue a sequential run would have built.
+    pub fn drain_ordered(&mut self) -> Vec<(SimTime, E)> {
+        let mut entries: Vec<Entry<E>> = std::mem::take(&mut self.heap)
+            .into_iter()
+            .filter(|e| self.pending.contains(&e.seq))
+            .collect();
+        self.pending.clear();
+        entries.sort_by_key(|e| e.seq);
+        entries.into_iter().map(|e| (e.at, e.payload)).collect()
     }
 
     /// Number of pending (non-cancelled) events.
@@ -222,6 +250,61 @@ mod tests {
         q.pop();
         q.schedule_after(SimDuration::from_secs(5), "second");
         assert_eq!(q.pop(), Some((SimTime::from_secs(15), "second")));
+    }
+
+    #[test]
+    fn peek_exposes_payload_without_popping() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_millis(2), "b");
+        q.schedule(SimTime::from_millis(1), "a");
+        assert_eq!(q.peek(), Some((SimTime::from_millis(1), &"a")));
+        assert_eq!(q.len(), 2, "peek must not consume");
+        assert_eq!(q.pop(), Some((SimTime::from_millis(1), "a")));
+        assert_eq!(q.peek(), Some((SimTime::from_millis(2), &"b")));
+    }
+
+    #[test]
+    fn drain_ordered_returns_insertion_order() {
+        let mut q = EventQueue::new();
+        // Deliberately schedule out of time order; drain must come back
+        // in schedule order, not pop order.
+        q.schedule(SimTime::from_millis(30), "late");
+        q.schedule(SimTime::from_millis(10), "early");
+        let cancelled = q.schedule(SimTime::from_millis(20), "gone");
+        q.schedule(SimTime::from_millis(20), "mid");
+        q.cancel(cancelled);
+        let drained = q.drain_ordered();
+        assert_eq!(
+            drained,
+            vec![
+                (SimTime::from_millis(30), "late"),
+                (SimTime::from_millis(10), "early"),
+                (SimTime::from_millis(20), "mid"),
+            ]
+        );
+        assert!(q.is_empty());
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn replaying_a_drain_reproduces_pop_order() {
+        // The sharded-merge contract: schedule into a scratch queue,
+        // drain, replay into a main queue — pops must match a direct
+        // sequential run (same-instant FIFO included).
+        let t = SimTime::from_millis(7);
+        let mut direct = EventQueue::new();
+        let mut scratch = EventQueue::new();
+        for i in 0..6 {
+            direct.schedule(t, i);
+            scratch.schedule(t, i);
+        }
+        let mut replayed = EventQueue::new();
+        for (at, e) in scratch.drain_ordered() {
+            replayed.schedule(at, e);
+        }
+        let a: Vec<i32> = std::iter::from_fn(|| direct.pop().map(|(_, e)| e)).collect();
+        let b: Vec<i32> = std::iter::from_fn(|| replayed.pop().map(|(_, e)| e)).collect();
+        assert_eq!(a, b);
     }
 
     #[test]

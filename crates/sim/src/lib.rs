@@ -16,7 +16,9 @@
 //! - node churn (lifespan / offline episodes) modelling ([`churn`]),
 //! - event counters and ring tracing for debugging ([`trace`]),
 //! - metric accumulators: streaming histograms, percentile estimation,
-//!   CDFs and time series ([`metrics`]).
+//!   CDFs and time series ([`metrics`]),
+//! - deterministic scoped-thread work pools shared by the experiment
+//!   runner and sharded world execution ([`runner`]).
 //!
 //! Everything is seeded and never consults the wall clock, so simulation
 //! runs are reproducible bit-for-bit.
@@ -30,6 +32,7 @@ pub mod link;
 pub mod metrics;
 pub mod nat;
 pub mod rng;
+pub mod runner;
 pub mod time;
 pub mod trace;
 

@@ -12,7 +12,13 @@ use serde::{Deserialize, Serialize};
 ///
 /// All simulator randomness flows through this type, seeded from a single
 /// `u64`, so every experiment is reproducible bit-for-bit.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+///
+/// Equality compares the full generator state: two generators are equal
+/// exactly when every future draw agrees. Sharded world execution uses
+/// this to pin the no-RNG contract of parallel handlers — a worker gives
+/// each handler a sentinel generator and asserts it is returned
+/// untouched.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct SimRng {
     s: [u64; 4],
 }

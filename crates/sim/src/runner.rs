@@ -1,0 +1,265 @@
+//! Deterministic scoped-thread work pools — the claim/merge machinery
+//! shared by the experiment runner (`rlive-bench`) and sharded world
+//! execution (`rlive::world`).
+//!
+//! Two primitives, one determinism rule each:
+//!
+//! - [`run_cells`]: N workers claim independent *cells* from a shared
+//!   atomic counter and results are **slotted back in cell-index
+//!   order**, so any downstream order-sensitive reduction (floating-
+//!   point merges, report folds) sees the same sequence for any worker
+//!   count.
+//! - [`run_shards`]: one worker per *shard*, where each shard owns its
+//!   work outright (e.g. `&mut` partitions of a world's actors), and
+//!   results come back **in shard order** via the join handles. Used
+//!   per batch inside a world's event loop, so it spawns exactly
+//!   `work.len()` threads and nothing else.
+//!
+//! All pool chrome (progress, accounting) is the caller's business —
+//! nothing here writes to stdout, keeping experiment output
+//! byte-comparable across worker counts.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
+use std::thread;
+use std::time::{Duration, Instant};
+
+/// Wall-clock accounting for one [`run_cells`] sweep.
+#[derive(Debug, Clone)]
+pub struct RunnerStats {
+    /// Number of cells executed.
+    pub cells: usize,
+    /// Worker threads used.
+    pub jobs: usize,
+    /// Wall-clock time of the whole sweep.
+    pub wall: Duration,
+    /// Per-cell wall-clock times, in cell-index order.
+    pub per_cell: Vec<Duration>,
+}
+
+impl RunnerStats {
+    /// Sum of per-cell wall-clock times (the sweep's total CPU-ish cost).
+    pub fn cell_wall_sum(&self) -> Duration {
+        self.per_cell.iter().sum()
+    }
+
+    /// Ratio of summed cell time to sweep wall time (> 1 when worker
+    /// parallelism is actually overlapping cells).
+    pub fn speedup(&self) -> f64 {
+        let wall = self.wall.as_secs_f64();
+        if wall <= 0.0 {
+            return 1.0;
+        }
+        self.cell_wall_sum().as_secs_f64() / wall
+    }
+}
+
+/// Runs `f` over every input on a pool of `jobs` workers and returns
+/// the outputs **in input (cell-index) order**, plus accounting.
+///
+/// Workers pull the next unclaimed index from a shared counter, so cells
+/// are claimed in index order and load-balance naturally; completion
+/// order is irrelevant because each output lands at its own index.
+/// `jobs` is clamped to `[1, inputs.len()]`.
+pub fn run_cells<I, T, F>(
+    label: &str,
+    jobs: usize,
+    inputs: &[I],
+    progress: impl FnMut(usize, usize, usize),
+    f: F,
+) -> (Vec<T>, RunnerStats)
+where
+    I: Sync,
+    T: Send,
+    F: Fn(&I) -> T + Sync,
+{
+    let started = Instant::now();
+    let total = inputs.len();
+    let workers = jobs.clamp(1, total.max(1));
+    let mut slots: Vec<Option<(T, Duration)>> = Vec::with_capacity(total);
+    slots.resize_with(total, || None);
+    let mut progress = progress;
+
+    if total > 0 {
+        let next = AtomicUsize::new(0);
+        let f = &f;
+        thread::scope(|scope| {
+            let (tx, rx) = mpsc::channel::<(usize, T, Duration)>();
+            for _ in 0..workers {
+                let tx = tx.clone();
+                let next = &next;
+                scope.spawn(move || loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= total {
+                        break;
+                    }
+                    let cell_start = Instant::now();
+                    let out = f(&inputs[i]);
+                    if tx.send((i, out, cell_start.elapsed())).is_err() {
+                        break;
+                    }
+                });
+            }
+            drop(tx);
+            let mut done = 0usize;
+            // recv() errors out once every worker has exited (normally or
+            // by panic); scope join then propagates any worker panic.
+            while let Ok((i, out, took)) = rx.recv() {
+                slots[i] = Some((out, took));
+                done += 1;
+                progress(done, total, workers);
+            }
+        });
+    }
+
+    let mut outputs = Vec::with_capacity(total);
+    let mut per_cell = Vec::with_capacity(total);
+    for (i, slot) in slots.into_iter().enumerate() {
+        let (out, took) = slot.unwrap_or_else(|| panic!("[{label}] cell {i} produced no result"));
+        outputs.push(out);
+        per_cell.push(took);
+    }
+    let stats = RunnerStats {
+        cells: total,
+        jobs: workers,
+        wall: started.elapsed(),
+        per_cell,
+    };
+    (outputs, stats)
+}
+
+/// Runs `f` once per shard on a scoped thread each and returns the
+/// outputs **in shard order**.
+///
+/// Unlike [`run_cells`], every shard *owns* its work item (typically a
+/// partition of `&mut` actor references plus that partition's events),
+/// so there is no claiming: shard `i` runs on thread `i` and its result
+/// is joined back at index `i`. A panicking shard propagates on join.
+/// With zero or one shard no thread is spawned.
+pub fn run_shards<W, T, F>(work: Vec<W>, f: F) -> Vec<T>
+where
+    W: Send,
+    T: Send,
+    F: Fn(W) -> T + Sync,
+{
+    match work.len() {
+        0 => Vec::new(),
+        1 => {
+            let only = work.into_iter().next().expect("one shard");
+            vec![f(only)]
+        }
+        _ => {
+            let f = &f;
+            thread::scope(|scope| {
+                let handles: Vec<_> = work
+                    .into_iter()
+                    .map(|w| scope.spawn(move || f(w)))
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("shard worker panicked"))
+                    .collect()
+            })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cells_come_back_in_input_order() {
+        // Make early cells the slowest so completion order inverts
+        // input order; results must still come back in input order.
+        let inputs: Vec<u64> = (0..12).collect();
+        let (outputs, stats) = run_cells(
+            "test",
+            4,
+            &inputs,
+            |_, _, _| {},
+            |&i| {
+                std::thread::sleep(Duration::from_millis((12 - i) * 3));
+                i * 10
+            },
+        );
+        assert_eq!(outputs, (0..12).map(|i| i * 10).collect::<Vec<_>>());
+        assert_eq!(stats.cells, 12);
+        assert_eq!(stats.jobs, 4);
+        assert_eq!(stats.per_cell.len(), 12);
+        assert!(stats.per_cell.iter().all(|d| *d > Duration::ZERO));
+    }
+
+    #[test]
+    fn cell_results_identical_for_any_worker_count() {
+        let inputs: Vec<u64> = (0..40).collect();
+        let run = |jobs: usize| {
+            let (out, _) = run_cells(
+                "test",
+                jobs,
+                &inputs,
+                |_, _, _| {},
+                |&i| (0..1000u64).fold(i, |acc, k| acc.wrapping_mul(31).wrapping_add(k)),
+            );
+            out
+        };
+        let sequential = run(1);
+        for jobs in [2, 3, 8] {
+            assert_eq!(run(jobs), sequential, "jobs={jobs} diverged");
+        }
+    }
+
+    #[test]
+    fn empty_cells_are_fine() {
+        let (out, stats) = run_cells::<u8, u8, _>("test", 4, &[], |_, _, _| {}, |&x| x);
+        assert!(out.is_empty());
+        assert_eq!(stats.cells, 0);
+    }
+
+    #[test]
+    fn shards_come_back_in_shard_order() {
+        // Shard 0 is slowest; order must still hold.
+        let work: Vec<u64> = (0..6).collect();
+        let out = run_shards(work, |i| {
+            std::thread::sleep(Duration::from_millis((6 - i) * 2));
+            i * 100
+        });
+        assert_eq!(out, vec![0, 100, 200, 300, 400, 500]);
+    }
+
+    #[test]
+    fn shards_take_ownership_of_mutable_work() {
+        // The world-sharding shape: each shard owns `&mut` slices of a
+        // parent collection, mutates them on its thread, and reports an
+        // outbox merged afterwards.
+        let mut actors = [0u64; 8];
+        let shards: Vec<Vec<&mut u64>> = {
+            let mut a = Vec::new();
+            let mut b = Vec::new();
+            for (i, slot) in actors.iter_mut().enumerate() {
+                if i % 2 == 0 {
+                    a.push(slot);
+                } else {
+                    b.push(slot);
+                }
+            }
+            vec![a, b]
+        };
+        let outboxes = run_shards(shards, |part| {
+            let mut touched = 0;
+            for slot in part {
+                *slot += 1;
+                touched += 1;
+            }
+            touched
+        });
+        assert_eq!(outboxes, vec![4, 4]);
+        assert!(actors.iter().all(|&v| v == 1));
+    }
+
+    #[test]
+    fn zero_and_single_shard_run_inline() {
+        assert_eq!(run_shards(Vec::<u8>::new(), |x| x), Vec::<u8>::new());
+        assert_eq!(run_shards(vec![7u8], |x| x + 1), vec![8]);
+    }
+}

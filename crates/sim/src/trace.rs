@@ -351,6 +351,19 @@ impl std::fmt::Display for TraceEvent {
 /// session attribution.
 #[derive(Debug, Clone, PartialEq)]
 pub struct TraceRecord {
+    /// Position of this record in its world's trace stream (0-based,
+    /// gap-free across evictions).
+    ///
+    /// **Ordering invariant:** `seq` is assigned when a record enters a
+    /// world's primary ring — for records staged in a worker-local
+    /// [`TraceSink::staging`] buffer that means at *merge* time
+    /// ([`TraceSink::absorb`]), never at emission. Wall-clock emission
+    /// order on worker threads is nondeterministic; merge order (batch
+    /// index order) is not. Anything that consumes drained records —
+    /// golden tests, timeline rendering, the shard-invariance battery —
+    /// may therefore rely on `seq` (and record order) being a pure
+    /// function of the seed, for any worker count.
+    pub seq: u64,
     /// When the event was emitted.
     pub at: SimTime,
     /// The emitting session (client id), or `None` for node/world-level
@@ -365,16 +378,37 @@ struct TraceRingInner {
     records: VecDeque<TraceRecord>,
     capacity: usize,
     dropped: u64,
+    /// Next `seq` to assign; counts every record ever appended to this
+    /// ring (including later-evicted ones).
+    next_seq: u64,
+}
+
+impl TraceRingInner {
+    /// Appends one record, assigning its `seq` and evicting the oldest
+    /// record when full.
+    fn append(&mut self, mut record: TraceRecord) {
+        record.seq = self.next_seq;
+        self.next_seq += 1;
+        if self.records.len() == self.capacity {
+            self.records.pop_front();
+            self.dropped += 1;
+        }
+        self.records.push_back(record);
+    }
 }
 
 /// A cloneable handle to a bounded, typed trace ring — or a disabled
 /// no-op sink (the default).
 ///
 /// Every component of a world (scheduler, advisers, reorder buffers,
-/// the world itself) holds a clone; all clones feed one ring. Worlds
-/// are single-threaded, so emission order — and therefore ring content —
-/// is a pure function of the seed. The handle is `Send` so a traced
-/// world can still run as a runner cell on any worker thread.
+/// the world itself) holds a clone; all clones feed one ring. Ring
+/// content — record order and [`TraceRecord::seq`] included — is a pure
+/// function of the seed: sequential phases emit directly, and sharded
+/// phases stage per-event records in worker-local [`TraceSink::staging`]
+/// buffers that the merge thread [`TraceSink::absorb`]s in batch-index
+/// order (see the `seq` field docs for the full invariant). The handle
+/// is `Send` so a traced world can still run as a runner cell on any
+/// worker thread.
 #[derive(Debug, Clone, Default)]
 pub struct TraceSink {
     inner: Option<Arc<Mutex<TraceRingInner>>>,
@@ -400,6 +434,23 @@ impl TraceSink {
                 records: VecDeque::with_capacity(capacity.min(4096)),
                 capacity,
                 dropped: 0,
+                next_seq: 0,
+            }))),
+        }
+    }
+
+    /// Creates an unbounded staging buffer for one sharded event: the
+    /// worker points its actor's emitters here, runs the handler, and
+    /// ships the drained records back in the event's outbox. Staged
+    /// records carry a placeholder `seq`; the real one is assigned when
+    /// the merge thread [`TraceSink::absorb`]s them into the world ring.
+    pub fn staging() -> Self {
+        TraceSink {
+            inner: Some(Arc::new(Mutex::new(TraceRingInner {
+                records: VecDeque::new(),
+                capacity: usize::MAX,
+                dropped: 0,
+                next_seq: 0,
             }))),
         }
     }
@@ -415,11 +466,31 @@ impl TraceSink {
             return;
         };
         let mut ring = inner.lock().expect("trace ring poisoned");
-        if ring.records.len() == ring.capacity {
-            ring.records.pop_front();
-            ring.dropped += 1;
+        ring.append(TraceRecord {
+            seq: 0,
+            at,
+            session,
+            event,
+        });
+    }
+
+    /// Appends already-recorded (staged) records, re-assigning each
+    /// one's `seq` as it enters this ring. This is the merge half of the
+    /// ordering invariant documented on [`TraceRecord::seq`]: calling
+    /// `absorb` on per-event staging buffers in batch-index order makes
+    /// ring content identical to what direct sequential emission would
+    /// have produced, regardless of which worker threads emitted when.
+    pub fn absorb(&self, records: Vec<TraceRecord>) {
+        if records.is_empty() {
+            return;
         }
-        ring.records.push_back(TraceRecord { at, session, event });
+        let Some(inner) = &self.inner else {
+            return;
+        };
+        let mut ring = inner.lock().expect("trace ring poisoned");
+        for record in records {
+            ring.append(record);
+        }
     }
 
     /// Takes every retained record out of the ring, oldest first.
@@ -563,6 +634,95 @@ mod tests {
         assert_eq!(records[0].at, SimTime::from_secs(1));
         assert_eq!(records[1].session, Some(2));
         assert!(sink.is_empty());
+    }
+
+    #[test]
+    fn seq_is_assigned_at_ring_entry_and_survives_eviction() {
+        let sink = TraceSink::ring(2);
+        for i in 0..4u64 {
+            sink.emit(
+                SimTime::from_secs(i),
+                None,
+                TraceEvent::CdnPrefill { frames: i as u32 },
+            );
+        }
+        let records = sink.drain();
+        // Two were evicted; the survivors keep their entry-order seqs.
+        assert_eq!(records.iter().map(|r| r.seq).collect::<Vec<_>>(), [2, 3]);
+        assert_eq!(sink.dropped(), 2);
+    }
+
+    /// The ordering hazard the staging/absorb protocol exists to fix:
+    /// two emitters racing on worker threads would interleave records in
+    /// wall-clock completion order. Staging per emitter and absorbing in
+    /// merge (batch-index) order must yield the order a sequential run
+    /// would have produced — with `seq` assigned at merge, NOT at
+    /// emission.
+    #[test]
+    fn interleaved_emission_is_reordered_by_merge_order_absorb() {
+        let event = |dts_ms: u64| TraceEvent::ReorderHeadSkip {
+            dts_ms,
+            released: 0,
+        };
+        // Sequential reference: event A's records, then event B's.
+        let reference = TraceSink::ring(16);
+        for dts in [0, 1] {
+            reference.emit(SimTime::from_secs(1), Some(10), event(dts));
+        }
+        for dts in [2, 3] {
+            reference.emit(SimTime::from_secs(1), Some(11), event(dts));
+        }
+
+        // Sharded run: the two events execute concurrently and happen to
+        // *finish* emitting in the interleaved order B, A, B, A. Each
+        // stages into its own buffer, so the interleaving is invisible.
+        let staged_a = TraceSink::staging();
+        let staged_b = TraceSink::staging();
+        staged_b.emit(SimTime::from_secs(1), Some(11), event(2));
+        staged_a.emit(SimTime::from_secs(1), Some(10), event(0));
+        staged_b.emit(SimTime::from_secs(1), Some(11), event(3));
+        staged_a.emit(SimTime::from_secs(1), Some(10), event(1));
+
+        // Merge in batch-index order: A before B.
+        let merged = TraceSink::ring(16);
+        merged.absorb(staged_a.drain());
+        merged.absorb(staged_b.drain());
+
+        assert_eq!(merged.drain(), reference.drain());
+    }
+
+    /// Had `seq` (or record order) been taken from emission instead of
+    /// merge, the interleaving above would be observable. This pins the
+    /// counterfactual so the invariant has a witness: absorbing in the
+    /// wrong (completion) order really does produce a different stream.
+    #[test]
+    fn absorbing_out_of_batch_order_is_observable() {
+        let event = |dts_ms: u64| TraceEvent::ReorderHeadSkip {
+            dts_ms,
+            released: 0,
+        };
+        let reference = TraceSink::ring(16);
+        reference.emit(SimTime::ZERO, Some(10), event(0));
+        reference.emit(SimTime::ZERO, Some(11), event(1));
+
+        let staged_a = TraceSink::staging();
+        let staged_b = TraceSink::staging();
+        staged_a.emit(SimTime::ZERO, Some(10), event(0));
+        staged_b.emit(SimTime::ZERO, Some(11), event(1));
+        let wrong_order = TraceSink::ring(16);
+        wrong_order.absorb(staged_b.drain());
+        wrong_order.absorb(staged_a.drain());
+
+        assert_ne!(wrong_order.drain(), reference.drain());
+    }
+
+    #[test]
+    fn absorb_into_disabled_sink_is_noop() {
+        let staged = TraceSink::staging();
+        staged.emit(SimTime::ZERO, None, TraceEvent::CdnPrefill { frames: 1 });
+        let disabled = TraceSink::disabled();
+        disabled.absorb(staged.drain());
+        assert!(disabled.is_empty());
     }
 
     #[test]

@@ -180,6 +180,40 @@ fn golden_table1() {
     assert_golden("table1", &[]);
 }
 
+// ----- tier-1 sharded re-run -------------------------------------------
+//
+// The same fast subset again with the world event loop sharded across
+// two workers. The digests are the *same* golden files: `--world-jobs`
+// must be byte-invisible in stdout (DESIGN.md "Sharded world
+// execution"). These subcommands simulate no worlds, so this pins the
+// cheap half of the contract — flag parsing and the N=1-identical
+// formation path; `golden_sharded_sweep` below pins the expensive half.
+
+#[test]
+fn golden_fig1b_sharded() {
+    assert_golden("fig1b", &["--world-jobs", "2"]);
+}
+
+#[test]
+fn golden_fig2c_sharded() {
+    assert_golden("fig2c", &["--world-jobs", "2"]);
+}
+
+#[test]
+fn golden_fig2d_sharded() {
+    assert_golden("fig2d", &["--world-jobs", "2"]);
+}
+
+#[test]
+fn golden_fig3_sharded() {
+    assert_golden("fig3", &["--world-jobs", "2"]);
+}
+
+#[test]
+fn golden_table1_sharded() {
+    assert_golden("table1", &["--world-jobs", "2"]);
+}
+
 // ----- full sweep (simulated worlds; minutes in release) ---------------
 
 #[test]
@@ -203,4 +237,22 @@ fn golden_output_is_jobs_invariant() {
     let b = run_digest(&["fig12", "7", "--jobs", "4"]);
     assert_eq!(a, b, "--jobs changed experiments output");
     assert_eq!(a, expected_digest("fig12"));
+}
+
+#[test]
+#[ignore = "runs full simulated worlds sharded; use --release -- --ignored"]
+fn golden_sharded_sweep() {
+    // Every world-simulating subcommand, with the event loop *inside*
+    // each world sharded across worker threads, must hit the exact
+    // digest the sequential run pinned. This is the end-to-end form of
+    // the shard-invariance battery in crates/core/tests.
+    for jobs in ["2", "8"] {
+        for sub in [
+            "fig2a", "fig2b", "fig8", "fig9", "table2", "fig10", "fig11", "fig12", "table3",
+            "fig13", "table4", "fallback", "ablation",
+        ] {
+            assert_golden(sub, &["--world-jobs", jobs]);
+            eprintln!("golden ok (world-jobs={jobs}): {sub}");
+        }
+    }
 }
