@@ -23,11 +23,24 @@ cargo clippy --workspace --all-targets --release -- -D warnings
 echo "==> cargo run --release --example quickstart"
 cargo run --release --example quickstart
 
-# Sharded-world smoke: one real experiment with the event loop sharded
-# across two workers. Output correctness is pinned by the golden tests;
-# this catches pool deadlocks/panics that only appear end-to-end.
+# Smoke runs. Output correctness is pinned by the golden tests; these
+# catch pool deadlocks/panics that only appear end-to-end. Each smoke's
+# stdout is also screened for NaN: the metric accumulators skip and
+# count non-finite samples, so a NaN in a table means that guard broke.
+smoke() {
+  local out
+  out=$(cargo run --release -p rlive-bench --bin experiments -- "$@")
+  if grep -qw "NaN" <<< "$out"; then
+    echo "NaN leaked into experiment stdout: experiments $*" >&2
+    exit 1
+  fi
+}
+
 echo "==> experiments fig10 7 --world-jobs 2 (sharded smoke)"
-cargo run --release -p rlive-bench --bin experiments -- fig10 7 --world-jobs 2 > /dev/null
+smoke fig10 7 --world-jobs 2
+
+echo "==> experiments fleet 3 7 --jobs 2 --world-jobs 2 (fleet smoke)"
+smoke fleet 3 7 --jobs 2 --world-jobs 2
 
 # Nightly tier: the #[ignore]d suites (full golden sweep sequential and
 # sharded, both expensive). Opt in with RLIVE_CI_NIGHTLY=1.

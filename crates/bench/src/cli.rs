@@ -1,0 +1,237 @@
+//! Command-line parsing for the `experiments` binary, extracted from
+//! `main` so it is unit-testable.
+//!
+//! Two silent failure modes motivated the extraction and are rejected
+//! here loudly (usage + exit code 2 in `main`):
+//!
+//! * `experiments fig10 20x6` used to *silently* run seed 2026 — the
+//!   seed positional was parsed with `.ok().unwrap_or(2026)`, which
+//!   swallowed the error. [`CliArgs::seed_at`] now fails on an
+//!   unparseable seed.
+//! * any unknown `--flag` (e.g. the typo `--jbos=4`) used to be treated
+//!   as a positional and ignored. [`parse_args`] now rejects every
+//!   token starting with `-` that is not a recognised flag.
+
+/// Default seed when none is given on the command line.
+pub const DEFAULT_SEED: u64 = 2026;
+
+/// Parsed command line: recognised flags plus raw positionals
+/// (`<subcommand> [args…]`). Positional interpretation is per-command
+/// (`fleet` takes `<n> [seed]`, most others `[seed]`), so resolution
+/// happens via the accessor methods, not at parse time.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CliArgs {
+    /// Non-flag arguments in order: subcommand first.
+    pub positionals: Vec<String>,
+    /// `--seed N`: overrides any positional seed.
+    pub seed: Option<u64>,
+    /// `--stream S` (trace subcommand).
+    pub stream: Option<u64>,
+    /// `--jobs N`: cell-runner worker threads.
+    pub jobs: Option<usize>,
+    /// `--world-jobs N`: event-loop shards inside each world.
+    pub world_jobs: Option<usize>,
+    /// `--help` / `-h`.
+    pub help: bool,
+}
+
+/// Parses raw arguments (without the program name). Returns an error
+/// message for unknown flags or malformed flag values; positionals are
+/// collected verbatim.
+pub fn parse_args(raw: impl IntoIterator<Item = String>) -> Result<CliArgs, String> {
+    let mut args = CliArgs::default();
+    let mut raw = raw.into_iter();
+    while let Some(arg) = raw.next() {
+        let mut flag_value = |name: &str| -> Result<String, String> {
+            raw.next().ok_or_else(|| format!("{name} expects a value"))
+        };
+        match arg.as_str() {
+            "--help" | "-h" => args.help = true,
+            "--seed" => args.seed = Some(parse_u64("--seed", &flag_value("--seed")?)?),
+            "--stream" => args.stream = Some(parse_u64("--stream", &flag_value("--stream")?)?),
+            "--jobs" => args.jobs = Some(parse_positive("--jobs", &flag_value("--jobs")?)?),
+            "--world-jobs" => {
+                args.world_jobs = Some(parse_positive(
+                    "--world-jobs",
+                    &flag_value("--world-jobs")?,
+                )?)
+            }
+            _ => {
+                if let Some(v) = arg.strip_prefix("--seed=") {
+                    args.seed = Some(parse_u64("--seed", v)?);
+                } else if let Some(v) = arg.strip_prefix("--stream=") {
+                    args.stream = Some(parse_u64("--stream", v)?);
+                } else if let Some(v) = arg.strip_prefix("--jobs=") {
+                    args.jobs = Some(parse_positive("--jobs", v)?);
+                } else if let Some(v) = arg.strip_prefix("--world-jobs=") {
+                    args.world_jobs = Some(parse_positive("--world-jobs", v)?);
+                } else if arg.starts_with('-') && arg.len() > 1 {
+                    // A typo'd flag must not silently become an ignored
+                    // positional.
+                    return Err(format!("unknown flag '{arg}'"));
+                } else {
+                    args.positionals.push(arg);
+                }
+            }
+        }
+    }
+    Ok(args)
+}
+
+fn parse_u64(name: &str, v: &str) -> Result<u64, String> {
+    v.parse::<u64>()
+        .map_err(|_| format!("{name} expects an unsigned integer, got '{v}'"))
+}
+
+fn parse_positive(name: &str, v: &str) -> Result<usize, String> {
+    match v.parse::<usize>() {
+        Ok(n) if n > 0 => Ok(n),
+        _ => Err(format!("{name} expects a positive integer, got '{v}'")),
+    }
+}
+
+impl CliArgs {
+    /// The subcommand (`help` if none was given).
+    pub fn command(&self) -> &str {
+        self.positionals
+            .first()
+            .map(String::as_str)
+            .unwrap_or("help")
+    }
+
+    /// Resolves the run seed: the `--seed` flag wins, else the
+    /// positional at `index` (1 = first argument after the
+    /// subcommand), else [`DEFAULT_SEED`]. A present-but-unparseable
+    /// positional is an **error**, never a silent fallback.
+    pub fn seed_at(&self, index: usize) -> Result<u64, String> {
+        if let Some(seed) = self.seed {
+            return Ok(seed);
+        }
+        match self.positionals.get(index) {
+            None => Ok(DEFAULT_SEED),
+            Some(raw) => parse_u64("seed", raw),
+        }
+    }
+
+    /// A required positive-integer positional (e.g. `fleet <n>`).
+    pub fn required_count_at(&self, index: usize, what: &str) -> Result<usize, String> {
+        match self.positionals.get(index) {
+            None => Err(format!("missing {what}")),
+            Some(raw) => parse_positive(what, raw),
+        }
+    }
+
+    /// Rejects positionals beyond the subcommand plus `n` arguments.
+    pub fn expect_at_most(&self, n: usize) -> Result<(), String> {
+        match self.positionals.get(n + 1) {
+            Some(extra) => Err(format!("unexpected argument '{extra}'")),
+            None => Ok(()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Result<CliArgs, String> {
+        parse_args(args.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn positionals_and_flags_parse() {
+        let a = parse(&["fig10", "7", "--jobs", "4", "--world-jobs=2"]).unwrap();
+        assert_eq!(a.positionals, vec!["fig10", "7"]);
+        assert_eq!(a.command(), "fig10");
+        assert_eq!(a.jobs, Some(4));
+        assert_eq!(a.world_jobs, Some(2));
+        assert_eq!(a.seed_at(1).unwrap(), 7);
+    }
+
+    #[test]
+    fn no_args_means_help_command() {
+        let a = parse(&[]).unwrap();
+        assert_eq!(a.command(), "help");
+        assert_eq!(a.seed_at(1).unwrap(), DEFAULT_SEED);
+    }
+
+    #[test]
+    fn typoed_seed_positional_is_an_error_not_a_silent_default() {
+        // The original bug: `fig10 20x6` ran seed 2026 without a word.
+        let a = parse(&["fig10", "20x6"]).unwrap();
+        let err = a.seed_at(1).unwrap_err();
+        assert!(
+            err.contains("20x6"),
+            "error should name the bad value: {err}"
+        );
+    }
+
+    #[test]
+    fn unknown_flag_is_rejected() {
+        // The original bug: `--jbos=4` was silently treated as an
+        // ignored positional.
+        let err = parse(&["fig10", "7", "--jbos=4"]).unwrap_err();
+        assert!(
+            err.contains("--jbos=4"),
+            "error should name the flag: {err}"
+        );
+        assert!(parse(&["-x"]).is_err());
+    }
+
+    #[test]
+    fn seed_flag_overrides_positional() {
+        let a = parse(&["fig10", "7", "--seed", "9"]).unwrap();
+        assert_eq!(a.seed_at(1).unwrap(), 9);
+        let a = parse(&["fig10", "--seed=11"]).unwrap();
+        assert_eq!(a.seed_at(1).unwrap(), 11);
+    }
+
+    #[test]
+    fn malformed_flag_values_are_errors() {
+        assert!(parse(&["--jobs", "0"]).is_err());
+        assert!(parse(&["--jobs", "x"]).is_err());
+        assert!(parse(&["--jobs"]).is_err());
+        assert!(parse(&["--world-jobs=0"]).is_err());
+        assert!(parse(&["--seed", "abc"]).is_err());
+        assert!(parse(&["--stream=-1"]).is_err());
+    }
+
+    #[test]
+    fn fleet_shape_positionals_resolve() {
+        let a = parse(&["fleet", "5", "7"]).unwrap();
+        assert_eq!(a.required_count_at(1, "world count").unwrap(), 5);
+        assert_eq!(a.seed_at(2).unwrap(), 7);
+        assert!(a.expect_at_most(2).is_ok());
+
+        let a = parse(&["fleet", "5"]).unwrap();
+        assert_eq!(a.seed_at(2).unwrap(), DEFAULT_SEED);
+
+        let a = parse(&["fleet"]).unwrap();
+        assert!(a
+            .required_count_at(1, "world count")
+            .unwrap_err()
+            .contains("missing"));
+
+        let a = parse(&["fleet", "0", "7"]).unwrap();
+        assert!(a.required_count_at(1, "world count").is_err());
+    }
+
+    #[test]
+    fn extra_positionals_are_rejected() {
+        let a = parse(&["fig10", "7", "8"]).unwrap();
+        let err = a.expect_at_most(1).unwrap_err();
+        assert!(err.contains('8'), "{err}");
+    }
+
+    #[test]
+    fn help_flags_parse() {
+        assert!(parse(&["--help"]).unwrap().help);
+        assert!(parse(&["-h"]).unwrap().help);
+    }
+
+    #[test]
+    fn single_dash_is_a_positional() {
+        let a = parse(&["-"]).unwrap();
+        assert_eq!(a.positionals, vec!["-"]);
+    }
+}

@@ -2,7 +2,8 @@
 //! (QoE), Table 2 (equivalent traffic) and Fig 10 (energy).
 
 use rlive::config::DeliveryMode;
-use rlive::world::{GroupPolicy, World};
+use rlive::world::GroupPolicy;
+use rlive::Fleet;
 use rlive_bench::{
     compare_head, compare_row, fanout_config, fanout_scenario, header, peak_config, peak_scenario,
     print_daily, runner, DailyDiffs, DAY_SEEDS,
@@ -137,16 +138,15 @@ pub fn table2(seed: u64) {
     let eqt = d.series(|r| r.eqt_pct);
     print_daily("EqT diff per day", &eqt);
 
-    // Per-byte economics from a uniform fanout run.
-    let r = runner::map_cells("table2-fanout", &[seed], |&s| {
-        World::new(
-            fanout_scenario(),
-            fanout_config(DeliveryMode::RLive),
-            GroupPolicy::uniform(DeliveryMode::RLive),
-            s,
-        )
-        .run()
-    })
+    // Per-byte economics from a uniform fanout run (a one-world fleet).
+    let r = runner::run_fleet(Fleet::seeded(
+        "table2-fanout",
+        &fanout_scenario(),
+        &fanout_config(DeliveryMode::RLive),
+        &GroupPolicy::uniform(DeliveryMode::RLive),
+        &[seed],
+    ))
+    .worlds
     .remove(0);
     let t = &r.test_traffic;
     let gamma = t.expansion_rate().unwrap_or(0.0);

@@ -3,12 +3,13 @@
 //! exploration mixing (§8.2), NAT traversal refinement (§8.1) and chain
 //! length δ (§5.2).
 //!
-//! Every world-running ablation fans its configuration sweep out as
-//! runner cells; rows are printed from the cell-ordered results, so the
-//! tables are identical for any `--jobs` value.
+//! Every world-running ablation fans its configuration sweep out as a
+//! [`Fleet`]; rows are printed from the spec-ordered per-world reports,
+//! so the tables are identical for any `--jobs` value.
 
 use rlive::config::DeliveryMode;
-use rlive::world::{GroupPolicy, RunReport, World};
+use rlive::world::{GroupPolicy, RunReport};
+use rlive::{Fleet, WorldSpec};
 use rlive_bench::{compare_head, compare_row, header, peak_config, peak_scenario, runner};
 use rlive_data::sequencing::{GlobalChain, MatchResult};
 use rlive_media::footprint::{ChainGenerator, LocalChain, CHAIN_LEN};
@@ -29,18 +30,17 @@ pub fn all(seed: u64) {
     partition_strategy(seed);
 }
 
-/// Runs one peak-scenario RLive world with a caller-tweaked config.
-fn peak_run(seed: u64, tweak: impl Fn(&mut rlive::config::SystemConfig)) -> RunReport {
+/// One peak-scenario RLive world with a caller-tweaked config.
+fn peak_spec(seed: u64, tweak: impl Fn(&mut rlive::config::SystemConfig)) -> WorldSpec {
     let mut cfg = peak_config();
     cfg.mode = DeliveryMode::RLive;
     tweak(&mut cfg);
-    World::new(
-        peak_scenario(),
-        cfg,
-        GroupPolicy::uniform(DeliveryMode::RLive),
+    WorldSpec {
         seed,
-    )
-    .run()
+        scenario: peak_scenario(),
+        config: cfg,
+        policy: GroupPolicy::uniform(DeliveryMode::RLive),
+    }
 }
 
 /// §8.3 (open question, implemented here): criticality-aware substream
@@ -59,13 +59,14 @@ pub fn partition_strategy(seed: u64) {
         ("size-aware", PartitionStrategy::SizeAware),
     ];
     let days = 3u64;
-    let cells: Vec<(PartitionStrategy, u64)> = strategies
-        .iter()
-        .flat_map(|&(_, strategy)| (0..days).map(move |d| (strategy, seed + d)))
-        .collect();
-    let reports = runner::map_cells("ablation-partition", &cells, |&(strategy, s)| {
-        peak_run(s, |cfg| cfg.partition = strategy)
-    });
+    let day_seeds: Vec<u64> = (0..days).map(|d| seed + d).collect();
+    let fleet = Fleet::product(
+        "ablation-partition",
+        &strategies,
+        &day_seeds,
+        |&(_, strategy), &s| peak_spec(s, |cfg| cfg.partition = strategy),
+    );
+    let reports = runner::run_fleet(fleet).worlds;
     for ((label, _), group) in strategies.iter().zip(reports.chunks(days as usize)) {
         let n = days as f64;
         let sum = |f: &dyn Fn(&RunReport) -> f64| group.iter().map(f).sum::<f64>();
@@ -98,10 +99,10 @@ pub fn chunked_delivery(seed: u64) {
         ("1 s chunks", Some(30)),
         ("2 s chunks", Some(60)),
     ];
-    let cells: Vec<Option<u32>> = variants.iter().map(|&(_, chunk)| chunk).collect();
-    let reports = runner::map_cells("ablation-chunk", &cells, |&chunk| {
-        peak_run(seed, |cfg| cfg.chunk_frames = chunk)
+    let fleet = Fleet::product("ablation-chunk", &variants, &[seed], |&(_, chunk), &s| {
+        peak_spec(s, |cfg| cfg.chunk_frames = chunk)
     });
+    let reports = runner::run_fleet(fleet).worlds;
     for ((label, _), r) in variants.iter().zip(&reports) {
         println!(
             "{label:<16} {:>12.0} {:>14.2} {:>14.2}",
@@ -125,9 +126,10 @@ pub fn dns_bypass(seed: u64) {
     );
     println!("{}", "-".repeat(58));
     let cells = [true, false];
-    let reports = runner::map_cells("ablation-dns", &cells, |&bypass| {
-        peak_run(seed, |cfg| cfg.dns_bypass = bypass)
+    let fleet = Fleet::product("ablation-dns", &cells, &[seed], |&bypass, &s| {
+        peak_spec(s, |cfg| cfg.dns_bypass = bypass)
     });
+    let reports = runner::run_fleet(fleet).worlds;
     for (bypass, r) in cells.iter().zip(&reports) {
         println!(
             "{:<12} {:>14.2} {:>16.0} {:>12.0}",
@@ -152,9 +154,10 @@ pub fn probes(seed: u64) {
     );
     println!("{}", "-".repeat(58));
     let cells = [1usize, 2, 3, 5];
-    let reports = runner::map_cells("ablation-probes", &cells, |&max_probes| {
-        peak_run(seed, |cfg| cfg.client_controller.max_probes = max_probes)
+    let fleet = Fleet::product("ablation-probes", &cells, &[seed], |&max_probes, &s| {
+        peak_spec(s, |cfg| cfg.client_controller.max_probes = max_probes)
     });
+    let reports = runner::run_fleet(fleet).worlds;
     for (max_probes, r) in cells.iter().zip(&reports) {
         let success = 1.0 - r.invalid_candidate_fraction;
         println!(
@@ -176,12 +179,13 @@ pub fn substreams(seed: u64) {
     );
     println!("{}", "-".repeat(64));
     let cells = [1u16, 2, 4, 8];
-    let reports = runner::map_cells("ablation-substreams", &cells, |&k| {
-        peak_run(seed, |cfg| {
+    let fleet = Fleet::product("ablation-substreams", &cells, &[seed], |&k, &s| {
+        peak_spec(s, |cfg| {
             cfg.substreams = k;
             cfg.recovery.substream_count = k;
         })
     });
+    let reports = runner::run_fleet(fleet).worlds;
     for (k, r) in cells.iter().zip(&reports) {
         println!(
             "{k:<6} {:>12.2} {:>16.0} {:>14.2} {:>12.0}",
@@ -203,9 +207,10 @@ pub fn explore(seed: u64) {
     );
     println!("{}", "-".repeat(58));
     let cells = [0.0, 0.2, 0.5];
-    let reports = runner::map_cells("ablation-explore", &cells, |&frac| {
-        peak_run(seed, |cfg| cfg.scheduler.explore_fraction = frac)
+    let fleet = Fleet::product("ablation-explore", &cells, &[seed], |&frac, &s| {
+        peak_spec(s, |cfg| cfg.scheduler.explore_fraction = frac)
     });
+    let reports = runner::run_fleet(fleet).worlds;
     for (frac, r) in cells.iter().zip(&reports) {
         println!(
             "{frac:<10} {:>14.2} {:>14.2} {:>15.1}%",

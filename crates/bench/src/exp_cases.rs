@@ -2,12 +2,13 @@
 //! generality), Table 4 (FIFA World Cup burst) and the §7.4 fallback
 //! threshold trade-off.
 //!
-//! Each experiment fans out one runner cell per seeded world and folds
-//! results in cell-index order (see `rlive_bench::runner`).
+//! Each experiment is a (variant × day) [`Fleet`] whose per-world
+//! reports come back in spec-index order (see `rlive_bench::runner`).
 
 use rlive::config::{DeliveryMode, SystemConfig, TransportProfile};
 use rlive::qoe::GroupQoe;
-use rlive::world::{GroupPolicy, RunReport, World};
+use rlive::world::GroupPolicy;
+use rlive::{Fleet, WorldSpec};
 use rlive_bench::{compare_head, compare_row, header, peak_config, peak_scenario, runner};
 use rlive_sim::SimDuration;
 use rlive_workload::scenario::Scenario;
@@ -16,23 +17,24 @@ use rlive_workload::scenario::Scenario;
 pub fn fig13(seed: u64) {
     header("Fig 13 — protocol generality: RTM vs FLV (both under RLive)");
     let days: Vec<u64> = (0..4).map(|d| seed + d).collect();
-    // One cell per (day, transport): FLV first, RTM second.
-    let cells: Vec<(u64, TransportProfile)> = days
-        .iter()
-        .flat_map(|&s| [(s, TransportProfile::Flv), (s, TransportProfile::Rtm)])
-        .collect();
-    let reports: Vec<RunReport> = runner::map_cells("fig13", &cells, |&(s, transport)| {
-        let mut cfg = peak_config();
-        cfg.mode = DeliveryMode::RLive;
-        cfg.transport = transport;
-        World::new(
-            peak_scenario(),
-            cfg,
-            GroupPolicy::uniform(DeliveryMode::RLive),
-            s,
-        )
-        .run()
-    });
+    // One world per (day, transport): FLV first, RTM second.
+    let fleet = Fleet::product(
+        "fig13",
+        &days,
+        &[TransportProfile::Flv, TransportProfile::Rtm],
+        |&s, &transport| {
+            let mut cfg = peak_config();
+            cfg.mode = DeliveryMode::RLive;
+            cfg.transport = transport;
+            WorldSpec {
+                seed: s,
+                scenario: peak_scenario(),
+                config: cfg,
+                policy: GroupPolicy::uniform(DeliveryMode::RLive),
+            }
+        },
+    );
+    let reports = runner::run_fleet(fleet).worlds;
     let mut lat = Vec::new();
     let mut rebuf = Vec::new();
     let mut bitrate = Vec::new();
@@ -70,7 +72,7 @@ pub fn fig13(seed: u64) {
     );
 }
 
-fn fifa_run(mode: DeliveryMode, seed: u64) -> RunReport {
+fn fifa_spec(mode: DeliveryMode, seed: u64) -> WorldSpec {
     let mut scenario = Scenario::fifa_world_cup().scaled(0.15);
     scenario.duration = SimDuration::from_secs(240);
     scenario.population.isps = 2;
@@ -79,19 +81,25 @@ fn fifa_run(mode: DeliveryMode, seed: u64) -> RunReport {
     cfg.cdn_edge_mbps = 150;
     cfg.multi_source_after = SimDuration::from_secs(8);
     cfg.popularity_threshold = 2;
-    World::new(scenario, cfg, GroupPolicy::uniform(mode), seed).run()
+    WorldSpec {
+        seed,
+        scenario,
+        config: cfg,
+        policy: GroupPolicy::uniform(mode),
+    }
 }
 
 /// Table 4: the 2022 FIFA World Cup mega-broadcast case study.
 pub fn table4(seed: u64) {
     header("Table 4 — FIFA World Cup case study (RLive vs CDNs)");
     let days: Vec<u64> = (0..3).map(|d| seed + d).collect();
-    let cells: Vec<(u64, DeliveryMode)> = days
-        .iter()
-        .flat_map(|&s| [(s, DeliveryMode::CdnOnly), (s, DeliveryMode::RLive)])
-        .collect();
-    let reports: Vec<RunReport> =
-        runner::map_cells("table4", &cells, |&(s, mode)| fifa_run(mode, s));
+    let fleet = Fleet::product(
+        "table4",
+        &days,
+        &[DeliveryMode::CdnOnly, DeliveryMode::RLive],
+        |&s, &mode| fifa_spec(mode, s),
+    );
+    let reports = runner::run_fleet(fleet).worlds;
     let mut views = Vec::new();
     let mut rebuf = Vec::new();
     let mut bitrate = Vec::new();
@@ -140,23 +148,25 @@ pub fn fallback_threshold(seed: u64) {
     );
     println!("{}", "-".repeat(72));
     let days = 3u64;
-    // The full (threshold × day) grid is one flat cell list.
-    let cells: Vec<(u64, u64)> = [300u64, 400, 500]
-        .iter()
-        .flat_map(|&t| (0..days).map(move |d| (t, seed + d)))
-        .collect();
-    let reports: Vec<RunReport> = runner::map_cells("fallback", &cells, |&(threshold_ms, s)| {
-        let mut cfg = peak_config();
-        cfg.mode = DeliveryMode::RLive;
-        cfg.fallback_threshold = SimDuration::from_millis(threshold_ms);
-        World::new(
-            peak_scenario(),
-            cfg,
-            GroupPolicy::uniform(DeliveryMode::RLive),
-            s,
-        )
-        .run()
-    });
+    // The full (threshold × day) grid, thresholds outer-major.
+    let day_seeds: Vec<u64> = (0..days).map(|d| seed + d).collect();
+    let fleet = Fleet::product(
+        "fallback",
+        &[300u64, 400, 500],
+        &day_seeds,
+        |&threshold_ms, &s| {
+            let mut cfg = peak_config();
+            cfg.mode = DeliveryMode::RLive;
+            cfg.fallback_threshold = SimDuration::from_millis(threshold_ms);
+            WorldSpec {
+                seed: s,
+                scenario: peak_scenario(),
+                config: cfg,
+                policy: GroupPolicy::uniform(DeliveryMode::RLive),
+            }
+        },
+    );
+    let reports = runner::run_fleet(fleet).worlds;
     let mut results = Vec::new();
     for (group, reports) in reports.chunks(days as usize).enumerate() {
         let threshold_ms = [300u64, 400, 500][group];

@@ -2,27 +2,27 @@
 //! invalid candidates, scheduler QPS over a day).
 
 use rlive::config::DeliveryMode;
-use rlive::world::{GroupPolicy, World};
+use rlive::world::GroupPolicy;
+use rlive::Fleet;
 use rlive_bench::{
     compare_head, compare_row, header, peak_config, peak_scenario, print_series, runner,
 };
 use rlive_workload::streams::DiurnalModel;
 
-/// Fig 12: global control plane statistics (a single world cell; the
+/// Fig 12: global control plane statistics (a one-world fleet; the
 /// projection onto the diurnal curve is pure arithmetic).
 pub fn fig12(seed: u64) {
     header("Fig 12 — global control plane statistics");
-    let r = runner::map_cells("fig12", &[seed], |&s| {
-        let mut cfg = peak_config();
-        cfg.mode = DeliveryMode::RLive;
-        World::new(
-            peak_scenario(),
-            cfg,
-            GroupPolicy::uniform(DeliveryMode::RLive),
-            s,
-        )
-        .run()
-    })
+    let mut cfg = peak_config();
+    cfg.mode = DeliveryMode::RLive;
+    let r = runner::run_fleet(Fleet::seeded(
+        "fig12",
+        &peak_scenario(),
+        &cfg,
+        &GroupPolicy::uniform(DeliveryMode::RLive),
+        &[seed],
+    ))
+    .worlds
     .remove(0);
 
     // (a) recommendation service time distribution.

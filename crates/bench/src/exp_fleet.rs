@@ -1,0 +1,180 @@
+//! The `fleet` subcommand: N seeded A/B worlds run as one
+//! [`Fleet`], printed as the merged fleet-scale table the paper's
+//! production dashboards would show, plus per-world dispersion.
+//!
+//! Unlike the figure/table subcommands (which pin one paper artefact),
+//! this is the generic fleet harness: every world shares one scenario,
+//! configuration and CdnOnly-vs-RLive group policy and differs only by
+//! seed. The merged columns come from the [`FleetReport`]'s
+//! exactly-associative fold, so stdout is byte-identical for any
+//! `--jobs` / `--world-jobs` combination.
+
+use rlive::config::{DeliveryMode, SystemConfig};
+use rlive::world::{GroupPolicy, RunReport};
+use rlive::{Fleet, FleetReport};
+use rlive_bench::{header, runner};
+use rlive_sim::SimDuration;
+use rlive_workload::scenario::Scenario;
+
+/// The fleet preset: deliberately small worlds so a five-world fleet
+/// finishes in seconds even in debug builds (the golden regression test
+/// runs this in tier-1 CI); fleet *scale* comes from N, not world size.
+fn fleet_scenario() -> Scenario {
+    let mut s = Scenario::evening_peak().scaled(0.08);
+    s.duration = SimDuration::from_secs(60);
+    s.streams = 3;
+    s.population.isps = 2;
+    s.population.regions = 2;
+    s
+}
+
+/// Configuration matching [`fleet_scenario`]: contended enough that the
+/// RLive arm visibly offloads the CDN.
+fn fleet_config() -> SystemConfig {
+    SystemConfig {
+        cdn_edge_mbps: 90,
+        multi_source_after: SimDuration::from_secs(5),
+        popularity_threshold: 1,
+        ..SystemConfig::default()
+    }
+}
+
+fn count_row(label: &str, control: u64, test: u64) {
+    println!("{label:<30} {control:>13} {test:>13}");
+}
+
+fn mean_row(label: &str, control: f64, test: f64) {
+    println!("{label:<30} {control:>13.2} {test:>13.2}");
+}
+
+fn dispersion_row(report: &FleetReport, label: &str, metric: impl Fn(&RunReport) -> f64) {
+    let d = report.dispersion(metric);
+    println!(
+        "{label:<30} {:>10.2} {:>10.2} {:>10.2}",
+        d.min, d.median, d.max
+    );
+}
+
+/// `experiments fleet <n> [seed]`: run `n` worlds seeded
+/// `seed..seed+n`, print merged aggregates and per-world dispersion.
+pub fn fleet(n: usize, seed: u64) {
+    let config = fleet_config();
+    let dedicated_cost = config.dedicated_unit_cost;
+    let seeds: Vec<u64> = (0..n as u64).map(|d| seed + d).collect();
+    let last = seed + n.saturating_sub(1) as u64;
+    header(&format!(
+        "Fleet — {n} world{} (seeds {seed}..={last}), CdnOnly vs RLive A/B",
+        if n == 1 { "" } else { "s" }
+    ));
+    let fleet = Fleet::seeded(
+        "fleet",
+        &fleet_scenario(),
+        &config,
+        &GroupPolicy::ab(DeliveryMode::CdnOnly, DeliveryMode::RLive),
+        &seeds,
+    );
+    let mut report = runner::run_fleet(fleet);
+    println!(
+        "{} worlds, {:.0} s simulated in total",
+        report.world_count(),
+        report.duration.as_secs_f64()
+    );
+
+    println!(
+        "\n{:<30} {:>13} {:>13}",
+        "metric (merged)", "control", "test"
+    );
+    println!("{}", "-".repeat(58));
+    count_row("views", report.control_qoe.views, report.test_qoe.views);
+    count_row(
+        "viewers",
+        report.control_qoe.viewers,
+        report.test_qoe.viewers,
+    );
+    mean_row(
+        "watch time s",
+        report.control_qoe.watch_secs,
+        report.test_qoe.watch_secs,
+    );
+    mean_row(
+        "rebuffers /100s (mean)",
+        report.control_qoe.rebuffers_per_100s.mean(),
+        report.test_qoe.rebuffers_per_100s.mean(),
+    );
+    mean_row(
+        "rebuffer ms /100s (mean)",
+        report.control_qoe.rebuffer_ms_per_100s.mean(),
+        report.test_qoe.rebuffer_ms_per_100s.mean(),
+    );
+    mean_row(
+        "bitrate Mbps (mean)",
+        report.control_qoe.bitrate_bps.mean() / 1e6,
+        report.test_qoe.bitrate_bps.mean() / 1e6,
+    );
+    mean_row(
+        "E2E latency ms (mean)",
+        report.control_qoe.e2e_latency_ms.mean(),
+        report.test_qoe.e2e_latency_ms.mean(),
+    );
+    mean_row(
+        "first-frame P90 ms",
+        report.control_qoe.first_frame_ms.quantile(0.9),
+        report.test_qoe.first_frame_ms.quantile(0.9),
+    );
+    count_row(
+        "CDN fallbacks",
+        report.control_qoe.cdn_fallbacks,
+        report.test_qoe.cdn_fallbacks,
+    );
+    mean_row(
+        "client traffic MB",
+        report.control_traffic.client_bytes() as f64 / 1e6,
+        report.test_traffic.client_bytes() as f64 / 1e6,
+    );
+    mean_row(
+        &format!("EqT MB (cost {dedicated_cost})"),
+        report.control_traffic.equivalent_traffic(dedicated_cost) / 1e6,
+        report.test_traffic.equivalent_traffic(dedicated_cost) / 1e6,
+    );
+    let gamma = |rate: Option<f64>| match rate {
+        Some(g) => format!("{g:.2}"),
+        None => "-".to_string(),
+    };
+    println!(
+        "{:<30} {:>13} {:>13}",
+        "expansion rate γ",
+        gamma(report.control_traffic.expansion_rate()),
+        gamma(report.test_traffic.expansion_rate()),
+    );
+
+    println!(
+        "\n{:<30} {:>10} {:>10} {:>10}",
+        "per-world dispersion (test)", "min", "median", "max"
+    );
+    println!("{}", "-".repeat(64));
+    dispersion_row(&report, "views", |w| w.test_qoe.views as f64);
+    dispersion_row(&report, "rebuffers /100s (mean)", |w| {
+        w.test_qoe.rebuffers_per_100s.mean()
+    });
+    dispersion_row(&report, "bitrate Mbps (mean)", |w| {
+        w.test_qoe.bitrate_bps.mean() / 1e6
+    });
+    dispersion_row(&report, "E2E latency ms (mean)", |w| {
+        w.test_qoe.e2e_latency_ms.mean()
+    });
+    dispersion_row(&report, "client traffic MB", |w| {
+        w.test_traffic.client_bytes() as f64 / 1e6
+    });
+
+    println!(
+        "\nscheduler: {} requests, {:.1} % invalid candidates",
+        report.scheduler_requests,
+        report.invalid_candidate_fraction * 100.0
+    );
+    println!("non-finite samples skipped: {}", report.skipped_samples());
+    println!(
+        "\nnote: the merged columns fold per-world reports in seed order with the \
+         exactly-associative metric algebra; stdout is byte-identical for any \
+         --jobs / --world-jobs combination."
+    );
+}

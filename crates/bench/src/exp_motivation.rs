@@ -6,7 +6,8 @@
 //! cell-index order, so stdout is identical for any `--jobs` value.
 
 use rlive::config::DeliveryMode;
-use rlive::world::{GroupPolicy, RunReport, World};
+use rlive::world::GroupPolicy;
+use rlive::{Fleet, WorldSpec};
 use rlive_bench::{
     compare_head, compare_row, header, healthy_cdn_config, print_series, runner, two_tier_scenario,
 };
@@ -63,24 +64,20 @@ pub fn fig1b(seed: u64) {
 pub fn fig2a(seed: u64) {
     header("Fig 2(a) — single-source vs CDN-only QoE (the §2.2 strawman)");
     println!("setting: healthy CDN, scarce top-tier best-effort layer; 6 day-seeds");
-    // One cell per (day, mode): 12 independent worlds.
-    let cells: Vec<(u64, DeliveryMode)> = (0..6u64)
-        .flat_map(|day| {
-            [
-                (seed + day, DeliveryMode::CdnOnly),
-                (seed + day, DeliveryMode::SingleSource),
-            ]
-        })
-        .collect();
-    let reports: Vec<RunReport> = runner::map_cells("fig2a", &cells, |&(s, mode)| {
-        World::new(
-            two_tier_scenario().scaled(1.4),
-            healthy_cdn_config_mode(mode),
-            GroupPolicy::uniform(mode),
-            s,
-        )
-        .run()
-    });
+    // One world per (day, mode): 12 independent worlds.
+    let days: Vec<u64> = (0..6u64).map(|day| seed + day).collect();
+    let fleet = Fleet::product(
+        "fig2a",
+        &days,
+        &[DeliveryMode::CdnOnly, DeliveryMode::SingleSource],
+        |&s, &mode| WorldSpec {
+            seed: s,
+            scenario: two_tier_scenario().scaled(1.4),
+            config: healthy_cdn_config_mode(mode),
+            policy: GroupPolicy::uniform(mode),
+        },
+    );
+    let reports = runner::run_fleet(fleet).worlds;
     let mut cdn_rebuf = Vec::new();
     let mut single_rebuf = Vec::new();
     let mut cdn_disrupt = Vec::new();
@@ -140,18 +137,20 @@ fn healthy_cdn_config_mode(mode: DeliveryMode) -> rlive::config::SystemConfig {
 pub fn fig2b(seed: u64) {
     header("Fig 2(b) — traffic expansion rate γ (single-source)");
     let days: Vec<u64> = (0..3u64).map(|d| seed + d).collect();
-    // One world per day-cell; each returns its relay expansion rates and
-    // the per-day vectors are concatenated in day order.
-    let per_day: Vec<Vec<f64>> = runner::map_cells("fig2b", &days, |&s| {
-        World::new(
-            two_tier_scenario(),
-            healthy_cdn_config_mode(DeliveryMode::SingleSource),
-            GroupPolicy::uniform(DeliveryMode::SingleSource),
-            s,
-        )
-        .run()
-        .relay_expansion_rates
-    });
+    // One world per day; each world's relay expansion rates are
+    // consumed in day (spec) order.
+    let fleet = Fleet::seeded(
+        "fig2b",
+        &two_tier_scenario(),
+        &healthy_cdn_config_mode(DeliveryMode::SingleSource),
+        &GroupPolicy::uniform(DeliveryMode::SingleSource),
+        &days,
+    );
+    let per_day: Vec<Vec<f64>> = runner::run_fleet(fleet)
+        .worlds
+        .into_iter()
+        .map(|r| r.relay_expansion_rates)
+        .collect();
     let mut p = Percentiles::new();
     for day in &per_day {
         for &g in day {

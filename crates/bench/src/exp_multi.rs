@@ -1,23 +1,29 @@
 //! §7.2 multi- vs single-source transmission (Fig 11) and §7.3.2
 //! centralized vs distributed frame sequencing (Table 3).
 //!
-//! Both experiments decompose into one runner cell per (day, mode)
-//! world; results are consumed in cell-index order so the printed
-//! tables are identical for any `--jobs` value.
+//! Both experiments are a (day × mode) [`Fleet`]; per-world reports are
+//! consumed in spec-index order so the printed tables are identical for
+//! any `--jobs` value.
 
 use rlive::config::DeliveryMode;
-use rlive::world::{GroupPolicy, RunReport, World};
+use rlive::world::GroupPolicy;
+use rlive::{Fleet, WorldSpec};
 use rlive_bench::peak_config;
 use rlive_bench::peak_scenario;
 use rlive_bench::{
     compare_head, compare_row, header, healthy_cdn_config, print_daily, runner, two_tier_scenario,
 };
 
-fn two_tier_run(mode: DeliveryMode, seed: u64) -> RunReport {
+fn two_tier_spec(mode: DeliveryMode, seed: u64) -> WorldSpec {
     let mut cfg = healthy_cdn_config();
     cfg.mode = mode;
     cfg.multi_on_weak_tier = true;
-    World::new(two_tier_scenario(), cfg, GroupPolicy::uniform(mode), seed).run()
+    WorldSpec {
+        seed,
+        scenario: two_tier_scenario(),
+        config: cfg,
+        policy: GroupPolicy::uniform(mode),
+    }
 }
 
 /// Fig 11: robustness and scalability of Multi vs Single in the
@@ -26,13 +32,14 @@ fn two_tier_run(mode: DeliveryMode, seed: u64) -> RunReport {
 pub fn fig11(seed: u64) {
     header("Fig 11 — multi-source (Multi) vs single-source (Single)");
     let days: Vec<u64> = (0..5).map(|d| seed + d).collect();
-    // One cell per (day, mode) pair, single first then multi.
-    let cells: Vec<(u64, DeliveryMode)> = days
-        .iter()
-        .flat_map(|&s| [(s, DeliveryMode::SingleSource), (s, DeliveryMode::RLive)])
-        .collect();
-    let reports: Vec<RunReport> =
-        runner::map_cells("fig11", &cells, |&(s, mode)| two_tier_run(mode, s));
+    // One world per (day, mode) pair, single first then multi.
+    let fleet = Fleet::product(
+        "fig11",
+        &days,
+        &[DeliveryMode::SingleSource, DeliveryMode::RLive],
+        |&s, &mode| two_tier_spec(mode, s),
+    );
+    let reports = runner::run_fleet(fleet).worlds;
     let mut lat_s = Vec::new();
     let mut lat_m = Vec::new();
     let mut rebuf_s = Vec::new();
@@ -134,28 +141,22 @@ pub fn fig11(seed: u64) {
 pub fn table3(seed: u64) {
     header("Table 3 — centralized vs distributed frame sequencing");
     let days: Vec<u64> = (0..4).map(|d| seed + d).collect();
-    let cells: Vec<(u64, DeliveryMode)> = days
-        .iter()
-        .flat_map(|&s| {
-            [
-                (s, DeliveryMode::RLiveCentralSequencing),
-                (s, DeliveryMode::RLive),
-            ]
-        })
-        .collect();
-    let reports: Vec<RunReport> = runner::map_cells("table3", &cells, |&(s, mode)| {
-        World::new(
-            peak_scenario(),
-            {
-                let mut c = peak_config();
-                c.mode = mode;
-                c
-            },
-            GroupPolicy::uniform(mode),
-            s,
-        )
-        .run()
-    });
+    let fleet = Fleet::product(
+        "table3",
+        &days,
+        &[DeliveryMode::RLiveCentralSequencing, DeliveryMode::RLive],
+        |&s, &mode| {
+            let mut c = peak_config();
+            c.mode = mode;
+            WorldSpec {
+                seed: s,
+                scenario: peak_scenario(),
+                config: c,
+                policy: GroupPolicy::uniform(mode),
+            }
+        },
+    );
+    let reports = runner::run_fleet(fleet).worlds;
     let mut retx_red = Vec::new();
     let mut rebuf_times_red = Vec::new();
     let mut rebuf_dur_red = Vec::new();

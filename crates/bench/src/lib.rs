@@ -7,9 +7,12 @@
 
 use rlive::abtest::{AbReport, AbTest};
 use rlive::config::{DeliveryMode, SystemConfig};
+use rlive::world::GroupPolicy;
+use rlive::Fleet;
 use rlive_sim::SimDuration;
 use rlive_workload::scenario::Scenario;
 
+pub mod cli;
 pub mod runner;
 
 /// Default per-"day" seeds: the paper averages A/B metrics over daily
@@ -111,8 +114,8 @@ pub struct DailyDiffs {
 }
 
 impl DailyDiffs {
-    /// Runs one A/B per seed, one runner cell per day; results come back
-    /// in seed order regardless of worker count.
+    /// Runs one A/B world per seed as a [`Fleet`] (one pool cell per
+    /// day); reports come back in seed order regardless of worker count.
     pub fn run(
         control: DeliveryMode,
         test: DeliveryMode,
@@ -120,9 +123,14 @@ impl DailyDiffs {
         config: &SystemConfig,
         seeds: &[u64],
     ) -> Self {
-        let days = runner::map_cells("daily-ab", seeds, |&seed| {
-            ab_test(control, test, scenario.clone(), config.clone(), seed).run()
-        });
+        let dedicated_cost = config.dedicated_unit_cost;
+        let policy = GroupPolicy::ab(control, test);
+        let fleet = Fleet::seeded("daily-ab", scenario, config, &policy, seeds);
+        let days = runner::run_fleet(fleet)
+            .worlds
+            .into_iter()
+            .map(|run| AbReport::from_run(run, dedicated_cost))
+            .collect();
         DailyDiffs { days }
     }
 

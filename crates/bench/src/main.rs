@@ -9,11 +9,19 @@
 //! runs everything. Output is paper-vs-measured comparison tables plus
 //! CSV series for the figure curves. Absolute values are simulator-scale;
 //! the claim being reproduced is the *shape* (who wins, rough factors).
+//!
+//! Argument parsing lives in `rlive_bench::cli`; malformed input —
+//! an unknown flag, an unparseable seed, an unknown subcommand — prints
+//! the usage to stderr and exits with code 2 instead of silently
+//! running something else.
+
+use rlive_bench::cli::{self, CliArgs};
 
 mod exp_ab;
 mod exp_ablation;
 mod exp_cases;
 mod exp_control;
+mod exp_fleet;
 mod exp_motivation;
 mod exp_multi;
 mod exp_trace;
@@ -21,7 +29,11 @@ mod exp_trace;
 const USAGE: &str = "\
 experiments — regenerate the RLive paper's tables and figures
 
-USAGE: experiments <subcommand> [seed] [--jobs N] [--world-jobs N]
+USAGE: experiments <subcommand> [args] [--seed N] [--jobs N] [--world-jobs N]
+
+  Most subcommands take an optional [seed] positional (default 2026);
+  --seed N overrides it. A malformed seed or an unknown flag is an
+  error (exit code 2), never a silent fallback.
 
   --jobs N        worker threads for the cell runner (default: available
                   parallelism). Output is byte-identical for any N; only
@@ -48,96 +60,66 @@ USAGE: experiments <subcommand> [seed] [--jobs N] [--world-jobs N]
   table4     FIFA World Cup case study
   fallback   Fallback threshold trade-off sweep (§7.4)
   ablation   Design ablations: probes, substreams, explore, nat, chain
+  fleet <n> [seed]
+             Run n seeded worlds as one fleet; print the merged
+             fleet-scale A/B table plus per-world min/median/max
   trace      Structured per-session event timeline of one traced world
              (--seed N selects the run, --stream S filters sessions)
   all        Run everything
 ";
 
 fn main() {
-    // Accept `--jobs N` / `--jobs=N` anywhere on the command line; the
-    // remaining positional args are `<subcommand> [seed]`.
-    let mut positional: Vec<String> = Vec::new();
-    let mut seed_flag: Option<u64> = None;
-    let mut stream_filter: Option<u64> = None;
-    let mut raw = std::env::args().skip(1);
-    while let Some(arg) = raw.next() {
-        if arg == "--seed" {
-            match raw.next().and_then(|v| v.parse::<u64>().ok()) {
-                Some(n) => seed_flag = Some(n),
-                None => {
-                    eprintln!("--seed expects an integer");
-                    std::process::exit(2);
-                }
-            }
-        } else if let Some(v) = arg.strip_prefix("--seed=") {
-            match v.parse::<u64>() {
-                Ok(n) => seed_flag = Some(n),
-                Err(_) => {
-                    eprintln!("--seed expects an integer");
-                    std::process::exit(2);
-                }
-            }
-        } else if arg == "--stream" {
-            match raw.next().and_then(|v| v.parse::<u64>().ok()) {
-                Some(n) => stream_filter = Some(n),
-                None => {
-                    eprintln!("--stream expects an integer");
-                    std::process::exit(2);
-                }
-            }
-        } else if let Some(v) = arg.strip_prefix("--stream=") {
-            match v.parse::<u64>() {
-                Ok(n) => stream_filter = Some(n),
-                Err(_) => {
-                    eprintln!("--stream expects an integer");
-                    std::process::exit(2);
-                }
-            }
-        } else if arg == "--jobs" {
-            match raw.next().and_then(|v| v.parse::<usize>().ok()) {
-                Some(n) if n > 0 => rlive_bench::runner::set_jobs(n),
-                _ => {
-                    eprintln!("--jobs expects a positive integer");
-                    std::process::exit(2);
-                }
-            }
-        } else if let Some(v) = arg.strip_prefix("--jobs=") {
-            match v.parse::<usize>() {
-                Ok(n) if n > 0 => rlive_bench::runner::set_jobs(n),
-                _ => {
-                    eprintln!("--jobs expects a positive integer");
-                    std::process::exit(2);
-                }
-            }
-        } else if arg == "--world-jobs" {
-            match raw.next().and_then(|v| v.parse::<usize>().ok()) {
-                Some(n) if n > 0 => rlive::config::set_default_world_jobs(n),
-                _ => {
-                    eprintln!("--world-jobs expects a positive integer");
-                    std::process::exit(2);
-                }
-            }
-        } else if let Some(v) = arg.strip_prefix("--world-jobs=") {
-            match v.parse::<usize>() {
-                Ok(n) if n > 0 => rlive::config::set_default_world_jobs(n),
-                _ => {
-                    eprintln!("--world-jobs expects a positive integer");
-                    std::process::exit(2);
-                }
-            }
-        } else {
-            positional.push(arg);
-        }
+    let args = match cli::parse_args(std::env::args().skip(1)) {
+        Ok(args) => args,
+        Err(err) => die(&err),
+    };
+    if args.help {
+        print!("{USAGE}");
+        return;
     }
-    let cmd = positional.first().map(String::as_str).unwrap_or("help");
-    let seed: u64 = seed_flag.unwrap_or_else(|| {
-        positional
-            .get(1)
-            .and_then(|s| s.parse().ok())
-            .unwrap_or(2026)
-    });
+    if let Some(n) = args.jobs {
+        rlive_bench::runner::set_jobs(n);
+    }
+    if let Some(n) = args.world_jobs {
+        rlive::config::set_default_world_jobs(n);
+    }
+    if let Err(err) = dispatch(&args) {
+        die(&err);
+    }
+}
 
-    match cmd {
+fn die(err: &str) -> ! {
+    eprintln!("error: {err}\n");
+    eprint!("{USAGE}");
+    std::process::exit(2);
+}
+
+fn dispatch(args: &CliArgs) -> Result<(), String> {
+    match args.command() {
+        "help" => {
+            print!("{USAGE}");
+            return Ok(());
+        }
+        "fleet" => {
+            let n = args.required_count_at(1, "fleet world count")?;
+            let seed = args.seed_at(2)?;
+            args.expect_at_most(2)?;
+            exp_fleet::fleet(n, seed);
+            return Ok(());
+        }
+        "trace" => {
+            let seed = args.seed_at(1)?;
+            args.expect_at_most(1)?;
+            exp_trace::trace(seed, args.stream);
+            return Ok(());
+        }
+        _ => {}
+    }
+
+    // Everything else takes exactly `[seed]`.
+    let seed = args.seed_at(1)?;
+    args.expect_at_most(1)?;
+    match args.command() {
         "fig1b" => exp_motivation::fig1b(seed),
         "fig2a" => exp_motivation::fig2a(seed),
         "fig2b" => exp_motivation::fig2b(seed),
@@ -156,7 +138,6 @@ fn main() {
         "table4" => exp_cases::table4(seed),
         "fallback" => exp_cases::fallback_threshold(seed),
         "ablation" => exp_ablation::all(seed),
-        "trace" => exp_trace::trace(seed, stream_filter),
         "all" => {
             exp_motivation::fig1b(seed);
             exp_motivation::fig2a(seed);
@@ -177,6 +158,7 @@ fn main() {
             exp_cases::fallback_threshold(seed);
             exp_ablation::all(seed);
         }
-        _ => print!("{USAGE}"),
+        other => return Err(format!("unknown subcommand '{other}'")),
     }
+    Ok(())
 }

@@ -46,43 +46,24 @@ pub fn jobs() -> usize {
     }
 }
 
-/// Runs `f` over every input on a worker pool and returns the outputs
-/// **in input (cell-index) order**, plus accounting. Worker count comes
-/// from [`jobs`]; a progress line goes to stderr.
-pub fn run_cells<I, T, F>(label: &str, inputs: &[I], f: F) -> (Vec<T>, RunnerStats)
-where
-    I: Sync,
-    T: Send,
-    F: Fn(&I) -> T + Sync,
-{
-    rlive_sim::runner::run_cells(
-        label,
-        jobs(),
-        inputs,
-        |done, total, workers| {
-            if total > 1 {
-                eprint!(
-                    "\r[{label}] {done}/{total} cells ({workers} worker{})   ",
-                    if workers == 1 { "" } else { "s" }
-                );
-                if done == total {
-                    eprintln!();
-                }
+/// The stderr progress callback shared by every sweep: a carriage-return
+/// ticker while cells finish, closed with a newline on the last cell.
+fn progress_line(label: &str) -> impl FnMut(usize, usize, usize) + '_ {
+    move |done, total, workers| {
+        if total > 1 {
+            eprint!(
+                "\r[{label}] {done}/{total} cells ({workers} worker{})   ",
+                if workers == 1 { "" } else { "s" }
+            );
+            if done == total {
+                eprintln!();
             }
-        },
-        f,
-    )
+        }
+    }
 }
 
-/// [`run_cells`] plus a one-line accounting report on stderr — the form
-/// the experiment subcommands use.
-pub fn map_cells<I, T, F>(label: &str, inputs: &[I], f: F) -> Vec<T>
-where
-    I: Sync,
-    T: Send,
-    F: Fn(&I) -> T + Sync,
-{
-    let (outputs, stats) = run_cells(label, inputs, f);
+/// The one-line per-sweep accounting report on stderr.
+fn report_stats(label: &str, stats: &RunnerStats) {
     if stats.cells > 0 {
         eprintln!(
             "[{label}] {} cell{} in {:.2}s wall ({:.2}s summed, {:.2}x overlap, {} worker{})",
@@ -95,7 +76,43 @@ where
             if stats.jobs == 1 { "" } else { "s" },
         );
     }
+}
+
+/// Runs `f` over every input on a worker pool and returns the outputs
+/// **in input (cell-index) order**, plus accounting. Worker count comes
+/// from [`jobs`]; a progress line goes to stderr.
+pub fn run_cells<I, T, F>(label: &str, inputs: &[I], f: F) -> (Vec<T>, RunnerStats)
+where
+    I: Sync,
+    T: Send,
+    F: Fn(&I) -> T + Sync,
+{
+    rlive_sim::runner::run_cells(label, jobs(), inputs, progress_line(label), f)
+}
+
+/// [`run_cells`] plus a one-line accounting report on stderr — the form
+/// the experiment subcommands use.
+pub fn map_cells<I, T, F>(label: &str, inputs: &[I], f: F) -> Vec<T>
+where
+    I: Sync,
+    T: Send,
+    F: Fn(&I) -> T + Sync,
+{
+    let (outputs, stats) = run_cells(label, inputs, f);
+    report_stats(label, &stats);
     outputs
+}
+
+/// Runs a [`rlive::Fleet`] on the shared pool with the same stderr
+/// progress/accounting chrome as [`map_cells`]: the fleet's worlds are
+/// the cells, the worker count comes from [`jobs`], and the returned
+/// [`rlive::FleetReport`] is byte-identical for any `--jobs` /
+/// `--world-jobs` combination (spec-order fold, see `rlive::fleet`).
+pub fn run_fleet(fleet: rlive::Fleet) -> rlive::FleetReport {
+    let label = fleet.label().to_string();
+    let (report, stats) = fleet.run_instrumented(jobs(), progress_line(&label));
+    report_stats(&label, &stats);
+    report
 }
 
 #[cfg(test)]

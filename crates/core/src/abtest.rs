@@ -80,16 +80,27 @@ impl AbTest {
         }
     }
 
+    /// The group policy this A/B test assigns to its world.
+    pub fn policy(&self) -> GroupPolicy {
+        GroupPolicy::ab(self.control, self.test)
+    }
+
     /// Runs the experiment.
     pub fn run(self) -> AbReport {
         let dedicated_cost = self.config.dedicated_unit_cost;
-        let world = World::new(
-            self.scenario,
-            self.config,
-            GroupPolicy::ab(self.control, self.test),
-            self.seed,
-        );
-        let run = world.run();
+        let policy = self.policy();
+        let world = World::new(self.scenario, self.config, policy, self.seed);
+        AbReport::from_run(world.run(), dedicated_cost)
+    }
+}
+
+impl AbReport {
+    /// Derives the A/B differences from a finished world run. This is
+    /// the analysis half of [`AbTest::run`], split out so fleets of
+    /// A/B worlds (`core::fleet`) can run the worlds on the shared
+    /// pool and compute reports from the merged-fold's per-world
+    /// [`RunReport`]s afterwards.
+    pub fn from_run(run: RunReport, dedicated_cost: f64) -> AbReport {
         let diff = QoeDiff {
             rebuffer_events_pct: GroupQoe::diff_pct(
                 run.test_qoe.rebuffers_per_100s.mean(),

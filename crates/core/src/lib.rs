@@ -38,6 +38,7 @@ pub mod config;
 pub mod cost;
 pub mod energy;
 pub mod events;
+pub mod fleet;
 pub mod qoe;
 pub mod report;
 pub(crate) mod session;
@@ -48,5 +49,6 @@ pub mod world;
 pub use abtest::{AbReport, AbTest};
 pub use config::{DeliveryMode, SystemConfig, TransportProfile};
 pub use cost::{TrafficClass, TrafficLedger};
+pub use fleet::{Dispersion, Fleet, FleetReport, WorldSpec};
 pub use qoe::{GroupQoe, SessionMetrics};
 pub use world::{Group, GroupPolicy, RunReport, World};

@@ -177,6 +177,46 @@ impl GroupQoe {
         self.viewers += 1;
     }
 
+    /// Merges another group aggregate into this one — the fleet-level
+    /// fold (`core::fleet`). Counts add, `Summary` merges component-wise
+    /// on raw moments and `Percentiles` concatenates samples, so a
+    /// merge in world-index order is deterministic for any worker count
+    /// (see `rlive_sim::metrics` module docs). Viewers are unique per
+    /// world, not across worlds: fleet worlds simulate disjoint
+    /// populations, so the sum is exact.
+    pub fn merge(&mut self, other: &GroupQoe) {
+        self.views += other.views;
+        self.viewers += other.viewers;
+        self.watch_secs += other.watch_secs;
+        self.rebuffers_per_100s.merge(&other.rebuffers_per_100s);
+        self.rebuffer_ms_per_100s.merge(&other.rebuffer_ms_per_100s);
+        self.bitrate_bps.merge(&other.bitrate_bps);
+        self.e2e_latency_ms.merge(&other.e2e_latency_ms);
+        self.first_frame_ms.merge(&other.first_frame_ms);
+        self.rebuffers_dist.merge(&other.rebuffers_dist);
+        self.bitrate_dist.merge(&other.bitrate_dist);
+        self.e2e_latency_dist.merge(&other.e2e_latency_dist);
+        self.retx_per_100s.merge(&other.retx_per_100s);
+        self.skips_per_100s.merge(&other.skips_per_100s);
+        self.cdn_fallbacks += other.cdn_fallbacks;
+    }
+
+    /// Total non-finite samples skipped across every accumulator in the
+    /// group — surfaced by fleet reports so dropped samples are visible
+    /// instead of silently poisoning aggregates.
+    pub fn skipped_samples(&self) -> u64 {
+        self.rebuffers_per_100s.skipped()
+            + self.rebuffer_ms_per_100s.skipped()
+            + self.bitrate_bps.skipped()
+            + self.e2e_latency_ms.skipped()
+            + self.retx_per_100s.skipped()
+            + self.skips_per_100s.skipped()
+            + self.first_frame_ms.skipped()
+            + self.rebuffers_dist.skipped()
+            + self.bitrate_dist.skipped()
+            + self.e2e_latency_dist.skipped()
+    }
+
     /// Relative difference of a metric against a control group:
     /// `(self - control) / control`, in percent.
     pub fn diff_pct(metric_self: f64, metric_control: f64) -> f64 {

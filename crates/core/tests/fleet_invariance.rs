@@ -1,0 +1,65 @@
+//! Fleet-level determinism battery.
+//!
+//! A [`Fleet`] composes both parallel axes: `--jobs` worlds execute
+//! concurrently on the cell pool while `--world-jobs` shards the event
+//! loop *inside* each world. The contract is the same as for each axis
+//! alone: the folded [`FleetReport`] — per-world reports, merged
+//! accumulators, dispersion inputs, every field — is identical for any
+//! (jobs, world_jobs) combination. These tests prove it differentially
+//! via the report's full Debug rendering.
+
+use rlive::config::{DeliveryMode, SystemConfig};
+use rlive::world::GroupPolicy;
+use rlive::Fleet;
+use rlive_sim::SimDuration;
+use rlive_workload::scenario::Scenario;
+
+/// (jobs, world_jobs) grid: the sequential reference, pool-only
+/// parallelism, shard-only parallelism, and both at once.
+const GRID: [(usize, usize); 4] = [(1, 1), (4, 1), (1, 2), (2, 2)];
+
+fn tiny_scenario() -> Scenario {
+    let mut s = Scenario::evening_peak().scaled(0.08);
+    s.duration = SimDuration::from_secs(40);
+    s.streams = 2;
+    s
+}
+
+fn tiny_config(world_jobs: usize) -> SystemConfig {
+    let mut cfg = SystemConfig::for_mode(DeliveryMode::RLive);
+    cfg.multi_source_after = SimDuration::from_secs(5);
+    cfg.popularity_threshold = 1;
+    cfg.cdn_edge_mbps = 120;
+    cfg.world_jobs = world_jobs;
+    cfg
+}
+
+/// Runs a three-world A/B fleet on `jobs` pool workers with
+/// `world_jobs`-sharded worlds and returns the folded report's Debug
+/// rendering (a byte-comparable digest of every field).
+fn run_fleet(jobs: usize, world_jobs: usize) -> String {
+    let fleet = Fleet::seeded(
+        "fleet-invariance",
+        &tiny_scenario(),
+        &tiny_config(world_jobs),
+        &GroupPolicy::ab(DeliveryMode::CdnOnly, DeliveryMode::RLive),
+        &[21, 22, 23],
+    );
+    format!("{:?}", fleet.run(jobs))
+}
+
+#[test]
+fn fleet_report_is_invariant_across_jobs_and_world_jobs() {
+    let reference = run_fleet(1, 1);
+    assert!(
+        reference.contains("worlds"),
+        "Debug rendering should include per-world reports"
+    );
+    for (jobs, world_jobs) in GRID.iter().skip(1) {
+        let got = run_fleet(*jobs, *world_jobs);
+        assert_eq!(
+            got, reference,
+            "FleetReport diverged at jobs={jobs}, world_jobs={world_jobs}"
+        );
+    }
+}

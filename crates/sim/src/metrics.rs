@@ -23,6 +23,17 @@
 //!   (integer-valued samples within 2^53) the merge is *exactly*
 //!   associative — any partition of the same sample stream produces
 //!   identical bits.
+//!
+//! # Non-finite samples
+//!
+//! A single NaN pushed into an accumulator used to poison every
+//! downstream query (`NaN` sums, and `total_cmp` sorts NaN *last*, so
+//! `quantile(1.0)`/`max` returned NaN and propagated into report
+//! tables). Both [`Summary`] and [`Percentiles`] therefore **skip**
+//! non-finite pushes (NaN, ±∞) and count them instead; the count is
+//! observable via `skipped()` and survives merging, so a fleet-level
+//! report can surface how many samples were dropped without a single
+//! rogue world corrupting the aggregate.
 
 use serde::{Deserialize, Serialize};
 
@@ -42,6 +53,7 @@ pub struct Summary {
     sum_sq: f64,
     min: f64,
     max: f64,
+    skipped: u64,
 }
 
 impl Summary {
@@ -53,11 +65,18 @@ impl Summary {
             sum_sq: 0.0,
             min: f64::INFINITY,
             max: f64::NEG_INFINITY,
+            skipped: 0,
         }
     }
 
-    /// Adds one sample.
+    /// Adds one sample. Non-finite samples (NaN, ±∞) are skipped and
+    /// counted in [`Summary::skipped`] — one rogue sample must not
+    /// poison every downstream mean/min/max (see the module docs).
     pub fn add(&mut self, x: f64) {
+        if !x.is_finite() {
+            self.skipped += 1;
+            return;
+        }
         self.n += 1;
         self.sum += x;
         self.sum_sq += x * x;
@@ -65,9 +84,14 @@ impl Summary {
         self.max = self.max.max(x);
     }
 
-    /// Number of samples.
+    /// Number of (finite) samples accumulated.
     pub fn count(&self) -> u64 {
         self.n
+    }
+
+    /// Number of non-finite samples that were pushed and skipped.
+    pub fn skipped(&self) -> u64 {
+        self.skipped
     }
 
     /// Sample mean (0 if empty).
@@ -121,13 +145,17 @@ impl Summary {
         }
     }
 
-    /// Merges another summary into this one (component-wise).
+    /// Merges another summary into this one (component-wise). Skipped
+    /// non-finite counts accumulate across the merge as well.
     pub fn merge(&mut self, other: &Summary) {
+        self.skipped += other.skipped;
         if other.n == 0 {
             return;
         }
         if self.n == 0 {
+            let skipped = self.skipped;
             *self = other.clone();
+            self.skipped = skipped;
             return;
         }
         self.n += other.n;
@@ -159,6 +187,7 @@ impl Summary {
 pub struct Percentiles {
     samples: Vec<f64>,
     sorted: bool,
+    skipped: u64,
 }
 
 impl Percentiles {
@@ -167,18 +196,32 @@ impl Percentiles {
         Percentiles {
             samples: Vec::new(),
             sorted: true,
+            skipped: 0,
         }
     }
 
-    /// Adds a sample.
+    /// Adds a sample. Non-finite samples (NaN, ±∞) are skipped and
+    /// counted in [`Percentiles::skipped`]: `total_cmp` sorts NaN
+    /// *last*, so a single stored NaN would make `quantile(1.0)` (and
+    /// every interpolation touching the top rank) return NaN and poison
+    /// downstream tables.
     pub fn add(&mut self, x: f64) {
+        if !x.is_finite() {
+            self.skipped += 1;
+            return;
+        }
         self.samples.push(x);
         self.sorted = false;
     }
 
-    /// Number of samples.
+    /// Number of (finite) samples accumulated.
     pub fn count(&self) -> usize {
         self.samples.len()
+    }
+
+    /// Number of non-finite samples that were pushed and skipped.
+    pub fn skipped(&self) -> u64 {
+        self.skipped
     }
 
     /// Returns `true` if no samples were recorded.
@@ -188,10 +231,11 @@ impl Percentiles {
 
     fn ensure_sorted(&mut self) {
         if !self.sorted {
-            // total_cmp gives a total order (NaN sorts last) so a stray
-            // NaN sample cannot panic the accumulator, and the sorted
-            // vector is identical for any insertion order of the same
-            // multiset — the property deterministic merging needs.
+            // total_cmp gives a total order (distinguishing -0.0/0.0)
+            // so the sorted vector is identical for any insertion order
+            // of the same multiset — the property deterministic merging
+            // needs. Non-finite samples never reach the vector (`add`
+            // skips them), so every quantile is finite.
             self.samples.sort_by(f64::total_cmp);
             self.sorted = true;
         }
@@ -252,9 +296,11 @@ impl Percentiles {
     }
 
     /// Merges another accumulator into this one (sample concatenation).
+    /// Skipped non-finite counts accumulate across the merge as well.
     pub fn merge(&mut self, other: &Percentiles) {
         self.samples.extend_from_slice(&other.samples);
         self.sorted = false;
+        self.skipped += other.skipped;
     }
 
     /// Folds `parts` left-to-right into one accumulator.
@@ -488,15 +534,80 @@ mod tests {
     }
 
     #[test]
-    fn percentile_tolerates_nan_samples() {
-        // total_cmp sorts NaN after every finite value, so quantiles of
-        // the finite range remain defined instead of panicking mid-sort.
+    fn percentile_skips_and_counts_non_finite_samples() {
+        // A stored NaN used to make quantile(1.0)/max return NaN
+        // (total_cmp sorts NaN last); non-finite pushes are now skipped
+        // and counted instead, so every quantile stays finite.
         let mut p = Percentiles::new();
         p.add(3.0);
         p.add(f64::NAN);
         p.add(1.0);
+        p.add(f64::INFINITY);
+        p.add(f64::NEG_INFINITY);
+        assert_eq!(p.count(), 2);
+        assert_eq!(p.skipped(), 3);
         assert_eq!(p.quantile(0.0), 1.0);
-        assert!((p.cdf_at(3.0) - 2.0 / 3.0).abs() < 1e-9);
+        assert_eq!(p.quantile(1.0), 3.0);
+        assert!(p.quantile(1.0).is_finite());
+        assert_eq!(p.cdf_at(3.0), 1.0);
+        assert!((p.cdf_at(1.0) - 0.5).abs() < 1e-9);
+        assert!(p.mean().is_finite());
+        assert!(p
+            .cdf_points(4)
+            .iter()
+            .all(|&(v, q)| v.is_finite() && q.is_finite()));
+    }
+
+    #[test]
+    fn percentile_merge_carries_skipped_counts() {
+        let mut a = Percentiles::new();
+        a.add(f64::NAN);
+        a.add(2.0);
+        let mut b = Percentiles::new();
+        b.add(f64::INFINITY);
+        b.add(4.0);
+        a.merge(&b);
+        assert_eq!(a.count(), 2);
+        assert_eq!(a.skipped(), 2);
+        assert_eq!(a.quantile(1.0), 4.0);
+    }
+
+    #[test]
+    fn summary_skips_and_counts_non_finite_samples() {
+        let mut s = Summary::new();
+        s.add(2.0);
+        s.add(f64::NAN);
+        s.add(4.0);
+        s.add(f64::INFINITY);
+        assert_eq!(s.count(), 2);
+        assert_eq!(s.skipped(), 2);
+        assert_eq!(s.mean(), 3.0);
+        assert_eq!(s.min(), 2.0);
+        assert_eq!(s.max(), 4.0);
+        assert!(s.variance().is_finite());
+    }
+
+    #[test]
+    fn summary_merge_carries_skipped_counts() {
+        // Including into an empty summary: the skip count must survive
+        // the clone-on-empty fast path in both directions.
+        let mut empty = Summary::new();
+        empty.add(f64::NAN);
+        let mut full = Summary::new();
+        full.add(1.0);
+        full.add(f64::NEG_INFINITY);
+        empty.merge(&full);
+        assert_eq!(empty.count(), 1);
+        assert_eq!(empty.skipped(), 2);
+        assert_eq!(empty.mean(), 1.0);
+
+        let mut other_way = Summary::new();
+        other_way.add(5.0);
+        let mut nan_only = Summary::new();
+        nan_only.add(f64::NAN);
+        other_way.merge(&nan_only);
+        assert_eq!(other_way.count(), 1);
+        assert_eq!(other_way.skipped(), 1);
     }
 
     #[test]

@@ -45,12 +45,30 @@ impl RunnerStats {
 
     /// Ratio of summed cell time to sweep wall time (> 1 when worker
     /// parallelism is actually overlapping cells).
+    ///
+    /// Guarded against the degenerate sweeps that used to produce
+    /// nonsense: an empty sweep reports 0 (no cells overlapped, rather
+    /// than a fictitious 1.0), and an instant sweep (wall time below
+    /// clock resolution) cannot divide summed time by ~0 — the result
+    /// is clamped to `[0, jobs]`, the physical bound on overlap with
+    /// `jobs` workers.
     pub fn speedup(&self) -> f64 {
-        let wall = self.wall.as_secs_f64();
-        if wall <= 0.0 {
-            return 1.0;
+        if self.cells == 0 {
+            return 0.0;
         }
-        self.cell_wall_sum().as_secs_f64() / wall
+        let max_overlap = self.jobs.max(1) as f64;
+        let sum = self.cell_wall_sum().as_secs_f64();
+        let wall = self.wall.as_secs_f64();
+        if wall <= f64::EPSILON {
+            // Below clock resolution nothing meaningful was measured;
+            // report the only defensible values without dividing by ~0.
+            return if sum <= f64::EPSILON {
+                0.0
+            } else {
+                max_overlap
+            };
+        }
+        (sum / wall).clamp(0.0, max_overlap)
     }
 }
 
@@ -214,6 +232,54 @@ mod tests {
         let (out, stats) = run_cells::<u8, u8, _>("test", 4, &[], |_, _, _| {}, |&x| x);
         assert!(out.is_empty());
         assert_eq!(stats.cells, 0);
+        assert_eq!(stats.speedup(), 0.0);
+    }
+
+    #[test]
+    fn speedup_of_empty_sweep_is_zero() {
+        let stats = RunnerStats {
+            cells: 0,
+            jobs: 8,
+            wall: Duration::ZERO,
+            per_cell: Vec::new(),
+        };
+        assert_eq!(stats.speedup(), 0.0);
+    }
+
+    #[test]
+    fn speedup_of_instant_sweep_is_bounded_by_jobs() {
+        // Zero wall with non-zero summed cell time: the old code
+        // divided by ~0; now the result is pinned at the physical
+        // overlap bound.
+        let stats = RunnerStats {
+            cells: 4,
+            jobs: 4,
+            wall: Duration::ZERO,
+            per_cell: vec![Duration::from_millis(3); 4],
+        };
+        assert_eq!(stats.speedup(), 4.0);
+
+        // Zero wall and zero summed time: nothing was measured.
+        let stats = RunnerStats {
+            cells: 2,
+            jobs: 4,
+            wall: Duration::ZERO,
+            per_cell: vec![Duration::ZERO; 2],
+        };
+        assert_eq!(stats.speedup(), 0.0);
+    }
+
+    #[test]
+    fn speedup_never_exceeds_worker_count() {
+        // Timer skew can make summed cell time exceed jobs × wall; the
+        // reported overlap is clamped to the worker count.
+        let stats = RunnerStats {
+            cells: 3,
+            jobs: 2,
+            wall: Duration::from_millis(1),
+            per_cell: vec![Duration::from_millis(10); 3],
+        };
+        assert_eq!(stats.speedup(), 2.0);
     }
 
     #[test]

@@ -40,6 +40,27 @@ fn percentiles(part: &[f64]) -> Percentiles {
     p
 }
 
+/// Integer-valued samples (exactly representable sums) interleaved with
+/// non-finite values, which the accumulators must skip and count.
+fn dirty_integer_samples() -> impl Strategy<Value = Vec<f64>> {
+    // The vendored prop_oneof! is unweighted; repeating the finite arm
+    // biases the mix toward real samples with occasional rogue values.
+    let finite = || (0u32..1_000_000).prop_map(|x| x as f64);
+    prop::collection::vec(
+        prop_oneof![
+            finite(),
+            finite(),
+            finite(),
+            finite(),
+            finite(),
+            Just(f64::NAN),
+            Just(f64::INFINITY),
+            Just(f64::NEG_INFINITY),
+        ],
+        1..300,
+    )
+}
+
 proptest! {
     /// With integer-valued samples every sum is exactly representable, so
     /// `Summary::merge_ordered` over any partition must equal the
@@ -110,6 +131,59 @@ proptest! {
         }
         for &x in data.iter().take(16) {
             prop_assert_eq!(merged.cdf_at(x).to_bits(), all.cdf_at(x).to_bits());
+        }
+        prop_assert_eq!(merged.mean().to_bits(), all.mean().to_bits());
+    }
+
+    /// Partition invariance must survive non-finite samples: skipped
+    /// NaN/±∞ pushes are counted per partition and the counts (plus
+    /// every moment over the surviving finite samples) merge exactly.
+    #[test]
+    fn summary_partition_merge_is_bit_exact_with_non_finite(
+        data in dirty_integer_samples(),
+        cut_seed in any::<u64>(),
+    ) {
+        let all = summarize(&data);
+        let parts: Vec<Summary> = partition(&data, cut_seed, 8)
+            .into_iter()
+            .map(summarize)
+            .collect();
+        let merged = Summary::merge_ordered(parts.iter());
+        prop_assert_eq!(merged.count(), all.count());
+        prop_assert_eq!(merged.skipped(), all.skipped());
+        prop_assert_eq!(
+            all.skipped() as usize + all.count() as usize,
+            data.len()
+        );
+        prop_assert!(merged.mean().is_finite());
+        prop_assert!(merged.max().is_finite());
+        prop_assert_eq!(merged.sum().to_bits(), all.sum().to_bits());
+        prop_assert_eq!(merged.mean().to_bits(), all.mean().to_bits());
+        prop_assert_eq!(merged.variance().to_bits(), all.variance().to_bits());
+        prop_assert_eq!(merged.min().to_bits(), all.min().to_bits());
+        prop_assert_eq!(merged.max().to_bits(), all.max().to_bits());
+    }
+
+    /// Same for `Percentiles`: every quantile of the merged accumulator
+    /// is finite and bit-identical to the sequential one, and the
+    /// skipped count is partition-invariant.
+    #[test]
+    fn percentiles_partition_merge_is_bit_exact_with_non_finite(
+        data in dirty_integer_samples(),
+        cut_seed in any::<u64>(),
+    ) {
+        let mut all = percentiles(&data);
+        let parts: Vec<Percentiles> = partition(&data, cut_seed, 8)
+            .into_iter()
+            .map(percentiles)
+            .collect();
+        let mut merged = Percentiles::merge_ordered(parts.iter());
+        prop_assert_eq!(merged.count(), all.count());
+        prop_assert_eq!(merged.skipped(), all.skipped());
+        for i in 0..=16 {
+            let q = i as f64 / 16.0;
+            prop_assert!(merged.quantile(q).is_finite());
+            prop_assert_eq!(merged.quantile(q).to_bits(), all.quantile(q).to_bits());
         }
         prop_assert_eq!(merged.mean().to_bits(), all.mean().to_bits());
     }

@@ -180,6 +180,30 @@ fn golden_table1() {
     assert_golden("table1", &[]);
 }
 
+// The fleet preset's worlds are deliberately tiny, so the fleet
+// subcommand is the one *world-simulating* path cheap enough for
+// tier-1. The same digest must come out of every (jobs, world_jobs)
+// combination — this is the end-to-end form of the
+// crates/core/tests/fleet_invariance.rs battery.
+
+#[test]
+fn golden_fleet() {
+    let want = expected_digest("fleet");
+    for extra in [
+        &[][..],
+        &["--jobs", "4"][..],
+        &["--jobs", "2", "--world-jobs", "2"][..],
+    ] {
+        let mut args = vec!["fleet", "5", "7"];
+        args.extend_from_slice(extra);
+        let got = run_digest(&args);
+        assert_eq!(
+            got, want,
+            "stdout of `experiments fleet 5 7` drifted (extra args {extra:?})"
+        );
+    }
+}
+
 // ----- tier-1 sharded re-run -------------------------------------------
 //
 // The same fast subset again with the world event loop sharded across
