@@ -42,6 +42,26 @@ smoke fig10 7 --world-jobs 2
 echo "==> experiments fleet 3 7 --jobs 2 --world-jobs 2 (fleet smoke)"
 smoke fleet 3 7 --jobs 2 --world-jobs 2
 
+echo "==> experiments obs 7 --jobs 2 --world-jobs 2 (obs smoke)"
+smoke obs 7 --jobs 2 --world-jobs 2
+
+# Obs export determinism: two back-to-back runs must produce
+# byte-identical JSONL/CSV dumps (the golden digest pins stdout; this
+# pins the export files, which stdout does not cover).
+echo "==> experiments obs export determinism"
+obs_tmp=$(mktemp -d)
+trap 'rm -rf "$obs_tmp"' EXIT
+cargo run --release -p rlive-bench --bin experiments -- \
+  obs 7 --obs-export "$obs_tmp/a" > /dev/null
+cargo run --release -p rlive-bench --bin experiments -- \
+  obs 7 --obs-export "$obs_tmp/b" > /dev/null
+diff "$obs_tmp/a.jsonl" "$obs_tmp/b.jsonl"
+diff "$obs_tmp/a.csv" "$obs_tmp/b.csv"
+if grep -qw "NaN" "$obs_tmp/a.jsonl" "$obs_tmp/a.csv"; then
+  echo "NaN leaked into obs export" >&2
+  exit 1
+fi
+
 # Nightly tier: the #[ignore]d suites (full golden sweep sequential and
 # sharded, both expensive). Opt in with RLIVE_CI_NIGHTLY=1.
 if [[ "${RLIVE_CI_NIGHTLY:-0}" == "1" ]]; then

@@ -31,6 +31,15 @@ pub struct CliArgs {
     pub jobs: Option<usize>,
     /// `--world-jobs N`: event-loop shards inside each world.
     pub world_jobs: Option<usize>,
+    /// `--obs-window MS`: tumbling-window width for the observability
+    /// layer, in sim milliseconds. Zero, negative and non-numeric
+    /// values are rejected at parse time (a 0 ms window divides by
+    /// zero conceptually; "disabled" is expressed by omitting the
+    /// flag, not by passing 0).
+    pub obs_window: Option<u64>,
+    /// `--obs-export PATH`: write the obs series to `PATH.jsonl` and
+    /// `PATH.csv` (obs subcommand).
+    pub obs_export: Option<String>,
     /// `--help` / `-h`.
     pub help: bool,
 }
@@ -56,6 +65,13 @@ pub fn parse_args(raw: impl IntoIterator<Item = String>) -> Result<CliArgs, Stri
                     &flag_value("--world-jobs")?,
                 )?)
             }
+            "--obs-window" => {
+                args.obs_window = Some(parse_positive_u64(
+                    "--obs-window",
+                    &flag_value("--obs-window")?,
+                )?)
+            }
+            "--obs-export" => args.obs_export = Some(flag_value("--obs-export")?),
             _ => {
                 if let Some(v) = arg.strip_prefix("--seed=") {
                     args.seed = Some(parse_u64("--seed", v)?);
@@ -65,6 +81,10 @@ pub fn parse_args(raw: impl IntoIterator<Item = String>) -> Result<CliArgs, Stri
                     args.jobs = Some(parse_positive("--jobs", v)?);
                 } else if let Some(v) = arg.strip_prefix("--world-jobs=") {
                     args.world_jobs = Some(parse_positive("--world-jobs", v)?);
+                } else if let Some(v) = arg.strip_prefix("--obs-window=") {
+                    args.obs_window = Some(parse_positive_u64("--obs-window", v)?);
+                } else if let Some(v) = arg.strip_prefix("--obs-export=") {
+                    args.obs_export = Some(v.to_string());
                 } else if arg.starts_with('-') && arg.len() > 1 {
                     // A typo'd flag must not silently become an ignored
                     // positional.
@@ -85,6 +105,13 @@ fn parse_u64(name: &str, v: &str) -> Result<u64, String> {
 
 fn parse_positive(name: &str, v: &str) -> Result<usize, String> {
     match v.parse::<usize>() {
+        Ok(n) if n > 0 => Ok(n),
+        _ => Err(format!("{name} expects a positive integer, got '{v}'")),
+    }
+}
+
+fn parse_positive_u64(name: &str, v: &str) -> Result<u64, String> {
+    match v.parse::<u64>() {
         Ok(n) if n > 0 => Ok(n),
         _ => Err(format!("{name} expects a positive integer, got '{v}'")),
     }
@@ -221,6 +248,35 @@ mod tests {
         let a = parse(&["fig10", "7", "8"]).unwrap();
         let err = a.expect_at_most(1).unwrap_err();
         assert!(err.contains('8'), "{err}");
+    }
+
+    #[test]
+    fn obs_window_parses_positive_and_rejects_everything_else() {
+        let a = parse(&["obs", "7", "--obs-window", "250"]).unwrap();
+        assert_eq!(a.obs_window, Some(250));
+        let a = parse(&["obs", "--obs-window=2000"]).unwrap();
+        assert_eq!(a.obs_window, Some(2000));
+        assert_eq!(parse(&["obs"]).unwrap().obs_window, None);
+
+        // Zero, negative and non-numeric windows are parse errors, not
+        // silent fallbacks; the message must name the bad value.
+        for bad in ["0", "-5", "1.5", "abc", ""] {
+            let err = parse(&["obs", "--obs-window", bad]).unwrap_err();
+            assert!(
+                err.contains("--obs-window") && err.contains(bad),
+                "error for {bad:?} should name flag and value: {err}"
+            );
+        }
+        assert!(parse(&["obs", "--obs-window"]).is_err(), "missing value");
+    }
+
+    #[test]
+    fn obs_export_takes_a_path() {
+        let a = parse(&["obs", "--obs-export", "/tmp/obs"]).unwrap();
+        assert_eq!(a.obs_export.as_deref(), Some("/tmp/obs"));
+        let a = parse(&["obs", "--obs-export=out"]).unwrap();
+        assert_eq!(a.obs_export.as_deref(), Some("out"));
+        assert!(parse(&["obs", "--obs-export"]).is_err(), "missing value");
     }
 
     #[test]

@@ -57,8 +57,18 @@ fn dispersion_row(report: &FleetReport, label: &str, metric: impl Fn(&RunReport)
 
 /// `experiments fleet <n> [seed]`: run `n` worlds seeded
 /// `seed..seed+n`, print merged aggregates and per-world dispersion.
-pub fn fleet(n: usize, seed: u64) {
-    let config = fleet_config();
+///
+/// `obs_window` (from `--obs-window`) additionally enables the
+/// observability layer in every world and appends an obs roll-up
+/// section: per-world recovery-failure-rate dispersion plus the merged
+/// registry's worst windows. The section is strictly additive and only
+/// rendered when the flag is given, so the default fleet output (and
+/// its golden digest) is unchanged.
+pub fn fleet(n: usize, seed: u64, obs_window: Option<u64>) {
+    let mut config = fleet_config();
+    if let Some(w) = obs_window {
+        config.obs_window_ms = w;
+    }
     let dedicated_cost = config.dedicated_unit_cost;
     let seeds: Vec<u64> = (0..n as u64).map(|d| seed + d).collect();
     let last = seed + n.saturating_sub(1) as u64;
@@ -165,6 +175,48 @@ pub fn fleet(n: usize, seed: u64) {
     dispersion_row(&report, "client traffic MB", |w| {
         w.test_traffic.client_bytes() as f64 / 1e6
     });
+
+    if let Some(w) = obs_window {
+        println!(
+            "\n{:<30} {:>10} {:>10} {:>10}",
+            format!("obs roll-up, {w} ms windows"),
+            "min",
+            "median",
+            "max"
+        );
+        println!("{}", "-".repeat(64));
+        dispersion_row(&report, "recovery failure rate %", |r| {
+            let den = r.obs.counter_total("recovery_outcomes");
+            if den == 0 {
+                0.0
+            } else {
+                100.0 * r.obs.counter_total("recovery_failures") as f64 / den as f64
+            }
+        });
+        dispersion_row(&report, "candidate yield", |r| {
+            let den = r.obs.counter_total("scheduler_recommendations");
+            if den == 0 {
+                0.0
+            } else {
+                r.obs.counter_total("scheduler_candidates") as f64 / den as f64
+            }
+        });
+        println!();
+        print!(
+            "{}",
+            rlive::report::format_obs_windows(
+                "recovery failure rate (merged fleet)",
+                &report.obs.recovery_failure_rate(),
+                5
+            )
+        );
+        if report.obs.dropped_records() > 0 {
+            println!(
+                "warning: {} trace records dropped (ring saturated); obs series undercount",
+                report.obs.dropped_records()
+            );
+        }
+    }
 
     println!(
         "\nscheduler: {} requests, {:.1} % invalid candidates",

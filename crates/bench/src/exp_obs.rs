@@ -1,0 +1,123 @@
+//! `experiments obs` — windowed observability series from one traced
+//! world.
+//!
+//! Runs the same scaled-down RLive world as `experiments trace`, but
+//! with the obs layer enabled (`SystemConfig::obs_window_ms`), so the
+//! world auto-attaches an unbounded trace sink and folds the full
+//! record stream into per-window metric series on finish. Prints the
+//! registry summary plus top-k window tables for the series the paper's
+//! operations story cares about: recovery failure rate, scheduler
+//! candidate yield, and reorder-stall hot spots.
+//!
+//! Everything printed to **stdout** here is a pure function of
+//! `(seed, window, stream)` — the series aggregate over the trace
+//! stream, which is itself seed-deterministic for any `--jobs` /
+//! `--world-jobs` setting — so the output is pinned by a golden digest.
+//! Wall-clock stage-profiler output stays on stderr (see
+//! `rlive_bench::runner`).
+
+use rlive::config::{DeliveryMode, SystemConfig};
+use rlive::report::{format_obs_summary, format_obs_windows};
+use rlive::world::{GroupPolicy, World};
+use rlive_sim::obs::{MetricRegistry, StageTable, WindowRatio, DEFAULT_WINDOW_MS};
+use rlive_sim::SimDuration;
+use rlive_workload::scenario::Scenario;
+
+/// Windows shown per top-k table.
+const TOP_K: usize = 5;
+
+/// Runs a 60 s, 10 %-scale evening-peak world under RLive with the obs
+/// layer enabled and prints the windowed series. `window_ms` overrides
+/// the default 1 s tumbling window; `stream` restricts the
+/// candidate-yield table to one stream; `export` writes the raw series
+/// to `<export>.jsonl` and `<export>.csv`.
+pub fn obs(seed: u64, window_ms: Option<u64>, stream: Option<u64>, export: Option<&str>) {
+    let window_ms = window_ms.unwrap_or(DEFAULT_WINDOW_MS);
+    let mut scenario = Scenario::evening_peak().scaled(0.1);
+    scenario.duration = SimDuration::from_secs(60);
+    scenario.streams = 4;
+    let mut cfg = SystemConfig::for_mode(DeliveryMode::RLive);
+    cfg.multi_source_after = SimDuration::from_secs(5);
+    cfg.popularity_threshold = 1;
+    cfg.cdn_edge_mbps = 140;
+    cfg.obs_window_ms = window_ms;
+
+    let world = World::new(
+        scenario,
+        cfg,
+        GroupPolicy::uniform(DeliveryMode::RLive),
+        seed,
+    );
+    // This subcommand runs one world inline (no cell runner), so it
+    // reports its own wall-clock stage profile — stderr only, like the
+    // runner's accounting line.
+    let stages_before = StageTable::snapshot();
+    let report = world.run();
+    let stages = StageTable::snapshot().delta_since(&stages_before);
+    if !stages.is_empty() {
+        eprint!("{}", stages.render());
+    }
+
+    println!(
+        "# obs seed={seed} window={window_ms}ms stream={}",
+        stream.map_or_else(|| "all".to_string(), |s| s.to_string()),
+    );
+    print!("{}", format_obs_summary(&report.obs));
+    println!();
+    print!(
+        "{}",
+        format_obs_windows(
+            "recovery failure rate",
+            &report.obs.recovery_failure_rate(),
+            TOP_K
+        )
+    );
+    println!();
+    let yield_title = match stream {
+        Some(s) => format!("candidate yield (stream {s})"),
+        None => "candidate yield (all streams)".to_string(),
+    };
+    print!(
+        "{}",
+        format_obs_windows(&yield_title, &report.obs.candidate_yield(stream), TOP_K)
+    );
+    println!();
+    print!("{}", format_stall_windows(&report.obs));
+
+    if let Some(path) = export {
+        export_series(&report.obs, path);
+    }
+}
+
+/// Renders the reorder-stall hot-spot table: the windows where head
+/// skips released the most held frames.
+fn format_stall_windows(reg: &MetricRegistry) -> String {
+    let ratios: Vec<WindowRatio> = reg
+        .top_windows_where("reorder_stalls", TOP_K, |_| true)
+        .into_iter()
+        .map(|(w, stalls)| WindowRatio {
+            window: w,
+            start_ms: reg.window_start_ms(w),
+            num: reg.counter_at(
+                "reorder_released_after_skip",
+                rlive_sim::obs::Labels::NONE,
+                w,
+            ),
+            den: stalls,
+        })
+        .collect();
+    // Rendered as released-per-stall so the table doubles as a severity
+    // read: high den with low num means skips that freed little.
+    format_obs_windows("reorder stalls (released/stall)", &ratios, TOP_K)
+}
+
+/// Writes `<path>.jsonl` and `<path>.csv`; I/O failure is fatal (the
+/// caller asked for files, silently not writing them is worse).
+fn export_series(reg: &MetricRegistry, path: &str) {
+    let jsonl = format!("{path}.jsonl");
+    let csv = format!("{path}.csv");
+    std::fs::write(&jsonl, reg.to_jsonl())
+        .unwrap_or_else(|e| panic!("failed to write {jsonl}: {e}"));
+    std::fs::write(&csv, reg.to_csv()).unwrap_or_else(|e| panic!("failed to write {csv}: {e}"));
+    eprintln!("[obs] wrote {jsonl} and {csv}");
+}

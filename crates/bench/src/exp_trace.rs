@@ -43,5 +43,13 @@ pub fn trace(seed: u64, stream: Option<u64>) {
         report.test_qoe.views + report.control_qoe.views,
         sink.dropped(),
     );
+    if sink.dropped() > 0 {
+        // Ring saturation is easy to miss in the header; say it plainly
+        // (the count is deterministic, so this line is golden-safe).
+        println!(
+            "warning: {} trace records dropped (ring capacity {RING_CAPACITY}); timeline is truncated at the head",
+            sink.dropped()
+        );
+    }
     print!("{}", render_timeline(&sink.drain(), stream));
 }

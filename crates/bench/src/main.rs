@@ -24,6 +24,7 @@ mod exp_control;
 mod exp_fleet;
 mod exp_motivation;
 mod exp_multi;
+mod exp_obs;
 mod exp_trace;
 
 const USAGE: &str = "\
@@ -41,6 +42,11 @@ USAGE: experiments <subcommand> [args] [--seed N] [--jobs N] [--world-jobs N]
   --world-jobs N  worker threads sharding the event loop INSIDE each
                   world (default 1). Output is byte-identical for any N
                   here too — see DESIGN.md \"Sharded world execution\".
+  --obs-window MS tumbling-window width (sim milliseconds) for the
+                  observability layer (obs and fleet subcommands).
+                  Must be a positive integer; default 1000 for obs,
+                  disabled for fleet unless given.
+  --obs-export P  (obs) also write the raw series to P.jsonl and P.csv.
 
   fig1b      Best-effort node bandwidth capacity CDF
   fig2a      Single-source vs CDN-only QoE degradation
@@ -65,6 +71,11 @@ USAGE: experiments <subcommand> [args] [--seed N] [--jobs N] [--world-jobs N]
              fleet-scale A/B table plus per-world min/median/max
   trace      Structured per-session event timeline of one traced world
              (--seed N selects the run, --stream S filters sessions)
+  obs        Windowed observability series of one traced world:
+             summary, recovery-failure-rate, candidate-yield and
+             reorder-stall top-k window tables (--stream S narrows the
+             yield table; --obs-window MS resizes the windows;
+             --obs-export P dumps JSONL/CSV)
   all        Run everything
 ";
 
@@ -83,6 +94,10 @@ fn main() {
     if let Some(n) = args.world_jobs {
         rlive::config::set_default_world_jobs(n);
     }
+    // Wall-clock stage profiling is always on for the binary; its
+    // output goes only to stderr (runner accounting), so golden stdout
+    // stays byte-identical.
+    rlive_sim::obs::profiler_enable(true);
     if let Err(err) = dispatch(&args) {
         die(&err);
     }
@@ -104,13 +119,24 @@ fn dispatch(args: &CliArgs) -> Result<(), String> {
             let n = args.required_count_at(1, "fleet world count")?;
             let seed = args.seed_at(2)?;
             args.expect_at_most(2)?;
-            exp_fleet::fleet(n, seed);
+            exp_fleet::fleet(n, seed, args.obs_window);
             return Ok(());
         }
         "trace" => {
             let seed = args.seed_at(1)?;
             args.expect_at_most(1)?;
             exp_trace::trace(seed, args.stream);
+            return Ok(());
+        }
+        "obs" => {
+            let seed = args.seed_at(1)?;
+            args.expect_at_most(1)?;
+            exp_obs::obs(
+                seed,
+                args.obs_window,
+                args.stream,
+                args.obs_export.as_deref(),
+            );
             return Ok(());
         }
         _ => {}

@@ -62,7 +62,10 @@ fn progress_line(label: &str) -> impl FnMut(usize, usize, usize) + '_ {
     }
 }
 
-/// The one-line per-sweep accounting report on stderr.
+/// The one-line per-sweep accounting report on stderr, followed by the
+/// wall-clock stage-profile table when any stage fired. Both are
+/// nondeterministic (timings) and therefore **stderr-only** — stdout
+/// stays byte-comparable across worker counts.
 fn report_stats(label: &str, stats: &RunnerStats) {
     if stats.cells > 0 {
         eprintln!(
@@ -75,6 +78,9 @@ fn report_stats(label: &str, stats: &RunnerStats) {
             stats.jobs,
             if stats.jobs == 1 { "" } else { "s" },
         );
+    }
+    if !stats.stages.is_empty() {
+        eprint!("{}", stats.stages.render());
     }
 }
 

@@ -236,6 +236,8 @@ impl GlobalScheduler {
         client: &ClientInfo,
         key: StreamKey,
     ) -> Recommendation {
+        // Stage-profiled (wall clock, stderr-only reporting).
+        let _span = rlive_sim::obs::time_stage(rlive_sim::obs::Stage::SchedulerCall);
         self.requests += 1;
         let weights = ScoreWeights::for_platform(client.platform);
         let query = AttrQuery {

@@ -169,6 +169,13 @@ pub struct SystemConfig {
     /// byte-identical `RunReport`s and traces — see DESIGN.md "Sharded
     /// world execution".
     pub world_jobs: usize,
+    /// Observability window width in **simulated** milliseconds (the
+    /// `--obs-window` CLI knob). When non-zero the world auto-attaches
+    /// an unbounded trace sink and its `RunReport` carries a windowed
+    /// [`rlive_sim::MetricRegistry`] built from the trace stream; 0
+    /// (the default) disables the obs layer entirely. See DESIGN.md
+    /// "Observability".
+    pub obs_window_ms: u64,
 }
 
 impl Default for SystemConfig {
@@ -199,6 +206,7 @@ impl Default for SystemConfig {
             chunk_frames: None,
             partition: rlive_media::substream::PartitionStrategy::StaticHash,
             world_jobs: 0,
+            obs_window_ms: 0,
         }
     }
 }

@@ -27,9 +27,10 @@ use crate::cost::TrafficLedger;
 use crate::qoe::GroupQoe;
 use crate::world::{GroupPolicy, RunReport, World};
 use rlive_sim::metrics::Percentiles;
+use rlive_sim::obs::{time_stage, Stage};
 use rlive_sim::runner::{run_cells, RunnerStats};
 use rlive_sim::trace::TraceCounters;
-use rlive_sim::SimDuration;
+use rlive_sim::{MetricRegistry, SimDuration};
 use rlive_workload::scenario::Scenario;
 
 /// Everything one fleet member needs to build and run its world.
@@ -201,6 +202,11 @@ pub struct FleetReport {
     /// Invalid-candidate fraction, weighted by each world's scheduler
     /// request count (0 when no world served a request).
     pub invalid_candidate_fraction: f64,
+    /// Windowed observability series merged window-wise across all
+    /// worlds (spec-index-order fold, exactly associative on the
+    /// integer parts). Disabled/empty unless the worlds ran with
+    /// `SystemConfig::obs_window_ms` set.
+    pub obs: MetricRegistry,
     /// Total simulated time across the fleet.
     pub duration: SimDuration,
 }
@@ -208,6 +214,8 @@ pub struct FleetReport {
 impl FleetReport {
     /// Folds per-world reports (already in spec-index order).
     pub fn fold(worlds: Vec<RunReport>) -> Self {
+        // Stage-profiled (wall clock, stderr-only reporting).
+        let _span = time_stage(Stage::FleetFold);
         let mut report = FleetReport {
             worlds: Vec::new(),
             control_qoe: GroupQoe::new(),
@@ -217,6 +225,7 @@ impl FleetReport {
             event_counts: TraceCounters::new(),
             scheduler_requests: 0,
             invalid_candidate_fraction: 0.0,
+            obs: MetricRegistry::disabled(),
             duration: SimDuration::ZERO,
         };
         let mut invalid_weighted = 0.0;
@@ -228,6 +237,7 @@ impl FleetReport {
             report.event_counts.merge(&w.event_counts);
             report.scheduler_requests += w.scheduler_requests;
             invalid_weighted += w.invalid_candidate_fraction * w.scheduler_requests as f64;
+            report.obs.merge(&w.obs);
             report.duration += w.duration;
         }
         if report.scheduler_requests > 0 {

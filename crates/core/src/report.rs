@@ -7,6 +7,7 @@
 
 use crate::qoe::GroupQoe;
 use crate::world::RunReport;
+use rlive_sim::obs::{MetricRegistry, WindowRatio};
 use std::fmt::Write;
 
 /// Renders the QoE block of one group.
@@ -98,6 +99,75 @@ pub fn format_control_plane(report: &RunReport) -> String {
     out
 }
 
+/// Renders the summary block of a windowed metric registry: window
+/// width, ingest volume, and run-wide totals of every counter series
+/// (one line per metric name, labels folded together). Ends with a
+/// ring-saturation warning when trace records were dropped, because
+/// every obs series undercounts in that case.
+///
+/// The output is a pure function of the registry, which is itself a
+/// pure function of the seed, so this text is safe for golden stdout.
+pub fn format_obs_summary(reg: &MetricRegistry) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "=== Observability: summary ===");
+    let _ = writeln!(out, "window width             {} ms", reg.window_ms());
+    let _ = writeln!(out, "trace records ingested   {}", reg.records());
+    let _ = writeln!(out, "series                   {}", reg.series_count());
+    for name in reg.counter_names() {
+        let _ = writeln!(out, "  {:<28} {}", name, reg.counter_total(name));
+    }
+    if reg.skipped_samples() > 0 {
+        let _ = writeln!(out, "skipped samples          {}", reg.skipped_samples());
+    }
+    if reg.dropped_records() > 0 {
+        let _ = writeln!(
+            out,
+            "warning: {} trace records dropped (ring saturated); obs series undercount",
+            reg.dropped_records()
+        );
+    }
+    out
+}
+
+/// Renders the top-`k` windows of a ratio series, ranked by rate
+/// descending with ties broken toward the earlier window (so the
+/// ordering is total and deterministic). Keeps the integer
+/// numerator/denominator next to the rendered rate so readers can judge
+/// how well-supported each window's ratio is.
+pub fn format_obs_windows(title: &str, windows: &[WindowRatio], k: usize) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "=== Observability: {title} (top {k}) ===");
+    if windows.is_empty() {
+        let _ = writeln!(out, "(no windows)");
+        return out;
+    }
+    let mut ranked: Vec<&WindowRatio> = windows.iter().collect();
+    ranked.sort_by(|a, b| {
+        b.rate()
+            .partial_cmp(&a.rate())
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then_with(|| a.window.cmp(&b.window))
+    });
+    ranked.truncate(k);
+    let _ = writeln!(
+        out,
+        "{:>8} {:>10} {:>8} {:>8} {:>8}",
+        "window", "start_ms", "num", "den", "rate"
+    );
+    for w in ranked {
+        let _ = writeln!(
+            out,
+            "{:>8} {:>10} {:>8} {:>8} {:>8.4}",
+            w.window,
+            w.start_ms,
+            w.num,
+            w.den,
+            w.rate()
+        );
+    }
+    out
+}
+
 /// Renders everything: QoE of both groups (when they differ), traffic,
 /// control plane, and event counters.
 pub fn format_full(report: &RunReport, dedicated_unit_cost: f64) -> String {
@@ -159,6 +229,61 @@ mod tests {
         let text = format_qoe("test", &r.test_qoe);
         assert!(text.contains("Mbps"));
         assert!(text.lines().count() >= 9);
+    }
+
+    #[test]
+    fn obs_summary_lists_counter_totals() {
+        let mut s = Scenario::evening_peak().scaled(0.05);
+        s.duration = SimDuration::from_secs(40);
+        s.streams = 2;
+        let mut cfg = SystemConfig::for_mode(DeliveryMode::RLive);
+        cfg.multi_source_after = SimDuration::from_secs(5);
+        cfg.popularity_threshold = 1;
+        cfg.cdn_edge_mbps = 80;
+        cfg.obs_window_ms = 1000;
+        let r = World::new(s, cfg, GroupPolicy::uniform(DeliveryMode::RLive), 5).run();
+        let text = format_obs_summary(&r.obs);
+        assert!(text.contains("=== Observability: summary ==="));
+        assert!(text.contains("window width             1000 ms"));
+        assert!(
+            text.contains("session_joins"),
+            "counter totals listed:\n{text}"
+        );
+        assert!(
+            !text.contains("warning:"),
+            "unbounded sink must not drop:\n{text}"
+        );
+    }
+
+    #[test]
+    fn obs_windows_table_ranks_by_rate_then_window() {
+        use rlive_sim::obs::WindowRatio;
+        let windows = [
+            WindowRatio {
+                window: 0,
+                start_ms: 0,
+                num: 1,
+                den: 2,
+            },
+            WindowRatio {
+                window: 1,
+                start_ms: 1000,
+                num: 3,
+                den: 3,
+            },
+            WindowRatio {
+                window: 2,
+                start_ms: 2000,
+                num: 2,
+                den: 2,
+            },
+        ];
+        let text = format_obs_windows("recovery failure rate", &windows, 2);
+        let w1 = text.find("1000").expect("window 1 shown");
+        let w2 = text.find("2000").expect("tie broken toward earlier window");
+        assert!(w1 < w2, "rate-1.0 windows in index order:\n{text}");
+        assert!(!text.contains("  0.5000"), "top-2 cut drops the 0.5 window");
+        assert!(format_obs_windows("empty", &[], 3).contains("(no windows)"));
     }
 
     #[test]

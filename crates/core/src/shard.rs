@@ -59,6 +59,7 @@ use crate::energy::EnergyModel;
 use crate::events::{Event, ShardClass};
 use crate::session;
 use crate::world::World;
+use rlive_sim::obs::{time_stage, Stage};
 use rlive_sim::runner::run_shards;
 use rlive_sim::trace::{TraceRecord, TraceSink};
 use rlive_sim::{EventQueue, SimRng, SimTime};
@@ -150,10 +151,14 @@ impl World {
         }
         let ats: Vec<SimTime> = batch.events.iter().map(|(at, _)| *at).collect();
         let kinds: Vec<&'static str> = batch.events.iter().map(|(_, e)| e.kind()).collect();
-        let slots = match batch.class {
-            ShardClass::Client => self.shard_client_batch(batch.events),
-            ShardClass::RelayFrame => self.shard_relay_batch(batch.events),
+        let slots = {
+            let _span = time_stage(Stage::ShardExecute);
+            match batch.class {
+                ShardClass::Client => self.shard_client_batch(batch.events),
+                ShardClass::RelayFrame => self.shard_relay_batch(batch.events),
+            }
         };
+        let _merge_span = time_stage(Stage::ShardMerge);
         for (i, slot) in slots.into_iter().enumerate() {
             let outcome = slot.expect("every sharded event produces an outcome");
             self.counters.bump(kinds[i]);

@@ -18,7 +18,15 @@
 //! 3. **Attribute session-scoped events to the client id** and leave
 //!    `session = None` for node/world-level events (churn, adviser and
 //!    scheduler activity), so timelines can be grouped faithfully.
+//!
+//! The windowed observability layer (see `DESIGN.md`, "Observability")
+//! consumes the same trace stream: [`MetricRegistry::ingest_all`] folds a
+//! drained record slice into per-window counter/gauge series, so every
+//! determinism rule above applies to obs series verbatim. The registry
+//! types are re-exported here so control-plane callers can consume both
+//! views of the trace stream from one module.
 
+pub use rlive_sim::obs::{Labels, MetricRegistry, SeriesKey, Stage, StageTable, WindowRatio};
 pub use rlive_sim::trace::{TraceEvent, TraceRecord, TraceSink};
 use std::collections::BTreeMap;
 

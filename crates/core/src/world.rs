@@ -26,7 +26,7 @@ use rlive_media::frame::FrameHeader;
 use rlive_sim::metrics::TimeSeries;
 use rlive_sim::nat::TraversalModel;
 use rlive_sim::trace::TraceCounters;
-use rlive_sim::{EventQueue, SimDuration, SimRng, SimTime};
+use rlive_sim::{EventQueue, MetricRegistry, SimDuration, SimRng, SimTime};
 use rlive_workload::nodes::NodePopulation;
 use rlive_workload::scenario::Scenario;
 use rlive_workload::streams::StreamPopularity;
@@ -111,6 +111,11 @@ pub struct RunReport {
     pub shardable_batches: u64,
     /// Events covered by those batches.
     pub shardable_events: u64,
+    /// Windowed observability series built from the trace stream
+    /// (disabled/empty unless [`SystemConfig::obs_window_ms`] is set).
+    /// Derived exclusively from sim-time inputs, so it is byte-identical
+    /// across any `--jobs` / `--world-jobs` combination.
+    pub obs: MetricRegistry,
     /// Total simulated duration.
     pub duration: SimDuration,
 }
@@ -255,6 +260,14 @@ impl World {
             super_node: SuperNode::new(),
             trace: TraceSink::disabled(),
         };
+        // Observability needs the *complete* trace stream (a wrapped
+        // ring under-counts early windows), so an obs-enabled world
+        // gets an unbounded sink up front. A caller-attached sink
+        // (e.g. `experiments trace`) replaces it; the obs layer then
+        // aggregates whatever that ring retains and reports its drops.
+        if world.cfg.obs_window_ms > 0 {
+            world.attach_trace_sink(TraceSink::unbounded());
+        }
         world.bootstrap();
         world
     }
@@ -427,6 +440,17 @@ impl World {
                 v.iter().map(|e| e.3).sum::<f64>() / n,
             )
         };
+        // Windowed observability: aggregate the retained trace stream.
+        // The snapshot (not a drain) leaves the ring intact for callers
+        // that attached their own sink and inspect it after the run.
+        let obs = if self.cfg.obs_window_ms > 0 {
+            let mut reg = MetricRegistry::new(SimDuration::from_millis(self.cfg.obs_window_ms));
+            reg.note_dropped(self.trace.dropped());
+            reg.ingest_all(&self.trace.snapshot());
+            reg
+        } else {
+            MetricRegistry::disabled()
+        };
         RunReport {
             control_qoe: self.control_qoe,
             test_qoe: self.test_qoe,
@@ -444,6 +468,7 @@ impl World {
             test_energy: mean4(&self.test_energy),
             shardable_batches: self.shardable_batches,
             shardable_events: self.shardable_events,
+            obs,
             duration: self.end_at.saturating_since(SimTime::ZERO),
         }
     }

@@ -321,6 +321,8 @@ impl RecoveryDecider {
     /// in the list, per-frame dedicated recovery is inefficient and the
     /// substream switch is evaluated collectively.
     pub fn decide(&self, frames: &[FrameState], stats: &RecoveryStats) -> Vec<Decision> {
+        // Stage-profiled (wall clock, stderr-only reporting).
+        let _span = rlive_sim::obs::time_stage(rlive_sim::obs::Stage::RecoveryDecision);
         let mut decisions: Vec<Decision> = frames
             .iter()
             .map(|f| {

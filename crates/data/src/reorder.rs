@@ -272,6 +272,9 @@ impl ReorderBuffer {
 
     /// Releases complete frames in global-chain order.
     fn release(&mut self, now: SimTime) -> Vec<ReadyFrame> {
+        // Stage-profiled (wall clock, stderr-only reporting): this is
+        // the reorder drain every ingest/skip path funnels through.
+        let _span = rlive_sim::obs::time_stage(rlive_sim::obs::Stage::ReorderDrain);
         let mut out = Vec::new();
         loop {
             let Some((fp, status)) = self.chain.head() else {

@@ -17,6 +17,9 @@
 //! - event counters and ring tracing for debugging ([`trace`]),
 //! - metric accumulators: streaming histograms, percentile estimation,
 //!   CDFs and time series ([`metrics`]),
+//! - a deterministic windowed observability layer — metric registry,
+//!   trace-fed time-series aggregation, exporters and a wall-clock
+//!   stage profiler ([`obs`]),
 //! - deterministic scoped-thread work pools shared by the experiment
 //!   runner and sharded world execution ([`runner`]).
 //!
@@ -31,6 +34,7 @@ pub mod event;
 pub mod link;
 pub mod metrics;
 pub mod nat;
+pub mod obs;
 pub mod rng;
 pub mod runner;
 pub mod time;
@@ -38,5 +42,6 @@ pub mod trace;
 
 pub use event::{EventHandle, EventQueue};
 pub use link::{Link, LinkConfig};
+pub use obs::{MetricRegistry, Stage, StageTable};
 pub use rng::SimRng;
 pub use time::{SimDuration, SimTime};

@@ -382,6 +382,144 @@ impl TimeSeries {
     }
 }
 
+/// A fixed-bound histogram with exactly-associative merging.
+///
+/// Unlike [`Percentiles`] (which stores every sample), this keeps only
+/// one `u64` count per bucket plus a running sum, so it is cheap enough
+/// to key by metric name × label set in the observability registry
+/// (`rlive_sim::obs`). Bucket upper bounds are fixed at construction;
+/// a sample lands in the first bucket whose bound is `>=` the value,
+/// with an implicit final `+inf` bucket catching the rest. Because the
+/// per-bucket counts are integers, merging two histograms with the same
+/// bounds (element-wise addition) is *exactly* associative — any
+/// partition of the same sample stream produces identical bits, which
+/// the fleet-level obs roll-up relies on.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct FixedHistogram {
+    bounds: Vec<f64>,
+    /// `bounds.len() + 1` counts; the last is the `+inf` overflow bucket.
+    counts: Vec<u64>,
+    total: u64,
+    sum: f64,
+    skipped: u64,
+}
+
+impl FixedHistogram {
+    /// Creates a histogram with the given ascending upper bounds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bounds` is empty, non-finite, or not strictly
+    /// ascending.
+    pub fn new(bounds: &[f64]) -> Self {
+        assert!(!bounds.is_empty(), "histogram needs at least one bound");
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]) && bounds.iter().all(|b| b.is_finite()),
+            "histogram bounds must be finite and strictly ascending"
+        );
+        FixedHistogram {
+            bounds: bounds.to_vec(),
+            counts: vec![0; bounds.len() + 1],
+            total: 0,
+            sum: 0.0,
+            skipped: 0,
+        }
+    }
+
+    /// Records one sample. Non-finite samples are skipped and counted,
+    /// matching the [`Summary`]/[`Percentiles`] contract.
+    pub fn observe(&mut self, x: f64) {
+        if !x.is_finite() {
+            self.skipped += 1;
+            return;
+        }
+        assert!(
+            !self.counts.is_empty(),
+            "histogram has no bounds configured"
+        );
+        let idx = self.bounds.partition_point(|&b| b < x);
+        self.counts[idx] += 1;
+        self.total += 1;
+        self.sum += x;
+    }
+
+    /// Bucket upper bounds (excluding the implicit `+inf` bucket).
+    pub fn bounds(&self) -> &[f64] {
+        &self.bounds
+    }
+
+    /// Per-bucket counts; the final entry is the `+inf` overflow bucket.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Number of (finite) samples recorded.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Sum of all (finite) samples.
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Number of non-finite samples that were pushed and skipped.
+    pub fn skipped(&self) -> u64 {
+        self.skipped
+    }
+
+    /// Sample mean (0 if empty).
+    pub fn mean(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.sum / self.total as f64
+        }
+    }
+
+    /// Fraction of samples in buckets whose bound is `<= bound`
+    /// (0 if empty). `bound` must be one of the configured bounds to be
+    /// meaningful; other values round down to the nearest bucket edge.
+    pub fn fraction_le(&self, bound: f64) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        let idx = self.bounds.partition_point(|&b| b <= bound);
+        let below: u64 = self.counts[..idx].iter().sum();
+        below as f64 / self.total as f64
+    }
+
+    /// Merges another histogram into this one (element-wise addition).
+    ///
+    /// An empty side adopts the other's bounds, so a default-constructed
+    /// accumulator can fold a sequence of parts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if both sides are non-empty with different bounds.
+    pub fn merge(&mut self, other: &FixedHistogram) {
+        self.skipped += other.skipped;
+        if other.bounds.is_empty() {
+            return;
+        }
+        if self.bounds.is_empty() {
+            let skipped = self.skipped;
+            *self = other.clone();
+            self.skipped = skipped;
+            return;
+        }
+        assert_eq!(
+            self.bounds, other.bounds,
+            "cannot merge histograms with different bounds"
+        );
+        for (c, o) in self.counts.iter_mut().zip(&other.counts) {
+            *c += o;
+        }
+        self.total += other.total;
+        self.sum += other.sum;
+    }
+}
+
 /// A counter bundle for rate-style metrics.
 #[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
 pub struct Counter {
@@ -422,6 +560,7 @@ const _: () = {
     assert_send_sync::<Percentiles>();
     assert_send_sync::<TimeSeries>();
     assert_send_sync::<Counter>();
+    assert_send_sync::<FixedHistogram>();
 };
 
 #[cfg(test)]
@@ -680,6 +819,92 @@ mod tests {
         let mut ts = TimeSeries::new(1.0);
         ts.record(-5.0, 1.0);
         assert!(ts.means().is_empty());
+    }
+
+    #[test]
+    fn histogram_buckets_and_overflow() {
+        let mut h = FixedHistogram::new(&[1.0, 5.0, 10.0]);
+        for x in [0.5, 1.0, 3.0, 10.0, 99.0] {
+            h.observe(x);
+        }
+        // `<=` bucketing: 1.0 lands in the first bucket, 10.0 in the
+        // third, 99.0 overflows.
+        assert_eq!(h.counts(), &[2, 1, 1, 1]);
+        assert_eq!(h.total(), 5);
+        assert!((h.sum() - 113.5).abs() < 1e-9);
+        assert!((h.fraction_le(5.0) - 0.6).abs() < 1e-9);
+        assert_eq!(h.fraction_le(10.0), 0.8);
+    }
+
+    #[test]
+    fn histogram_skips_non_finite() {
+        let mut h = FixedHistogram::new(&[1.0]);
+        h.observe(f64::NAN);
+        h.observe(f64::INFINITY);
+        h.observe(0.5);
+        assert_eq!(h.total(), 1);
+        assert_eq!(h.skipped(), 2);
+        assert!(h.mean().is_finite());
+    }
+
+    #[test]
+    fn histogram_merge_is_exactly_associative() {
+        // Integer-valued samples: any merge nesting over any partition
+        // must be bit-identical — the fleet obs roll-up invariant.
+        let data: Vec<f64> = (0..300).map(|i| ((i * 53) % 40) as f64).collect();
+        let bounds = [2.0, 8.0, 16.0, 32.0];
+        let mut all = FixedHistogram::new(&bounds);
+        data.iter().for_each(|&x| all.observe(x));
+
+        let parts: Vec<FixedHistogram> = data
+            .chunks(41)
+            .map(|c| {
+                let mut h = FixedHistogram::new(&bounds);
+                c.iter().for_each(|&x| h.observe(x));
+                h
+            })
+            .collect();
+        // Left fold.
+        let mut left = FixedHistogram::default();
+        for p in &parts {
+            left.merge(p);
+        }
+        // Right-nested fold: a+(b+(c+...)).
+        let mut right = FixedHistogram::default();
+        for p in parts.iter().rev() {
+            let mut acc = p.clone();
+            acc.merge(&right);
+            right = acc;
+        }
+        assert_eq!(left, right);
+        assert_eq!(left.counts(), all.counts());
+        assert_eq!(left.sum().to_bits(), all.sum().to_bits());
+    }
+
+    #[test]
+    fn histogram_merge_adopts_bounds_from_empty() {
+        let mut acc = FixedHistogram::default();
+        let mut h = FixedHistogram::new(&[1.0, 2.0]);
+        h.observe(1.5);
+        acc.merge(&h);
+        assert_eq!(acc.bounds(), &[1.0, 2.0]);
+        assert_eq!(acc.total(), 1);
+        // Merging an empty default into a configured one is a no-op.
+        acc.merge(&FixedHistogram::default());
+        assert_eq!(acc.total(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "different bounds")]
+    fn histogram_merge_rejects_mismatched_bounds() {
+        let mut a = FixedHistogram::new(&[1.0]);
+        a.merge(&FixedHistogram::new(&[2.0]));
+    }
+
+    #[test]
+    #[should_panic(expected = "ascending")]
+    fn histogram_rejects_unsorted_bounds() {
+        FixedHistogram::new(&[2.0, 1.0]);
     }
 
     #[test]

@@ -19,12 +19,17 @@
 //! nothing here writes to stdout, keeping experiment output
 //! byte-comparable across worker counts.
 
+use crate::obs::StageTable;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc;
 use std::thread;
 use std::time::{Duration, Instant};
 
 /// Wall-clock accounting for one [`run_cells`] sweep.
+///
+/// Everything in here is wall-clock (nondeterministic) data; like the
+/// [`StageTable`] it embeds, it may inform stderr reporting but must
+/// never reach golden stdout.
 #[derive(Debug, Clone)]
 pub struct RunnerStats {
     /// Number of cells executed.
@@ -35,6 +40,9 @@ pub struct RunnerStats {
     pub wall: Duration,
     /// Per-cell wall-clock times, in cell-index order.
     pub per_cell: Vec<Duration>,
+    /// Per-stage self-time recorded during the sweep (empty unless the
+    /// stage profiler is enabled — see [`crate::obs::profiler_enable`]).
+    pub stages: StageTable,
 }
 
 impl RunnerStats {
@@ -92,6 +100,7 @@ where
     F: Fn(&I) -> T + Sync,
 {
     let started = Instant::now();
+    let stages_before = StageTable::snapshot();
     let total = inputs.len();
     let workers = jobs.clamp(1, total.max(1));
     let mut slots: Vec<Option<(T, Duration)>> = Vec::with_capacity(total);
@@ -142,6 +151,7 @@ where
         jobs: workers,
         wall: started.elapsed(),
         per_cell,
+        stages: StageTable::snapshot().delta_since(&stages_before),
     };
     (outputs, stats)
 }
@@ -242,6 +252,7 @@ mod tests {
             jobs: 8,
             wall: Duration::ZERO,
             per_cell: Vec::new(),
+            stages: StageTable::default(),
         };
         assert_eq!(stats.speedup(), 0.0);
     }
@@ -256,6 +267,7 @@ mod tests {
             jobs: 4,
             wall: Duration::ZERO,
             per_cell: vec![Duration::from_millis(3); 4],
+            stages: StageTable::default(),
         };
         assert_eq!(stats.speedup(), 4.0);
 
@@ -265,6 +277,7 @@ mod tests {
             jobs: 4,
             wall: Duration::ZERO,
             per_cell: vec![Duration::ZERO; 2],
+            stages: StageTable::default(),
         };
         assert_eq!(stats.speedup(), 0.0);
     }
@@ -278,6 +291,7 @@ mod tests {
             jobs: 2,
             wall: Duration::from_millis(1),
             per_cell: vec![Duration::from_millis(10); 3],
+            stages: StageTable::default(),
         };
         assert_eq!(stats.speedup(), 2.0);
     }

@@ -455,6 +455,17 @@ impl TraceSink {
         }
     }
 
+    /// Creates an enabled sink that never evicts.
+    ///
+    /// The observability layer aggregates over the *complete* trace
+    /// stream, so a bounded ring would silently under-count early
+    /// windows once it wraps; obs-enabled worlds use an unbounded sink
+    /// instead. (Identical to [`TraceSink::staging`] today, but named
+    /// for the intent: primary ring, not per-event scratch buffer.)
+    pub fn unbounded() -> Self {
+        TraceSink::staging()
+    }
+
     /// Whether this sink records anything.
     pub fn is_enabled(&self) -> bool {
         self.inner.is_some()
@@ -481,13 +492,23 @@ impl TraceSink {
     /// ring content identical to what direct sequential emission would
     /// have produced, regardless of which worker threads emitted when.
     pub fn absorb(&self, records: Vec<TraceRecord>) {
-        if records.is_empty() {
+        self.absorb_counted(records, 0);
+    }
+
+    /// [`TraceSink::absorb`] plus upstream-loss accounting: `dropped`
+    /// records were already lost before these reached us (the staging
+    /// buffer wrapped, or a bounded upstream ring evicted them), so they
+    /// are folded into this ring's [`TraceSink::dropped`] tally and
+    /// survive the merge instead of vanishing at the seam.
+    pub fn absorb_counted(&self, records: Vec<TraceRecord>, dropped: u64) {
+        if records.is_empty() && dropped == 0 {
             return;
         }
         let Some(inner) = &self.inner else {
             return;
         };
         let mut ring = inner.lock().expect("trace ring poisoned");
+        ring.dropped += dropped;
         for record in records {
             ring.append(record);
         }
@@ -495,11 +516,20 @@ impl TraceSink {
 
     /// Takes every retained record out of the ring, oldest first.
     pub fn drain(&self) -> Vec<TraceRecord> {
+        self.drain_counted().0
+    }
+
+    /// Like [`TraceSink::drain`], but also reports how many records the
+    /// ring evicted before this drain — so consumers aggregating the
+    /// stream (timeline rendering, the obs registry) can surface the
+    /// saturation instead of silently under-counting. The drop counter
+    /// is *not* reset: it describes the ring's whole lifetime.
+    pub fn drain_counted(&self) -> (Vec<TraceRecord>, u64) {
         match &self.inner {
-            None => Vec::new(),
+            None => (Vec::new(), 0),
             Some(inner) => {
                 let mut ring = inner.lock().expect("trace ring poisoned");
-                ring.records.drain(..).collect()
+                (ring.records.drain(..).collect(), ring.dropped)
             }
         }
     }
@@ -714,6 +744,51 @@ mod tests {
         wrong_order.absorb(staged_a.drain());
 
         assert_ne!(wrong_order.drain(), reference.drain());
+    }
+
+    #[test]
+    fn drain_counted_reports_ring_saturation() {
+        let sink = TraceSink::ring(2);
+        for i in 0..5u64 {
+            sink.emit(
+                SimTime::from_secs(i),
+                None,
+                TraceEvent::CdnPrefill { frames: i as u32 },
+            );
+        }
+        let (records, dropped) = sink.drain_counted();
+        assert_eq!(records.len(), 2);
+        assert_eq!(dropped, 3);
+        // The counter describes the ring's lifetime, not one drain.
+        assert_eq!(sink.dropped(), 3);
+    }
+
+    #[test]
+    fn absorb_counted_carries_upstream_losses_through_the_seam() {
+        let upstream = TraceSink::ring(1);
+        upstream.emit(SimTime::ZERO, None, TraceEvent::CdnPrefill { frames: 1 });
+        upstream.emit(SimTime::ZERO, None, TraceEvent::CdnPrefill { frames: 2 });
+        let (records, lost) = upstream.drain_counted();
+        assert_eq!(lost, 1);
+
+        let merged = TraceSink::ring(16);
+        merged.absorb_counted(records, lost);
+        assert_eq!(merged.len(), 1);
+        assert_eq!(merged.dropped(), 1, "upstream loss survives the merge");
+        // Pure accounting (no records) still lands.
+        merged.absorb_counted(Vec::new(), 4);
+        assert_eq!(merged.dropped(), 5);
+    }
+
+    #[test]
+    fn unbounded_sink_never_drops() {
+        let sink = TraceSink::unbounded();
+        for i in 0..10_000u64 {
+            sink.emit(SimTime::ZERO, None, TraceEvent::CdnPrefill { frames: 0 });
+            let _ = i;
+        }
+        assert_eq!(sink.len(), 10_000);
+        assert_eq!(sink.dropped(), 0);
     }
 
     #[test]

@@ -204,6 +204,30 @@ fn golden_fleet() {
     }
 }
 
+// The obs subcommand simulates one observability-enabled world; its
+// windowed series aggregate over the trace stream, so its stdout must
+// hit one digest across the whole (jobs, world-jobs) grid — the
+// end-to-end form of crates/sim/tests/obs_invariance.rs. (The
+// wall-clock stage profile goes to stderr and is not digested.)
+
+#[test]
+fn golden_obs() {
+    let want = expected_digest("obs");
+    for extra in [
+        &[][..],
+        &["--jobs", "4"][..],
+        &["--jobs", "2", "--world-jobs", "2"][..],
+    ] {
+        let mut args = vec!["obs", "7"];
+        args.extend_from_slice(extra);
+        let got = run_digest(&args);
+        assert_eq!(
+            got, want,
+            "stdout of `experiments obs 7` drifted (extra args {extra:?})"
+        );
+    }
+}
+
 // ----- tier-1 sharded re-run -------------------------------------------
 //
 // The same fast subset again with the world event loop sharded across
