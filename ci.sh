@@ -45,6 +45,9 @@ smoke fleet 3 7 --jobs 2 --world-jobs 2
 echo "==> experiments obs 7 --jobs 2 --world-jobs 2 (obs smoke)"
 smoke obs 7 --jobs 2 --world-jobs 2
 
+echo "==> experiments adaptive 3 7 --jobs 2 --world-jobs 2 (adaptive policy smoke)"
+smoke adaptive 3 7 --jobs 2 --world-jobs 2
+
 # Obs export determinism: two back-to-back runs must produce
 # byte-identical JSONL/CSV dumps (the golden digest pins stdout; this
 # pins the export files, which stdout does not cover).

@@ -40,6 +40,9 @@ pub struct CliArgs {
     /// `--obs-export PATH`: write the obs series to `PATH.jsonl` and
     /// `PATH.csv` (obs subcommand).
     pub obs_export: Option<String>,
+    /// `--sched-policy static|adaptive`: scheduler policy selection.
+    /// Unrecognised values are rejected at parse time.
+    pub sched_policy: Option<rlive_control::SchedulerPolicyKind>,
     /// `--help` / `-h`.
     pub help: bool,
 }
@@ -72,6 +75,9 @@ pub fn parse_args(raw: impl IntoIterator<Item = String>) -> Result<CliArgs, Stri
                 )?)
             }
             "--obs-export" => args.obs_export = Some(flag_value("--obs-export")?),
+            "--sched-policy" => {
+                args.sched_policy = Some(parse_policy(&flag_value("--sched-policy")?)?)
+            }
             _ => {
                 if let Some(v) = arg.strip_prefix("--seed=") {
                     args.seed = Some(parse_u64("--seed", v)?);
@@ -85,6 +91,8 @@ pub fn parse_args(raw: impl IntoIterator<Item = String>) -> Result<CliArgs, Stri
                     args.obs_window = Some(parse_positive_u64("--obs-window", v)?);
                 } else if let Some(v) = arg.strip_prefix("--obs-export=") {
                     args.obs_export = Some(v.to_string());
+                } else if let Some(v) = arg.strip_prefix("--sched-policy=") {
+                    args.sched_policy = Some(parse_policy(v)?);
                 } else if arg.starts_with('-') && arg.len() > 1 {
                     // A typo'd flag must not silently become an ignored
                     // positional.
@@ -115,6 +123,11 @@ fn parse_positive_u64(name: &str, v: &str) -> Result<u64, String> {
         Ok(n) if n > 0 => Ok(n),
         _ => Err(format!("{name} expects a positive integer, got '{v}'")),
     }
+}
+
+fn parse_policy(v: &str) -> Result<rlive_control::SchedulerPolicyKind, String> {
+    rlive_control::SchedulerPolicyKind::parse(v)
+        .ok_or_else(|| format!("--sched-policy expects 'static' or 'adaptive', got '{v}'"))
 }
 
 impl CliArgs {
@@ -277,6 +290,27 @@ mod tests {
         let a = parse(&["obs", "--obs-export=out"]).unwrap();
         assert_eq!(a.obs_export.as_deref(), Some("out"));
         assert!(parse(&["obs", "--obs-export"]).is_err(), "missing value");
+    }
+
+    #[test]
+    fn sched_policy_parses_both_forms_and_rejects_junk() {
+        use rlive_control::SchedulerPolicyKind;
+        let a = parse(&["adaptive", "3", "--sched-policy", "adaptive"]).unwrap();
+        assert_eq!(a.sched_policy, Some(SchedulerPolicyKind::Adaptive));
+        let a = parse(&["fleet", "5", "--sched-policy=static"]).unwrap();
+        assert_eq!(a.sched_policy, Some(SchedulerPolicyKind::Static));
+        assert_eq!(parse(&["fleet", "5"]).unwrap().sched_policy, None);
+        for bad in ["", "dynamic", "Adaptive", "static "] {
+            let err = parse(&["fleet", "--sched-policy", bad]).unwrap_err();
+            assert!(
+                err.contains("--sched-policy"),
+                "error for {bad:?} should name the flag: {err}"
+            );
+        }
+        assert!(
+            parse(&["fleet", "--sched-policy"]).is_err(),
+            "missing value"
+        );
     }
 
     #[test]

@@ -1,0 +1,212 @@
+//! The `adaptive` subcommand: static-vs-adaptive scheduler policy A/B
+//! under a scripted mass outage.
+//!
+//! Both arms run the same RLive delivery worlds (same scenario, same
+//! seeds, same outage script); the only difference is
+//! [`SchedulerPolicyKind`] — the static score path versus the
+//! telemetry-driven adaptive policy that demotes relays whose
+//! recovery-failure rate or probe yield collapses. The grid runs as one
+//! [`Fleet::product`] (policies × seeds, outer-major), so the per-arm
+//! folds are exact slices of the spec order and stdout stays
+//! byte-identical for any `--jobs` / `--world-jobs` combination.
+
+use rlive::config::{DeliveryMode, SystemConfig};
+use rlive::world::GroupPolicy;
+use rlive::{Fleet, FleetReport, MassOutage, WorldSpec};
+use rlive_bench::{header, runner};
+use rlive_control::SchedulerPolicyKind;
+use rlive_sim::{SimDuration, SimTime};
+use rlive_workload::scenario::Scenario;
+
+/// Small worlds (the golden regression test runs this grid in tier-1
+/// CI), but long enough for the outage to straddle several adaptive
+/// windows: 15 s of steady state, 20 s of outage, 25 s of recovery.
+fn adaptive_scenario() -> Scenario {
+    let mut s = Scenario::evening_peak().scaled(0.08);
+    s.duration = SimDuration::from_secs(60);
+    s.streams = 3;
+    s.population.isps = 2;
+    s.population.regions = 2;
+    s
+}
+
+/// Configuration matching [`adaptive_scenario`]: peer delivery engages
+/// early so the outage actually hits relay-sourced sessions, and the
+/// obs layer is always on — the recovery-traffic section of the report
+/// needs its counters.
+fn adaptive_config(obs_window: Option<u64>) -> SystemConfig {
+    SystemConfig {
+        cdn_edge_mbps: 90,
+        multi_source_after: SimDuration::from_secs(5),
+        popularity_threshold: 1,
+        obs_window_ms: obs_window.unwrap_or(1000),
+        ..SystemConfig::default()
+    }
+}
+
+/// The scripted failure: half the relay population drops at t=15 s and
+/// stays dark for 20 s — long enough that the adaptive policy's
+/// two-window hysteresis can confirm the signal and demote.
+fn outage() -> MassOutage {
+    MassOutage {
+        at: SimTime::from_secs(15),
+        duration: SimDuration::from_secs(20),
+        fraction: 0.5,
+    }
+}
+
+fn count_row(label: &str, stat: u64, adap: u64) {
+    println!("{label:<30} {stat:>13} {adap:>13}");
+}
+
+fn mean_row(label: &str, stat: f64, adap: f64) {
+    println!("{label:<30} {stat:>13.2} {adap:>13.2}");
+}
+
+fn failure_rate_pct(report: &FleetReport) -> f64 {
+    let den = report.obs.counter_total("recovery_outcomes");
+    if den == 0 {
+        0.0
+    } else {
+        100.0 * report.obs.counter_total("recovery_failures") as f64 / den as f64
+    }
+}
+
+/// `experiments adaptive <n> [seed]`: run `n` seeded mass-outage worlds
+/// per policy arm and print the merged static-vs-adaptive comparison —
+/// QoE, recovery traffic from the obs counters, and the adaptive arm's
+/// per-window demotion counts.
+pub fn adaptive(n: usize, seed: u64, obs_window: Option<u64>) {
+    let config = adaptive_config(obs_window);
+    let seeds: Vec<u64> = (0..n as u64).map(|d| seed + d).collect();
+    let last = seed + n.saturating_sub(1) as u64;
+    let o = outage();
+    header(&format!(
+        "Adaptive scheduling — {n} outage world{} per arm (seeds {seed}..={last}), static vs adaptive policy",
+        if n == 1 { "" } else { "s" }
+    ));
+    println!(
+        "mass outage: {:.0} % of relays offline from {} for {}",
+        o.fraction * 100.0,
+        o.at,
+        o.duration
+    );
+    let scenario = adaptive_scenario();
+    let policies = [SchedulerPolicyKind::Static, SchedulerPolicyKind::Adaptive];
+    let fleet = Fleet::product("adaptive", &policies, &seeds, |&kind, &world_seed| {
+        let mut cfg = config.clone();
+        cfg.scheduler.policy = kind;
+        WorldSpec {
+            seed: world_seed,
+            scenario: scenario.clone(),
+            config: cfg,
+            policy: GroupPolicy::uniform(DeliveryMode::RLive),
+            outage: Some(o),
+        }
+    });
+    let report = runner::run_fleet(fleet);
+    // Outer-major product: the first n worlds are the static arm, the
+    // last n the adaptive arm. Re-fold each slice with the same
+    // exactly-associative algebra the full report used.
+    let stat = FleetReport::fold(report.worlds[..n].to_vec());
+    let adap = FleetReport::fold(report.worlds[n..].to_vec());
+    println!(
+        "{} worlds, {:.0} s simulated in total (policies: {}, {})",
+        report.world_count(),
+        report.duration.as_secs_f64(),
+        stat.worlds[0].sched_policy,
+        adap.worlds[0].sched_policy,
+    );
+
+    println!(
+        "\n{:<30} {:>13} {:>13}",
+        "metric (merged, per arm)", "static", "adaptive"
+    );
+    println!("{}", "-".repeat(58));
+    count_row("views", stat.test_qoe.views, adap.test_qoe.views);
+    mean_row(
+        "rebuffers /100s (mean)",
+        stat.test_qoe.rebuffers_per_100s.mean(),
+        adap.test_qoe.rebuffers_per_100s.mean(),
+    );
+    mean_row(
+        "rebuffer ms /100s (mean)",
+        stat.test_qoe.rebuffer_ms_per_100s.mean(),
+        adap.test_qoe.rebuffer_ms_per_100s.mean(),
+    );
+    mean_row(
+        "bitrate Mbps (mean)",
+        stat.test_qoe.bitrate_bps.mean() / 1e6,
+        adap.test_qoe.bitrate_bps.mean() / 1e6,
+    );
+    mean_row(
+        "E2E latency ms (mean)",
+        stat.test_qoe.e2e_latency_ms.mean(),
+        adap.test_qoe.e2e_latency_ms.mean(),
+    );
+    count_row(
+        "CDN fallbacks",
+        stat.test_qoe.cdn_fallbacks,
+        adap.test_qoe.cdn_fallbacks,
+    );
+    mean_row(
+        "client traffic MB",
+        stat.test_traffic.client_bytes() as f64 / 1e6,
+        adap.test_traffic.client_bytes() as f64 / 1e6,
+    );
+
+    println!(
+        "\n{:<30} {:>13} {:>13}",
+        "recovery traffic", "static", "adaptive"
+    );
+    println!("{}", "-".repeat(58));
+    count_row(
+        "recovery outcomes",
+        stat.obs.counter_total("recovery_outcomes"),
+        adap.obs.counter_total("recovery_outcomes"),
+    );
+    count_row(
+        "recovery failures",
+        stat.obs.counter_total("recovery_failures"),
+        adap.obs.counter_total("recovery_failures"),
+    );
+    mean_row(
+        "recovery failure rate %",
+        failure_rate_pct(&stat),
+        failure_rate_pct(&adap),
+    );
+    count_row(
+        "deadline-blown switches",
+        stat.obs.counter_total("recovery_deadline_blown"),
+        adap.obs.counter_total("recovery_deadline_blown"),
+    );
+    count_row(
+        "scheduler requests",
+        stat.scheduler_requests,
+        adap.scheduler_requests,
+    );
+
+    let window_ms = config.obs_window_ms;
+    let demoted: u64 = adap.sched_demotions.values().sum();
+    println!(
+        "\nadaptive demotions by {window_ms} ms window ({} total; static arm: {}):",
+        demoted,
+        stat.sched_demotions.values().sum::<u64>(),
+    );
+    if adap.sched_demotions.is_empty() {
+        println!("  (none)");
+    }
+    for (&win, &count) in &adap.sched_demotions {
+        println!(
+            "  window {win:>4} [{:>6}..{:>6} ms)  demotions {count:>4}",
+            win * window_ms,
+            (win + 1) * window_ms
+        );
+    }
+
+    println!(
+        "\nnote: both arms fold per-world reports in spec order with the \
+         exactly-associative metric algebra; stdout is byte-identical for any \
+         --jobs / --world-jobs combination."
+    );
+}

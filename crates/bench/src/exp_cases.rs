@@ -31,6 +31,7 @@ pub fn fig13(seed: u64) {
                 scenario: peak_scenario(),
                 config: cfg,
                 policy: GroupPolicy::uniform(DeliveryMode::RLive),
+                outage: None,
             }
         },
     );
@@ -86,6 +87,7 @@ fn fifa_spec(mode: DeliveryMode, seed: u64) -> WorldSpec {
         scenario,
         config: cfg,
         policy: GroupPolicy::uniform(mode),
+        outage: None,
     }
 }
 
@@ -163,6 +165,7 @@ pub fn fallback_threshold(seed: u64) {
                 scenario: peak_scenario(),
                 config: cfg,
                 policy: GroupPolicy::uniform(DeliveryMode::RLive),
+                outage: None,
             }
         },
     );

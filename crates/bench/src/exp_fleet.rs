@@ -61,13 +61,22 @@ fn dispersion_row(report: &FleetReport, label: &str, metric: impl Fn(&RunReport)
 /// `obs_window` (from `--obs-window`) additionally enables the
 /// observability layer in every world and appends an obs roll-up
 /// section: per-world recovery-failure-rate dispersion plus the merged
-/// registry's worst windows. The section is strictly additive and only
-/// rendered when the flag is given, so the default fleet output (and
-/// its golden digest) is unchanged.
-pub fn fleet(n: usize, seed: u64, obs_window: Option<u64>) {
+/// registry's worst windows. `sched_policy` (from `--sched-policy`)
+/// overrides the scheduler policy in every world. Both are strictly
+/// opt-in, so the default fleet output (and its golden digest) is
+/// unchanged.
+pub fn fleet(
+    n: usize,
+    seed: u64,
+    obs_window: Option<u64>,
+    sched_policy: Option<rlive_control::SchedulerPolicyKind>,
+) {
     let mut config = fleet_config();
     if let Some(w) = obs_window {
         config.obs_window_ms = w;
+    }
+    if let Some(p) = sched_policy {
+        config.scheduler.policy = p;
     }
     let dedicated_cost = config.dedicated_unit_cost;
     let seeds: Vec<u64> = (0..n as u64).map(|d| seed + d).collect();

@@ -23,6 +23,7 @@ fn two_tier_spec(mode: DeliveryMode, seed: u64) -> WorldSpec {
         scenario: two_tier_scenario(),
         config: cfg,
         policy: GroupPolicy::uniform(mode),
+        outage: None,
     }
 }
 
@@ -153,6 +154,7 @@ pub fn table3(seed: u64) {
                 scenario: peak_scenario(),
                 config: c,
                 policy: GroupPolicy::uniform(mode),
+                outage: None,
             }
         },
     );

@@ -30,8 +30,17 @@ const TOP_K: usize = 5;
 /// layer enabled and prints the windowed series. `window_ms` overrides
 /// the default 1 s tumbling window; `stream` restricts the
 /// candidate-yield table to one stream; `export` writes the raw series
-/// to `<export>.jsonl` and `<export>.csv`.
-pub fn obs(seed: u64, window_ms: Option<u64>, stream: Option<u64>, export: Option<&str>) {
+/// to `<export>.jsonl` and `<export>.csv`; `sched_policy` overrides the
+/// scheduler policy (stdout stays a pure function of the full input
+/// tuple — the default-flag output is still pinned by the golden
+/// digest).
+pub fn obs(
+    seed: u64,
+    window_ms: Option<u64>,
+    stream: Option<u64>,
+    export: Option<&str>,
+    sched_policy: Option<rlive_control::SchedulerPolicyKind>,
+) {
     let window_ms = window_ms.unwrap_or(DEFAULT_WINDOW_MS);
     let mut scenario = Scenario::evening_peak().scaled(0.1);
     scenario.duration = SimDuration::from_secs(60);
@@ -41,6 +50,9 @@ pub fn obs(seed: u64, window_ms: Option<u64>, stream: Option<u64>, export: Optio
     cfg.popularity_threshold = 1;
     cfg.cdn_edge_mbps = 140;
     cfg.obs_window_ms = window_ms;
+    if let Some(p) = sched_policy {
+        cfg.scheduler.policy = p;
+    }
 
     let world = World::new(
         scenario,

@@ -19,6 +19,7 @@ use rlive_bench::cli::{self, CliArgs};
 
 mod exp_ab;
 mod exp_ablation;
+mod exp_adaptive;
 mod exp_cases;
 mod exp_control;
 mod exp_fleet;
@@ -47,6 +48,12 @@ USAGE: experiments <subcommand> [args] [--seed N] [--jobs N] [--world-jobs N]
                   Must be a positive integer; default 1000 for obs,
                   disabled for fleet unless given.
   --obs-export P  (obs) also write the raw series to P.jsonl and P.csv.
+  --sched-policy P
+                  scheduler policy for the fleet/obs worlds: 'static'
+                  (default, the paper's score path) or 'adaptive'
+                  (telemetry-driven windowed demotion — see DESIGN.md
+                  \"Scheduler policies\"). The adaptive subcommand runs
+                  both arms itself and ignores this flag.
 
   fig1b      Best-effort node bandwidth capacity CDF
   fig2a      Single-source vs CDN-only QoE degradation
@@ -69,6 +76,10 @@ USAGE: experiments <subcommand> [args] [--seed N] [--jobs N] [--world-jobs N]
   fleet <n> [seed]
              Run n seeded worlds as one fleet; print the merged
              fleet-scale A/B table plus per-world min/median/max
+  adaptive <n> [seed]
+             Static-vs-adaptive scheduler policy A/B: n mass-outage
+             worlds per arm; QoE, recovery traffic and the adaptive
+             arm's per-window demotion counts
   trace      Structured per-session event timeline of one traced world
              (--seed N selects the run, --stream S filters sessions)
   obs        Windowed observability series of one traced world:
@@ -119,7 +130,14 @@ fn dispatch(args: &CliArgs) -> Result<(), String> {
             let n = args.required_count_at(1, "fleet world count")?;
             let seed = args.seed_at(2)?;
             args.expect_at_most(2)?;
-            exp_fleet::fleet(n, seed, args.obs_window);
+            exp_fleet::fleet(n, seed, args.obs_window, args.sched_policy);
+            return Ok(());
+        }
+        "adaptive" => {
+            let n = args.required_count_at(1, "adaptive world count")?;
+            let seed = args.seed_at(2)?;
+            args.expect_at_most(2)?;
+            exp_adaptive::adaptive(n, seed, args.obs_window);
             return Ok(());
         }
         "trace" => {
@@ -136,6 +154,7 @@ fn dispatch(args: &CliArgs) -> Result<(), String> {
                 args.obs_window,
                 args.stream,
                 args.obs_export.as_deref(),
+                args.sched_policy,
             );
             return Ok(());
         }

@@ -27,6 +27,7 @@ pub mod adviser;
 pub mod capacity;
 pub mod client;
 pub mod features;
+pub mod policy;
 pub mod quota;
 pub mod registry;
 pub mod scheduler;
@@ -35,6 +36,9 @@ pub mod scoring;
 pub use adviser::{AdviserConfig, EdgeAdviser, SwitchSuggestion};
 pub use client::{ClientController, ClientControllerConfig, ProbeOutcome};
 pub use features::{ClientInfo, NodeClass, NodeId, NodeStatus, StaticFeatures, StreamKey};
+pub use policy::{
+    AdaptiveConfig, AdaptivePolicy, SchedulerPolicy, SchedulerPolicyKind, StaticScorePolicy,
+};
 pub use registry::HashTreeRegistry;
 pub use scheduler::{GlobalScheduler, SchedulerConfig};
 pub use scoring::{Platform, ScoreWeights};

@@ -1,0 +1,494 @@
+//! Pluggable scheduler scoring policies.
+//!
+//! [`GlobalScheduler`](crate::scheduler::GlobalScheduler) ranks
+//! candidates with the static personalised score
+//! `S = α₁N + α₂G + α₃R + α₄B` (see [`crate::scoring`]). This module
+//! extracts the seam that makes that ranking swappable: a
+//! [`SchedulerPolicy`] adjusts each candidate's availability score
+//! before the cost divide and may consume deterministic feedback about
+//! node behaviour.
+//!
+//! Two policies ship today:
+//!
+//! - [`StaticScorePolicy`] — the identity adjustment. Byte-identical to
+//!   the pre-seam scheduler (proven by the golden digests).
+//! - [`AdaptivePolicy`] — a telemetry-driven feedback loop. Recovery
+//!   outcomes and candidate-probe results attributed to a node are
+//!   aggregated into fixed-width tumbling **sim-time** windows (the same
+//!   window arithmetic the obs layer uses; wall clock never enters any
+//!   decision). When a node's window looks bad — recovery failure rate
+//!   above [`AdaptiveConfig::demote_threshold`] or probe yield below
+//!   [`AdaptiveConfig::yield_threshold`] — for
+//!   [`AdaptiveConfig::hysteresis`] consecutive judged windows, its
+//!   multiplicative score factor is demoted (bounded below by
+//!   [`AdaptiveConfig::floor`]); sustained good windows boost it back
+//!   towards 1.0, so a node can recover.
+//!
+//! Determinism: a policy never draws randomness and never reads wall
+//! clock. Its state is a pure function of the (sim-time-ordered)
+//! feedback call sequence, which itself is a pure function of the world
+//! seed — so adaptive worlds stay byte-identical across the
+//! `--jobs × --world-jobs` grid.
+
+use crate::features::NodeId;
+use rlive_sim::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Which scoring policy a [`GlobalScheduler`](crate::scheduler::GlobalScheduler)
+/// runs. Selected via `SystemConfig` / the `--sched-policy` CLI flag.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum SchedulerPolicyKind {
+    /// The static `S = α₁N + α₂G + α₃R + α₄B` score, unmodified.
+    #[default]
+    Static,
+    /// Static score times a per-node factor learned from windowed
+    /// recovery/probe feedback.
+    Adaptive,
+}
+
+impl SchedulerPolicyKind {
+    /// Parses a CLI label (`static` / `adaptive`).
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "static" => Some(SchedulerPolicyKind::Static),
+            "adaptive" => Some(SchedulerPolicyKind::Adaptive),
+            _ => None,
+        }
+    }
+
+    /// The CLI label.
+    pub fn label(self) -> &'static str {
+        match self {
+            SchedulerPolicyKind::Static => "static",
+            SchedulerPolicyKind::Adaptive => "adaptive",
+        }
+    }
+}
+
+/// Tuning of [`AdaptivePolicy`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AdaptiveConfig {
+    /// Tumbling feedback window width (sim time). Should match the obs
+    /// layer's `obs_window_ms` so scheduler feedback and exported
+    /// series describe the same windows.
+    pub window: SimDuration,
+    /// Minimum feedback samples (recovery outcomes + probes) in a
+    /// window before the node is judged at all.
+    pub min_samples: u64,
+    /// A window with recovery failure rate above this is bad.
+    pub demote_threshold: f64,
+    /// A window with candidate-probe yield below this is bad.
+    pub yield_threshold: f64,
+    /// Consecutive bad (good) judged windows before the factor is
+    /// demoted (boosted). Absorbs one-window blips.
+    pub hysteresis: u32,
+    /// Multiplicative demotion per trip (< 1).
+    pub demote_factor: f64,
+    /// Multiplicative recovery per trip (> 1), capped at 1.0.
+    pub boost_factor: f64,
+    /// Lowest factor a node can be demoted to (> 0 so a demoted node
+    /// keeps receiving probe traffic and can prove itself again).
+    pub floor: f64,
+}
+
+impl Default for AdaptiveConfig {
+    fn default() -> Self {
+        AdaptiveConfig {
+            window: SimDuration::from_millis(1_000),
+            min_samples: 2,
+            demote_threshold: 0.5,
+            yield_threshold: 0.35,
+            hysteresis: 2,
+            demote_factor: 0.5,
+            boost_factor: 1.3,
+            floor: 0.25,
+        }
+    }
+}
+
+/// The policy seam: adjusts candidate availability scores and absorbs
+/// deterministic per-node feedback.
+///
+/// All feedback calls carry sim time; implementations bucket by
+/// tumbling window and must stay pure functions of the call sequence
+/// (no randomness, no wall clock). `advance` is invoked by the
+/// scheduler before each recommendation so window bookkeeping rolls
+/// forward even on feedback-quiet paths.
+pub trait SchedulerPolicy: Send {
+    /// Stable label for reports (`static` / `adaptive`).
+    fn label(&self) -> &'static str;
+
+    /// Adjusts one candidate's availability score before the cost
+    /// divide. [`StaticScorePolicy`] returns `availability` unchanged.
+    fn adjust(&self, node: NodeId, availability: f64) -> f64;
+
+    /// Rolls window bookkeeping forward to `now`.
+    fn advance(&mut self, now: SimTime) {
+        let _ = now;
+    }
+
+    /// Feeds one recovery-attempt outcome attributed to `node` (the
+    /// best-effort relay serving the recovered frame's substream).
+    fn note_recovery(&mut self, now: SimTime, node: NodeId, success: bool) {
+        let _ = (now, node, success);
+    }
+
+    /// Feeds one candidate-probe outcome for `node` (whether the probed
+    /// relay was online, admitting and traversable).
+    fn note_probe(&mut self, now: SimTime, node: NodeId, usable: bool) {
+        let _ = (now, node, usable);
+    }
+
+    /// Demotions applied so far, keyed by the window they were judged
+    /// in. Empty for policies that never demote.
+    fn demotions_by_window(&self) -> BTreeMap<u64, u64> {
+        BTreeMap::new()
+    }
+}
+
+/// The pre-seam behaviour: candidate scores pass through unmodified and
+/// feedback is discarded.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StaticScorePolicy;
+
+impl SchedulerPolicy for StaticScorePolicy {
+    fn label(&self) -> &'static str {
+        "static"
+    }
+
+    fn adjust(&self, _node: NodeId, availability: f64) -> f64 {
+        availability
+    }
+}
+
+/// Per-node feedback accumulated in the current window.
+#[derive(Debug, Clone, Copy, Default)]
+struct WindowFeedback {
+    recovery_failures: u64,
+    recovery_outcomes: u64,
+    probes_usable: u64,
+    probes: u64,
+}
+
+/// Per-node factor state carried across windows.
+#[derive(Debug, Clone, Copy)]
+struct NodeState {
+    factor: f64,
+    bad_streak: u32,
+    good_streak: u32,
+}
+
+impl Default for NodeState {
+    fn default() -> Self {
+        NodeState {
+            factor: 1.0,
+            bad_streak: 0,
+            good_streak: 0,
+        }
+    }
+}
+
+/// The telemetry-driven feedback policy (see module docs).
+#[derive(Debug, Clone)]
+pub struct AdaptivePolicy {
+    cfg: AdaptiveConfig,
+    /// Window the pending feedback belongs to.
+    current_window: u64,
+    pending: BTreeMap<NodeId, WindowFeedback>,
+    state: BTreeMap<NodeId, NodeState>,
+    demotions: BTreeMap<u64, u64>,
+    boosts: u64,
+}
+
+impl AdaptivePolicy {
+    /// Creates the policy with the given tuning.
+    pub fn new(cfg: AdaptiveConfig) -> Self {
+        assert!(cfg.window > SimDuration::ZERO, "window must be positive");
+        assert!(
+            cfg.floor > 0.0 && cfg.floor <= 1.0,
+            "floor must be in (0, 1]"
+        );
+        assert!(
+            cfg.demote_factor > 0.0 && cfg.demote_factor < 1.0,
+            "demote_factor must be in (0, 1)"
+        );
+        assert!(cfg.boost_factor >= 1.0, "boost_factor must be >= 1");
+        AdaptivePolicy {
+            cfg,
+            current_window: 0,
+            pending: BTreeMap::new(),
+            state: BTreeMap::new(),
+            demotions: BTreeMap::new(),
+            boosts: 0,
+        }
+    }
+
+    /// Current multiplicative factor of a node (1.0 if never judged).
+    pub fn factor(&self, node: NodeId) -> f64 {
+        self.state.get(&node).map(|s| s.factor).unwrap_or(1.0)
+    }
+
+    /// Boosts applied so far.
+    pub fn boost_count(&self) -> u64 {
+        self.boosts
+    }
+
+    fn window_of(&self, at: SimTime) -> u64 {
+        at.as_millis() / self.cfg.window.as_millis().max(1)
+    }
+
+    /// Judges every node that produced feedback in `window` and applies
+    /// factor moves. Nodes with no feedback keep their state untouched
+    /// (an idle window proves nothing either way).
+    fn fold_window(&mut self, window: u64) {
+        let pending = std::mem::take(&mut self.pending);
+        for (node, fb) in pending {
+            if fb.recovery_outcomes + fb.probes < self.cfg.min_samples {
+                continue;
+            }
+            let failure_rate = if fb.recovery_outcomes > 0 {
+                fb.recovery_failures as f64 / fb.recovery_outcomes as f64
+            } else {
+                0.0
+            };
+            let probe_yield = if fb.probes > 0 {
+                fb.probes_usable as f64 / fb.probes as f64
+            } else {
+                1.0
+            };
+            let bad =
+                failure_rate > self.cfg.demote_threshold || probe_yield < self.cfg.yield_threshold;
+            let st = self.state.entry(node).or_default();
+            if bad {
+                st.bad_streak += 1;
+                st.good_streak = 0;
+                if st.bad_streak >= self.cfg.hysteresis {
+                    let next = (st.factor * self.cfg.demote_factor).max(self.cfg.floor);
+                    if next < st.factor {
+                        st.factor = next;
+                        *self.demotions.entry(window).or_insert(0) += 1;
+                    }
+                }
+            } else {
+                st.good_streak += 1;
+                st.bad_streak = 0;
+                if st.good_streak >= self.cfg.hysteresis && st.factor < 1.0 {
+                    st.factor = (st.factor * self.cfg.boost_factor).min(1.0);
+                    self.boosts += 1;
+                }
+            }
+        }
+    }
+
+    fn roll_to(&mut self, now: SimTime) {
+        let w = self.window_of(now);
+        if w > self.current_window {
+            // Only the current window can hold pending feedback;
+            // intermediate empty windows judge nobody.
+            self.fold_window(self.current_window);
+            self.current_window = w;
+        }
+    }
+
+    fn feedback_mut(&mut self, now: SimTime, node: NodeId) -> &mut WindowFeedback {
+        self.roll_to(now);
+        self.pending.entry(node).or_default()
+    }
+}
+
+impl SchedulerPolicy for AdaptivePolicy {
+    fn label(&self) -> &'static str {
+        "adaptive"
+    }
+
+    fn adjust(&self, node: NodeId, availability: f64) -> f64 {
+        availability * self.factor(node)
+    }
+
+    fn advance(&mut self, now: SimTime) {
+        self.roll_to(now);
+    }
+
+    fn note_recovery(&mut self, now: SimTime, node: NodeId, success: bool) {
+        let fb = self.feedback_mut(now, node);
+        fb.recovery_outcomes += 1;
+        if !success {
+            fb.recovery_failures += 1;
+        }
+    }
+
+    fn note_probe(&mut self, now: SimTime, node: NodeId, usable: bool) {
+        let fb = self.feedback_mut(now, node);
+        fb.probes += 1;
+        if usable {
+            fb.probes_usable += 1;
+        }
+    }
+
+    fn demotions_by_window(&self) -> BTreeMap<u64, u64> {
+        self.demotions.clone()
+    }
+}
+
+/// Builds the boxed policy for a kind.
+pub fn build_policy(
+    kind: SchedulerPolicyKind,
+    adaptive: &AdaptiveConfig,
+) -> Box<dyn SchedulerPolicy> {
+    match kind {
+        SchedulerPolicyKind::Static => Box::new(StaticScorePolicy),
+        SchedulerPolicyKind::Adaptive => Box::new(AdaptivePolicy::new(adaptive.clone())),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn at(ms: u64) -> SimTime {
+        SimTime::from_millis(ms)
+    }
+
+    fn failing_window(p: &mut AdaptivePolicy, window: u64, node: NodeId) {
+        // Two failed recovery outcomes inside `window` (min_samples 2).
+        let t = at(window * 1_000 + 10);
+        p.note_recovery(t, node, false);
+        p.note_recovery(t, node, false);
+    }
+
+    fn healthy_window(p: &mut AdaptivePolicy, window: u64, node: NodeId) {
+        let t = at(window * 1_000 + 10);
+        p.note_probe(t, node, true);
+        p.note_probe(t, node, true);
+    }
+
+    #[test]
+    fn static_policy_is_identity() {
+        let p = StaticScorePolicy;
+        for v in [0.0, 0.37, 1.0, f64::MAX] {
+            assert_eq!(p.adjust(NodeId(3), v).to_bits(), v.to_bits());
+        }
+        assert!(p.demotions_by_window().is_empty());
+        assert_eq!(p.label(), "static");
+    }
+
+    #[test]
+    fn hysteresis_requires_consecutive_bad_windows() {
+        let mut p = AdaptivePolicy::new(AdaptiveConfig::default());
+        let n = NodeId(1);
+        failing_window(&mut p, 0, n);
+        p.advance(at(1_000));
+        // One bad window: streak 1 < hysteresis 2, factor unchanged.
+        assert_eq!(p.factor(n), 1.0);
+        failing_window(&mut p, 1, n);
+        p.advance(at(2_000));
+        assert_eq!(p.factor(n), 0.5);
+        assert_eq!(p.demotions_by_window().get(&1), Some(&1));
+    }
+
+    #[test]
+    fn good_window_resets_bad_streak() {
+        let mut p = AdaptivePolicy::new(AdaptiveConfig::default());
+        let n = NodeId(1);
+        failing_window(&mut p, 0, n);
+        healthy_window(&mut p, 1, n);
+        failing_window(&mut p, 2, n);
+        p.advance(at(3_000));
+        // Bad, good, bad: never two consecutive bad windows.
+        assert_eq!(p.factor(n), 1.0);
+        assert!(p.demotions_by_window().is_empty());
+    }
+
+    #[test]
+    fn factor_is_floored_and_recovers() {
+        let mut p = AdaptivePolicy::new(AdaptiveConfig::default());
+        let n = NodeId(4);
+        // Many consecutive bad windows: factor bottoms out at the floor.
+        for w in 0..10 {
+            failing_window(&mut p, w, n);
+        }
+        p.advance(at(10_000));
+        assert_eq!(p.factor(n), 0.25);
+        let demoted: u64 = p.demotions_by_window().values().sum();
+        // 1.0 -> 0.5 -> 0.25, then pinned at the floor (no counted
+        // demotion once the factor cannot move).
+        assert_eq!(demoted, 2);
+        // Sustained good windows boost it back to 1.0.
+        for w in 10..20 {
+            healthy_window(&mut p, w, n);
+        }
+        p.advance(at(20_000));
+        assert_eq!(p.factor(n), 1.0);
+        assert!(p.boost_count() >= 4);
+    }
+
+    #[test]
+    fn adjust_applies_current_factor() {
+        let mut p = AdaptivePolicy::new(AdaptiveConfig::default());
+        let n = NodeId(9);
+        failing_window(&mut p, 0, n);
+        failing_window(&mut p, 1, n);
+        p.advance(at(2_000));
+        assert_eq!(p.adjust(n, 0.8), 0.8 * 0.5);
+        // Unjudged nodes pass through unchanged.
+        assert_eq!(p.adjust(NodeId(777), 0.8), 0.8);
+    }
+
+    #[test]
+    fn sparse_windows_are_not_judged() {
+        let mut p = AdaptivePolicy::new(AdaptiveConfig::default());
+        let n = NodeId(2);
+        // One sample per window: below min_samples, never judged.
+        for w in 0..5 {
+            p.note_recovery(at(w * 1_000 + 1), n, false);
+        }
+        p.advance(at(6_000));
+        assert_eq!(p.factor(n), 1.0);
+    }
+
+    #[test]
+    fn probe_yield_alone_can_demote() {
+        let mut p = AdaptivePolicy::new(AdaptiveConfig::default());
+        let n = NodeId(6);
+        for w in 0..2 {
+            let t = at(w * 1_000 + 5);
+            p.note_probe(t, n, false);
+            p.note_probe(t, n, false);
+            p.note_probe(t, n, false);
+        }
+        p.advance(at(2_000));
+        assert_eq!(p.factor(n), 0.5);
+    }
+
+    #[test]
+    fn feedback_sequence_is_deterministic() {
+        let run = || {
+            let mut p = AdaptivePolicy::new(AdaptiveConfig::default());
+            for w in 0..8u64 {
+                for node in [NodeId(1), NodeId(2), NodeId(3)] {
+                    let t = at(w * 1_000 + node.0 * 7);
+                    p.note_recovery(t, node, node.0 % 2 == 0);
+                    p.note_probe(t, node, w % 3 != 0);
+                }
+            }
+            p.advance(at(9_000));
+            (
+                p.factor(NodeId(1)),
+                p.factor(NodeId(2)),
+                p.factor(NodeId(3)),
+                p.demotions_by_window(),
+            )
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn kind_parse_round_trips() {
+        for kind in [SchedulerPolicyKind::Static, SchedulerPolicyKind::Adaptive] {
+            assert_eq!(SchedulerPolicyKind::parse(kind.label()), Some(kind));
+        }
+        assert_eq!(SchedulerPolicyKind::parse("greedy"), None);
+        assert_eq!(SchedulerPolicyKind::default(), SchedulerPolicyKind::Static);
+    }
+}

@@ -12,6 +12,7 @@
 use crate::features::{
     ClientInfo, Heartbeat, NodeClass, NodeId, NodeStatus, StaticFeatures, StreamKey,
 };
+use crate::policy::{build_policy, AdaptiveConfig, SchedulerPolicy, SchedulerPolicyKind};
 use crate::registry::{AttrQuery, HashTreeRegistry, MatchLevel};
 use crate::scoring::{score, NatSuccessHistory, ScoreWeights};
 use rlive_sim::metrics::{Percentiles, Summary};
@@ -37,6 +38,12 @@ pub struct SchedulerConfig {
     pub service_base: SimDuration,
     /// Additional processing time per scored candidate.
     pub service_per_candidate: SimDuration,
+    /// Which scoring policy serves recommendations (see
+    /// [`crate::policy`]).
+    pub policy: SchedulerPolicyKind,
+    /// Tuning for [`SchedulerPolicyKind::Adaptive`]; ignored under
+    /// [`SchedulerPolicyKind::Static`].
+    pub adaptive: AdaptiveConfig,
 }
 
 impl Default for SchedulerConfig {
@@ -48,6 +55,8 @@ impl Default for SchedulerConfig {
             explore_fraction: 0.2,
             service_base: SimDuration::from_millis(20),
             service_per_candidate: SimDuration::from_micros(100),
+            policy: SchedulerPolicyKind::Static,
+            adaptive: AdaptiveConfig::default(),
         }
     }
 }
@@ -113,6 +122,9 @@ pub struct GlobalScheduler {
     registry: HashTreeRegistry,
     nodes: BTreeMap<NodeId, NodeRecord>,
     nat_history: NatSuccessHistory,
+    /// The scoring policy behind the [`crate::policy::SchedulerPolicy`]
+    /// seam. Adjusts availability scores and absorbs windowed feedback.
+    policy: Box<dyn SchedulerPolicy>,
     rng: SimRng,
     // Telemetry for Fig 12.
     service_times: Percentiles,
@@ -127,11 +139,13 @@ pub struct GlobalScheduler {
 impl GlobalScheduler {
     /// Creates a scheduler.
     pub fn new(cfg: SchedulerConfig, rng: SimRng) -> Self {
+        let policy = build_policy(cfg.policy, &cfg.adaptive);
         GlobalScheduler {
             cfg,
             registry: HashTreeRegistry::new(),
             nodes: BTreeMap::new(),
             nat_history: NatSuccessHistory::default(),
+            policy,
             rng,
             service_times: Percentiles::new(),
             requests: 0,
@@ -204,22 +218,56 @@ impl GlobalScheduler {
     }
 
     /// Records the outcome of a client's connection attempt so the
-    /// NAT-specific success-rate term stays current.
-    pub fn observe_connection(&mut self, node: NodeId, success: bool) {
+    /// NAT-specific success-rate term stays current. The same outcome
+    /// feeds the active policy's per-node candidate-yield window.
+    pub fn observe_connection(&mut self, now: SimTime, node: NodeId, success: bool) {
         if let Some(rec) = self.nodes.get(&node) {
             self.nat_history.observe(rec.statics.nat, success);
+            self.policy.note_probe(now, node, success);
         }
+    }
+
+    /// Feeds the outcome of a loss-recovery attempt attributed to
+    /// `node` (the best-effort relay that was serving the recovered
+    /// frame's substream) into the active policy's per-node
+    /// recovery-failure window. A no-op under the static policy and for
+    /// departed nodes.
+    pub fn note_recovery_outcome(&mut self, now: SimTime, node: NodeId, success: bool) {
+        if self.nodes.contains_key(&node) {
+            self.policy.note_recovery(now, node, success);
+        }
+    }
+
+    /// The active policy's label (`static` / `adaptive`).
+    pub fn policy_label(&self) -> &'static str {
+        self.policy.label()
+    }
+
+    /// Demotions the active policy has applied so far, keyed by
+    /// feedback window. Empty under the static policy.
+    pub fn policy_demotions(&self) -> BTreeMap<u64, u64> {
+        self.policy.demotions_by_window()
     }
 
     /// Mean stream-level utilisation across nodes forwarding `key` —
     /// the `ū_stream` double-check used by the adviser's cost trigger
-    /// (§4.2.2).
-    pub fn stream_utilization(&self, key: StreamKey) -> Option<f64> {
+    /// (§4.2.2). Departed nodes are excluded the same way the
+    /// recommendation path excludes them: a node whose heartbeat is
+    /// older than the staleness bound no longer vouches for the
+    /// stream's capacity (its frozen last-known status would otherwise
+    /// pollute the mean forever).
+    pub fn stream_utilization(&self, now: SimTime, key: StreamKey) -> Option<f64> {
         let mut s = Summary::new();
         for rec in self.nodes.values() {
-            if rec.status.forwarding.contains(&key) {
-                s.add(rec.status.utilization());
+            if !rec.status.forwarding.contains(&key) {
+                continue;
             }
+            if now.saturating_since(rec.last_heartbeat) > self.cfg.staleness
+                && rec.last_heartbeat != SimTime::ZERO
+            {
+                continue;
+            }
+            s.add(rec.status.utilization());
         }
         if s.count() == 0 {
             None
@@ -239,6 +287,8 @@ impl GlobalScheduler {
         // Stage-profiled (wall clock, stderr-only reporting).
         let _span = rlive_sim::obs::time_stage(rlive_sim::obs::Stage::SchedulerCall);
         self.requests += 1;
+        // Roll the policy's feedback windows forward (no-op for Static).
+        self.policy.advance(now);
         let weights = ScoreWeights::for_platform(client.platform);
         let query = AttrQuery {
             stream: key,
@@ -261,12 +311,19 @@ impl GlobalScheduler {
                 continue;
             }
             let already = rec.status.forwarding.contains(&key);
-            let availability = score(
-                &weights,
-                &rec.statics,
-                &rec.status,
-                client,
-                &self.nat_history,
+            // The policy seam: the static score passes through
+            // unmodified under `StaticScorePolicy` (byte-identical to
+            // the pre-seam scheduler); `AdaptivePolicy` multiplies in
+            // the node's learned demotion/boost factor.
+            let availability = self.policy.adjust(
+                node,
+                score(
+                    &weights,
+                    &rec.statics,
+                    &rec.status,
+                    client,
+                    &self.nat_history,
+                ),
             );
             // The §4.1.1 objective: availability over cost, where cost is
             // the client's bandwidth alone when the node already forwards
@@ -519,14 +576,78 @@ mod tests {
             status.used_mbps = 25.0 * i as f64; // 0, 25, 50, 75
             s.register_node(NodeId(i), statics(1, 1, 1), status);
         }
-        let u = s.stream_utilization(key()).expect("has forwarders");
+        let u = s
+            .stream_utilization(SimTime::from_secs(1), key())
+            .expect("has forwarders");
         assert!((u - 0.375).abs() < 1e-9, "u {u}");
         assert!(s
-            .stream_utilization(StreamKey {
-                stream_id: 99,
-                substream: 0
-            })
+            .stream_utilization(
+                SimTime::from_secs(1),
+                StreamKey {
+                    stream_id: 99,
+                    substream: 0
+                }
+            )
             .is_none());
+    }
+
+    #[test]
+    fn stream_utilization_excludes_stale_nodes() {
+        let mut s = GlobalScheduler::new(SchedulerConfig::default(), SimRng::new(3));
+        for i in 0..2 {
+            let mut status = NodeStatus::idle(100.0);
+            status.forwarding.insert(key());
+            status.used_mbps = 50.0 * i as f64; // 0, 50
+            s.register_node(NodeId(i), statics(1, 1, 1), status);
+        }
+        // Both heartbeat at t=10s; node 1 then goes silent (offline).
+        for i in 0..2 {
+            let mut status = NodeStatus::idle(100.0);
+            status.forwarding.insert(key());
+            status.used_mbps = 50.0 * i as f64;
+            s.ingest_heartbeat(Heartbeat {
+                node: NodeId(i),
+                at: SimTime::from_secs(10),
+                status,
+            });
+        }
+        let mut fresh = NodeStatus::idle(100.0);
+        fresh.forwarding.insert(key());
+        fresh.used_mbps = 0.0;
+        s.ingest_heartbeat(Heartbeat {
+            node: NodeId(0),
+            at: SimTime::from_secs(100),
+            status: fresh,
+        });
+        // At t=100s node 1's heartbeat is 90s old (staleness 30s): its
+        // frozen 50% utilisation must not pollute the stream mean.
+        let u = s
+            .stream_utilization(SimTime::from_secs(100), key())
+            .expect("fresh forwarder remains");
+        assert!(u.abs() < 1e-9, "stale node leaked into u_stream: {u}");
+        // While fresh, both contribute.
+        let u = s
+            .stream_utilization(SimTime::from_secs(12), key())
+            .expect("both fresh");
+        assert!((u - 0.25).abs() < 1e-9, "u {u}");
+    }
+
+    #[test]
+    fn stream_utilization_excludes_deregistered_nodes() {
+        let mut s = GlobalScheduler::new(SchedulerConfig::default(), SimRng::new(4));
+        for i in 0..2 {
+            let mut status = NodeStatus::idle(100.0);
+            status.forwarding.insert(key());
+            status.used_mbps = 40.0;
+            s.register_node(NodeId(i), statics(1, 1, 1), status);
+        }
+        s.deregister_node(NodeId(1));
+        let u = s
+            .stream_utilization(SimTime::from_secs(1), key())
+            .expect("one forwarder left");
+        assert!((u - 0.4).abs() < 1e-9, "u {u}");
+        s.deregister_node(NodeId(0));
+        assert!(s.stream_utilization(SimTime::from_secs(1), key()).is_none());
     }
 
     #[test]
@@ -540,15 +661,70 @@ mod tests {
         assert_eq!(s.node_count(), 0);
     }
 
+    /// Regression: a heartbeat that was already in flight when its node
+    /// was deregistered must not resurrect per-stream state — the
+    /// departed node can never be recommended and never counts toward
+    /// stream utilisation again.
+    #[test]
+    fn late_heartbeat_cannot_resurrect_deregistered_node() {
+        let mut s = scheduler_with_nodes(1);
+        s.deregister_node(NodeId(0));
+        let mut status = NodeStatus::idle(50.0);
+        status.forwarding.insert(key());
+        s.ingest_heartbeat(Heartbeat {
+            node: NodeId(0),
+            at: SimTime::from_secs(5),
+            status,
+        });
+        assert_eq!(s.node_count(), 0);
+        let rec = s.recommend(SimTime::from_secs(6), &client(), key());
+        assert!(
+            rec.candidates.is_empty(),
+            "deregistered node recommended: {:?}",
+            rec.candidates
+        );
+        assert!(s.stream_utilization(SimTime::from_secs(6), key()).is_none());
+        // Connection observations for the departed node are dropped too.
+        s.observe_connection(SimTime::from_secs(6), NodeId(0), false);
+    }
+
     #[test]
     fn connection_observation_feeds_nat_history() {
         let mut s = scheduler_with_nodes(2);
         // Fail FullCone connections repeatedly; future scores drop but
         // recommendation still works.
         for _ in 0..100 {
-            s.observe_connection(NodeId(0), false);
+            s.observe_connection(SimTime::from_secs(1), NodeId(0), false);
         }
         let rec = s.recommend(SimTime::from_secs(1), &client(), key());
         assert!(!rec.candidates.is_empty());
+    }
+
+    #[test]
+    fn adaptive_policy_demotes_failing_node_end_to_end() {
+        let cfg = SchedulerConfig {
+            policy: SchedulerPolicyKind::Adaptive,
+            ..SchedulerConfig::default()
+        };
+        let mut s = GlobalScheduler::new(cfg, SimRng::new(5));
+        for i in 0..2u64 {
+            let mut status = NodeStatus::idle(50.0);
+            status.forwarding.insert(key());
+            s.register_node(NodeId(i), statics(1, 1, 100 + i as u32), status);
+        }
+        assert_eq!(s.policy_label(), "adaptive");
+        // Node 0's recoveries fail across two consecutive windows.
+        for w in 0..2u64 {
+            let t = SimTime::from_millis(w * 1_000 + 100);
+            s.note_recovery_outcome(t, NodeId(0), false);
+            s.note_recovery_outcome(t, NodeId(0), false);
+            s.note_recovery_outcome(t, NodeId(1), true);
+            s.note_recovery_outcome(t, NodeId(1), true);
+        }
+        let rec = s.recommend(SimTime::from_secs(3), &client(), key());
+        assert_eq!(rec.candidates[0].node, NodeId(1), "{:?}", rec.candidates);
+        assert!(rec.candidates[0].score > rec.candidates[1].score);
+        let demoted: u64 = s.policy_demotions().values().sum();
+        assert_eq!(demoted, 1);
     }
 }

@@ -86,20 +86,36 @@ impl Default for NatSuccessHistory {
 }
 
 impl NatSuccessHistory {
-    /// Current estimated success rate for a NAT type.
+    /// The documented prior for a NAT class with no observations yet:
+    /// the traversal model's a-priori success probability — the same
+    /// value `Default` seeds every class from.
+    fn prior(nat: NatType) -> f64 {
+        TraversalModel::default().success_probability(nat)
+    }
+
+    /// Current estimated success rate for a NAT type. A class that has
+    /// never been observed (e.g. a deserialized partial history) falls
+    /// back to the traversal-model prior, not an arbitrary constant.
     pub fn rate(&self, nat: NatType) -> f64 {
         self.rates
             .iter()
             .find(|(n, _)| *n == nat)
             .map(|(_, r)| *r)
-            .unwrap_or(0.5)
+            .unwrap_or_else(|| Self::prior(nat))
     }
 
-    /// Folds one observed connection outcome into the history.
+    /// Folds one observed connection outcome into the history. Only the
+    /// observed NAT class is updated; a cold class is seeded from the
+    /// prior before the EWMA step so the first observation nudges the
+    /// prior instead of being dropped.
     pub fn observe(&mut self, nat: NatType, success: bool) {
         let alpha = self.alpha;
+        let sample = if success { 1.0 } else { 0.0 };
         if let Some((_, r)) = self.rates.iter_mut().find(|(n, _)| *n == nat) {
-            *r = (1.0 - alpha) * *r + alpha * if success { 1.0 } else { 0.0 };
+            *r = (1.0 - alpha) * *r + alpha * sample;
+        } else {
+            let seeded = (1.0 - alpha) * Self::prior(nat) + alpha * sample;
+            self.rates.push((nat, seeded));
         }
     }
 }
@@ -283,6 +299,62 @@ mod tests {
             hist.rate(NatType::Public),
             NatSuccessHistory::default().rate(NatType::Public)
         );
+    }
+
+    #[test]
+    fn cold_class_rate_falls_back_to_prior() {
+        // A history with no entries at all (e.g. deserialized from a
+        // partial snapshot) must report the traversal-model prior, not
+        // a hard-coded 0.5.
+        let hist = NatSuccessHistory {
+            rates: vec![],
+            alpha: 0.05,
+        };
+        let model = TraversalModel::default();
+        for nat in NatType::ALL {
+            assert_eq!(hist.rate(nat), model.success_probability(nat), "{nat:?}");
+        }
+    }
+
+    #[test]
+    fn cold_class_observe_seeds_from_prior_then_updates() {
+        let mut hist = NatSuccessHistory {
+            rates: vec![],
+            alpha: 0.05,
+        };
+        let prior = TraversalModel::default().success_probability(NatType::Symmetric);
+        hist.observe(NatType::Symmetric, false);
+        let after = hist.rate(NatType::Symmetric);
+        let expected = 0.95 * prior;
+        assert!(
+            (after - expected).abs() < 1e-12,
+            "first observation must EWMA against the prior: {after} vs {expected}"
+        );
+        // Only the observed class was materialized; the rest still read
+        // the prior.
+        assert_eq!(
+            hist.rate(NatType::Public),
+            TraversalModel::default().success_probability(NatType::Public)
+        );
+        // Repeated failures keep converging toward 0.
+        for _ in 0..200 {
+            hist.observe(NatType::Symmetric, false);
+        }
+        assert!(hist.rate(NatType::Symmetric) < 0.01);
+    }
+
+    #[test]
+    fn observe_touches_only_observed_class() {
+        let mut hist = NatSuccessHistory::default();
+        let before: Vec<f64> = NatType::ALL.iter().map(|&n| hist.rate(n)).collect();
+        hist.observe(NatType::PortRestricted, true);
+        for (i, &nat) in NatType::ALL.iter().enumerate() {
+            if nat == NatType::PortRestricted {
+                assert!(hist.rate(nat) > before[i]);
+            } else {
+                assert_eq!(hist.rate(nat), before[i], "{nat:?} drifted");
+            }
+        }
     }
 
     #[test]

@@ -30,8 +30,22 @@ use rlive_sim::metrics::Percentiles;
 use rlive_sim::obs::{time_stage, Stage};
 use rlive_sim::runner::{run_cells, RunnerStats};
 use rlive_sim::trace::TraceCounters;
-use rlive_sim::{MetricRegistry, SimDuration};
+use rlive_sim::{MetricRegistry, SimDuration, SimTime};
 use rlive_workload::scenario::Scenario;
+use std::collections::BTreeMap;
+
+/// A scripted mass outage a fleet member injects into its world before
+/// running it — the shape `World::inject_mass_outage` takes, carried
+/// declaratively so outage worlds can run on the shared cell pool.
+#[derive(Debug, Clone, Copy)]
+pub struct MassOutage {
+    /// When the outage starts.
+    pub at: SimTime,
+    /// How long the affected relays stay offline.
+    pub duration: SimDuration,
+    /// Fraction of the relay population taken down (clamped to [0, 1]).
+    pub fraction: f64,
+}
 
 /// Everything one fleet member needs to build and run its world.
 #[derive(Debug, Clone)]
@@ -44,17 +58,26 @@ pub struct WorldSpec {
     pub config: SystemConfig,
     /// Per-group delivery policy.
     pub policy: GroupPolicy,
+    /// Optional scripted mass outage, injected right after the world is
+    /// built.
+    pub outage: Option<MassOutage>,
 }
 
 impl WorldSpec {
     /// Builds the world.
     pub fn build(&self) -> World {
-        World::new(
+        let mut world = World::new(
             self.scenario.clone(),
             self.config.clone(),
             self.policy.clone(),
             self.seed,
-        )
+        );
+        if let Some(o) = self.outage {
+            world
+                .inject_mass_outage(o.at, o.duration, o.fraction)
+                .expect("invalid WorldSpec outage");
+        }
+        world
     }
 
     /// Builds and runs the world to completion.
@@ -95,6 +118,7 @@ impl Fleet {
                 scenario: scenario.clone(),
                 config: config.clone(),
                 policy: policy.clone(),
+                outage: None,
             });
         }
         fleet
@@ -207,6 +231,9 @@ pub struct FleetReport {
     /// integer parts). Disabled/empty unless the worlds ran with
     /// `SystemConfig::obs_window_ms` set.
     pub obs: MetricRegistry,
+    /// Per-window scheduler demotion counts summed element-wise across
+    /// all worlds (empty unless some world ran the adaptive policy).
+    pub sched_demotions: BTreeMap<u64, u64>,
     /// Total simulated time across the fleet.
     pub duration: SimDuration,
 }
@@ -226,6 +253,7 @@ impl FleetReport {
             scheduler_requests: 0,
             invalid_candidate_fraction: 0.0,
             obs: MetricRegistry::disabled(),
+            sched_demotions: BTreeMap::new(),
             duration: SimDuration::ZERO,
         };
         let mut invalid_weighted = 0.0;
@@ -238,6 +266,9 @@ impl FleetReport {
             report.scheduler_requests += w.scheduler_requests;
             invalid_weighted += w.invalid_candidate_fraction * w.scheduler_requests as f64;
             report.obs.merge(&w.obs);
+            for (&win, &n) in &w.sched_demotions {
+                *report.sched_demotions.entry(win).or_insert(0) += n;
+            }
             report.duration += w.duration;
         }
         if report.scheduler_requests > 0 {
@@ -336,6 +367,7 @@ mod tests {
             scenario: scenario.clone(),
             config: config.clone(),
             policy: GroupPolicy::uniform(DeliveryMode::RLive),
+            outage: None,
         });
         assert_eq!(
             fleet.specs().iter().map(|s| s.seed).collect::<Vec<_>>(),

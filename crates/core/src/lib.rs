@@ -49,6 +49,6 @@ pub mod world;
 pub use abtest::{AbReport, AbTest};
 pub use config::{DeliveryMode, SystemConfig, TransportProfile};
 pub use cost::{TrafficClass, TrafficLedger};
-pub use fleet::{Dispersion, Fleet, FleetReport, WorldSpec};
+pub use fleet::{Dispersion, Fleet, FleetReport, MassOutage, WorldSpec};
 pub use qoe::{GroupQoe, SessionMetrics};
 pub use world::{Group, GroupPolicy, RunReport, World};

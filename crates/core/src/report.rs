@@ -131,24 +131,19 @@ pub fn format_obs_summary(reg: &MetricRegistry) -> String {
 
 /// Renders the top-`k` windows of a ratio series, ranked by rate
 /// descending with ties broken toward the earlier window (so the
-/// ordering is total and deterministic). Keeps the integer
+/// ordering is total and deterministic). Windows with an all-zero
+/// denominator carry no evidence and are excluded from the ranking
+/// (see [`rlive_sim::obs::top_ratio_windows`]). Keeps the integer
 /// numerator/denominator next to the rendered rate so readers can judge
 /// how well-supported each window's ratio is.
 pub fn format_obs_windows(title: &str, windows: &[WindowRatio], k: usize) -> String {
     let mut out = String::new();
     let _ = writeln!(out, "=== Observability: {title} (top {k}) ===");
-    if windows.is_empty() {
+    let ranked = rlive_sim::obs::top_ratio_windows(windows, k);
+    if ranked.is_empty() {
         let _ = writeln!(out, "(no windows)");
         return out;
     }
-    let mut ranked: Vec<&WindowRatio> = windows.iter().collect();
-    ranked.sort_by(|a, b| {
-        b.rate()
-            .partial_cmp(&a.rate())
-            .unwrap_or(std::cmp::Ordering::Equal)
-            .then_with(|| a.window.cmp(&b.window))
-    });
-    ranked.truncate(k);
     let _ = writeln!(
         out,
         "{:>8} {:>10} {:>8} {:>8} {:>8}",
@@ -284,6 +279,41 @@ mod tests {
         assert!(w1 < w2, "rate-1.0 windows in index order:\n{text}");
         assert!(!text.contains("  0.5000"), "top-2 cut drops the 0.5 window");
         assert!(format_obs_windows("empty", &[], 3).contains("(no windows)"));
+    }
+
+    #[test]
+    fn obs_windows_table_skips_empty_denominator_windows() {
+        use rlive_sim::obs::WindowRatio;
+        // A 0/0 window right next to a real spike: it must neither rank
+        // nor render — it is "no data", not "rate 0.0".
+        let windows = [
+            WindowRatio {
+                window: 0,
+                start_ms: 0,
+                num: 0,
+                den: 0,
+            },
+            WindowRatio {
+                window: 1,
+                start_ms: 1000,
+                num: 3,
+                den: 4,
+            },
+        ];
+        let text = format_obs_windows("recovery failure rate", &windows, 5);
+        assert!(text.contains("0.7500"), "spike window rendered:\n{text}");
+        assert!(
+            !text.lines().any(|l| l.trim_start().starts_with("0 ")),
+            "0-den window leaked into the table:\n{text}"
+        );
+        // All windows empty-den → same rendering as no windows at all.
+        let all_empty = [WindowRatio {
+            window: 2,
+            start_ms: 2000,
+            num: 0,
+            den: 0,
+        }];
+        assert!(format_obs_windows("x", &all_empty, 3).contains("(no windows)"));
     }
 
     #[test]

@@ -536,6 +536,27 @@ pub(crate) fn on_recovery_outcome(
             client.requested_recovery.remove(&dts);
         }
     }
+    // Attribute the outcome to the relay sourcing the frame's substream
+    // and feed the scheduler's policy window (a no-op under the static
+    // policy). CDN-sourced substreams have no node to blame.
+    let source_relay = world
+        .clients
+        .get(&cid)
+        .and_then(|client| match &client.mode {
+            ClientMode::SingleSource { relay } => Some(*relay),
+            ClientMode::Multi { sources, .. } => {
+                header.and_then(|h| match sources.get(world.substream_for(&h) as usize) {
+                    Some(SubSource::Relay(rid)) => Some(*rid),
+                    _ => None,
+                })
+            }
+            ClientMode::CdnFull => None,
+        });
+    if let Some(rid) = source_relay {
+        world
+            .scheduler
+            .note_recovery_outcome(now, NodeId(rid as u64), success);
+    }
     if !success {
         // Re-evaluate right away; the shrunken deadline usually
         // escalates the action (§5.3).
@@ -888,7 +909,7 @@ fn pick_relay_excluding(
         let usable = relay.online
             && relay.quotas.admits(0.75 * 1.6, 0.02, 4.0)
             && world.traversal.attempt(relay.spec.nat, &mut world.rng);
-        world.scheduler.observe_connection(node, usable);
+        world.scheduler.observe_connection(now, node, usable);
         if usable {
             let rtt = SimDuration::from_millis(relay.spec.base_rtt_ms);
             if let Some(client) = world.clients.get_mut(&cid) {

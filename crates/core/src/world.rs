@@ -116,6 +116,14 @@ pub struct RunReport {
     /// Derived exclusively from sim-time inputs, so it is byte-identical
     /// across any `--jobs` / `--world-jobs` combination.
     pub obs: MetricRegistry,
+    /// Label of the scheduler policy the world ran under
+    /// (`"static"` / `"adaptive"`).
+    pub sched_policy: &'static str,
+    /// Per-window demotion counts from the scheduler policy (empty
+    /// under the static policy). Window indices use the policy's
+    /// tumbling sim-time window, the same arithmetic the obs layer
+    /// uses, so the series lines up with the exported obs windows.
+    pub sched_demotions: BTreeMap<u64, u64>,
     /// Total simulated duration.
     pub duration: SimDuration,
 }
@@ -469,6 +477,8 @@ impl World {
             shardable_batches: self.shardable_batches,
             shardable_events: self.shardable_events,
             obs,
+            sched_policy: self.scheduler.policy_label(),
+            sched_demotions: self.scheduler.policy_demotions(),
             duration: self.end_at.saturating_since(SimTime::ZERO),
         }
     }
@@ -762,7 +772,7 @@ impl World {
         }
         // Adviser evaluation (§4.2.2) every other tick (10 s).
         if let Some(key) = outcome.adviser_key {
-            let stream_util = self.scheduler.stream_utilization(key);
+            let stream_util = self.scheduler.stream_utilization(now, key);
             let suggestions = self.relays[rid as usize].advise(now, key, stream_util);
             for s in suggestions {
                 session::deliver_suggestion(self, rid, &s);

@@ -1,0 +1,100 @@
+//! Determinism battery for the adaptive scheduler policy.
+//!
+//! The adaptive policy folds recovery and probe telemetry into
+//! tumbling sim-time windows and mutates relay score factors from
+//! them, so it is the component most exposed to execution-order
+//! nondeterminism: a feedback sample attributed in a different order
+//! would demote a different relay and fork the whole world. The
+//! contract is the same as for every other layer — the folded
+//! [`FleetReport`] (per-world reports, merged accumulators, demotion
+//! histogram, every field) is identical for any (jobs, world_jobs)
+//! combination — proven differentially via the full Debug rendering.
+//!
+//! A second test pins non-vacuousness: under a mass outage the
+//! adaptive arm must actually demote, otherwise the invariance
+//! assertion would pass trivially on a policy that never acts.
+
+use rlive::config::{DeliveryMode, SystemConfig};
+use rlive::world::GroupPolicy;
+use rlive::{Fleet, FleetReport, MassOutage, WorldSpec};
+use rlive_control::SchedulerPolicyKind;
+use rlive_sim::{SimDuration, SimTime};
+use rlive_workload::scenario::Scenario;
+
+/// (jobs, world_jobs) grid: the sequential reference, pool-only
+/// parallelism, shard-only parallelism, and both at once.
+const GRID: [(usize, usize); 4] = [(1, 1), (4, 1), (1, 2), (2, 2)];
+
+fn outage_scenario() -> Scenario {
+    let mut s = Scenario::evening_peak().scaled(0.08);
+    s.duration = SimDuration::from_secs(40);
+    s.streams = 2;
+    s
+}
+
+fn adaptive_cfg(world_jobs: usize) -> SystemConfig {
+    let mut cfg = SystemConfig::for_mode(DeliveryMode::RLive);
+    cfg.multi_source_after = SimDuration::from_secs(5);
+    cfg.popularity_threshold = 1;
+    cfg.cdn_edge_mbps = 120;
+    cfg.world_jobs = world_jobs;
+    cfg.scheduler.policy = SchedulerPolicyKind::Adaptive;
+    cfg
+}
+
+/// Half the relays go dark mid-run: the signal the adaptive policy is
+/// built to react to.
+fn outage() -> MassOutage {
+    MassOutage {
+        at: SimTime::from_secs(10),
+        duration: SimDuration::from_secs(15),
+        fraction: 0.5,
+    }
+}
+
+fn run_adaptive_fleet(jobs: usize, world_jobs: usize) -> FleetReport {
+    let scenario = outage_scenario();
+    let cfg = adaptive_cfg(world_jobs);
+    let mut fleet = Fleet::new("adaptive-invariance");
+    for seed in [31u64, 32] {
+        fleet.push(WorldSpec {
+            seed,
+            scenario: scenario.clone(),
+            config: cfg.clone(),
+            policy: GroupPolicy::uniform(DeliveryMode::RLive),
+            outage: Some(outage()),
+        });
+    }
+    fleet.run(jobs)
+}
+
+#[test]
+fn adaptive_fleet_report_is_invariant_across_jobs_and_world_jobs() {
+    let reference = run_adaptive_fleet(1, 1);
+    let reference_debug = format!("{reference:?}");
+    assert!(
+        reference_debug.contains("sched_demotions"),
+        "Debug rendering should include the demotion histogram"
+    );
+    for (jobs, world_jobs) in GRID.iter().skip(1) {
+        let got = format!("{:?}", run_adaptive_fleet(*jobs, *world_jobs));
+        assert_eq!(
+            got, reference_debug,
+            "adaptive FleetReport diverged at jobs={jobs}, world_jobs={world_jobs}"
+        );
+    }
+}
+
+#[test]
+fn adaptive_policy_acts_under_mass_outage() {
+    let report = run_adaptive_fleet(1, 1);
+    for w in &report.worlds {
+        assert_eq!(w.sched_policy, "adaptive");
+    }
+    let demotions: u64 = report.sched_demotions.values().sum();
+    assert!(
+        demotions >= 1,
+        "mass outage must trigger at least one demotion, got {demotions} \
+         (the invariance test would be vacuous otherwise)"
+    );
+}

@@ -272,11 +272,26 @@ impl RecoveryDecider {
             RecoveryAction::DedicatedFrame => 1.0 - stats.dedicated_within(frame.deadline),
             RecoveryAction::SwitchSubstream | RecoveryAction::FullStream => {
                 // The switch must set up, then the frame arrives like a
-                // dedicated retrieval.
+                // dedicated retrieval. When the deadline expires before
+                // setup even completes, the frame is already lost —
+                // certain failure, explicitly, rather than letting the
+                // saturated zero budget fall through to whatever the
+                // latency EDF happens to report at 0.
+                if self.switch_deadline_blown(frame, stats) {
+                    return 1.0;
+                }
                 let remaining = frame.deadline.saturating_sub(stats.switch_setup);
                 1.0 - stats.dedicated_within(remaining)
             }
         }
+    }
+
+    /// Whether a switch-class recovery (substream switch / full-stream
+    /// fallback) cannot possibly save this frame: the playout deadline
+    /// is already inside the switch setup time, so the recovery budget
+    /// saturates to zero.
+    pub fn switch_deadline_blown(&self, frame: &FrameState, stats: &RecoveryStats) -> bool {
+        frame.deadline <= stats.switch_setup
     }
 
     /// `cost(aᵢ)` in normalised bandwidth units for one frame.
@@ -406,7 +421,7 @@ impl RecoveryDecider {
     ) -> Vec<Decision> {
         let decisions = self.decide(frames, stats);
         if sink.is_enabled() {
-            for d in &decisions {
+            for (d, f) in decisions.iter().zip(frames) {
                 sink.emit(
                     now,
                     Some(session),
@@ -417,6 +432,24 @@ impl RecoveryDecider {
                         failure_probability: d.failure_probability,
                     },
                 );
+                // A switch-class action picked for a frame whose
+                // deadline is already inside the switch setup cannot
+                // save that frame — surface the blown deadline instead
+                // of letting it pass as "escalated with zero budget".
+                if matches!(
+                    d.action,
+                    RecoveryAction::SwitchSubstream | RecoveryAction::FullStream
+                ) && self.switch_deadline_blown(f, stats)
+                {
+                    sink.emit(
+                        now,
+                        Some(session),
+                        TraceEvent::RecoveryDeadlineBlown {
+                            dts_ms: d.dts_ms,
+                            action: d.action.label(),
+                        },
+                    );
+                }
             }
         }
         decisions
@@ -620,6 +653,80 @@ mod tests {
             stats.observe_retx(false);
         }
         assert!(stats.packet_success_rate() < 0.05);
+    }
+
+    #[test]
+    fn blown_switch_deadline_is_certain_failure_at_the_boundary() {
+        let d = decider();
+        // An EDF that claims probability mass at zero latency: without
+        // the explicit blown-deadline branch, a saturated zero budget
+        // would read `1 - cdf(0) = 0.5` — "escalate with zero budget" —
+        // instead of certain failure.
+        let stats = RecoveryStats {
+            dedicated_latency: EmpiricalCdf::from_points(&[(0.0, 0.5), (100.0, 1.0)]),
+            ..RecoveryStats::default()
+        };
+        for action in [RecoveryAction::SwitchSubstream, RecoveryAction::FullStream] {
+            // deadline < setup: blown.
+            let f = frame(10, 2, FrameType::P);
+            assert!(d.switch_deadline_blown(&f, &stats));
+            assert_eq!(d.failure_probability(action, &f, &stats), 1.0);
+            // deadline == setup (30 ms): still blown — zero budget.
+            let f = frame(30, 2, FrameType::P);
+            assert!(d.switch_deadline_blown(&f, &stats));
+            assert_eq!(d.failure_probability(action, &f, &stats), 1.0);
+            // One millisecond of budget: back on the EDF.
+            let f = frame(31, 2, FrameType::P);
+            assert!(!d.switch_deadline_blown(&f, &stats));
+            let p = d.failure_probability(action, &f, &stats);
+            assert!(p < 1.0, "1 ms budget must consult the EDF, got {p}");
+        }
+        // The dedicated-frame path is untouched by the switch branch.
+        let f = frame(10, 2, FrameType::P);
+        let p = d.failure_probability(RecoveryAction::DedicatedFrame, &f, &stats);
+        assert!((p - 0.45).abs() < 1e-9, "p {p}");
+    }
+
+    #[test]
+    fn blown_deadline_switch_emits_trace_event() {
+        let d = decider();
+        let stats = RecoveryStats::default();
+        // A burst on substream 2 where the earliest frame's deadline is
+        // already inside the 30 ms switch setup: the collective switch
+        // can still win on the later frames, but the doomed frame must
+        // be called out.
+        let mut frames: Vec<FrameState> = (0..5)
+            .map(|i| {
+                let mut f = frame(150 + i * 33, 8, FrameType::P);
+                f.dts_ms = 1000 + i * 33;
+                f.substream = 2;
+                f
+            })
+            .collect();
+        frames[0].deadline = SimDuration::from_millis(20);
+        let sink = TraceSink::unbounded();
+        let decisions = d.decide_traced(&frames, &stats, &sink, SimTime::from_secs(1), 42);
+        assert!(
+            decisions
+                .iter()
+                .all(|dec| dec.action == RecoveryAction::SwitchSubstream),
+            "{decisions:?}"
+        );
+        let records = sink.snapshot();
+        let blown: Vec<_> = records
+            .iter()
+            .filter(|r| matches!(r.event, TraceEvent::RecoveryDeadlineBlown { .. }))
+            .collect();
+        assert_eq!(blown.len(), 1, "exactly the doomed frame: {records:?}");
+        match &blown[0].event {
+            TraceEvent::RecoveryDeadlineBlown { dts_ms, action } => {
+                assert_eq!(*dts_ms, 1000);
+                assert_eq!(*action, "switch_substream");
+            }
+            other => panic!("unexpected event {other:?}"),
+        }
+        // The traced path stays byte-identical to the untraced one.
+        assert_eq!(decisions, d.decide(&frames, &stats));
     }
 
     #[test]

@@ -180,6 +180,33 @@ impl WindowRatio {
             self.num as f64 / self.den as f64
         }
     }
+
+    /// Whether the window carries any evidence at all. A `0/0` window
+    /// means "no data", not "rate 0.0"; rankings must skip it rather
+    /// than compare it against windows that actually saw samples.
+    pub fn has_samples(&self) -> bool {
+        self.den > 0
+    }
+}
+
+/// Ranks ratio windows by rate descending, ties broken toward the
+/// earlier window (total order), and keeps the top `k`. Windows with an
+/// all-zero denominator are excluded from the ranking entirely — see
+/// [`WindowRatio::has_samples`].
+pub fn top_ratio_windows(windows: &[WindowRatio], k: usize) -> Vec<WindowRatio> {
+    let mut ranked: Vec<WindowRatio> = windows
+        .iter()
+        .filter(|w| w.has_samples())
+        .copied()
+        .collect();
+    ranked.sort_by(|a, b| {
+        b.rate()
+            .partial_cmp(&a.rate())
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then_with(|| a.window.cmp(&b.window))
+    });
+    ranked.truncate(k);
+    ranked
 }
 
 /// Histogram bounds for modelled scheduler service time (milliseconds).
@@ -449,6 +476,9 @@ impl MetricRegistry {
                     self.counter_add("recovery_failures", Labels::mode(action), at, 1);
                 }
             }
+            TraceEvent::RecoveryDeadlineBlown { action, .. } => {
+                self.counter_add("recovery_deadline_blown", Labels::mode(action), at, 1);
+            }
         }
     }
 
@@ -618,6 +648,18 @@ impl MetricRegistry {
         self.windowed_ratio_where("scheduler_candidates", "scheduler_recommendations", |l| {
             stream.is_none() || l.stream == stream
         })
+    }
+
+    /// Per-window totals of one counter restricted to one node's label
+    /// set — the per-node series an adaptive scheduling policy consumes
+    /// (e.g. `churn_transitions` or `adviser_cost_triggers` for node 3).
+    pub fn node_windowed_totals(&self, name: &str, node: u64) -> BTreeMap<u64, u64> {
+        self.windowed_totals_where(name, |l| l.node == Some(node))
+    }
+
+    /// Per-window `num / den` ratio for one node's label set.
+    pub fn node_windowed_ratio(&self, num: &str, den: &str, node: u64) -> Vec<WindowRatio> {
+        self.windowed_ratio_where(num, den, |l| l.node == Some(node))
     }
 
     /// The `k` windows with the largest totals for one counter (summed
@@ -1051,6 +1093,86 @@ mod tests {
         assert_eq!(rate[0].rate(), 0.0);
         assert_eq!(rate[1].rate(), 1.0);
         assert_eq!(rate[1].start_ms, 900);
+    }
+
+    #[test]
+    fn empty_denominator_window_excluded_from_ratio_ranking() {
+        // Window 1 is a real spike (2/2 failures); window 2 has a
+        // numerator artifact but zero denominator (no evidence). The
+        // ranking must surface the spike and skip the 0-den window
+        // entirely instead of comparing it as rate 0.0.
+        let windows = [
+            WindowRatio {
+                window: 0,
+                start_ms: 0,
+                num: 0,
+                den: 4,
+            },
+            WindowRatio {
+                window: 1,
+                start_ms: 1000,
+                num: 2,
+                den: 2,
+            },
+            WindowRatio {
+                window: 2,
+                start_ms: 2000,
+                num: 1,
+                den: 0,
+            },
+        ];
+        assert!(!windows[2].has_samples());
+        let top = top_ratio_windows(&windows, 3);
+        assert_eq!(
+            top.iter().map(|w| w.window).collect::<Vec<_>>(),
+            vec![1, 0],
+            "0-den window must not appear in the ranking"
+        );
+        // Even when k would admit it, the empty window stays out.
+        let top1 = top_ratio_windows(&windows, 1);
+        assert_eq!(top1.len(), 1);
+        assert_eq!(top1[0].window, 1);
+        // All-empty input ranks to nothing.
+        assert!(top_ratio_windows(
+            &[WindowRatio {
+                window: 5,
+                start_ms: 5000,
+                num: 0,
+                den: 0,
+            }],
+            2
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn per_node_window_queries_filter_on_node_label() {
+        let mut reg = MetricRegistry::new(SimDuration::from_millis(1000));
+        reg.counter_add(
+            "churn_transitions",
+            Labels::node(3),
+            SimTime::from_millis(100),
+            1,
+        );
+        reg.counter_add(
+            "churn_transitions",
+            Labels::node(3),
+            SimTime::from_millis(1100),
+            2,
+        );
+        reg.counter_add(
+            "churn_transitions",
+            Labels::node(9),
+            SimTime::from_millis(100),
+            7,
+        );
+        let n3 = reg.node_windowed_totals("churn_transitions", 3);
+        assert_eq!(n3.get(&0), Some(&1));
+        assert_eq!(n3.get(&1), Some(&2));
+        assert!(reg.node_windowed_totals("churn_transitions", 4).is_empty());
+        let ratio = reg.node_windowed_ratio("churn_transitions", "churn_transitions", 9);
+        assert_eq!(ratio.len(), 1);
+        assert_eq!((ratio[0].num, ratio[0].den), (7, 7));
     }
 
     #[test]

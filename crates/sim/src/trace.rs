@@ -252,6 +252,16 @@ pub enum TraceEvent {
         /// Whether the retransmission succeeded.
         success: bool,
     },
+    /// `data::recovery` chose a switch-class action for a frame whose
+    /// playout deadline was already inside the switch setup time: the
+    /// frame cannot be saved (certain failure), the switch only helps
+    /// frames behind it.
+    RecoveryDeadlineBlown {
+        /// Frame timestamp.
+        dts_ms: u64,
+        /// The doomed action label.
+        action: &'static str,
+    },
 }
 
 impl TraceEvent {
@@ -270,6 +280,7 @@ impl TraceEvent {
             TraceEvent::CdnPrefill { .. } => "cdn_prefill",
             TraceEvent::MultiSourcePromotion { .. } => "multi_source_promotion",
             TraceEvent::RecoveryOutcome { .. } => "recovery_outcome",
+            TraceEvent::RecoveryDeadlineBlown { .. } => "recovery_deadline_blown",
         }
     }
 }
@@ -343,6 +354,9 @@ impl std::fmt::Display for TraceEvent {
                 f,
                 "recovery_outcome dts={dts_ms} action={action} success={success}"
             ),
+            TraceEvent::RecoveryDeadlineBlown { dts_ms, action } => {
+                write!(f, "recovery_deadline_blown dts={dts_ms} action={action}")
+            }
         }
     }
 }

@@ -112,7 +112,7 @@ fn main() {
         .map(|n| {
             let spec = &pop.nodes[n.0 as usize];
             let ok = traversal.attempt(spec.nat, &mut rng);
-            scheduler.observe_connection(n, ok);
+            scheduler.observe_connection(now, n, ok);
             println!(
                 "probe node {:>4} ({:?}): {}",
                 n.0,
@@ -156,7 +156,7 @@ fn main() {
         adviser.record_connection_qos(ClientId(i), 45.0 + i as f64);
     }
     adviser.record_connection_qos(ClientId(99), 600.0); // one broken link
-    let stream_util = scheduler.stream_utilization(key);
+    let stream_util = scheduler.stream_utilization(SimTime::from_secs(40), key);
     let suggestions = adviser.evaluate(SimTime::from_secs(40), key, stream_util);
     println!("\nadviser suggestions:");
     for s in &suggestions {

@@ -204,6 +204,31 @@ fn golden_fleet() {
     }
 }
 
+// The adaptive subcommand is the policy A/B: a (static, adaptive) ×
+// seeds grid of mass-outage worlds. Its adaptive arm feeds recovery
+// and probe telemetry back into relay scores, so this digest pins the
+// whole feedback loop — window folding, hysteresis, demotion — as
+// byte-identical across the (jobs, world-jobs) grid, the end-to-end
+// form of crates/core/tests/adaptive_invariance.rs.
+
+#[test]
+fn golden_adaptive() {
+    let want = expected_digest("adaptive");
+    for extra in [
+        &[][..],
+        &["--jobs", "4"][..],
+        &["--jobs", "2", "--world-jobs", "2"][..],
+    ] {
+        let mut args = vec!["adaptive", "3", "7"];
+        args.extend_from_slice(extra);
+        let got = run_digest(&args);
+        assert_eq!(
+            got, want,
+            "stdout of `experiments adaptive 3 7` drifted (extra args {extra:?})"
+        );
+    }
+}
+
 // The obs subcommand simulates one observability-enabled world; its
 // windowed series aggregate over the trace stream, so its stdout must
 // hit one digest across the whole (jobs, world-jobs) grid — the

@@ -132,7 +132,7 @@ fn probe_and_switch_flow() {
         .map(|&n| {
             let spec = &pop.nodes[n.0 as usize];
             let ok = traversal.attempt(spec.nat, &mut rng);
-            sched.observe_connection(n, ok);
+            sched.observe_connection(now, n, ok);
             ProbeOutcome {
                 node: n,
                 rtt: ok.then(|| SimDuration::from_millis(spec.base_rtt_ms)),
@@ -169,7 +169,7 @@ fn adviser_cost_trigger_consults_scheduler_stream_utilization() {
     for _ in 0..6 {
         adviser.record_utilization(0.1);
     }
-    let stream_util = sched.stream_utilization(key(0));
+    let stream_util = sched.stream_utilization(SimTime::from_secs(10), key(0));
     assert!(stream_util.expect("forwarders exist") < 0.3);
     let suggestions = adviser.evaluate(SimTime::from_secs(10), key(0), stream_util);
     assert!(matches!(
@@ -214,7 +214,7 @@ fn nat_failures_depress_future_scores() {
     // Report repeated traversal failures on hard-NAT nodes.
     for _ in 0..20 {
         for &n in &hard_nodes {
-            sched.observe_connection(n, false);
+            sched.observe_connection(SimTime::from_secs(1), n, false);
         }
     }
     // New recommendations de-prioritise hard NAT types.
