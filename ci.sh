@@ -53,7 +53,8 @@ smoke adaptive 3 7 --jobs 2 --world-jobs 2
 # pins the export files, which stdout does not cover).
 echo "==> experiments obs export determinism"
 obs_tmp=$(mktemp -d)
-trap 'rm -rf "$obs_tmp"' EXIT
+bench_tmp=$(mktemp -d)
+trap 'rm -rf "$obs_tmp" "$bench_tmp"' EXIT
 cargo run --release -p rlive-bench --bin experiments -- \
   obs 7 --obs-export "$obs_tmp/a" > /dev/null
 cargo run --release -p rlive-bench --bin experiments -- \
@@ -65,11 +66,28 @@ if grep -qw "NaN" "$obs_tmp/a.jsonl" "$obs_tmp/a.csv"; then
   exit 1
 fi
 
+# Bench smoke: run the quick tier, schema-validate what it wrote, and
+# compare worlds/sec against the committed BENCH_7.json baseline. The
+# threshold is generous (fails below 25% of baseline): CI machines
+# vary wildly, so this catches order-of-magnitude regressions and
+# schema drift, not noise.
+echo "==> experiments bench --quick (bench smoke + baseline diff)"
+cargo run --release -p rlive-bench --bin experiments -- \
+  bench --quick --out "$bench_tmp/bench_quick.json" --baseline BENCH_7.json
+cargo run --release -p rlive-bench --bin experiments -- \
+  bench --check "$bench_tmp/bench_quick.json"
+
 # Nightly tier: the #[ignore]d suites (full golden sweep sequential and
 # sharded, both expensive). Opt in with RLIVE_CI_NIGHTLY=1.
 if [[ "${RLIVE_CI_NIGHTLY:-0}" == "1" ]]; then
   echo "==> cargo test -q -- --ignored (nightly tier)"
   cargo test --release -q -- --ignored
+
+  # Full-scale bench tier: 100k nodes takes ~10+ minutes, far too slow
+  # for every push, but nightly it pins the large-world perf envelope.
+  echo "==> experiments bench --tier 100k (nightly bench tier)"
+  cargo run --release -p rlive-bench --bin experiments -- \
+    bench --tier 100k --out "$bench_tmp/bench_100k.json" --baseline BENCH_7.json
 fi
 
 # API docs must build warning-free (broken intra-doc links, missing

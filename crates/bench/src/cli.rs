@@ -43,6 +43,9 @@ pub struct CliArgs {
     /// `--sched-policy static|adaptive`: scheduler policy selection.
     /// Unrecognised values are rejected at parse time.
     pub sched_policy: Option<rlive_control::SchedulerPolicyKind>,
+    /// `bench` options: `--quick`, `--tier`, `--out`, `--pre`,
+    /// `--baseline`, `--check`.
+    pub bench: crate::perf::BenchOpts,
     /// `--help` / `-h`.
     pub help: bool,
 }
@@ -78,6 +81,12 @@ pub fn parse_args(raw: impl IntoIterator<Item = String>) -> Result<CliArgs, Stri
             "--sched-policy" => {
                 args.sched_policy = Some(parse_policy(&flag_value("--sched-policy")?)?)
             }
+            "--quick" => args.bench.quick = true,
+            "--tier" => args.bench.tier = Some(parse_tier(&flag_value("--tier")?)?),
+            "--out" => args.bench.out = Some(flag_value("--out")?),
+            "--pre" => args.bench.pre = Some(flag_value("--pre")?),
+            "--baseline" => args.bench.baseline = Some(flag_value("--baseline")?),
+            "--check" => args.bench.check = Some(flag_value("--check")?),
             _ => {
                 if let Some(v) = arg.strip_prefix("--seed=") {
                     args.seed = Some(parse_u64("--seed", v)?);
@@ -93,6 +102,16 @@ pub fn parse_args(raw: impl IntoIterator<Item = String>) -> Result<CliArgs, Stri
                     args.obs_export = Some(v.to_string());
                 } else if let Some(v) = arg.strip_prefix("--sched-policy=") {
                     args.sched_policy = Some(parse_policy(v)?);
+                } else if let Some(v) = arg.strip_prefix("--tier=") {
+                    args.bench.tier = Some(parse_tier(v)?);
+                } else if let Some(v) = arg.strip_prefix("--out=") {
+                    args.bench.out = Some(v.to_string());
+                } else if let Some(v) = arg.strip_prefix("--pre=") {
+                    args.bench.pre = Some(v.to_string());
+                } else if let Some(v) = arg.strip_prefix("--baseline=") {
+                    args.bench.baseline = Some(v.to_string());
+                } else if let Some(v) = arg.strip_prefix("--check=") {
+                    args.bench.check = Some(v.to_string());
                 } else if arg.starts_with('-') && arg.len() > 1 {
                     // A typo'd flag must not silently become an ignored
                     // positional.
@@ -128,6 +147,13 @@ fn parse_positive_u64(name: &str, v: &str) -> Result<u64, String> {
 fn parse_policy(v: &str) -> Result<rlive_control::SchedulerPolicyKind, String> {
     rlive_control::SchedulerPolicyKind::parse(v)
         .ok_or_else(|| format!("--sched-policy expects 'static' or 'adaptive', got '{v}'"))
+}
+
+fn parse_tier(v: &str) -> Result<String, String> {
+    match v {
+        "10k" | "100k" | "all" => Ok(v.to_string()),
+        _ => Err(format!("--tier expects '10k', '100k' or 'all', got '{v}'")),
+    }
 }
 
 impl CliArgs {
@@ -311,6 +337,25 @@ mod tests {
             parse(&["fleet", "--sched-policy"]).is_err(),
             "missing value"
         );
+    }
+
+    #[test]
+    fn bench_flags_parse_both_forms() {
+        let a = parse(&["bench", "--quick", "--out", "/tmp/b.json", "--tier=10k"]).unwrap();
+        assert!(a.bench.quick);
+        assert_eq!(a.bench.out.as_deref(), Some("/tmp/b.json"));
+        assert_eq!(a.bench.tier.as_deref(), Some("10k"));
+        let a = parse(&["bench", "--pre=pre.json", "--baseline", "BENCH_7.json"]).unwrap();
+        assert_eq!(a.bench.pre.as_deref(), Some("pre.json"));
+        assert_eq!(a.bench.baseline.as_deref(), Some("BENCH_7.json"));
+        let a = parse(&["bench", "--check=BENCH_7.json"]).unwrap();
+        assert_eq!(a.bench.check.as_deref(), Some("BENCH_7.json"));
+        // Tier values outside the known set are parse errors.
+        for bad in ["1k", "10K", ""] {
+            let err = parse(&["bench", "--tier", bad]).unwrap_err();
+            assert!(err.contains("--tier"), "error for {bad:?}: {err}");
+        }
+        assert!(parse(&["bench", "--out"]).is_err(), "missing value");
     }
 
     #[test]

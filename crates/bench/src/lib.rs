@@ -13,6 +13,7 @@ use rlive_sim::SimDuration;
 use rlive_workload::scenario::Scenario;
 
 pub mod cli;
+pub mod perf;
 pub mod runner;
 
 /// Default per-"day" seeds: the paper averages A/B metrics over daily

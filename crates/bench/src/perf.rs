@@ -1,0 +1,912 @@
+//! The `bench` subcommand: scaled-world throughput and allocation
+//! measurement, emitting a deterministic-schema `BENCH_*.json` so every
+//! PR can show a perf delta.
+//!
+//! Two tiers run by default — 10k and 100k best-effort nodes — over a
+//! fixed seed set. Per tier the harness reports worlds/sec, events/sec,
+//! allocations per event (via [`CountingAlloc`], installed as the
+//! global allocator by the `experiments` binary), allocated bytes per
+//! event, and peak RSS (Linux `VmHWM`). Timing numbers are wall-clock
+//! and therefore machine-dependent; the *schema* is deterministic and
+//! validated by [`validate`], which `ci.sh` runs on every push.
+//!
+//! Allocation counts are taken around [`rlive::World::run`] only —
+//! world construction is excluded — so `allocs_per_event` measures the
+//! steady-state event loop, the quantity the arena/ring rewrite drives
+//! toward zero.
+
+use rlive::config::{DeliveryMode, SystemConfig};
+use rlive::world::{GroupPolicy, World};
+use rlive_sim::SimDuration;
+use rlive_workload::scenario::Scenario;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// Schema identifier written into (and required from) every bench file.
+pub const SCHEMA: &str = "rlive-bench-v1";
+
+/// Default output path, relative to the invocation directory.
+pub const DEFAULT_OUT: &str = "BENCH_7.json";
+
+/// Generous regression threshold: the `--baseline` comparison fails
+/// only when current worlds/sec drops below this fraction of the
+/// committed baseline. CI machines vary wildly; this catches order-of-
+/// magnitude regressions, not noise.
+pub const BASELINE_THRESHOLD: f64 = 0.25;
+
+// ---------------------------------------------------------------------
+// Counting global allocator
+// ---------------------------------------------------------------------
+
+static ALLOC_CALLS: AtomicU64 = AtomicU64::new(0);
+static ALLOC_BYTES: AtomicU64 = AtomicU64::new(0);
+
+/// A [`GlobalAlloc`] wrapper over [`System`] that counts allocation
+/// calls and bytes with relaxed atomics. Installed by the `experiments`
+/// binary via `#[global_allocator]`; the counters read zero anywhere it
+/// is not installed (unit tests), which only zeroes the reported
+/// alloc columns, never breaks the schema.
+pub struct CountingAlloc;
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        ALLOC_BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        ALLOC_BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        ALLOC_BYTES.fetch_add(new_size as u64, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+/// Snapshot of `(allocation calls, allocated bytes)` so far.
+pub fn alloc_snapshot() -> (u64, u64) {
+    (
+        ALLOC_CALLS.load(Ordering::Relaxed),
+        ALLOC_BYTES.load(Ordering::Relaxed),
+    )
+}
+
+/// Peak resident set size in bytes (`VmHWM` from `/proc/self/status`);
+/// 0 where procfs is unavailable.
+pub fn peak_rss_bytes() -> u64 {
+    let Ok(status) = std::fs::read_to_string("/proc/self/status") else {
+        return 0;
+    };
+    for line in status.lines() {
+        if let Some(rest) = line.strip_prefix("VmHWM:") {
+            let kb = rest
+                .trim()
+                .trim_end_matches("kB")
+                .trim()
+                .parse::<u64>()
+                .unwrap_or(0);
+            return kb * 1024;
+        }
+    }
+    0
+}
+
+// ---------------------------------------------------------------------
+// Tiers
+// ---------------------------------------------------------------------
+
+/// One bench tier: a scaled world shape and the seeds to run it under.
+pub struct TierSpec {
+    /// Tier label ("10k", "100k", "quick").
+    pub name: &'static str,
+    /// Best-effort node population.
+    pub nodes: usize,
+    /// Peak concurrent viewers.
+    pub viewers: usize,
+    /// Distinct live streams.
+    pub streams: usize,
+    /// Simulated seconds per world.
+    pub sim_secs: u64,
+    /// Seeds to run (one world each).
+    pub seeds: Vec<u64>,
+}
+
+/// The default tier set: 10k nodes × 3 seeds, 100k nodes × 1 seed.
+pub fn default_tiers() -> Vec<TierSpec> {
+    vec![
+        TierSpec {
+            name: "10k",
+            nodes: 10_000,
+            viewers: 15_000,
+            streams: 8,
+            sim_secs: 20,
+            seeds: vec![101, 102, 103],
+        },
+        TierSpec {
+            name: "100k",
+            nodes: 100_000,
+            viewers: 150_000,
+            streams: 8,
+            sim_secs: 5,
+            seeds: vec![101],
+        },
+    ]
+}
+
+/// The `--quick` smoke tier: one small-ish seed, still 10k nodes so the
+/// measurement exercises the same code paths as the committed baseline.
+pub fn quick_tier() -> TierSpec {
+    TierSpec {
+        name: "10k",
+        nodes: 10_000,
+        viewers: 15_000,
+        streams: 8,
+        sim_secs: 10,
+        seeds: vec![101],
+    }
+}
+
+/// Measured results of one tier.
+pub struct TierResult {
+    /// The tier that produced this result.
+    pub spec: TierSpec,
+    /// Worlds run.
+    pub worlds: u64,
+    /// Total simulator events processed across all worlds.
+    pub events: u64,
+    /// Wall-clock seconds spent inside `World::run`.
+    pub wall_secs: f64,
+    /// Allocation calls during `World::run`.
+    pub allocs: u64,
+    /// Bytes allocated during `World::run`.
+    pub alloc_bytes: u64,
+    /// Peak RSS observed at tier end.
+    pub peak_rss: u64,
+}
+
+fn tier_scenario(spec: &TierSpec) -> Scenario {
+    let mut s = Scenario::evening_peak();
+    s.duration = SimDuration::from_secs(spec.sim_secs);
+    s.peak_viewers = spec.viewers;
+    s.streams = spec.streams;
+    s.population.count = spec.nodes;
+    s
+}
+
+/// Runs one tier: builds each world (excluded from the measurement),
+/// then times and alloc-counts its event loop.
+pub fn run_tier(spec: TierSpec) -> TierResult {
+    let mut events = 0u64;
+    let mut wall_secs = 0f64;
+    let mut allocs = 0u64;
+    let mut alloc_bytes = 0u64;
+    let worlds = spec.seeds.len() as u64;
+    for &seed in &spec.seeds {
+        let scenario = tier_scenario(&spec);
+        let cfg = SystemConfig::for_mode(DeliveryMode::RLive);
+        let world = World::new(
+            scenario,
+            cfg,
+            GroupPolicy::uniform(DeliveryMode::RLive),
+            seed,
+        );
+        let (a0, b0) = alloc_snapshot();
+        let t0 = Instant::now();
+        let report = world.run();
+        wall_secs += t0.elapsed().as_secs_f64();
+        let (a1, b1) = alloc_snapshot();
+        allocs += a1 - a0;
+        alloc_bytes += b1 - b0;
+        events += report.event_counts.total();
+        eprintln!(
+            "bench: tier {} seed {seed}: {} events",
+            spec.name,
+            report.event_counts.total()
+        );
+    }
+    TierResult {
+        spec,
+        worlds,
+        events,
+        wall_secs,
+        allocs,
+        alloc_bytes,
+        peak_rss: peak_rss_bytes(),
+    }
+}
+
+impl TierResult {
+    fn to_json(&self) -> Json {
+        let events = self.events.max(1) as f64;
+        let wall = self.wall_secs.max(1e-9);
+        Json::Obj(vec![
+            ("tier".into(), Json::Str(self.spec.name.into())),
+            ("nodes".into(), Json::Num(self.spec.nodes as f64)),
+            ("viewers".into(), Json::Num(self.spec.viewers as f64)),
+            ("streams".into(), Json::Num(self.spec.streams as f64)),
+            ("sim_secs".into(), Json::Num(self.spec.sim_secs as f64)),
+            (
+                "seeds".into(),
+                Json::Arr(
+                    self.spec
+                        .seeds
+                        .iter()
+                        .map(|&s| Json::Num(s as f64))
+                        .collect(),
+                ),
+            ),
+            ("worlds".into(), Json::Num(self.worlds as f64)),
+            ("events".into(), Json::Num(self.events as f64)),
+            ("wall_secs".into(), Json::Num(round3(self.wall_secs))),
+            (
+                "worlds_per_sec".into(),
+                Json::Num(round3(self.worlds as f64 / wall)),
+            ),
+            (
+                "events_per_sec".into(),
+                Json::Num(round3(self.events as f64 / wall)),
+            ),
+            (
+                "allocs_per_event".into(),
+                Json::Num(round3(self.allocs as f64 / events)),
+            ),
+            (
+                "alloc_bytes_per_event".into(),
+                Json::Num(round3(self.alloc_bytes as f64 / events)),
+            ),
+            ("peak_rss_bytes".into(), Json::Num(self.peak_rss as f64)),
+        ])
+    }
+}
+
+fn round3(v: f64) -> f64 {
+    (v * 1000.0).round() / 1000.0
+}
+
+// ---------------------------------------------------------------------
+// Minimal JSON value, writer, parser
+// ---------------------------------------------------------------------
+
+/// A minimal JSON value: enough to write, re-read and validate bench
+/// files without external dependencies. Objects preserve key order.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any number (parsed as `f64`).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object, in insertion order.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Looks up a key in an object.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The numeric value, if this is a number.
+    pub fn as_num(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The string value, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The element list, if this is an array.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Serialises to JSON text. Fails on non-finite numbers — a NaN in
+    /// a bench file is a measurement bug and must never be written.
+    pub fn render(&self) -> Result<String, String> {
+        let mut out = String::new();
+        self.write(&mut out, 0)?;
+        out.push('\n');
+        Ok(out)
+    }
+
+    fn write(&self, out: &mut String, indent: usize) -> Result<(), String> {
+        let pad = "  ".repeat(indent);
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Num(n) => {
+                if !n.is_finite() {
+                    return Err(format!("non-finite number {n} in bench JSON"));
+                }
+                if n.fract() == 0.0 && n.abs() < 9e15 {
+                    out.push_str(&format!("{}", *n as i64));
+                } else {
+                    out.push_str(&format!("{n}"));
+                }
+            }
+            Json::Str(s) => {
+                out.push('"');
+                for c in s.chars() {
+                    match c {
+                        '"' => out.push_str("\\\""),
+                        '\\' => out.push_str("\\\\"),
+                        '\n' => out.push_str("\\n"),
+                        c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+                        c => out.push(c),
+                    }
+                }
+                out.push('"');
+            }
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(", ");
+                    }
+                    item.write(out, indent)?;
+                }
+                out.push(']');
+            }
+            Json::Obj(fields) => {
+                if fields.is_empty() {
+                    out.push_str("{}");
+                    return Ok(());
+                }
+                out.push_str("{\n");
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    out.push_str(&pad);
+                    out.push_str("  ");
+                    Json::Str(k.clone()).write(out, 0)?;
+                    out.push_str(": ");
+                    v.write(out, indent + 1)?;
+                    if i + 1 < fields.len() {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                }
+                out.push_str(&pad);
+                out.push('}');
+            }
+        }
+        Ok(())
+    }
+
+    /// Parses JSON text. Strict enough for bench files: rejects
+    /// non-standard tokens (`NaN`, `Infinity`), trailing garbage and
+    /// unterminated structures.
+    pub fn parse(text: &str) -> Result<Json, String> {
+        let bytes = text.as_bytes();
+        let mut pos = 0usize;
+        let v = parse_value(bytes, &mut pos)?;
+        skip_ws(bytes, &mut pos);
+        if pos != bytes.len() {
+            return Err(format!("trailing data at byte {pos}"));
+        }
+        Ok(v)
+    }
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn parse_value(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+    skip_ws(b, pos);
+    let Some(&c) = b.get(*pos) else {
+        return Err("unexpected end of input".into());
+    };
+    match c {
+        b'{' => {
+            *pos += 1;
+            let mut fields = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(Json::Obj(fields));
+            }
+            loop {
+                skip_ws(b, pos);
+                let Json::Str(key) = parse_value(b, pos)? else {
+                    return Err(format!("object key must be a string at byte {pos}"));
+                };
+                skip_ws(b, pos);
+                if b.get(*pos) != Some(&b':') {
+                    return Err(format!("expected ':' at byte {pos}"));
+                }
+                *pos += 1;
+                let val = parse_value(b, pos)?;
+                fields.push((key, val));
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(&b',') => *pos += 1,
+                    Some(&b'}') => {
+                        *pos += 1;
+                        return Ok(Json::Obj(fields));
+                    }
+                    _ => return Err(format!("expected ',' or '}}' at byte {pos}")),
+                }
+            }
+        }
+        b'[' => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(Json::Arr(items));
+            }
+            loop {
+                items.push(parse_value(b, pos)?);
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(&b',') => *pos += 1,
+                    Some(&b']') => {
+                        *pos += 1;
+                        return Ok(Json::Arr(items));
+                    }
+                    _ => return Err(format!("expected ',' or ']' at byte {pos}")),
+                }
+            }
+        }
+        b'"' => {
+            *pos += 1;
+            let mut s = String::new();
+            loop {
+                let Some(&c) = b.get(*pos) else {
+                    return Err("unterminated string".into());
+                };
+                *pos += 1;
+                match c {
+                    b'"' => return Ok(Json::Str(s)),
+                    b'\\' => {
+                        let Some(&esc) = b.get(*pos) else {
+                            return Err("unterminated escape".into());
+                        };
+                        *pos += 1;
+                        match esc {
+                            b'"' => s.push('"'),
+                            b'\\' => s.push('\\'),
+                            b'/' => s.push('/'),
+                            b'n' => s.push('\n'),
+                            b't' => s.push('\t'),
+                            b'r' => s.push('\r'),
+                            b'u' => {
+                                let hex = b.get(*pos..*pos + 4).ok_or("truncated \\u escape")?;
+                                let code = u32::from_str_radix(
+                                    std::str::from_utf8(hex).map_err(|_| "bad \\u escape")?,
+                                    16,
+                                )
+                                .map_err(|_| "bad \\u escape")?;
+                                *pos += 4;
+                                s.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                            }
+                            other => return Err(format!("bad escape '\\{}'", other as char)),
+                        }
+                    }
+                    c => {
+                        // Re-attach multi-byte UTF-8 sequences whole.
+                        if c < 0x80 {
+                            s.push(c as char);
+                        } else {
+                            let start = *pos - 1;
+                            let mut end = *pos;
+                            while end < b.len() && b[end] & 0xC0 == 0x80 {
+                                end += 1;
+                            }
+                            s.push_str(
+                                std::str::from_utf8(&b[start..end])
+                                    .map_err(|_| "invalid UTF-8 in string")?,
+                            );
+                            *pos = end;
+                        }
+                    }
+                }
+            }
+        }
+        b't' if b[*pos..].starts_with(b"true") => {
+            *pos += 4;
+            Ok(Json::Bool(true))
+        }
+        b'f' if b[*pos..].starts_with(b"false") => {
+            *pos += 5;
+            Ok(Json::Bool(false))
+        }
+        b'n' if b[*pos..].starts_with(b"null") => {
+            *pos += 4;
+            Ok(Json::Null)
+        }
+        b'-' | b'0'..=b'9' => {
+            let start = *pos;
+            while *pos < b.len()
+                && matches!(b[*pos], b'-' | b'+' | b'.' | b'e' | b'E' | b'0'..=b'9')
+            {
+                *pos += 1;
+            }
+            let text = std::str::from_utf8(&b[start..*pos]).map_err(|_| "bad number")?;
+            let n: f64 = text.parse().map_err(|_| format!("bad number '{text}'"))?;
+            if !n.is_finite() {
+                return Err(format!("non-finite number '{text}'"));
+            }
+            Ok(Json::Num(n))
+        }
+        other => Err(format!("unexpected byte '{}' at {pos}", other as char)),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Schema validation and baseline comparison
+// ---------------------------------------------------------------------
+
+/// Numeric keys every tier entry must carry, all finite and ≥ 0.
+pub const TIER_NUM_KEYS: [&str; 10] = [
+    "nodes",
+    "viewers",
+    "sim_secs",
+    "worlds",
+    "events",
+    "wall_secs",
+    "worlds_per_sec",
+    "events_per_sec",
+    "allocs_per_event",
+    "alloc_bytes_per_event",
+];
+
+fn validate_tiers(tiers: &Json, what: &str) -> Result<(), String> {
+    let arr = tiers
+        .as_arr()
+        .ok_or_else(|| format!("{what}: 'tiers' must be an array"))?;
+    if arr.is_empty() {
+        return Err(format!("{what}: 'tiers' must not be empty"));
+    }
+    for (i, tier) in arr.iter().enumerate() {
+        let label = tier
+            .get("tier")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("{what}: tier[{i}] missing string key 'tier'"))?;
+        for key in TIER_NUM_KEYS {
+            let n = tier
+                .get(key)
+                .and_then(Json::as_num)
+                .ok_or_else(|| format!("{what}: tier '{label}' missing numeric key '{key}'"))?;
+            if !n.is_finite() || n < 0.0 {
+                return Err(format!("{what}: tier '{label}' key '{key}' = {n} invalid"));
+            }
+        }
+        tier.get("peak_rss_bytes")
+            .and_then(Json::as_num)
+            .ok_or_else(|| format!("{what}: tier '{label}' missing 'peak_rss_bytes'"))?;
+        let seeds = tier
+            .get("seeds")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| format!("{what}: tier '{label}' missing array 'seeds'"))?;
+        if seeds.is_empty() {
+            return Err(format!("{what}: tier '{label}' has no seeds"));
+        }
+        for req in ["events", "worlds", "worlds_per_sec", "events_per_sec"] {
+            let n = tier.get(req).and_then(Json::as_num).unwrap_or(0.0);
+            if n <= 0.0 {
+                return Err(format!("{what}: tier '{label}' key '{req}' must be > 0"));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Validates a bench document against the `rlive-bench-v1` schema:
+/// correct schema tag, a non-empty tier array with all required keys,
+/// every number finite, throughput strictly positive. The optional
+/// `pre_rewrite` block is held to the same tier schema.
+pub fn validate(doc: &Json) -> Result<(), String> {
+    let schema = doc
+        .get("schema")
+        .and_then(Json::as_str)
+        .ok_or("missing string key 'schema'")?;
+    if schema != SCHEMA {
+        return Err(format!("schema '{schema}' != '{SCHEMA}'"));
+    }
+    let tiers = doc.get("tiers").ok_or("missing key 'tiers'")?;
+    validate_tiers(tiers, "tiers")?;
+    if let Some(pre) = doc.get("pre_rewrite") {
+        let pre_tiers = pre.get("tiers").ok_or("pre_rewrite: missing key 'tiers'")?;
+        validate_tiers(pre_tiers, "pre_rewrite")?;
+    }
+    Ok(())
+}
+
+/// Compares current worlds/sec per tier against a baseline document.
+/// Fails when any tier present in both drops below
+/// `threshold × baseline`; tiers absent from the baseline are skipped.
+pub fn compare_baseline(current: &Json, baseline: &Json, threshold: f64) -> Result<(), String> {
+    let cur_tiers = current.get("tiers").and_then(Json::as_arr).unwrap_or(&[]);
+    let base_tiers = baseline.get("tiers").and_then(Json::as_arr).unwrap_or(&[]);
+    for cur in cur_tiers {
+        let Some(name) = cur.get("tier").and_then(Json::as_str) else {
+            continue;
+        };
+        let Some(base) = base_tiers
+            .iter()
+            .find(|t| t.get("tier").and_then(Json::as_str) == Some(name))
+        else {
+            continue;
+        };
+        let cur_wps = cur
+            .get("worlds_per_sec")
+            .and_then(Json::as_num)
+            .unwrap_or(0.0);
+        let base_wps = base
+            .get("worlds_per_sec")
+            .and_then(Json::as_num)
+            .unwrap_or(0.0);
+        if base_wps > 0.0 && cur_wps < base_wps * threshold {
+            return Err(format!(
+                "tier '{name}': worlds/sec {cur_wps:.3} below {:.0}% of baseline {base_wps:.3}",
+                threshold * 100.0
+            ));
+        }
+        eprintln!("bench: tier '{name}' worlds/sec {cur_wps:.3} vs baseline {base_wps:.3} (ok)");
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------
+// Entry point
+// ---------------------------------------------------------------------
+
+/// Options of one `bench` invocation (parsed in `cli`).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BenchOpts {
+    /// `--quick`: one short 10k-node world instead of the full tier set.
+    pub quick: bool,
+    /// `--tier 10k|100k|all`: restrict the tier set.
+    pub tier: Option<String>,
+    /// `--out PATH`: output path (default [`DEFAULT_OUT`]).
+    pub out: Option<String>,
+    /// `--pre PATH`: embed a pre-rewrite bench file for delta tracking.
+    pub pre: Option<String>,
+    /// `--baseline PATH`: compare worlds/sec against a committed file.
+    pub baseline: Option<String>,
+    /// `--check PATH`: validate an existing file and exit (no run).
+    pub check: Option<String>,
+}
+
+fn read_doc(path: &str) -> Result<Json, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read '{path}': {e}"))?;
+    Json::parse(&text).map_err(|e| format!("'{path}': {e}"))
+}
+
+/// Runs the `bench` subcommand.
+pub fn run(opts: &BenchOpts) -> Result<(), String> {
+    if let Some(path) = &opts.check {
+        let doc = read_doc(path)?;
+        validate(&doc)?;
+        eprintln!("bench: '{path}' validates against {SCHEMA}");
+        return Ok(());
+    }
+
+    let tiers: Vec<TierSpec> = if opts.quick {
+        vec![quick_tier()]
+    } else {
+        let filter = opts.tier.as_deref().unwrap_or("all");
+        let all = default_tiers();
+        match filter {
+            "all" => all,
+            name => {
+                let selected: Vec<TierSpec> = all.into_iter().filter(|t| t.name == name).collect();
+                if selected.is_empty() {
+                    return Err(format!(
+                        "--tier expects '10k', '100k' or 'all', got '{name}'"
+                    ));
+                }
+                selected
+            }
+        }
+    };
+
+    let mut tier_values = Vec::new();
+    for spec in tiers {
+        eprintln!(
+            "bench: tier {} ({} nodes, {} seeds, {} sim-secs)",
+            spec.name,
+            spec.nodes,
+            spec.seeds.len(),
+            spec.sim_secs
+        );
+        let result = run_tier(spec);
+        eprintln!(
+            "bench: tier {}: {:.3} worlds/sec, {:.0} events/sec, {:.1} allocs/event",
+            result.spec.name,
+            result.worlds as f64 / result.wall_secs.max(1e-9),
+            result.events as f64 / result.wall_secs.max(1e-9),
+            result.allocs as f64 / result.events.max(1) as f64,
+        );
+        tier_values.push(result.to_json());
+    }
+
+    let mut doc_fields = vec![
+        ("schema".into(), Json::Str(SCHEMA.into())),
+        ("bench_id".into(), Json::Str("BENCH_7".into())),
+        ("tiers".into(), Json::Arr(tier_values)),
+    ];
+    if let Some(pre_path) = &opts.pre {
+        let pre = read_doc(pre_path)?;
+        validate(&pre).map_err(|e| format!("--pre '{pre_path}': {e}"))?;
+        let pre_tiers = pre.get("tiers").cloned().unwrap_or(Json::Arr(Vec::new()));
+        doc_fields.push((
+            "pre_rewrite".into(),
+            Json::Obj(vec![("tiers".into(), pre_tiers)]),
+        ));
+    }
+    let doc = Json::Obj(doc_fields);
+    validate(&doc)?;
+
+    let out_path = opts.out.as_deref().unwrap_or(DEFAULT_OUT);
+    std::fs::write(out_path, doc.render()?)
+        .map_err(|e| format!("cannot write '{out_path}': {e}"))?;
+    eprintln!("bench: wrote {out_path}");
+
+    if let Some(base_path) = &opts.baseline {
+        let baseline = read_doc(base_path)?;
+        compare_baseline(&doc, &baseline, BASELINE_THRESHOLD)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tier_obj(name: &str, wps: f64) -> Json {
+        let mut fields = vec![
+            ("tier".to_string(), Json::Str(name.into())),
+            ("seeds".to_string(), Json::Arr(vec![Json::Num(101.0)])),
+        ];
+        for key in TIER_NUM_KEYS {
+            let v = match key {
+                "worlds_per_sec" => wps,
+                _ => 1.0,
+            };
+            fields.push((key.to_string(), Json::Num(v)));
+        }
+        fields.push(("peak_rss_bytes".to_string(), Json::Num(1024.0)));
+        Json::Obj(fields)
+    }
+
+    fn doc(tiers: Vec<Json>) -> Json {
+        Json::Obj(vec![
+            ("schema".into(), Json::Str(SCHEMA.into())),
+            ("bench_id".into(), Json::Str("BENCH_7".into())),
+            ("tiers".into(), Json::Arr(tiers)),
+        ])
+    }
+
+    #[test]
+    fn render_parse_roundtrip() {
+        let d = doc(vec![tier_obj("10k", 2.5)]);
+        let text = d.render().unwrap();
+        let back = Json::parse(&text).unwrap();
+        assert_eq!(d, back);
+    }
+
+    #[test]
+    fn valid_document_passes() {
+        validate(&doc(vec![tier_obj("10k", 2.5), tier_obj("100k", 0.3)])).unwrap();
+    }
+
+    #[test]
+    fn missing_key_and_empty_tiers_fail() {
+        let err = validate(&doc(vec![])).unwrap_err();
+        assert!(err.contains("empty"), "{err}");
+        let mut bad = tier_obj("10k", 1.0);
+        if let Json::Obj(fields) = &mut bad {
+            fields.retain(|(k, _)| k != "events_per_sec");
+        }
+        let err = validate(&doc(vec![bad])).unwrap_err();
+        assert!(err.contains("events_per_sec"), "{err}");
+    }
+
+    #[test]
+    fn nan_is_unwritable_and_unparseable() {
+        let d = doc(vec![Json::Obj(vec![(
+            "wall_secs".into(),
+            Json::Num(f64::NAN),
+        )])]);
+        assert!(d.render().is_err(), "NaN must not serialise");
+        assert!(Json::parse("{\"x\": NaN}").is_err());
+        assert!(Json::parse("{\"x\": Infinity}").is_err());
+    }
+
+    #[test]
+    fn zero_throughput_fails_validation() {
+        let err = validate(&doc(vec![tier_obj("10k", 0.0)])).unwrap_err();
+        assert!(err.contains("worlds_per_sec"), "{err}");
+    }
+
+    #[test]
+    fn pre_rewrite_block_validated_too() {
+        let mut d = doc(vec![tier_obj("10k", 1.0)]);
+        if let Json::Obj(fields) = &mut d {
+            fields.push((
+                "pre_rewrite".into(),
+                Json::Obj(vec![("tiers".into(), Json::Arr(vec![]))]),
+            ));
+        }
+        let err = validate(&d).unwrap_err();
+        assert!(err.contains("pre_rewrite"), "{err}");
+    }
+
+    #[test]
+    fn baseline_comparison_generous_then_fails() {
+        let current = doc(vec![tier_obj("10k", 1.0)]);
+        let fast_base = doc(vec![tier_obj("10k", 3.0)]);
+        // 1.0 ≥ 25% of 3.0: fine.
+        compare_baseline(&current, &fast_base, BASELINE_THRESHOLD).unwrap();
+        let very_fast = doc(vec![tier_obj("10k", 10.0)]);
+        let err = compare_baseline(&current, &very_fast, BASELINE_THRESHOLD).unwrap_err();
+        assert!(err.contains("10k"), "{err}");
+        // Tiers missing from the baseline are skipped, not errors.
+        let other = doc(vec![tier_obj("100k", 100.0)]);
+        compare_baseline(&current, &other, BASELINE_THRESHOLD).unwrap();
+    }
+
+    #[test]
+    fn parser_rejects_trailing_garbage_and_bad_tokens() {
+        assert!(Json::parse("{} x").is_err());
+        assert!(Json::parse("[1, 2").is_err());
+        assert!(Json::parse("\"unterminated").is_err());
+        assert!(Json::parse("{\"a\" 1}").is_err());
+        assert_eq!(
+            Json::parse("[1, -2.5e3, \"s\", true, null]").unwrap(),
+            Json::Arr(vec![
+                Json::Num(1.0),
+                Json::Num(-2500.0),
+                Json::Str("s".into()),
+                Json::Bool(true),
+                Json::Null,
+            ])
+        );
+    }
+
+    #[test]
+    fn peak_rss_reads_on_linux() {
+        // On Linux this must be > 0; elsewhere 0 is the documented gate.
+        if cfg!(target_os = "linux") {
+            assert!(peak_rss_bytes() > 0);
+        }
+    }
+
+    #[test]
+    fn numbers_render_integers_without_fraction() {
+        assert_eq!(Json::Num(3.0).render().unwrap().trim(), "3");
+        assert_eq!(Json::Num(2.5).render().unwrap().trim(), "2.5");
+    }
+}

@@ -11,7 +11,6 @@
 use crate::features::NodeId;
 use rlive_sim::{SimDuration, SimTime};
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
 
 /// Client controller configuration.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -59,15 +58,35 @@ pub enum SwitchDecision {
     SwitchTo(NodeId),
 }
 
+/// A small node-keyed table: a vec sorted by [`NodeId`], binary-
+/// searched on access. The per-client populations here are tiny (a
+/// handful of candidates), so flat storage beats hashing — and unlike
+/// `HashMap`, iteration order is deterministic (ascending node id),
+/// which keeps every consumer replay-stable.
+fn table_search<V>(table: &[(NodeId, V)], node: NodeId) -> Result<usize, usize> {
+    table.binary_search_by_key(&node, |&(n, _)| n)
+}
+
+fn table_set<V>(table: &mut Vec<(NodeId, V)>, node: NodeId, value: V) {
+    match table_search(table, node) {
+        Ok(i) => table[i].1 = value,
+        Err(i) => table.insert(i, (node, value)),
+    }
+}
+
+fn table_remove<V>(table: &mut Vec<(NodeId, V)>, node: NodeId) -> Option<V> {
+    table_search(table, node).ok().map(|i| table.remove(i).1)
+}
+
 /// Per-client mapping state for one substream.
 pub struct ClientController {
     cfg: ClientControllerConfig,
-    /// Consecutive failure counts per node.
-    failures: HashMap<NodeId, u32>,
-    /// Blacklist expiry per node.
-    blacklist: HashMap<NodeId, SimTime>,
-    /// Last probe-measured RTT per candidate.
-    candidate_rtts: HashMap<NodeId, SimDuration>,
+    /// Consecutive failure counts per node, sorted by node.
+    failures: Vec<(NodeId, u32)>,
+    /// Blacklist expiry per node, sorted by node.
+    blacklist: Vec<(NodeId, SimTime)>,
+    /// Last probe-measured RTT per candidate, sorted by node.
+    candidate_rtts: Vec<(NodeId, SimDuration)>,
 }
 
 impl ClientController {
@@ -75,9 +94,9 @@ impl ClientController {
     pub fn new(cfg: ClientControllerConfig) -> Self {
         ClientController {
             cfg,
-            failures: HashMap::new(),
-            blacklist: HashMap::new(),
-            candidate_rtts: HashMap::new(),
+            failures: Vec::new(),
+            blacklist: Vec::new(),
+            candidate_rtts: Vec::new(),
         }
     }
 
@@ -93,7 +112,7 @@ impl ClientController {
         candidates
             .iter()
             .copied()
-            .filter(|n| !self.blacklist.contains_key(n))
+            .filter(|&n| table_search(&self.blacklist, n).is_err())
             .take(self.cfg.max_probes)
             .collect()
     }
@@ -123,31 +142,44 @@ impl ClientController {
 
     /// Records a successful interaction (probe or data) with a node.
     pub fn record_success(&mut self, node: NodeId, rtt: SimDuration) {
-        self.failures.remove(&node);
-        self.candidate_rtts.insert(node, rtt);
+        table_remove(&mut self.failures, node);
+        table_set(&mut self.candidate_rtts, node, rtt);
     }
 
     /// Records a failure; blacklists the node after
     /// `blacklist_after` consecutive failures.
     pub fn record_failure(&mut self, now: SimTime, node: NodeId) {
-        let count = self.failures.entry(node).or_insert(0);
-        *count += 1;
-        if *count >= self.cfg.blacklist_after {
-            self.blacklist
-                .insert(node, now + self.cfg.blacklist_duration);
-            self.failures.remove(&node);
-            self.candidate_rtts.remove(&node);
+        let count = match table_search(&self.failures, node) {
+            Ok(i) => {
+                self.failures[i].1 += 1;
+                self.failures[i].1
+            }
+            Err(i) => {
+                self.failures.insert(i, (node, 1));
+                1
+            }
+        };
+        if count >= self.cfg.blacklist_after {
+            table_set(&mut self.blacklist, node, now + self.cfg.blacklist_duration);
+            table_remove(&mut self.failures, node);
+            table_remove(&mut self.candidate_rtts, node);
         }
     }
 
     /// Whether a node is currently blacklisted.
     pub fn is_blacklisted(&mut self, now: SimTime, node: NodeId) -> bool {
         self.expire_blacklist(now);
-        self.blacklist.contains_key(&node)
+        table_search(&self.blacklist, node).is_ok()
+    }
+
+    /// Currently blacklisted nodes, in ascending node-id order — the
+    /// iteration-order contract regression tests pin.
+    pub fn blacklisted_nodes(&self) -> Vec<NodeId> {
+        self.blacklist.iter().map(|&(n, _)| n).collect()
     }
 
     fn expire_blacklist(&mut self, now: SimTime) {
-        self.blacklist.retain(|_, &mut expiry| expiry > now);
+        self.blacklist.retain(|&(_, expiry)| expiry > now);
     }
 
     /// The §4.2.1 switching rule: switch when the current publisher's
@@ -164,11 +196,11 @@ impl ClientController {
     ) -> SwitchDecision {
         self.expire_blacklist(now);
         for &(n, rtt) in candidates {
-            self.candidate_rtts.insert(n, rtt);
+            table_set(&mut self.candidate_rtts, n, rtt);
         }
         let best = candidates
             .iter()
-            .filter(|(n, _)| *n != current && !self.blacklist.contains_key(n))
+            .filter(|&&(n, _)| n != current && table_search(&self.blacklist, n).is_err())
             .min_by_key(|(_, rtt)| *rtt);
         match best {
             Some(&(node, rtt)) if current_rtt > rtt + self.cfg.t_change => {
@@ -180,7 +212,9 @@ impl ClientController {
 
     /// Last known RTT for a node, if measured.
     pub fn known_rtt(&self, node: NodeId) -> Option<SimDuration> {
-        self.candidate_rtts.get(&node).copied()
+        table_search(&self.candidate_rtts, node)
+            .ok()
+            .map(|i| self.candidate_rtts[i].1)
     }
 }
 
@@ -315,6 +349,34 @@ mod tests {
         assert!(c.is_blacklisted(t0, NodeId(5)));
         let later = t0 + SimDuration::from_secs(121);
         assert!(!c.is_blacklisted(later, NodeId(5)));
+    }
+
+    /// Regression: node-keyed state must iterate in a deterministic
+    /// order regardless of insertion order. The `HashMap`s this state
+    /// used to live in iterate in randomized order, which would let
+    /// replay-sensitive consumers diverge between identical runs.
+    #[test]
+    fn node_tables_iterate_in_ascending_node_order() {
+        let t = SimTime::from_secs(1);
+        // Blacklist the same node set through two different insertion
+        // orders; the observable order must be identical (ascending).
+        let orders: [&[u64]; 2] = [&[9, 2, 17, 5], &[5, 17, 2, 9]];
+        let mut seen = Vec::new();
+        for order in orders {
+            let mut c = controller();
+            for &n in order {
+                for _ in 0..3 {
+                    c.record_failure(t, NodeId(n));
+                }
+            }
+            seen.push(c.blacklisted_nodes());
+        }
+        assert_eq!(seen[0], seen[1], "order must not depend on insertion");
+        assert_eq!(
+            seen[0],
+            vec![NodeId(2), NodeId(5), NodeId(9), NodeId(17)],
+            "ascending node id"
+        );
     }
 
     #[test]

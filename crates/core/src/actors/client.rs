@@ -12,10 +12,10 @@ use rlive_control::scheduler::Candidate;
 use rlive_control::{ClientController, ClientControllerConfig, ClientInfo};
 use rlive_data::recovery::{RecoveryAction, RecoveryStats};
 use rlive_data::reorder::{PlaybackBuffer, ReorderBuffer};
+use rlive_data::ring::SeqRing;
 use rlive_media::footprint::LocalChain;
 use rlive_media::frame::FrameHeader;
 use rlive_sim::{SimDuration, SimTime};
-use std::collections::HashMap;
 
 /// One source of one substream.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -71,11 +71,15 @@ pub(crate) struct Client {
     pub recovery_stats: RecoveryStats,
     pub session: SessionMetrics,
     pub energy: EnergyAccount,
-    /// In-flight recovery requests: dts -> (action, issue time).
-    pub requested_recovery: HashMap<u64, (RecoveryAction, SimTime)>,
-    /// Cached candidate lists from the scheduler, per substream (the
-    /// mapping unit is the user–substream pair, §2.3).
-    pub candidates: HashMap<u16, Vec<Candidate>>,
+    /// In-flight recovery requests, dts-ordered: dts -> (action, issue
+    /// time). Dts keys arrive near-monotonically, so the ring's sorted
+    /// flat storage inserts at the tail and pops at the head.
+    pub requested_recovery: SeqRing<(RecoveryAction, SimTime)>,
+    /// Cached candidate lists from the scheduler, indexed by substream
+    /// (the mapping unit is the user–substream pair, §2.3). `None`
+    /// means "never received a list for this substream" — distinct
+    /// from an empty list, which callers must not fall through.
+    candidates: Vec<Option<Vec<Candidate>>>,
     /// Set when a relay sent a proactive switch suggestion.
     pub switch_suggested: bool,
     pub last_slice_at: SimTime,
@@ -122,8 +126,8 @@ impl Client {
             recovery_stats: RecoveryStats::default(),
             session: SessionMetrics::new(now),
             energy: EnergyAccount::new(),
-            requested_recovery: HashMap::new(),
-            candidates: HashMap::new(),
+            requested_recovery: SeqRing::new(),
+            candidates: Vec::new(),
             switch_suggested: false,
             last_slice_at: now,
             last_release_at: now,
@@ -163,6 +167,30 @@ impl Client {
     /// Whether the client currently draws on any best-effort relay.
     pub fn uses_best_effort(&self) -> bool {
         !matches!(self.mode, ClientMode::CdnFull)
+    }
+
+    /// Caches the scheduler's candidate list for one substream.
+    pub fn set_candidates(&mut self, ss: u16, list: Vec<Candidate>) {
+        let idx = ss as usize;
+        if self.candidates.len() <= idx {
+            self.candidates.resize_with(idx + 1, || None);
+        }
+        self.candidates[idx] = Some(list);
+    }
+
+    /// The cached candidate list for `ss`, falling back to substream
+    /// 0's list when `ss` never received one (an *empty* list for `ss`
+    /// does not fall through — absence and emptiness stay distinct).
+    pub fn candidates_for(&self, ss: u16) -> Option<&Vec<Candidate>> {
+        self.candidates
+            .get(ss as usize)
+            .and_then(|o| o.as_ref())
+            .or_else(|| self.candidates.first().and_then(|o| o.as_ref()))
+    }
+
+    /// All cached candidates across substreams, in substream order.
+    pub fn all_candidates(&self) -> impl Iterator<Item = &Candidate> {
+        self.candidates.iter().flatten().flatten()
     }
 
     /// Every relay currently serving this client (primary + redundant).

@@ -17,7 +17,7 @@ use rlive_sim::churn::{ChurnModel, ChurnTimeline};
 use rlive_sim::link::{Link, LinkConfig, TxOutcome};
 use rlive_sim::{SimDuration, SimRng, SimTime};
 use rlive_workload::nodes::NodeSpec;
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::BTreeSet;
 
 /// A typed view of one forwarding target, resolved by the router so
 /// the relay never reads client state: the subscriber id plus the
@@ -68,8 +68,10 @@ pub(crate) struct Relay {
     /// Whether the node is currently online.
     pub online: bool,
     adviser: EdgeAdviser,
-    /// (stream, substream-or-FULL) -> subscriber client ids.
-    subscribers: BTreeMap<(u32, u16), Vec<u64>>,
+    /// (stream, substream-or-FULL) -> subscriber client ids, as a flat
+    /// table sorted by key (binary-searched; iteration order matches
+    /// the BTreeMap it replaces).
+    subscribers: Vec<((u32, u16), Vec<u64>)>,
     forwarding: BTreeSet<StreamKey>,
     /// Bytes served to subscribers over the uplink.
     pub serving_bytes: u64,
@@ -106,7 +108,7 @@ impl Relay {
             churn,
             online: true,
             adviser: EdgeAdviser::new(NodeId(spec.id), adviser_cfg),
-            subscribers: BTreeMap::new(),
+            subscribers: Vec::new(),
             forwarding: BTreeSet::new(),
             serving_bytes: 0,
             backward_bytes: 0,
@@ -116,9 +118,14 @@ impl Relay {
         }
     }
 
+    /// Position of `key` in the sorted subscriber table.
+    fn sub_search(&self, key: (u32, u16)) -> Result<usize, usize> {
+        self.subscribers.binary_search_by_key(&key, |&(k, _)| k)
+    }
+
     /// Current subscriber count across all substreams.
     pub fn subscriber_count(&self) -> usize {
-        self.subscribers.values().map(|v| v.len()).sum()
+        self.subscribers.iter().map(|(_, v)| v.len()).sum()
     }
 
     /// Whether this relay receives the header sequence of `stream`.
@@ -128,7 +135,7 @@ impl Relay {
 
     /// Whether any subscriber listens on `(stream, ss)`.
     pub fn has_subscribers(&self, stream: u32, ss: u16) -> bool {
-        self.subscribers.contains_key(&(stream, ss))
+        self.sub_search((stream, ss)).is_ok()
     }
 
     /// Clients interested in `(stream, ss)` frames: subscribers of the
@@ -136,7 +143,7 @@ impl Relay {
     pub fn interested_clients(&self, stream: u32, ss: u16) -> Vec<u64> {
         self.subscribers
             .iter()
-            .filter(|((st, sub), _)| *st == stream && (*sub == FULL_STREAM || *sub == ss))
+            .filter(|&&((st, sub), _)| st == stream && (sub == FULL_STREAM || sub == ss))
             .flat_map(|(_, subs)| subs.iter().copied())
             .collect()
     }
@@ -145,11 +152,11 @@ impl Relay {
     /// order: full-stream subscribers first, then substream subscribers.
     pub fn targets_for(&self, stream: u32, ss: u16) -> Vec<u64> {
         let mut targets = Vec::new();
-        if let Some(subs) = self.subscribers.get(&(stream, FULL_STREAM)) {
-            targets.extend(subs.iter().copied());
+        if let Ok(i) = self.sub_search((stream, FULL_STREAM)) {
+            targets.extend(self.subscribers[i].1.iter().copied());
         }
-        if let Some(subs) = self.subscribers.get(&(stream, ss)) {
-            targets.extend(subs.iter().copied());
+        if let Ok(i) = self.sub_search((stream, ss)) {
+            targets.extend(self.subscribers[i].1.iter().copied());
         }
         targets
     }
@@ -157,7 +164,10 @@ impl Relay {
     /// Every subscribed client id (cost-consolidation suggestions go to
     /// all of them).
     pub fn all_subscriber_ids(&self) -> Vec<u64> {
-        self.subscribers.values().flatten().copied().collect()
+        self.subscribers
+            .iter()
+            .flat_map(|(_, v)| v.iter().copied())
+            .collect()
     }
 
     /// Replaces the churn timeline (failure injection).
@@ -191,7 +201,10 @@ impl Relay {
         if !self.quotas.reserve(bandwidth_mbps * 1.6, 0.02, 4.0) {
             return false;
         }
-        self.subscribers.entry((stream, ss)).or_default().push(cid);
+        match self.sub_search((stream, ss)) {
+            Ok(i) => self.subscribers[i].1.push(cid),
+            Err(i) => self.subscribers.insert(i, ((stream, ss), vec![cid])),
+        }
         self.peak_subscribers = self.peak_subscribers.max(self.subscriber_count());
         self.feeding_streams.insert(stream);
         let key = StreamKey {
@@ -209,10 +222,11 @@ impl Relay {
     /// Reverses one [`Relay::subscribe`]: releases quota and stops
     /// forwarding substreams (and feeding streams) nobody listens to.
     pub fn unsubscribe(&mut self, cid: u64, stream: u32, ss: u16, bandwidth_mbps: f64) {
-        if let Some(subs) = self.subscribers.get_mut(&(stream, ss)) {
+        if let Ok(i) = self.sub_search((stream, ss)) {
+            let subs = &mut self.subscribers[i].1;
             subs.retain(|&c| c != cid);
             if subs.is_empty() {
-                self.subscribers.remove(&(stream, ss));
+                self.subscribers.remove(i);
                 let key = StreamKey {
                     stream_id: stream as u64,
                     substream: if ss == FULL_STREAM { 0 } else { ss },
@@ -220,7 +234,7 @@ impl Relay {
                 self.forwarding.remove(&key);
             }
         }
-        if !self.subscribers.keys().any(|(s, _)| *s == stream) {
+        if !self.subscribers.iter().any(|&((s, _), _)| s == stream) {
             self.feeding_streams.remove(&stream);
         }
         self.quotas.release(bandwidth_mbps * 1.6, 0.02, 4.0);

@@ -2,12 +2,12 @@
 
 use crate::actors::ActorCtx;
 use crate::events::Event;
+use rlive_data::ring::SeqRing;
 use rlive_media::footprint::{ChainGenerator, LocalChain};
 use rlive_media::frame::FrameHeader;
 use rlive_media::gop::{GopConfig, GopGenerator};
 use rlive_media::packet::PACKET_PAYLOAD;
 use rlive_sim::{SimDuration, SimRng, SimTime};
-use std::collections::{HashMap, VecDeque};
 
 /// How many recent frames a stream source keeps addressable for
 /// prefill, relay backhaul and recovery.
@@ -18,9 +18,10 @@ const RECENT_WINDOW: usize = 600;
 pub(crate) struct StreamState {
     generator: GopGenerator,
     chains: ChainGenerator,
-    /// Recent frames: dts -> (header, canonical chain).
-    recent: HashMap<u64, (FrameHeader, LocalChain)>,
-    recent_order: VecDeque<u64>,
+    /// Recent frames: dts -> (header, canonical chain), in a sequence-
+    /// indexed ring (dts is monotone, so every insert is a tail push
+    /// and every eviction a head pop — no per-frame allocation).
+    recent: SeqRing<(FrameHeader, LocalChain)>,
     /// Active viewers (popularity gate).
     pub viewers: usize,
     /// The sim time at which dts = 0 was produced.
@@ -33,8 +34,7 @@ impl StreamState {
         StreamState {
             generator: GopGenerator::new(id, GopConfig::default(), rng),
             chains: ChainGenerator::new(PACKET_PAYLOAD),
-            recent: HashMap::new(),
-            recent_order: VecDeque::new(),
+            recent: SeqRing::new(),
             viewers: 0,
             epoch: SimTime::ZERO,
         }
@@ -51,22 +51,19 @@ impl StreamState {
 
     fn remember(&mut self, header: FrameHeader, chain: LocalChain) {
         self.recent.insert(header.dts_ms, (header, chain));
-        self.recent_order.push_back(header.dts_ms);
-        while self.recent_order.len() > RECENT_WINDOW {
-            if let Some(old) = self.recent_order.pop_front() {
-                self.recent.remove(&old);
-            }
+        while self.recent.len() > RECENT_WINDOW {
+            self.recent.pop_first();
         }
     }
 
     /// Looks up a recent frame by timestamp.
     pub fn recent_frame(&self, dts: u64) -> Option<&(FrameHeader, LocalChain)> {
-        self.recent.get(&dts)
+        self.recent.get(dts)
     }
 
     /// Timestamps of the retained frames, oldest first.
     pub fn recent_dts(&self) -> impl Iterator<Item = u64> + '_ {
-        self.recent_order.iter().copied()
+        self.recent.keys()
     }
 }
 

@@ -34,6 +34,7 @@
 pub mod abr;
 pub mod abtest;
 pub(crate) mod actors;
+pub(crate) mod arena;
 pub mod config;
 pub mod cost;
 pub mod energy;

@@ -272,7 +272,7 @@ fn control_failover_and_switch(world: &mut World, now: SimTime, cid: u64) {
     // proactive suggestion (§4.2.2).
     let (sources, candidates) = {
         let client = &world.clients[&cid];
-        let mut all: Vec<Candidate> = client.candidates.values().flatten().copied().collect();
+        let mut all: Vec<Candidate> = client.all_candidates().copied().collect();
         all.sort_by_key(|c| c.node);
         all.dedup_by_key(|c| c.node);
         (client.relay_sources(), all)
@@ -357,7 +357,7 @@ pub(crate) fn control_recovery(world: &mut World, now: SimTime, cid: u64) {
             .incomplete_frames(now, world.cfg.retx_timeout);
         let mut states: Vec<FrameState> = incomplete
             .iter()
-            .filter(|f| may_redecide(now, client.requested_recovery.get(&f.header.dts_ms)))
+            .filter(|f| may_redecide(now, client.requested_recovery.get(f.header.dts_ms)))
             .map(|f| FrameState {
                 dts_ms: f.header.dts_ms,
                 deadline: frame_deadline(client, f.header.dts_ms),
@@ -373,7 +373,7 @@ pub(crate) fn control_recovery(world: &mut World, now: SimTime, cid: u64) {
             .reorder
             .missing_chain_frames(now, world.cfg.retx_timeout)
         {
-            if !may_redecide(now, client.requested_recovery.get(&dts)) {
+            if !may_redecide(now, client.requested_recovery.get(dts)) {
                 continue;
             }
             let Some((header, _)) = world.streams[stream].recent_frame(dts) else {
@@ -399,7 +399,7 @@ pub(crate) fn control_recovery(world: &mut World, now: SimTime, cid: u64) {
                 .reorder
                 .unorderable_complete(now, SimDuration::from_millis(400), 8)
             {
-                if !may_redecide(now, client.requested_recovery.get(&dts)) {
+                if !may_redecide(now, client.requested_recovery.get(dts)) {
                     continue;
                 }
                 let Some((header, _)) = world.streams[stream].recent_frame(dts) else {
@@ -443,7 +443,7 @@ pub(crate) fn control_recovery(world: &mut World, now: SimTime, cid: u64) {
     for d in decisions {
         let client = world.clients.get_mut(&cid).expect("exists");
         // Skip if this would merely repeat a fresh in-flight action.
-        if let Some((a, issued)) = client.requested_recovery.get(&d.dts_ms) {
+        if let Some((a, issued)) = client.requested_recovery.get(d.dts_ms) {
             if *a == d.action && now.saturating_since(*issued) <= SimDuration::from_millis(600) {
                 continue;
             }
@@ -532,8 +532,8 @@ pub(crate) fn on_recovery_outcome(
     {
         let client = world.clients.get_mut(&cid).expect("checked above");
         client.recovery_stats.observe_retx(success);
-        if client.requested_recovery.get(&dts).map(|(a, _)| *a) == Some(action) {
-            client.requested_recovery.remove(&dts);
+        if client.requested_recovery.get(dts).map(|(a, _)| *a) == Some(action) {
+            client.requested_recovery.remove(dts);
         }
     }
     // Attribute the outcome to the relay sourcing the frame's substream
@@ -845,7 +845,7 @@ fn refresh_candidates(world: &mut World, now: SimTime, cid: u64) {
         };
         let rec = world.scheduler.recommend(now, &info, key);
         if let Some(client) = world.clients.get_mut(&cid) {
-            client.candidates.insert(ss, rec.candidates);
+            client.set_candidates(ss, rec.candidates);
         }
     }
 }
@@ -872,10 +872,7 @@ fn pick_relay_excluding(
     let (candidates, mut exclude) = {
         let relays = &world.relays;
         let client = world.clients.get_mut(&cid)?;
-        let list = client
-            .candidates
-            .get(&ss)
-            .or_else(|| client.candidates.get(&0));
+        let list = client.candidates_for(ss);
         let ids: Vec<NodeId> = list
             .map(|l| l.iter().map(|c| c.node).collect::<Vec<_>>())
             .unwrap_or_default()

@@ -53,6 +53,7 @@ use crate::actors::client::Client;
 use crate::actors::relay::{Relay, SubscriberView};
 use crate::actors::stream::{StreamState, SuperNode};
 use crate::actors::ActorCtx;
+use crate::arena::IdArena;
 use crate::config::{DeliveryMode, SystemConfig};
 use crate::cost::TrafficLedger;
 use crate::energy::EnergyModel;
@@ -63,7 +64,7 @@ use rlive_sim::obs::{time_stage, Stage};
 use rlive_sim::runner::run_shards;
 use rlive_sim::trace::{TraceRecord, TraceSink};
 use rlive_sim::{EventQueue, SimRng, SimTime};
-use std::collections::{BTreeMap, HashMap, HashSet};
+use std::collections::{HashMap, HashSet};
 
 /// Seed of the per-event sentinel RNG handed to worker-side handlers.
 /// Shardable handlers must never draw from the world RNG; comparing the
@@ -189,13 +190,21 @@ impl World {
         for (i, (at, event)) in events.into_iter().enumerate() {
             let key = event.shard_key();
             needed.insert(key);
-            shard_events[(key % nshards as u64) as usize].push((i, at, event));
+            // Partition by the client's arena slot index — allocation-
+            // stable and id-hash-free. Departed clients (no handle) go
+            // to shard 0, whose worker early-returns on the miss.
+            let shard = self
+                .clients
+                .handle_of(key)
+                .map(|h| h.index as usize % nshards)
+                .unwrap_or(0);
+            shard_events[shard].push((i, at, event));
         }
         let mut shard_clients: Vec<HashMap<u64, &mut Client>> =
             (0..nshards).map(|_| HashMap::new()).collect();
-        for (&cid, client) in self.clients.iter_mut() {
+        for (cid, h, client) in self.clients.iter_mut_handles() {
             if needed.contains(&cid) {
-                shard_clients[(cid % nshards as u64) as usize].insert(cid, client);
+                shard_clients[h.index as usize % nshards].insert(cid, client);
             }
         }
         let streams = &self.streams;
@@ -354,7 +363,7 @@ fn run_client_shard(
 fn run_relay_shard(
     events: Vec<(usize, SimTime, Event)>,
     relays: &mut HashMap<u32, &mut Relay>,
-    clients: &BTreeMap<u64, Client>,
+    clients: &IdArena<Client>,
     streams: &[StreamState],
     cfg: &SystemConfig,
     energy_model: &EnergyModel,
@@ -450,6 +459,7 @@ const _: () = {
     assert_sync::<SystemConfig>();
     assert_sync::<EnergyModel>();
     assert_sync::<Client>();
+    assert_sync::<IdArena<Client>>();
     assert_sync::<TraceSink>();
     assert_send::<Client>();
     assert_send::<Relay>();

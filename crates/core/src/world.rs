@@ -14,6 +14,7 @@ use crate::actors::cdn::CdnEdge;
 use crate::actors::client::{Client, ClientMode, SubSource};
 use crate::actors::relay::{Relay, SubscriberView};
 use crate::actors::stream::{StreamState, SuperNode};
+use crate::arena::IdArena;
 use crate::config::{DeliveryMode, SystemConfig};
 use crate::cost::TrafficLedger;
 use crate::energy::EnergyModel;
@@ -143,7 +144,7 @@ pub struct World {
     pub(crate) popularity: StreamPopularity,
     pub(crate) cdn: Vec<CdnEdge>,
     pub(crate) relays: Vec<Relay>,
-    pub(crate) clients: BTreeMap<u64, Client>,
+    pub(crate) clients: IdArena<Client>,
     pub(crate) next_client: u64,
     pub(crate) users_seen: HashSet<u64>,
     pub(crate) control_qoe: GroupQoe,
@@ -246,7 +247,7 @@ impl World {
             popularity,
             cdn,
             relays,
-            clients: BTreeMap::new(),
+            clients: IdArena::new(),
             next_client: 0,
             users_seen: HashSet::new(),
             control_qoe: GroupQoe::new(),

@@ -11,13 +11,17 @@
 //!   (§5.3) — four actions, a probabilistic loss function combining
 //!   bandwidth cost and unplayability risk, EDF-based failure models;
 //! - [`subscribe`]: subscribe-push control messages between clients and
-//!   best-effort nodes (§5.1, §6).
+//!   best-effort nodes (§5.1, §6);
+//! - [`ring`]: the sequence-indexed ring buffer ([`ring::SeqRing`])
+//!   that backs the reorder/sequencing state — flat storage, zero
+//!   steady-state allocation, explicit eviction accounting.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod recovery;
 pub mod reorder;
+pub mod ring;
 pub mod sequencing;
 pub mod subscribe;
 

@@ -355,13 +355,30 @@ impl RecoveryDecider {
             })
             .collect();
 
-        // Escalation: count frames per substream in the list.
-        let mut per_substream: std::collections::HashMap<u16, usize> =
-            std::collections::HashMap::new();
+        // Escalation: count frames per substream in the list. A
+        // fixed-size stack array indexed by substream id (substream
+        // counts are single-digit; `FULL_STREAM` = u16::MAX lands in
+        // the shared overflow slot) replaces the old heap-allocated
+        // `HashMap<u16, usize>` — no allocation, and the escalation
+        // loop visits substreams in deterministic ascending order.
+        const TALLY_SLOTS: usize = 64;
+        let mut tally = [0usize; TALLY_SLOTS];
+        let mut overflow: Vec<(u16, usize)> = Vec::new();
         for f in frames {
-            *per_substream.entry(f.substream).or_insert(0) += 1;
+            if (f.substream as usize) < TALLY_SLOTS {
+                tally[f.substream as usize] += 1;
+            } else if let Some(slot) = overflow.iter_mut().find(|(s, _)| *s == f.substream) {
+                slot.1 += 1;
+            } else {
+                overflow.push((f.substream, 1));
+            }
         }
-        for (&ss, &count) in &per_substream {
+        let tallied = tally
+            .iter()
+            .enumerate()
+            .map(|(ss, &count)| (ss as u16, count))
+            .chain(overflow.iter().copied());
+        for (ss, count) in tallied {
             if count < self.cfg.consecutive_loss_threshold {
                 continue;
             }

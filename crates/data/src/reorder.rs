@@ -9,33 +9,94 @@
 //! triggers CDN full-stream fallback (§7.4), and an empty buffer is a
 //! rebuffering event.
 
+use crate::ring::SeqRing;
 use crate::sequencing::GlobalChain;
 use rlive_media::frame::FrameHeader;
 use rlive_media::packet::DataPacket;
 use rlive_sim::trace::{TraceEvent, TraceSink};
 use rlive_sim::{SimDuration, SimTime};
-use std::collections::{BTreeMap, HashSet};
+
+/// Packet-index words kept inline before spilling to the heap: 4 × 64 =
+/// 256 packets covers every frame a real encoder ladder emits (an
+/// I-frame tops out around 100 packets), so steady state never spills.
+const INLINE_PACKET_WORDS: usize = 4;
+
+/// Presence set over packet indices of one frame: an inline bitset with
+/// a heap spill only for pathological frames beyond
+/// [`INLINE_PACKET_WORDS`]` * 64` packets. Replaces the old per-frame
+/// `HashSet<u32>` (one heap allocation per frame plus rehashing) with
+/// zero allocation in the common case.
+#[derive(Debug, Default, Clone)]
+struct PacketSet {
+    inline: [u64; INLINE_PACKET_WORDS],
+    spill: Vec<u64>,
+    count: u32,
+}
+
+impl PacketSet {
+    /// Inserts `idx`; returns whether it was newly present (the
+    /// `HashSet::insert` contract).
+    fn insert(&mut self, idx: u32) -> bool {
+        let (word, bit) = (idx as usize / 64, idx as usize % 64);
+        let slot = if word < INLINE_PACKET_WORDS {
+            &mut self.inline[word]
+        } else {
+            let spill_word = word - INLINE_PACKET_WORDS;
+            if self.spill.len() <= spill_word {
+                self.spill.resize(spill_word + 1, 0);
+            }
+            &mut self.spill[spill_word]
+        };
+        let mask = 1u64 << bit;
+        if *slot & mask != 0 {
+            return false;
+        }
+        *slot |= mask;
+        self.count += 1;
+        true
+    }
+
+    fn contains(&self, idx: u32) -> bool {
+        let (word, bit) = (idx as usize / 64, idx as usize % 64);
+        let slot = if word < INLINE_PACKET_WORDS {
+            self.inline[word]
+        } else {
+            self.spill
+                .get(word - INLINE_PACKET_WORDS)
+                .copied()
+                .unwrap_or(0)
+        };
+        slot & (1u64 << bit) != 0
+    }
+
+    fn len(&self) -> u32 {
+        self.count
+    }
+}
 
 /// Per-frame packet arrival state.
 #[derive(Debug)]
 struct FrameAssembly {
     header: FrameHeader,
     expected: u32,
-    received: HashSet<u32>,
+    received: PacketSet,
     first_arrival: SimTime,
     /// Highest packet index seen; used for gap-based fast retransmit.
     max_seen: u32,
+    /// Substream the frame arrived on (last packet wins, as with the
+    /// old side table).
+    substream: u16,
 }
 
 impl FrameAssembly {
     fn missing(&self) -> Vec<u32> {
         (0..self.expected)
-            .filter(|i| !self.received.contains(i))
+            .filter(|&i| !self.received.contains(i))
             .collect()
     }
 
     fn complete(&self) -> bool {
-        self.received.len() as u32 >= self.expected
+        self.received.len() >= self.expected
     }
 }
 
@@ -70,14 +131,14 @@ pub struct IncompleteFrame {
 /// The client-side reorder buffer across all substreams of one stream.
 #[derive(Debug)]
 pub struct ReorderBuffer {
-    /// In-flight frame assemblies by dts.
-    assembling: BTreeMap<u64, FrameAssembly>,
-    /// Substream of each assembling frame.
-    substream_of: BTreeMap<u64, u16>,
+    /// In-flight frame assemblies, ring-indexed by dts (the substream
+    /// of each frame lives inside [`FrameAssembly`]; the old per-dts
+    /// side table is gone).
+    assembling: SeqRing<FrameAssembly>,
     /// The global chain being built from embedded local chains.
     chain: GlobalChain,
     /// Frames fully received but not yet released in chain order.
-    complete: BTreeMap<u64, ReadyFrame>,
+    complete: SeqRing<ReadyFrame>,
     /// Duplicate packets observed (for overhead accounting).
     duplicates: u64,
     packets: u64,
@@ -94,7 +155,7 @@ pub struct ReorderBuffer {
     /// invisible to `incomplete_frames` (nothing ever assembled), so
     /// this map is what lets the recovery engine find wholly-lost
     /// frames.
-    chain_announced: BTreeMap<u64, (SimTime, u32)>,
+    chain_announced: SeqRing<(SimTime, u32)>,
     /// Structured trace sink (disabled by default) and the session the
     /// buffer belongs to, for deadline-skip observability.
     trace: TraceSink,
@@ -111,16 +172,15 @@ impl ReorderBuffer {
     /// Creates an empty reorder buffer.
     pub fn new() -> Self {
         ReorderBuffer {
-            assembling: BTreeMap::new(),
-            substream_of: BTreeMap::new(),
+            assembling: SeqRing::new(),
             chain: GlobalChain::new(),
-            complete: BTreeMap::new(),
+            complete: SeqRing::new(),
             duplicates: 0,
             packets: 0,
             released_watermark: None,
             blocked_since: None,
             skipped: 0,
-            chain_announced: BTreeMap::new(),
+            chain_announced: SeqRing::new(),
             trace: TraceSink::disabled(),
             trace_session: 0,
         }
@@ -150,26 +210,26 @@ impl ReorderBuffer {
         self.chain.ingest_header(pkt.frame);
         for fp in pkt.chain.footprints() {
             self.chain_announced
-                .entry(fp.dts_ms)
-                .or_insert((now, fp.cnt));
+                .get_or_insert_with(fp.dts_ms, || (now, fp.cnt));
         }
         self.chain.ingest_chain(&pkt.chain);
-        self.substream_of.insert(dts, pkt.substream);
 
-        let asm = self.assembling.entry(dts).or_insert_with(|| FrameAssembly {
+        let asm = self.assembling.get_or_insert_with(dts, || FrameAssembly {
             header: pkt.frame,
             expected: pkt.packet_count,
-            received: HashSet::new(),
+            received: PacketSet::default(),
             first_arrival: now,
             max_seen: 0,
+            substream: pkt.substream,
         });
+        asm.substream = pkt.substream;
         if !asm.received.insert(pkt.packet_index) {
             self.duplicates += 1;
         }
         asm.max_seen = asm.max_seen.max(pkt.packet_index);
         if asm.complete() {
             let header = asm.header;
-            self.assembling.remove(&dts);
+            self.assembling.remove(dts);
             self.complete.insert(
                 dts,
                 ReadyFrame {
@@ -204,19 +264,19 @@ impl ReorderBuffer {
         if let Some(c) = chain {
             for fp in c.footprints() {
                 self.chain_announced
-                    .entry(fp.dts_ms)
-                    .or_insert((now, fp.cnt));
+                    .get_or_insert_with(fp.dts_ms, || (now, fp.cnt));
             }
             self.chain.ingest_chain(c);
         }
-        self.substream_of.insert(dts, substream);
-        let asm = self.assembling.entry(dts).or_insert_with(|| FrameAssembly {
+        let asm = self.assembling.get_or_insert_with(dts, || FrameAssembly {
             header,
             expected: total,
-            received: HashSet::new(),
+            received: PacketSet::default(),
             first_arrival: now,
             max_seen: 0,
+            substream,
         });
+        asm.substream = substream;
         for &idx in received {
             if !asm.received.insert(idx) {
                 self.duplicates += 1;
@@ -224,7 +284,7 @@ impl ReorderBuffer {
             asm.max_seen = asm.max_seen.max(idx);
         }
         if asm.complete() {
-            self.assembling.remove(&dts);
+            self.assembling.remove(dts);
             self.complete.insert(
                 dts,
                 ReadyFrame {
@@ -259,7 +319,7 @@ impl ReorderBuffer {
             return Vec::new();
         }
         self.chain.ingest_header(header);
-        self.assembling.remove(&header.dts_ms);
+        self.assembling.remove(header.dts_ms);
         self.complete.insert(
             header.dts_ms,
             ReadyFrame {
@@ -283,7 +343,7 @@ impl ReorderBuffer {
             };
             // Only release when the head is linked AND its data complete.
             let releasable = status == crate::sequencing::LinkStatus::Linked
-                && self.complete.contains_key(&fp.dts_ms);
+                && self.complete.contains_key(fp.dts_ms);
             if !releasable {
                 // Remember when the head got stuck, for deadline skips.
                 if self.blocked_since.is_none() {
@@ -291,10 +351,18 @@ impl ReorderBuffer {
                 }
                 break;
             }
-            let ready = self.complete.remove(&fp.dts_ms).expect("checked");
+            let ready = self.complete.remove(fp.dts_ms).expect("checked");
             self.chain.pop_linked_head();
-            self.substream_of.remove(&fp.dts_ms);
-            self.chain_announced.remove(&fp.dts_ms);
+            self.chain_announced.remove(fp.dts_ms);
+            // A late duplicate can re-create a ghost assembly for a
+            // frame that already completed; releasing the frame wipes
+            // its substream attribution (the ghost itself only dies at
+            // `expire_before`), so recovery sees substream 0 for it —
+            // the exact lifecycle the old `substream_of` side table
+            // had, which the golden outputs pin.
+            if let Some(ghost) = self.assembling.get_mut(fp.dts_ms) {
+                ghost.substream = 0;
+            }
             self.released_watermark = Some(fp.dts_ms);
             self.blocked_since = None;
             out.push(ready);
@@ -323,10 +391,9 @@ impl ReorderBuffer {
             return Vec::new();
         };
         self.chain.force_pop_head();
-        self.assembling.remove(&fp.dts_ms);
-        self.complete.remove(&fp.dts_ms);
-        self.substream_of.remove(&fp.dts_ms);
-        self.chain_announced.remove(&fp.dts_ms);
+        self.assembling.remove(fp.dts_ms);
+        self.complete.remove(fp.dts_ms);
+        self.chain_announced.remove(fp.dts_ms);
         self.released_watermark = Some(fp.dts_ms);
         self.blocked_since = None;
         self.skipped += 1;
@@ -363,11 +430,7 @@ impl ReorderBuffer {
                 if gap || timed_out {
                     Some(IncompleteFrame {
                         header: asm.header,
-                        substream: self
-                            .substream_of
-                            .get(&asm.header.dts_ms)
-                            .copied()
-                            .unwrap_or(0),
+                        substream: asm.substream,
                         missing,
                         expected: asm.expected,
                         out_of_order_gap: gap,
@@ -387,13 +450,13 @@ impl ReorderBuffer {
     pub fn missing_chain_frames(&self, now: SimTime, timeout: SimDuration) -> Vec<(u64, u32)> {
         self.chain_announced
             .iter()
-            .filter(|(&dts, &(seen, _))| {
+            .filter(|&(dts, &(seen, _))| {
                 now.saturating_since(seen) >= timeout
-                    && !self.assembling.contains_key(&dts)
-                    && !self.complete.contains_key(&dts)
+                    && !self.assembling.contains_key(dts)
+                    && !self.complete.contains_key(dts)
                     && self.released_watermark.map(|w| dts > w).unwrap_or(true)
             })
-            .map(|(&dts, &(_, cnt))| (dts, cnt))
+            .map(|(dts, &(_, cnt))| (dts, cnt))
             .collect()
     }
 
@@ -415,10 +478,10 @@ impl ReorderBuffer {
     pub fn unorderable_complete(&self, now: SimTime, age: SimDuration, limit: usize) -> Vec<u64> {
         self.complete
             .iter()
-            .filter(|(dts, r)| {
-                now.saturating_since(r.completed_at) >= age && self.chain.status_of(**dts).is_none()
+            .filter(|&(dts, r)| {
+                now.saturating_since(r.completed_at) >= age && self.chain.status_of(dts).is_none()
             })
-            .map(|(&dts, _)| dts)
+            .map(|(dts, _)| dts)
             .take(limit)
             .collect()
     }
@@ -439,12 +502,19 @@ impl ReorderBuffer {
     }
 
     /// Drops per-frame state older than `horizon_ms` behind the newest
-    /// frame (stale frames whose playout deadline passed).
+    /// frame (stale frames whose playout deadline passed). Dropped
+    /// entries are counted in the rings' eviction statistics.
     pub fn expire_before(&mut self, dts_floor: u64) {
-        self.assembling.retain(|&dts, _| dts >= dts_floor);
-        self.complete.retain(|&dts, _| dts >= dts_floor);
-        self.substream_of.retain(|&dts, _| dts >= dts_floor);
-        self.chain_announced.retain(|&dts, _| dts >= dts_floor);
+        self.assembling.evict_below(dts_floor);
+        self.complete.evict_below(dts_floor);
+        self.chain_announced.evict_below(dts_floor);
+    }
+
+    /// Total ring evictions so far (deadline expiry across the
+    /// assembling/complete/announced rings) — the explicit eviction
+    /// accounting the flat layout carries that the old maps did not.
+    pub fn evicted_frames(&self) -> u64 {
+        self.assembling.evicted() + self.complete.evicted() + self.chain_announced.evicted()
     }
 }
 
@@ -456,8 +526,8 @@ pub const DEFAULT_FALLBACK_THRESHOLD: SimDuration = SimDuration::from_millis(400
 /// The player-side buffer of decoded-order frames.
 #[derive(Debug)]
 pub struct PlaybackBuffer {
-    /// Buffered frame dts values in order.
-    frames: BTreeMap<u64, FrameHeader>,
+    /// Buffered frames, ring-indexed by dts.
+    frames: SeqRing<FrameHeader>,
     /// Next dts expected by the decoder.
     playhead_dts: Option<u64>,
     /// Occupancy threshold below which the client falls back to CDN
@@ -476,7 +546,7 @@ impl PlaybackBuffer {
     /// Creates a buffer for a stream with the given frame interval.
     pub fn new(frame_interval: SimDuration, fallback_threshold: SimDuration) -> Self {
         PlaybackBuffer {
-            frames: BTreeMap::new(),
+            frames: SeqRing::new(),
             playhead_dts: None,
             fallback_threshold,
             frame_interval,
@@ -532,20 +602,17 @@ impl PlaybackBuffer {
             return None;
         }
         let next = match self.playhead_dts {
-            None => self.frames.keys().next().copied(),
-            Some(last) => self.frames.range(last + 1..).next().map(|(&k, _)| k),
+            None => self.frames.first_key(),
+            Some(last) => self.frames.next_after(last),
         };
         match next {
             Some(dts) => {
                 if let Some(since) = self.stalled_since.take() {
                     self.rebuffer_duration += now.saturating_since(since);
                 }
-                let header = self.frames.remove(&dts).expect("key just observed");
+                let header = self.frames.remove(dts).expect("key just observed");
                 // Drop anything older than the playhead (late arrivals).
-                let stale: Vec<u64> = self.frames.range(..dts).map(|(&k, _)| k).collect();
-                for k in stale {
-                    self.frames.remove(&k);
-                }
+                self.frames.evict_below(dts);
                 self.playhead_dts = Some(dts);
                 Some(header)
             }
@@ -564,10 +631,10 @@ impl PlaybackBuffer {
     /// latency back down). Returns the dropped frame.
     pub fn drop_oldest(&mut self) -> Option<FrameHeader> {
         let next = match self.playhead_dts {
-            None => self.frames.keys().next().copied(),
-            Some(last) => self.frames.range(last + 1..).next().map(|(&k, _)| k),
+            None => self.frames.first_key(),
+            Some(last) => self.frames.next_after(last),
         }?;
-        let header = self.frames.remove(&next);
+        let header = self.frames.remove(next);
         self.playhead_dts = Some(next);
         header
     }

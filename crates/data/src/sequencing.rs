@@ -17,10 +17,11 @@
 //!    flight) wait in a `misMatchChains` pool and are retried after
 //!    every successful merge.
 
+use crate::ring::SeqRing;
 use rlive_media::crc::Crc32;
 use rlive_media::footprint::{Footprint, LocalChain, CRC_DEPTH};
 use rlive_media::frame::FrameHeader;
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 
 /// Link status of a global-chain entry.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -72,9 +73,9 @@ struct Entry {
 #[derive(Debug)]
 pub struct GlobalChain {
     entries: VecDeque<Entry>,
-    /// Frame headers received so far, by dts — the "data pool" used for
-    /// CRC validation.
-    headers: HashMap<u64, FrameHeader>,
+    /// Frame headers received so far, ring-indexed by dts — the "data
+    /// pool" used for CRC validation.
+    headers: SeqRing<FrameHeader>,
     /// Local chains that could not attach yet.
     mismatched: Vec<LocalChain>,
     /// Bound on the mismatch pool to survive pathological input.
@@ -103,7 +104,7 @@ impl GlobalChain {
     pub fn new() -> Self {
         GlobalChain {
             entries: VecDeque::new(),
-            headers: HashMap::new(),
+            headers: SeqRing::new(),
             mismatched: Vec::new(),
             max_mismatched: 64,
             consumed_until: None,
@@ -161,7 +162,7 @@ impl GlobalChain {
     /// (headers missing); `Some(bool)` is the verdict.
     fn validate_at(&self, idx: usize) -> Option<bool> {
         let fp = &self.entries[idx].footprint;
-        let header = self.headers.get(&fp.dts_ms)?;
+        let header = self.headers.get(fp.dts_ms)?;
         let start = idx.saturating_sub(CRC_DEPTH);
         let mut prior: Vec<FrameHeader> = Vec::new();
         // When the chain holds fewer than CRC_DEPTH predecessors, fill
@@ -178,7 +179,7 @@ impl GlobalChain {
             }
         }
         for e in self.entries.iter().skip(start).take(idx - start) {
-            prior.push(*self.headers.get(&e.footprint.dts_ms)?);
+            prior.push(*self.headers.get(e.footprint.dts_ms)?);
         }
         if prior.len() < CRC_DEPTH {
             // Mid-stream join (or true stream head): the relay's CRC
@@ -330,7 +331,7 @@ impl GlobalChain {
                 let fp = e.footprint;
                 self.entries.pop_front();
                 self.consumed_until = Some(fp.dts_ms);
-                if let Some(h) = self.headers.get(&fp.dts_ms) {
+                if let Some(h) = self.headers.get(fp.dts_ms) {
                     self.tail_context.push_back(*h);
                     while self.tail_context.len() > CRC_DEPTH {
                         self.tail_context.pop_front();
@@ -353,7 +354,7 @@ impl GlobalChain {
         let e = self.entries.pop_front()?;
         let fp = e.footprint;
         self.consumed_until = Some(fp.dts_ms);
-        if let Some(h) = self.headers.get(&fp.dts_ms) {
+        if let Some(h) = self.headers.get(fp.dts_ms) {
             self.tail_context.push_back(*h);
             while self.tail_context.len() > CRC_DEPTH {
                 self.tail_context.pop_front();
@@ -372,7 +373,7 @@ impl GlobalChain {
     /// The frame header of the chain head, if its header was received.
     pub fn head_header(&self) -> Option<FrameHeader> {
         let fp = self.entries.front()?.footprint;
-        self.headers.get(&fp.dts_ms).copied()
+        self.headers.get(fp.dts_ms).copied()
     }
 
     /// Reads (without popping) the head footprint and status.
@@ -390,7 +391,7 @@ impl GlobalChain {
             self.entries.iter().map(|e| e.footprint.dts_ms).collect();
         let floor = self.consumed_until.unwrap_or(0).saturating_sub(10_000);
         self.headers
-            .retain(|dts, _| live.contains(dts) || *dts >= floor);
+            .retain(|dts, _| live.contains(&dts) || dts >= floor);
     }
 }
 
