@@ -48,6 +48,15 @@ smoke obs 7 --jobs 2 --world-jobs 2
 echo "==> experiments adaptive 3 7 --jobs 2 --world-jobs 2 (adaptive policy smoke)"
 smoke adaptive 3 7 --jobs 2 --world-jobs 2
 
+# Fuzz smoke: a tiny coverage-driven campaign exercising mutation,
+# batch evaluation and report rendering end-to-end under both worker
+# pools. Campaign correctness is pinned by the fuzz golden digest and
+# crates/core/tests/fuzz_invariance.rs; the checked-in worst-case
+# scenario replays (crates/core/tests/regression_scenarios.rs) already
+# ran in the test step above.
+echo "==> experiments fuzz 2 7 --jobs 2 --world-jobs 2 (scenario fuzz smoke)"
+smoke fuzz 2 7 --jobs 2 --world-jobs 2
+
 # Obs export determinism: two back-to-back runs must produce
 # byte-identical JSONL/CSV dumps (the golden digest pins stdout; this
 # pins the export files, which stdout does not cover).
@@ -88,6 +97,12 @@ if [[ "${RLIVE_CI_NIGHTLY:-0}" == "1" ]]; then
   echo "==> experiments bench --tier 100k (nightly bench tier)"
   cargo run --release -p rlive-bench --bin experiments -- \
     bench --tier 100k --out "$bench_tmp/bench_100k.json" --baseline BENCH_7.json
+
+  # Full-budget fuzz campaign: the per-push smoke runs 2 candidates;
+  # nightly runs the discovery-scale budget that found the checked-in
+  # regression scenarios, still NaN-screened and seed-deterministic.
+  echo "==> experiments fuzz 12 7 (nightly fuzz budget)"
+  smoke fuzz 12 7
 fi
 
 # API docs must build warning-free (broken intra-doc links, missing

@@ -40,7 +40,7 @@ fn peak_spec(seed: u64, tweak: impl Fn(&mut rlive::config::SystemConfig)) -> Wor
         scenario: peak_scenario(),
         config: cfg,
         policy: GroupPolicy::uniform(DeliveryMode::RLive),
-        outage: None,
+        schedule: Vec::new(),
     }
 }
 

@@ -12,7 +12,7 @@
 
 use rlive::config::{DeliveryMode, SystemConfig};
 use rlive::world::GroupPolicy;
-use rlive::{Fleet, FleetReport, MassOutage, WorldSpec};
+use rlive::{Fleet, FleetReport, ScriptedEvent, WorldSpec};
 use rlive_bench::{header, runner};
 use rlive_control::SchedulerPolicyKind;
 use rlive_sim::{SimDuration, SimTime};
@@ -47,8 +47,8 @@ fn adaptive_config(obs_window: Option<u64>) -> SystemConfig {
 /// The scripted failure: half the relay population drops at t=15 s and
 /// stays dark for 20 s — long enough that the adaptive policy's
 /// two-window hysteresis can confirm the signal and demote.
-fn outage() -> MassOutage {
-    MassOutage {
+fn outage() -> ScriptedEvent {
+    ScriptedEvent::MassOutage {
         at: SimTime::from_secs(15),
         duration: SimDuration::from_secs(20),
         fraction: 0.5,
@@ -85,11 +85,21 @@ pub fn adaptive(n: usize, seed: u64, obs_window: Option<u64>) {
         "Adaptive scheduling — {n} outage world{} per arm (seeds {seed}..={last}), static vs adaptive policy",
         if n == 1 { "" } else { "s" }
     ));
+    // Goldens pin this line: destructure the scripted event so the
+    // rendered text is unchanged from the pre-schedule MassOutage slot.
+    let ScriptedEvent::MassOutage {
+        at,
+        duration,
+        fraction,
+    } = o
+    else {
+        unreachable!("outage() builds a mass outage");
+    };
     println!(
         "mass outage: {:.0} % of relays offline from {} for {}",
-        o.fraction * 100.0,
-        o.at,
-        o.duration
+        fraction * 100.0,
+        at,
+        duration
     );
     let scenario = adaptive_scenario();
     let policies = [SchedulerPolicyKind::Static, SchedulerPolicyKind::Adaptive];
@@ -101,7 +111,7 @@ pub fn adaptive(n: usize, seed: u64, obs_window: Option<u64>) {
             scenario: scenario.clone(),
             config: cfg,
             policy: GroupPolicy::uniform(DeliveryMode::RLive),
-            outage: Some(o),
+            schedule: vec![o],
         }
     });
     let report = runner::run_fleet(fleet);

@@ -31,7 +31,7 @@ pub fn fig13(seed: u64) {
                 scenario: peak_scenario(),
                 config: cfg,
                 policy: GroupPolicy::uniform(DeliveryMode::RLive),
-                outage: None,
+                schedule: Vec::new(),
             }
         },
     );
@@ -87,7 +87,7 @@ fn fifa_spec(mode: DeliveryMode, seed: u64) -> WorldSpec {
         scenario,
         config: cfg,
         policy: GroupPolicy::uniform(mode),
-        outage: None,
+        schedule: Vec::new(),
     }
 }
 
@@ -165,7 +165,7 @@ pub fn fallback_threshold(seed: u64) {
                 scenario: peak_scenario(),
                 config: cfg,
                 policy: GroupPolicy::uniform(DeliveryMode::RLive),
-                outage: None,
+                schedule: Vec::new(),
             }
         },
     );

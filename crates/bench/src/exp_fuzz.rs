@@ -1,0 +1,37 @@
+//! The `fuzz` subcommand: coverage-driven scenario fuzzing over the
+//! workload DSL.
+//!
+//! Thin CLI face of [`rlive::fuzz`]: build the campaign config from the
+//! process-wide `--jobs` setting, run it, and print the deterministic
+//! report (candidate table, coverage matrix, worst candidates as
+//! replayable specs). All chrome stays on stderr via the shared cell
+//! runner, so stdout is golden-comparable.
+
+use rlive::fuzz::{render_report, run_fuzz, FuzzConfig};
+use rlive_bench::{header, runner};
+
+/// Worst candidates rendered as replayable spec blocks.
+const TOP_K: usize = 3;
+
+/// `experiments fuzz <n> [seed]`: mutate `n` scenario programs from the
+/// quiet base, keep the ones that grow behavioural coverage or worsen
+/// QoE, and print the campaign report.
+pub fn fuzz(n: usize, seed: u64) {
+    header(&format!(
+        "Scenario fuzz — {n} candidate{} from seed {seed}, coverage-driven selection",
+        if n == 1 { "" } else { "s" }
+    ));
+    let cfg = FuzzConfig {
+        candidates: n,
+        seed,
+        jobs: runner::jobs(),
+        world_jobs: 0,
+    };
+    let report = run_fuzz(&cfg);
+    print!("{}", render_report(&report, TOP_K));
+    println!(
+        "\nnote: mutation, evaluation and selection all derive from the fuzz \
+         seed; candidate batches fold in generation order, so stdout is \
+         byte-identical for any --jobs / --world-jobs combination."
+    );
+}

@@ -75,7 +75,7 @@ pub fn fig2a(seed: u64) {
             scenario: two_tier_scenario().scaled(1.4),
             config: healthy_cdn_config_mode(mode),
             policy: GroupPolicy::uniform(mode),
-            outage: None,
+            schedule: Vec::new(),
         },
     );
     let reports = runner::run_fleet(fleet).worlds;

@@ -23,7 +23,7 @@ fn two_tier_spec(mode: DeliveryMode, seed: u64) -> WorldSpec {
         scenario: two_tier_scenario(),
         config: cfg,
         policy: GroupPolicy::uniform(mode),
-        outage: None,
+        schedule: Vec::new(),
     }
 }
 
@@ -154,7 +154,7 @@ pub fn table3(seed: u64) {
                 scenario: peak_scenario(),
                 config: c,
                 policy: GroupPolicy::uniform(mode),
-                outage: None,
+                schedule: Vec::new(),
             }
         },
     );

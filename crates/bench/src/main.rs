@@ -29,6 +29,7 @@ mod exp_adaptive;
 mod exp_cases;
 mod exp_control;
 mod exp_fleet;
+mod exp_fuzz;
 mod exp_motivation;
 mod exp_multi;
 mod exp_obs;
@@ -86,6 +87,12 @@ USAGE: experiments <subcommand> [args] [--seed N] [--jobs N] [--world-jobs N]
              Static-vs-adaptive scheduler policy A/B: n mass-outage
              worlds per arm; QoE, recovery traffic and the adaptive
              arm's per-window demotion counts
+  fuzz <n> [seed]
+             Coverage-driven scenario fuzzing: mutate n DSL programs
+             from the quiet base, keep candidates that reach new
+             behavioural coverage (trace kinds, mode transitions,
+             recovery outcomes) or worsen QoE, and print the coverage
+             matrix plus the worst candidates as replayable specs
   trace      Structured per-session event timeline of one traced world
              (--seed N selects the run, --stream S filters sessions)
   obs        Windowed observability series of one traced world:
@@ -151,6 +158,13 @@ fn dispatch(args: &CliArgs) -> Result<(), String> {
             let seed = args.seed_at(2)?;
             args.expect_at_most(2)?;
             exp_adaptive::adaptive(n, seed, args.obs_window);
+            return Ok(());
+        }
+        "fuzz" => {
+            let n = args.required_count_at(1, "fuzz candidate count")?;
+            let seed = args.seed_at(2)?;
+            args.expect_at_most(2)?;
+            exp_fuzz::fuzz(n, seed);
             return Ok(());
         }
         "bench" => {

@@ -30,22 +30,10 @@ use rlive_sim::metrics::Percentiles;
 use rlive_sim::obs::{time_stage, Stage};
 use rlive_sim::runner::{run_cells, RunnerStats};
 use rlive_sim::trace::TraceCounters;
-use rlive_sim::{MetricRegistry, SimDuration, SimTime};
+use rlive_sim::{MetricRegistry, SimDuration};
+use rlive_workload::dsl::ScriptedEvent;
 use rlive_workload::scenario::Scenario;
 use std::collections::BTreeMap;
-
-/// A scripted mass outage a fleet member injects into its world before
-/// running it — the shape `World::inject_mass_outage` takes, carried
-/// declaratively so outage worlds can run on the shared cell pool.
-#[derive(Debug, Clone, Copy)]
-pub struct MassOutage {
-    /// When the outage starts.
-    pub at: SimTime,
-    /// How long the affected relays stay offline.
-    pub duration: SimDuration,
-    /// Fraction of the relay population taken down (clamped to [0, 1]).
-    pub fraction: f64,
-}
 
 /// Everything one fleet member needs to build and run its world.
 #[derive(Debug, Clone)]
@@ -58,13 +46,22 @@ pub struct WorldSpec {
     pub config: SystemConfig,
     /// Per-group delivery policy.
     pub policy: GroupPolicy,
-    /// Optional scripted mass outage, injected right after the world is
-    /// built.
-    pub outage: Option<MassOutage>,
+    /// Scripted disruptions (mass/regional outages, churn storms)
+    /// injected in order right after the world is built — typically
+    /// compiled from a `ScenarioProgram` phase list; empty for
+    /// undisturbed worlds.
+    pub schedule: Vec<ScriptedEvent>,
 }
 
 impl WorldSpec {
-    /// Builds the world.
+    /// Builds the world and applies the scripted-event schedule.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a scheduled event is rejected by its injection hook
+    /// (zero-length window, out-of-range region): specs built from the
+    /// validated DSL cannot hit this; hand-built specs that do are a
+    /// programming error.
     pub fn build(&self) -> World {
         let mut world = World::new(
             self.scenario.clone(),
@@ -72,10 +69,25 @@ impl WorldSpec {
             self.policy.clone(),
             self.seed,
         );
-        if let Some(o) = self.outage {
-            world
-                .inject_mass_outage(o.at, o.duration, o.fraction)
-                .expect("invalid WorldSpec outage");
+        for ev in &self.schedule {
+            match *ev {
+                ScriptedEvent::MassOutage {
+                    at,
+                    duration,
+                    fraction,
+                } => world.inject_mass_outage(at, duration, fraction),
+                ScriptedEvent::RegionalOutage {
+                    at,
+                    duration,
+                    region,
+                } => world.inject_region_outage(at, duration, region),
+                ScriptedEvent::ChurnStorm {
+                    at,
+                    duration,
+                    fraction,
+                } => world.inject_churn_storm(at, duration, fraction),
+            }
+            .expect("invalid WorldSpec scripted event");
         }
         world
     }
@@ -118,7 +130,7 @@ impl Fleet {
                 scenario: scenario.clone(),
                 config: config.clone(),
                 policy: policy.clone(),
-                outage: None,
+                schedule: Vec::new(),
             });
         }
         fleet
@@ -367,7 +379,7 @@ mod tests {
             scenario: scenario.clone(),
             config: config.clone(),
             policy: GroupPolicy::uniform(DeliveryMode::RLive),
-            outage: None,
+            schedule: Vec::new(),
         });
         assert_eq!(
             fleet.specs().iter().map(|s| s.seed).collect::<Vec<_>>(),

@@ -40,6 +40,7 @@ pub mod cost;
 pub mod energy;
 pub mod events;
 pub mod fleet;
+pub mod fuzz;
 pub mod qoe;
 pub mod report;
 pub(crate) mod session;
@@ -50,6 +51,7 @@ pub mod world;
 pub use abtest::{AbReport, AbTest};
 pub use config::{DeliveryMode, SystemConfig, TransportProfile};
 pub use cost::{TrafficClass, TrafficLedger};
-pub use fleet::{Dispersion, Fleet, FleetReport, MassOutage, WorldSpec};
+pub use fleet::{Dispersion, Fleet, FleetReport, WorldSpec};
 pub use qoe::{GroupQoe, SessionMetrics};
+pub use rlive_workload::dsl::ScriptedEvent;
 pub use world::{Group, GroupPolicy, RunReport, World};

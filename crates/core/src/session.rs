@@ -928,9 +928,11 @@ fn pick_relay_excluding(
 /// duration, creates the session in CDN-full mode, schedules its
 /// loops, and bursts the initial playout buffer from the CDN.
 pub(crate) fn on_client_arrival(world: &mut World, now: SimTime) {
-    // Schedule the next arrival from the diurnal rate.
-    let hour = world.hour_at(now);
-    let load = world.scenario.diurnal.load_at(hour) * world.scenario.demand_multiplier;
+    // Schedule the next arrival from the diurnal rate (plus any
+    // active flash-crowd surge — a ×1.0 no-op without one).
+    let load = world
+        .scenario
+        .demand_at(now.saturating_since(SimTime::ZERO));
     // Keep mean concurrency at `viewers(t)`: arrival rate =
     // target / mean session length.
     let mean_session = 110.0;

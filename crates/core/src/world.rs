@@ -29,7 +29,7 @@ use rlive_sim::nat::TraversalModel;
 use rlive_sim::trace::TraceCounters;
 use rlive_sim::{EventQueue, MetricRegistry, SimDuration, SimRng, SimTime};
 use rlive_workload::nodes::NodePopulation;
-use rlive_workload::scenario::Scenario;
+use rlive_workload::scenario::{Scenario, ScenarioError};
 use rlive_workload::streams::StreamPopularity;
 use rlive_workload::traces::RetxTraceGenerator;
 use std::collections::{BTreeMap, HashSet};
@@ -183,7 +183,23 @@ pub struct World {
 
 impl World {
     /// Builds a world for a scenario and group policy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the scenario fails [`Scenario::validate`] — a
+    /// degenerate scenario (zero streams, empty window, out-of-range
+    /// fractions) is a programming error at this layer; the scenario
+    /// DSL surfaces the same check as a hard `Result` before worlds
+    /// are ever built. One exception: an empty node population is
+    /// legal here — a zero-relay world still plays through the CDN
+    /// (the shard-invariance battery runs exactly that) — while the
+    /// DSL, whose programs exist to exercise relay behaviour, keeps
+    /// rejecting it.
     pub fn new(scenario: Scenario, cfg: SystemConfig, policy: GroupPolicy, seed: u64) -> Self {
+        match scenario.validate() {
+            Ok(()) | Err(ScenarioError::EmptyPopulation) => {}
+            Err(e) => panic!("invalid scenario: {e}"),
+        }
         let mut rng = SimRng::new(seed);
         let population = NodePopulation::generate(&scenario.population, &mut rng);
         let mut scheduler = GlobalScheduler::new(cfg.scheduler.clone(), rng.fork(1));
@@ -353,6 +369,83 @@ impl World {
                 rng,
                 at,
                 outage,
+            ));
+        }
+        Ok(n)
+    }
+
+    /// Failure injection: every relay in `region` goes offline at `at`
+    /// for `outage`, then resumes normal churn — a correlated regional
+    /// failure (power cut, carrier outage). Returns the number of
+    /// relays scripted (zero when the region has no relays, which is
+    /// not an error: the region exists, it is just empty).
+    pub fn inject_region_outage(
+        &mut self,
+        at: SimTime,
+        outage: SimDuration,
+        region: u16,
+    ) -> Result<usize, &'static str> {
+        if outage.as_millis() == 0 {
+            return Err("regional outage duration must be non-zero");
+        }
+        if region >= self.scenario.population.regions {
+            return Err("regional outage region out of range");
+        }
+        let targets: Vec<usize> = self
+            .relays
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| r.spec.region == region)
+            .map(|(i, _)| i)
+            .collect();
+        for &i in &targets {
+            let rng = self.rng.fork(23_000 + i as u64);
+            self.relays[i].set_churn(rlive_sim::churn::ChurnTimeline::scripted(
+                rlive_sim::churn::ChurnModel::production(),
+                rng,
+                at,
+                outage,
+            ));
+        }
+        Ok(targets.len())
+    }
+
+    /// Failure injection: a correlated churn storm. A `fraction` of
+    /// relays (spread deterministically across the population) each
+    /// drops offline at a jittered point inside `[at, at + window)`
+    /// for a jittered sub-window — the flappy, staggered failure mode
+    /// that mass outages (everyone at once) do not exercise. Returns
+    /// the number of relays scripted.
+    pub fn inject_churn_storm(
+        &mut self,
+        at: SimTime,
+        window: SimDuration,
+        fraction: f64,
+    ) -> Result<usize, &'static str> {
+        if window.as_millis() == 0 {
+            return Err("churn storm window must be non-zero");
+        }
+        if !fraction.is_finite() {
+            return Err("churn storm fraction must be finite");
+        }
+        let total = self.relays.len();
+        let n = ((total as f64 * fraction.clamp(0.0, 1.0)).round() as usize).min(total);
+        let window_ms = window.as_millis().max(1);
+        for k in 0..n {
+            // Stride selection: floor(k·total/n) is strictly increasing
+            // for n ≤ total, so picks are distinct and spread across
+            // regions/capacity tiers instead of clustering at index 0.
+            let i = k * total / n;
+            let mut rng = self.rng.fork(29_000 + i as u64);
+            let start = at + SimDuration::from_millis(rng.below(window_ms.max(2) / 2));
+            let offline = SimDuration::from_millis(
+                (window_ms / 4).max(1) + rng.below((window_ms / 2).max(1)),
+            );
+            self.relays[i].set_churn(rlive_sim::churn::ChurnTimeline::scripted(
+                rlive_sim::churn::ChurnModel::production(),
+                rng,
+                start,
+                offline,
             ));
         }
         Ok(n)

@@ -16,7 +16,7 @@
 
 use rlive::config::{DeliveryMode, SystemConfig};
 use rlive::world::GroupPolicy;
-use rlive::{Fleet, FleetReport, MassOutage, WorldSpec};
+use rlive::{Fleet, FleetReport, ScriptedEvent, WorldSpec};
 use rlive_control::SchedulerPolicyKind;
 use rlive_sim::{SimDuration, SimTime};
 use rlive_workload::scenario::Scenario;
@@ -44,8 +44,8 @@ fn adaptive_cfg(world_jobs: usize) -> SystemConfig {
 
 /// Half the relays go dark mid-run: the signal the adaptive policy is
 /// built to react to.
-fn outage() -> MassOutage {
-    MassOutage {
+fn outage() -> ScriptedEvent {
+    ScriptedEvent::MassOutage {
         at: SimTime::from_secs(10),
         duration: SimDuration::from_secs(15),
         fraction: 0.5,
@@ -62,7 +62,7 @@ fn run_adaptive_fleet(jobs: usize, world_jobs: usize) -> FleetReport {
             scenario: scenario.clone(),
             config: cfg.clone(),
             policy: GroupPolicy::uniform(DeliveryMode::RLive),
-            outage: Some(outage()),
+            schedule: vec![outage()],
         });
     }
     fleet.run(jobs)

@@ -1,0 +1,83 @@
+//! Determinism battery for the coverage-driven scenario fuzzer.
+//!
+//! The fuzzer is a mutation/evaluation/selection loop whose every
+//! decision — which parent to mutate, which knob to perturb, whether a
+//! candidate is kept — feeds the next one, so a single reordered
+//! evaluation would fork the whole campaign. The contract is the same
+//! as for every other layer: the rendered campaign report (candidate
+//! table, coverage matrix, keep verdicts, replayable specs) is
+//! byte-identical for any (jobs, world_jobs) combination, because
+//! candidate batches are *generated* before evaluation and *selected*
+//! in generation order regardless of which worker finishes first.
+//!
+//! A second test pins non-vacuousness: the campaign must actually keep
+//! at least one candidate beyond the base — mutants that grow coverage
+//! or worsen QoE — otherwise the invariance assertion would pass
+//! trivially on a fuzzer that never finds anything.
+
+use rlive::fuzz::{render_report, run_fuzz, FuzzConfig};
+
+/// (jobs, world_jobs) grid: the sequential reference, pool-only
+/// parallelism, shard-only parallelism, and both at once.
+const GRID: [(usize, usize); 4] = [(1, 1), (4, 1), (1, 2), (2, 2)];
+
+/// Enough candidates for several keep decisions (the 12-candidate
+/// release campaign at this seed keeps three mutants and finds a new
+/// recovery outcome) while staying cheap enough for tier-1.
+const CANDIDATES: usize = 8;
+const SEED: u64 = 7;
+
+fn campaign(jobs: usize, world_jobs: usize) -> String {
+    let cfg = FuzzConfig {
+        candidates: CANDIDATES,
+        seed: SEED,
+        jobs,
+        world_jobs,
+    };
+    render_report(&run_fuzz(&cfg), 3)
+}
+
+#[test]
+fn fuzz_report_is_invariant_across_jobs_and_world_jobs() {
+    let reference = campaign(1, 1);
+    assert!(
+        reference.contains("coverage matrix"),
+        "report should include the coverage matrix"
+    );
+    for (jobs, world_jobs) in GRID.iter().skip(1) {
+        let got = campaign(*jobs, *world_jobs);
+        assert_eq!(
+            got, reference,
+            "fuzz report diverged at jobs={jobs}, world_jobs={world_jobs}"
+        );
+    }
+}
+
+#[test]
+fn fuzz_campaign_is_not_vacuous() {
+    let cfg = FuzzConfig::sequential(CANDIDATES, SEED);
+    let report = run_fuzz(&cfg);
+    assert_eq!(report.candidates.len(), CANDIDATES);
+    let kept = report.kept();
+    assert!(
+        !kept.is_empty(),
+        "campaign must keep at least one mutant (coverage growth or worse QoE)"
+    );
+    // Kept candidates join the frontier with real evidence attached.
+    for &i in &kept {
+        let c = &report.candidates[i];
+        assert!(c.new_points > 0 || c.worse);
+    }
+    // The union strictly contains the base run's coverage-or-badness
+    // frontier: either some mutant reached a point the base didn't, or
+    // some mutant was kept for being markedly worse.
+    let grew = report.union.len() > report.base.coverage.len();
+    let worsened = report
+        .candidates
+        .iter()
+        .any(|c| c.eval.score.badness() > report.base.score.badness());
+    assert!(
+        grew || worsened,
+        "mutation never moved the campaign beyond the base run"
+    );
+}

@@ -1,0 +1,110 @@
+//! Replays fuzzer-discovered worst-case scenarios checked in under
+//! `tests/scenarios/*.scn`.
+//!
+//! Each spec was found by a coverage-driven fuzz campaign
+//! (`experiments fuzz 12 7`) and pinned because it either reached
+//! behavioural coverage the quiet base never hits or degraded QoE by
+//! an order of magnitude. Replaying them here keeps two promises:
+//!
+//! 1. **the specs stay replayable** — the DSL keeps parsing and
+//!    compiling them as the fuzzer wrote them;
+//! 2. **the behaviours stay reachable** — a delivery-plane change that
+//!    silently stops exercising substream-switch failure paths or
+//!    flattens the flash-crowd overload shows up as a bound violation
+//!    here, not as quietly shrinking coverage.
+//!
+//! The bounds are deliberately loose (well under half the measured
+//! values) so ordinary tuning doesn't trip them; only a structural
+//! regression — the storm no longer stressing recovery, the spike no
+//! longer overloading admission — will.
+
+use rlive::fuzz::{evaluate, replay_spec, Evaluated, FuzzConfig};
+use rlive_workload::dsl::ScenarioProgram;
+
+const STORM_HEAVY: &str = include_str!("../../../tests/scenarios/storm_heavy.scn");
+const FLASH_CROWD_SPIKE: &str = include_str!("../../../tests/scenarios/flash_crowd_spike.scn");
+
+/// The campaign seed the specs were discovered under: replays must use
+/// the same world seed to reproduce the pinned behaviour exactly.
+const SEED: u64 = 7;
+
+fn replay(spec: &str) -> Evaluated {
+    let cfg = FuzzConfig::sequential(0, SEED);
+    replay_spec(spec, &cfg).expect("checked-in spec must parse, validate and compile")
+}
+
+fn base() -> Evaluated {
+    let cfg = FuzzConfig::sequential(0, SEED);
+    evaluate(&ScenarioProgram::base("base"), &cfg).expect("base program is valid")
+}
+
+#[test]
+fn storm_heavy_still_stresses_recovery() {
+    let base = base();
+    let got = replay(STORM_HEAVY);
+    assert_eq!(got.program.name, "storm_heavy");
+    // The storm must keep reaching the coverage points it was pinned
+    // for: churn trace events and the substream-switch failure path
+    // the quiet base never exercises.
+    assert!(got.coverage.covers("kind:churn"));
+    assert!(
+        got.coverage.covers("recovery:switch_substream:fail"),
+        "storm no longer reaches substream-switch failure (measured coverage: {:?})",
+        got.coverage.labels()
+    );
+    // And it must still be dramatically worse than the quiet base
+    // (measured ~26x; bound at 4x).
+    assert!(
+        got.score.badness() > 4.0 * base.score.badness(),
+        "storm badness {:.1} no longer dwarfs base {:.1}",
+        got.score.badness(),
+        base.score.badness()
+    );
+    // The worst obs window during the storm sees real recovery failures.
+    assert!(
+        got.score.worst_window_failure_pct > 10.0,
+        "worst-window recovery failure collapsed to {:.1} %",
+        got.score.worst_window_failure_pct
+    );
+}
+
+#[test]
+fn flash_crowd_spike_still_overloads_admission() {
+    let base = base();
+    let got = replay(FLASH_CROWD_SPIKE);
+    assert_eq!(got.program.name, "flash_crowd_spike");
+    // No scripted failures: all damage comes from the demand spike.
+    assert!(got.program.phases.len() == 1);
+    // Measured ~14x the base badness; bound at 3x.
+    assert!(
+        got.score.badness() > 3.0 * base.score.badness(),
+        "flash crowd badness {:.1} no longer dwarfs base {:.1}",
+        got.score.badness(),
+        base.score.badness()
+    );
+    // The spike must keep adding viewers: rebuffer time is the damage
+    // channel, not recovery-deadline churn.
+    assert!(got.score.rebuffer_ms_per_100s > base.score.rebuffer_ms_per_100s);
+}
+
+#[test]
+fn checked_in_specs_render_canonically() {
+    // Round-trip stability: re-rendering a parsed spec reproduces the
+    // machine lines byte-for-byte (comments are not preserved), so a
+    // hand-edit that drifts from canonical form is caught at check-in.
+    for text in [STORM_HEAVY, FLASH_CROWD_SPIKE] {
+        let program = ScenarioProgram::parse_spec(text).unwrap();
+        let rendered = program.render_spec();
+        let reparsed = ScenarioProgram::parse_spec(&rendered).unwrap();
+        assert_eq!(reparsed, program);
+        let machine_lines: Vec<&str> = text
+            .lines()
+            .filter(|l| !l.trim().is_empty() && !l.trim_start().starts_with('#'))
+            .collect();
+        let rendered_lines: Vec<&str> = rendered
+            .lines()
+            .filter(|l| !l.trim().is_empty() && !l.trim_start().starts_with('#'))
+            .collect();
+        assert_eq!(machine_lines, rendered_lines);
+    }
+}

@@ -15,6 +15,7 @@
 //!   ([`nat`]),
 //! - node churn (lifespan / offline episodes) modelling ([`churn`]),
 //! - event counters and ring tracing for debugging ([`trace`]),
+//! - behavioural coverage cataloguing over trace streams ([`coverage`]),
 //! - metric accumulators: streaming histograms, percentile estimation,
 //!   CDFs and time series ([`metrics`]),
 //! - a deterministic windowed observability layer — metric registry,
@@ -30,6 +31,7 @@
 #![warn(missing_docs)]
 
 pub mod churn;
+pub mod coverage;
 pub mod event;
 pub mod link;
 pub mod metrics;
@@ -40,6 +42,7 @@ pub mod runner;
 pub mod time;
 pub mod trace;
 
+pub use coverage::CoverageCatalog;
 pub use event::{EventHandle, EventQueue};
 pub use link::{Link, LinkConfig};
 pub use obs::{MetricRegistry, Stage, StageTable};

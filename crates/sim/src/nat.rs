@@ -167,6 +167,41 @@ impl NatMix {
         }
     }
 
+    /// The production mix reshaped so that hard NAT types carry
+    /// `hard_fraction` of the total weight: every hard weight is scaled
+    /// by `hard_fraction / 0.55` and every easy weight by the
+    /// complement, so the *relative* composition within each class is
+    /// preserved while the hard/easy split moves. `hard_fraction` is
+    /// clamped to `[0, 1]`; non-finite inputs fall back to the
+    /// production split.
+    pub fn with_hard_fraction(hard_fraction: f64) -> Self {
+        let base = NatMix::production();
+        if !hard_fraction.is_finite() {
+            return base;
+        }
+        let hard_target = hard_fraction.clamp(0.0, 1.0);
+        let hard_base: f64 = base
+            .weights
+            .iter()
+            .filter(|(nat, _)| nat.is_hard())
+            .map(|(_, w)| w)
+            .sum();
+        let easy_base = 1.0 - hard_base;
+        let weights = base
+            .weights
+            .into_iter()
+            .map(|(nat, w)| {
+                let scaled = if nat.is_hard() {
+                    w * hard_target / hard_base
+                } else {
+                    w * (1.0 - hard_target) / easy_base
+                };
+                (nat, scaled)
+            })
+            .collect();
+        NatMix::new(weights)
+    }
+
     /// Builds a custom mix.
     ///
     /// # Panics
@@ -232,6 +267,34 @@ mod tests {
         assert!(!NatType::FullCone.is_hard());
         assert!(NatType::Symmetric.is_hard());
         assert!(NatType::SequentialFiltering.is_hard());
+    }
+
+    #[test]
+    fn hard_fraction_mix_hits_the_target_split() {
+        for target in [0.0, 0.2, 0.55, 0.8, 1.0] {
+            let mix = NatMix::with_hard_fraction(target);
+            let hard: f64 = mix
+                .weights()
+                .iter()
+                .filter(|(nat, _)| nat.is_hard())
+                .map(|(_, w)| w)
+                .sum();
+            assert!((hard - target).abs() < 1e-9, "target {target} got {hard}");
+        }
+    }
+
+    #[test]
+    fn hard_fraction_mix_clamps_and_survives_nan() {
+        let over = NatMix::with_hard_fraction(7.0);
+        let hard: f64 = over
+            .weights()
+            .iter()
+            .filter(|(nat, _)| nat.is_hard())
+            .map(|(_, w)| w)
+            .sum();
+        assert!((hard - 1.0).abs() < 1e-9);
+        let nan = NatMix::with_hard_fraction(f64::NAN);
+        assert_eq!(nan.weights().len(), NatMix::production().weights().len());
     }
 
     #[test]

@@ -265,6 +265,26 @@ pub enum TraceEvent {
 }
 
 impl TraceEvent {
+    /// Every kind label in [`TraceEvent::kind`] order — the row space of
+    /// a behavioural coverage matrix (see [`crate::coverage`]). Keep in
+    /// sync with the variant list; `coverage::tests` cross-checks the
+    /// count against the `kind()` mapping.
+    pub const ALL_KINDS: [&'static str; 13] = [
+        "scheduler_recommendation",
+        "adviser_cost_trigger",
+        "adviser_qos_trigger",
+        "recovery_decision",
+        "reorder_head_skip",
+        "churn",
+        "mode_switch",
+        "session_join",
+        "session_depart",
+        "cdn_prefill",
+        "multi_source_promotion",
+        "recovery_outcome",
+        "recovery_deadline_blown",
+    ];
+
     /// Short machine-readable kind label, e.g. for counting or filtering.
     pub fn kind(&self) -> &'static str {
         match self {

@@ -10,16 +10,22 @@
 //!   pattern of concurrent streams and nodes;
 //! - [`scenario`]: end-to-end experiment scenarios (evening peak,
 //!   double peak, the 2022 FIFA World Cup burst);
+//! - [`dsl`]: a declarative scenario layer — composable sim-time
+//!   phases that compile to a [`Scenario`] plus a scripted-event
+//!   schedule, with a replayable text spec format and deterministic
+//!   mutation for the coverage-driven scenario fuzzer;
 //! - [`traces`]: synthetic retransmission traces reproducing Fig 3.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod dsl;
 pub mod nodes;
 pub mod scenario;
 pub mod streams;
 pub mod traces;
 
+pub use dsl::{CompiledScenario, DslError, Phase, ScenarioProgram, ScriptedEvent};
 pub use nodes::{NodePopulation, NodeSpec, PopulationConfig};
-pub use scenario::{Scenario, ScenarioKind};
+pub use scenario::{DemandSurge, Scenario, ScenarioError, ScenarioKind};
 pub use streams::{DiurnalModel, StreamPopularity};

@@ -25,6 +25,16 @@ pub struct PopulationConfig {
     pub prefixes_per_region: u32,
     /// Fraction of nodes in the high-quality tier (paper: top ~1 %).
     pub high_quality_fraction: f64,
+    /// Uniform multiplier on every sampled uplink capacity (1.0 = the
+    /// Fig 1(b) distribution unchanged — an exact float identity, so
+    /// default populations are bit-identical to the pre-knob model).
+    /// The scenario DSL's capacity-tiers phase lowers or raises it to
+    /// model constrained or over-provisioned swarms.
+    pub capacity_scale: f64,
+    /// Overrides the hard-NAT share of the production NAT mix
+    /// ([`NatMix::with_hard_fraction`]); `None` keeps the production
+    /// mix, including its RNG draw sequence.
+    pub nat_hard_fraction: Option<f64>,
 }
 
 impl Default for PopulationConfig {
@@ -35,6 +45,8 @@ impl Default for PopulationConfig {
             regions: 16,
             prefixes_per_region: 8,
             high_quality_fraction: 0.01,
+            capacity_scale: 1.0,
+            nat_hard_fraction: None,
         }
     }
 }
@@ -91,10 +103,15 @@ impl NodePopulation {
     /// Generates a population.
     pub fn generate(cfg: &PopulationConfig, rng: &mut SimRng) -> Self {
         let capacity = capacity_cdf();
-        let nat_mix = NatMix::production();
+        let nat_mix = match cfg.nat_hard_fraction {
+            None => NatMix::production(),
+            Some(h) => NatMix::with_hard_fraction(h),
+        };
         let mut nodes = Vec::with_capacity(cfg.count);
         for id in 0..cfg.count as u64 {
-            let cap = capacity.sample(rng);
+            // One capacity draw either way; the scale multiplies after
+            // sampling so the draw sequence is knob-invariant.
+            let cap = capacity.sample(rng) * cfg.capacity_scale;
             let isp = rng.below(cfg.isps as u64) as u16;
             let region = rng.below(cfg.regions as u64) as u16;
             let bgp_prefix = region as u32 * cfg.prefixes_per_region
@@ -230,6 +247,48 @@ mod tests {
         let frac = hard as f64 / 2_000.0;
         // Production mix has ~55 % hard NAT types.
         assert!((0.45..0.65).contains(&frac), "hard frac {frac}");
+    }
+
+    #[test]
+    fn capacity_scale_multiplies_every_node() {
+        let mut rng_a = SimRng::new(5);
+        let mut rng_b = SimRng::new(5);
+        let base = NodePopulation::generate(
+            &PopulationConfig {
+                count: 200,
+                ..PopulationConfig::default()
+            },
+            &mut rng_a,
+        );
+        let scaled = NodePopulation::generate(
+            &PopulationConfig {
+                count: 200,
+                capacity_scale: 0.25,
+                ..PopulationConfig::default()
+            },
+            &mut rng_b,
+        );
+        for (a, b) in base.nodes.iter().zip(&scaled.nodes) {
+            assert_eq!(b.capacity_mbps, a.capacity_mbps * 0.25);
+            // The knob never perturbs the other draws.
+            assert_eq!(a.nat, b.nat);
+            assert_eq!(a.region, b.region);
+        }
+    }
+
+    #[test]
+    fn nat_hard_fraction_shifts_the_mix() {
+        let mut rng = SimRng::new(6);
+        let pop = NodePopulation::generate(
+            &PopulationConfig {
+                count: 4_000,
+                nat_hard_fraction: Some(0.9),
+                ..PopulationConfig::default()
+            },
+            &mut rng,
+        );
+        let hard = pop.nodes.iter().filter(|n| n.nat.is_hard()).count() as f64 / 4_000.0;
+        assert!((0.85..0.95).contains(&hard), "hard frac {hard}");
     }
 
     #[test]

@@ -12,6 +12,52 @@ use crate::streams::DiurnalModel;
 use rlive_sim::SimDuration;
 use serde::{Deserialize, Serialize};
 
+/// A flash-crowd surge: between `at` and `at + duration` (offsets into
+/// the run) the demand multiplier is scaled by `multiplier` on top of
+/// the diurnal curve. Compiled from the scenario DSL's flash-crowd
+/// phase; an empty surge list leaves demand exactly as before.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DemandSurge {
+    /// Offset into the run the surge starts at.
+    pub at: SimDuration,
+    /// How long the surge lasts.
+    pub duration: SimDuration,
+    /// Multiplier applied to demand while the surge is active (> 0).
+    pub multiplier: f64,
+}
+
+/// Why a [`Scenario`] was rejected by [`Scenario::validate`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ScenarioError {
+    /// `streams == 0`: nothing to watch.
+    ZeroStreams,
+    /// `peak_viewers == 0`: nobody to watch it.
+    ZeroViewers,
+    /// `population.count == 0`: no best-effort nodes to generate.
+    EmptyPopulation,
+    /// `duration` is zero: the run window is empty.
+    NonPositiveDuration,
+    /// A scalar knob is out of range; the message names it.
+    BadParameter(&'static str),
+    /// A surge window falls outside the run window or is degenerate.
+    BadSurge(&'static str),
+}
+
+impl std::fmt::Display for ScenarioError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ScenarioError::ZeroStreams => write!(f, "scenario has zero streams"),
+            ScenarioError::ZeroViewers => write!(f, "scenario has zero peak viewers"),
+            ScenarioError::EmptyPopulation => write!(f, "scenario has an empty node population"),
+            ScenarioError::NonPositiveDuration => write!(f, "scenario duration must be positive"),
+            ScenarioError::BadParameter(what) => write!(f, "invalid scenario parameter: {what}"),
+            ScenarioError::BadSurge(what) => write!(f, "invalid demand surge: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for ScenarioError {}
+
 /// Which preset a scenario was built from.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum ScenarioKind {
@@ -47,6 +93,9 @@ pub struct Scenario {
     pub demand_multiplier: f64,
     /// The diurnal curve.
     pub diurnal: DiurnalModel,
+    /// Time-windowed flash-crowd surges on top of the diurnal demand
+    /// (empty for every preset; populated by the scenario DSL).
+    pub surges: Vec<DemandSurge>,
 }
 
 impl Scenario {
@@ -66,6 +115,7 @@ impl Scenario {
             },
             demand_multiplier: 1.0,
             diurnal: DiurnalModel::default(),
+            surges: Vec::new(),
         }
     }
 
@@ -104,6 +154,7 @@ impl Scenario {
             },
             demand_multiplier: 1.6,
             diurnal: DiurnalModel::default(),
+            surges: Vec::new(),
         }
     }
 
@@ -111,7 +162,98 @@ impl Scenario {
     pub fn viewers_at(&self, offset: SimDuration) -> usize {
         let hour = self.start_hour + offset.as_secs_f64() / 3600.0;
         let base = self.diurnal.load_at(hour) * self.peak_viewers as f64;
-        (base * self.demand_multiplier).round() as usize
+        (base * self.demand_multiplier * self.surge_factor_at(offset)).round() as usize
+    }
+
+    /// Product of the multipliers of every surge active at `offset`
+    /// (1.0 when none are — the common case, and an exact float
+    /// identity, so surge-free scenarios are bit-identical to the
+    /// pre-surge demand model).
+    pub fn surge_factor_at(&self, offset: SimDuration) -> f64 {
+        let mut factor = 1.0;
+        for s in &self.surges {
+            if offset >= s.at && offset < s.at + s.duration {
+                factor *= s.multiplier;
+            }
+        }
+        factor
+    }
+
+    /// Demand load (fraction of `peak_viewers`) at an offset into the
+    /// run: the diurnal curve times the scenario multiplier times any
+    /// active surge. This is the arrival-rate driver the session layer
+    /// samples.
+    pub fn demand_at(&self, offset: SimDuration) -> f64 {
+        let hour = self.start_hour + offset.as_secs_f64() / 3600.0;
+        self.diurnal.load_at(hour) * self.demand_multiplier * self.surge_factor_at(offset)
+    }
+
+    /// Rejects degenerate or out-of-range scenarios before they run
+    /// silently: zero streams/viewers/nodes, an empty run window,
+    /// non-finite or out-of-range scalar knobs, and surge windows that
+    /// fall outside the run. `World::new` asserts this; the scenario
+    /// DSL propagates it as a hard `Result`.
+    pub fn validate(&self) -> Result<(), ScenarioError> {
+        if self.streams == 0 {
+            return Err(ScenarioError::ZeroStreams);
+        }
+        if self.peak_viewers == 0 {
+            return Err(ScenarioError::ZeroViewers);
+        }
+        if self.population.count == 0 {
+            return Err(ScenarioError::EmptyPopulation);
+        }
+        if self.duration.as_millis() == 0 {
+            return Err(ScenarioError::NonPositiveDuration);
+        }
+        if !self.start_hour.is_finite() || !(0.0..24.0).contains(&self.start_hour) {
+            return Err(ScenarioError::BadParameter("start_hour must be in [0, 24)"));
+        }
+        if !self.zipf_s.is_finite() || self.zipf_s < 0.0 {
+            return Err(ScenarioError::BadParameter(
+                "zipf_s must be finite and non-negative",
+            ));
+        }
+        if !self.demand_multiplier.is_finite() || self.demand_multiplier <= 0.0 {
+            return Err(ScenarioError::BadParameter(
+                "demand_multiplier must be finite and positive",
+            ));
+        }
+        if !self.population.high_quality_fraction.is_finite()
+            || !(0.0..=1.0).contains(&self.population.high_quality_fraction)
+        {
+            return Err(ScenarioError::BadParameter(
+                "high_quality_fraction must be in [0, 1]",
+            ));
+        }
+        if !self.population.capacity_scale.is_finite() || self.population.capacity_scale <= 0.0 {
+            return Err(ScenarioError::BadParameter(
+                "capacity_scale must be finite and positive",
+            ));
+        }
+        if let Some(h) = self.population.nat_hard_fraction {
+            if !h.is_finite() || !(0.0..=1.0).contains(&h) {
+                return Err(ScenarioError::BadParameter(
+                    "nat_hard_fraction must be in [0, 1]",
+                ));
+            }
+        }
+        for s in &self.surges {
+            if s.duration.as_millis() == 0 {
+                return Err(ScenarioError::BadSurge("surge duration must be non-zero"));
+            }
+            if !s.multiplier.is_finite() || s.multiplier <= 0.0 {
+                return Err(ScenarioError::BadSurge(
+                    "surge multiplier must be finite and positive",
+                ));
+            }
+            if s.at + s.duration > self.duration {
+                return Err(ScenarioError::BadSurge(
+                    "surge window extends past the run window",
+                ));
+            }
+        }
+        Ok(())
     }
 
     /// Scales viewer and node counts by `factor` (for quick test runs
@@ -161,6 +303,103 @@ mod tests {
         assert_eq!(s.population.count, 200);
         let tiny = Scenario::evening_peak().scaled(0.0001);
         assert!(tiny.peak_viewers >= 1);
+    }
+
+    #[test]
+    fn presets_validate_clean() {
+        for s in [
+            Scenario::evening_peak(),
+            Scenario::noon_peak(),
+            Scenario::off_peak(),
+            Scenario::fifa_world_cup(),
+        ] {
+            assert_eq!(s.validate(), Ok(()));
+        }
+    }
+
+    #[test]
+    fn validate_rejects_degenerate_scenarios() {
+        let base = Scenario::evening_peak();
+
+        let mut s = base.clone();
+        s.streams = 0;
+        assert_eq!(s.validate(), Err(ScenarioError::ZeroStreams));
+
+        let mut s = base.clone();
+        s.peak_viewers = 0;
+        assert_eq!(s.validate(), Err(ScenarioError::ZeroViewers));
+
+        let mut s = base.clone();
+        s.population.count = 0;
+        assert_eq!(s.validate(), Err(ScenarioError::EmptyPopulation));
+
+        let mut s = base.clone();
+        s.duration = SimDuration::ZERO;
+        assert_eq!(s.validate(), Err(ScenarioError::NonPositiveDuration));
+
+        let mut s = base.clone();
+        s.start_hour = 24.5;
+        assert!(matches!(s.validate(), Err(ScenarioError::BadParameter(_))));
+
+        let mut s = base.clone();
+        s.demand_multiplier = f64::NAN;
+        assert!(matches!(s.validate(), Err(ScenarioError::BadParameter(_))));
+
+        let mut s = base.clone();
+        s.population.nat_hard_fraction = Some(1.5);
+        assert!(matches!(s.validate(), Err(ScenarioError::BadParameter(_))));
+
+        let mut s = base.clone();
+        s.population.capacity_scale = 0.0;
+        assert!(matches!(s.validate(), Err(ScenarioError::BadParameter(_))));
+    }
+
+    #[test]
+    fn validate_rejects_bad_surges() {
+        let mut s = Scenario::evening_peak();
+        s.surges.push(DemandSurge {
+            at: SimDuration::from_secs(500),
+            duration: SimDuration::from_secs(200),
+            multiplier: 2.0,
+        });
+        assert!(matches!(s.validate(), Err(ScenarioError::BadSurge(_))));
+
+        s.surges[0] = DemandSurge {
+            at: SimDuration::from_secs(10),
+            duration: SimDuration::ZERO,
+            multiplier: 2.0,
+        };
+        assert!(matches!(s.validate(), Err(ScenarioError::BadSurge(_))));
+
+        s.surges[0] = DemandSurge {
+            at: SimDuration::from_secs(10),
+            duration: SimDuration::from_secs(20),
+            multiplier: -1.0,
+        };
+        assert!(matches!(s.validate(), Err(ScenarioError::BadSurge(_))));
+
+        s.surges[0] = DemandSurge {
+            at: SimDuration::from_secs(10),
+            duration: SimDuration::from_secs(20),
+            multiplier: 3.0,
+        };
+        assert_eq!(s.validate(), Ok(()));
+    }
+
+    #[test]
+    fn surges_scale_demand_only_inside_their_window() {
+        let mut s = Scenario::evening_peak();
+        let quiet = s.demand_at(SimDuration::from_secs(15));
+        s.surges.push(DemandSurge {
+            at: SimDuration::from_secs(10),
+            duration: SimDuration::from_secs(10),
+            multiplier: 2.5,
+        });
+        assert_eq!(s.demand_at(SimDuration::from_secs(15)), quiet * 2.5);
+        assert_eq!(s.surge_factor_at(SimDuration::from_secs(5)), 1.0);
+        // Window end is exclusive.
+        assert_eq!(s.surge_factor_at(SimDuration::from_secs(20)), 1.0);
+        assert!(s.viewers_at(SimDuration::from_secs(15)) > s.viewers_at(SimDuration::from_secs(5)));
     }
 
     #[test]

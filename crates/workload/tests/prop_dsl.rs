@@ -1,0 +1,108 @@
+//! Property-based tests of the scenario DSL.
+//!
+//! Random programs are built the same way the fuzzer builds them — a
+//! seeded mutation chain from [`ScenarioProgram::base`] — so these
+//! properties cover exactly the program space the fuzz campaign can
+//! reach: every reachable program validates, compiles, scripts its
+//! disruptions inside the run window, and round-trips through the
+//! textual spec format bit-exactly.
+
+use proptest::prelude::*;
+use rlive_sim::{SimDuration, SimRng, SimTime};
+use rlive_workload::dsl::{ScenarioProgram, ScriptedEvent};
+
+/// A random program: `steps` mutations from the base under one seed.
+fn chain(seed: u64, steps: usize) -> ScenarioProgram {
+    let mut rng = SimRng::new(seed);
+    let mut program = ScenarioProgram::base("prop");
+    for _ in 0..steps {
+        program = program.mutated(&mut rng);
+    }
+    program
+}
+
+/// The `[at, at + duration)` window of a scripted event.
+fn event_window(ev: &ScriptedEvent) -> (SimTime, SimDuration) {
+    match *ev {
+        ScriptedEvent::MassOutage { at, duration, .. }
+        | ScriptedEvent::RegionalOutage { at, duration, .. }
+        | ScriptedEvent::ChurnStorm { at, duration, .. } => (at, duration),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every program the mutation operator can reach stays valid: the
+    /// fuzzer never has to handle a mutant that fails validation.
+    #[test]
+    fn mutation_chain_stays_valid(seed in any::<u64>(), steps in 1usize..12) {
+        let program = chain(seed, steps);
+        prop_assert!(program.validate().is_ok(), "mutant failed validation: {program:?}");
+        prop_assert!(program.compile().is_ok());
+    }
+
+    /// Compilation contains every scripted disruption inside the run
+    /// window: an event scheduled past the end would silently never
+    /// fire and an overlong one would outlive the world.
+    #[test]
+    fn compiled_schedule_is_contained(seed in any::<u64>(), steps in 1usize..12) {
+        let program = chain(seed, steps);
+        let compiled = program.compile().unwrap();
+        let run = SimDuration::from_secs(program.duration_s);
+        prop_assert_eq!(compiled.scenario.duration, run);
+        for ev in &compiled.schedule {
+            let (at, duration) = event_window(ev);
+            let start = at.saturating_since(SimTime::ZERO);
+            prop_assert!(duration > SimDuration::ZERO, "zero-length event {ev:?}");
+            prop_assert!(
+                start + duration <= run,
+                "event {ev:?} escapes the {run} run window"
+            );
+        }
+        // Compilation also keeps phase-declaration order: the schedule
+        // length equals the number of churn-scripting phases.
+        let scripted = program.phases.iter().filter(|p| {
+            matches!(
+                p.label(),
+                "mass_outage" | "regional_outage" | "churn_storm"
+            )
+        }).count();
+        prop_assert_eq!(compiled.schedule.len(), scripted);
+    }
+
+    /// The textual spec format round-trips bit-exactly (floats render
+    /// with Rust's shortest round-trip formatting), so a checked-in
+    /// regression spec replays the exact program the fuzzer found.
+    #[test]
+    fn spec_round_trips(seed in any::<u64>(), steps in 1usize..12) {
+        let program = chain(seed, steps);
+        let spec = program.render_spec();
+        let parsed = ScenarioProgram::parse_spec(&spec).unwrap();
+        prop_assert_eq!(&parsed, &program);
+        // And the round-trip is a fixed point of rendering.
+        prop_assert_eq!(parsed.render_spec(), spec);
+    }
+
+    /// Compilation is a pure function of the program: two compiles
+    /// yield identical scenarios and schedules (the replay-determinism
+    /// half of the fuzzer's contract; the world-level half lives in
+    /// crates/core/tests/fuzz_invariance.rs).
+    #[test]
+    fn compile_is_deterministic(seed in any::<u64>(), steps in 1usize..8) {
+        let program = chain(seed, steps);
+        let a = program.compile().unwrap();
+        let b = program.compile().unwrap();
+        prop_assert_eq!(format!("{a:?}"), format!("{b:?}"));
+    }
+
+    /// Mutation is driven entirely by the supplied RNG: the same seed
+    /// yields the same mutant, different draws stay within the valid
+    /// program space (never panic, never invalid).
+    #[test]
+    fn mutation_is_seed_deterministic(seed in any::<u64>()) {
+        let a = chain(seed, 6);
+        let b = chain(seed, 6);
+        prop_assert_eq!(a, b);
+    }
+}

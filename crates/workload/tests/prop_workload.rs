@@ -23,6 +23,7 @@ proptest! {
             regions,
             prefixes_per_region: 4,
             high_quality_fraction: 0.05,
+            ..PopulationConfig::default()
         };
         let mut rng = SimRng::new(seed);
         let pop = NodePopulation::generate(&cfg, &mut rng);

@@ -253,6 +253,31 @@ fn golden_obs() {
     }
 }
 
+// The fuzz subcommand drives the coverage-guided scenario fuzzer: a
+// seed-deterministic mutation/evaluation/selection loop over small DSL
+// worlds. Its digest pins the whole campaign — mutation draws, batch
+// evaluation, greedy keep decisions, the rendered coverage matrix and
+// replayable specs — as byte-identical across the (jobs, world-jobs)
+// grid, the end-to-end form of crates/core/tests/fuzz_invariance.rs.
+
+#[test]
+fn golden_fuzz() {
+    let want = expected_digest("fuzz");
+    for extra in [
+        &[][..],
+        &["--jobs", "4"][..],
+        &["--jobs", "2", "--world-jobs", "2"][..],
+    ] {
+        let mut args = vec!["fuzz", "3", "7"];
+        args.extend_from_slice(extra);
+        let got = run_digest(&args);
+        assert_eq!(
+            got, want,
+            "stdout of `experiments fuzz 3 7` drifted (extra args {extra:?})"
+        );
+    }
+}
+
 // ----- tier-1 sharded re-run -------------------------------------------
 //
 // The same fast subset again with the world event loop sharded across
