@@ -48,6 +48,9 @@ smoke obs 7 --jobs 2 --world-jobs 2
 echo "==> experiments adaptive 3 7 --jobs 2 --world-jobs 2 (adaptive policy smoke)"
 smoke adaptive 3 7 --jobs 2 --world-jobs 2
 
+echo "==> experiments recover 3 7 --jobs 2 --world-jobs 2 (racing recovery smoke)"
+smoke recover 3 7 --jobs 2 --world-jobs 2
+
 # Fuzz smoke: a tiny coverage-driven campaign exercising mutation,
 # batch evaluation and report rendering end-to-end under both worker
 # pools. Campaign correctness is pinned by the fuzz golden digest and

@@ -43,6 +43,9 @@ pub struct CliArgs {
     /// `--sched-policy static|adaptive`: scheduler policy selection.
     /// Unrecognised values are rejected at parse time.
     pub sched_policy: Option<rlive_control::SchedulerPolicyKind>,
+    /// `--recovery-policy qoe_edf|racing`: recovery policy selection.
+    /// Unrecognised values are rejected at parse time.
+    pub recovery_policy: Option<rlive_data::recovery::RecoveryPolicyKind>,
     /// `bench` options: `--quick`, `--tier`, `--out`, `--pre`,
     /// `--baseline`, `--check`.
     pub bench: crate::perf::BenchOpts,
@@ -81,6 +84,10 @@ pub fn parse_args(raw: impl IntoIterator<Item = String>) -> Result<CliArgs, Stri
             "--sched-policy" => {
                 args.sched_policy = Some(parse_policy(&flag_value("--sched-policy")?)?)
             }
+            "--recovery-policy" => {
+                args.recovery_policy =
+                    Some(parse_recovery_policy(&flag_value("--recovery-policy")?)?)
+            }
             "--quick" => args.bench.quick = true,
             "--tier" => args.bench.tier = Some(parse_tier(&flag_value("--tier")?)?),
             "--out" => args.bench.out = Some(flag_value("--out")?),
@@ -102,6 +109,8 @@ pub fn parse_args(raw: impl IntoIterator<Item = String>) -> Result<CliArgs, Stri
                     args.obs_export = Some(v.to_string());
                 } else if let Some(v) = arg.strip_prefix("--sched-policy=") {
                     args.sched_policy = Some(parse_policy(v)?);
+                } else if let Some(v) = arg.strip_prefix("--recovery-policy=") {
+                    args.recovery_policy = Some(parse_recovery_policy(v)?);
                 } else if let Some(v) = arg.strip_prefix("--tier=") {
                     args.bench.tier = Some(parse_tier(v)?);
                 } else if let Some(v) = arg.strip_prefix("--out=") {
@@ -147,6 +156,11 @@ fn parse_positive_u64(name: &str, v: &str) -> Result<u64, String> {
 fn parse_policy(v: &str) -> Result<rlive_control::SchedulerPolicyKind, String> {
     rlive_control::SchedulerPolicyKind::parse(v)
         .ok_or_else(|| format!("--sched-policy expects 'static' or 'adaptive', got '{v}'"))
+}
+
+fn parse_recovery_policy(v: &str) -> Result<rlive_data::recovery::RecoveryPolicyKind, String> {
+    rlive_data::recovery::RecoveryPolicyKind::parse(v)
+        .ok_or_else(|| format!("--recovery-policy expects 'qoe_edf' or 'racing', got '{v}'"))
 }
 
 fn parse_tier(v: &str) -> Result<String, String> {
@@ -335,6 +349,29 @@ mod tests {
         }
         assert!(
             parse(&["fleet", "--sched-policy"]).is_err(),
+            "missing value"
+        );
+    }
+
+    #[test]
+    fn recovery_policy_parses_both_forms_and_rejects_junk() {
+        use rlive_data::recovery::RecoveryPolicyKind;
+        let a = parse(&["recover", "3", "--recovery-policy", "racing"]).unwrap();
+        assert_eq!(a.recovery_policy, Some(RecoveryPolicyKind::Racing));
+        let a = parse(&["fleet", "5", "--recovery-policy=qoe_edf"]).unwrap();
+        assert_eq!(a.recovery_policy, Some(RecoveryPolicyKind::QoeEdf));
+        let a = parse(&["fleet", "5", "--recovery-policy=qoe-edf"]).unwrap();
+        assert_eq!(a.recovery_policy, Some(RecoveryPolicyKind::QoeEdf));
+        assert_eq!(parse(&["fleet", "5"]).unwrap().recovery_policy, None);
+        for bad in ["", "hedged", "Racing", "racing "] {
+            let err = parse(&["fleet", "--recovery-policy", bad]).unwrap_err();
+            assert!(
+                err.contains("--recovery-policy"),
+                "error for {bad:?} should name the flag: {err}"
+            );
+        }
+        assert!(
+            parse(&["fleet", "--recovery-policy"]).is_err(),
             "missing value"
         );
     }

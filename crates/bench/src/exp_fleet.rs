@@ -62,14 +62,16 @@ fn dispersion_row(report: &FleetReport, label: &str, metric: impl Fn(&RunReport)
 /// observability layer in every world and appends an obs roll-up
 /// section: per-world recovery-failure-rate dispersion plus the merged
 /// registry's worst windows. `sched_policy` (from `--sched-policy`)
-/// overrides the scheduler policy in every world. Both are strictly
-/// opt-in, so the default fleet output (and its golden digest) is
-/// unchanged.
+/// overrides the scheduler policy in every world, and
+/// `recovery_policy` (from `--recovery-policy`) the recovery policy.
+/// All three are strictly opt-in, so the default fleet output (and its
+/// golden digest) is unchanged.
 pub fn fleet(
     n: usize,
     seed: u64,
     obs_window: Option<u64>,
     sched_policy: Option<rlive_control::SchedulerPolicyKind>,
+    recovery_policy: Option<rlive_data::recovery::RecoveryPolicyKind>,
 ) {
     let mut config = fleet_config();
     if let Some(w) = obs_window {
@@ -77,6 +79,9 @@ pub fn fleet(
     }
     if let Some(p) = sched_policy {
         config.scheduler.policy = p;
+    }
+    if let Some(p) = recovery_policy {
+        config.recovery_policy = p;
     }
     let dedicated_cost = config.dedicated_unit_cost;
     let seeds: Vec<u64> = (0..n as u64).map(|d| seed + d).collect();

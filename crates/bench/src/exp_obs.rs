@@ -31,15 +31,16 @@ const TOP_K: usize = 5;
 /// the default 1 s tumbling window; `stream` restricts the
 /// candidate-yield table to one stream; `export` writes the raw series
 /// to `<export>.jsonl` and `<export>.csv`; `sched_policy` overrides the
-/// scheduler policy (stdout stays a pure function of the full input
-/// tuple — the default-flag output is still pinned by the golden
-/// digest).
+/// scheduler policy and `recovery_policy` the recovery policy (stdout
+/// stays a pure function of the full input tuple — the default-flag
+/// output is still pinned by the golden digest).
 pub fn obs(
     seed: u64,
     window_ms: Option<u64>,
     stream: Option<u64>,
     export: Option<&str>,
     sched_policy: Option<rlive_control::SchedulerPolicyKind>,
+    recovery_policy: Option<rlive_data::recovery::RecoveryPolicyKind>,
 ) {
     let window_ms = window_ms.unwrap_or(DEFAULT_WINDOW_MS);
     let mut scenario = Scenario::evening_peak().scaled(0.1);
@@ -52,6 +53,9 @@ pub fn obs(
     cfg.obs_window_ms = window_ms;
     if let Some(p) = sched_policy {
         cfg.scheduler.policy = p;
+    }
+    if let Some(p) = recovery_policy {
+        cfg.recovery_policy = p;
     }
 
     let world = World::new(

@@ -1,0 +1,275 @@
+//! The `recover` subcommand: QoE-EDF vs racing recovery policy A/B
+//! under a scripted mass outage followed by a churn storm.
+//!
+//! Both arms run the same RLive delivery worlds (same scenario, same
+//! seeds, same failure script); the only difference is
+//! [`RecoveryPolicyKind`] — the paper's §5.3 one-shot EDF loss
+//! minimisation versus the AutoRec-style racing policy that hedges
+//! best-effort retransmissions across suppliers with deterministic
+//! cancel-on-first-win. The grid runs as one [`Fleet::product`]
+//! (policies × seeds, outer-major), so the per-arm folds are exact
+//! slices of the spec order and stdout stays byte-identical for any
+//! `--jobs` / `--world-jobs` combination.
+//!
+//! Hedging is not free: every redundant win still moves bytes, so the
+//! hedge section below prices the overhead explicitly from the obs
+//! counters and the merged traffic ledger — the racing arm must earn
+//! its failure-rate reduction against that cost.
+
+use rlive::config::{DeliveryMode, SystemConfig};
+use rlive::world::GroupPolicy;
+use rlive::{Fleet, FleetReport, ScriptedEvent, WorldSpec};
+use rlive_bench::{header, runner};
+use rlive_data::recovery::RecoveryPolicyKind;
+use rlive_sim::{SimDuration, SimTime};
+use rlive_workload::scenario::Scenario;
+
+/// Small worlds (the golden regression test runs this grid in tier-1
+/// CI), but stormy enough that loss recovery dominates: outage at 15 s,
+/// churn storm at 38 s, tail recovery until 60 s.
+fn recover_scenario() -> Scenario {
+    let mut s = Scenario::evening_peak().scaled(0.08);
+    s.duration = SimDuration::from_secs(60);
+    s.streams = 3;
+    s.population.isps = 2;
+    s.population.regions = 2;
+    s
+}
+
+/// Configuration matching [`recover_scenario`]: peer delivery engages
+/// early so losses land on relay-sourced sessions with multiple
+/// suppliers to race, and the obs layer is always on — the hedge and
+/// recovery sections of the report need its counters.
+fn recover_config(obs_window: Option<u64>) -> SystemConfig {
+    SystemConfig {
+        cdn_edge_mbps: 60,
+        multi_source_after: SimDuration::from_secs(5),
+        popularity_threshold: 1,
+        obs_window_ms: obs_window.unwrap_or(1000),
+        ..SystemConfig::default()
+    }
+}
+
+/// The scripted failures: half the relays drop at t=15 s for 20 s, and
+/// while the population is still refilling a churn storm flaps 40 % of
+/// it at t=38 s — the racing window the hedged policy is built for.
+fn schedule() -> Vec<ScriptedEvent> {
+    vec![
+        ScriptedEvent::MassOutage {
+            at: SimTime::from_secs(15),
+            duration: SimDuration::from_secs(20),
+            fraction: 0.6,
+        },
+        ScriptedEvent::ChurnStorm {
+            at: SimTime::from_secs(38),
+            duration: SimDuration::from_secs(12),
+            fraction: 0.4,
+        },
+    ]
+}
+
+fn count_row(label: &str, edf: u64, racing: u64) {
+    println!("{label:<30} {edf:>13} {racing:>13}");
+}
+
+fn mean_row(label: &str, edf: f64, racing: f64) {
+    println!("{label:<30} {edf:>13.2} {racing:>13.2}");
+}
+
+fn failure_rate_pct(report: &FleetReport) -> f64 {
+    let den = report.obs.counter_total("recovery_outcomes");
+    if den == 0 {
+        0.0
+    } else {
+        100.0 * report.obs.counter_total("recovery_failures") as f64 / den as f64
+    }
+}
+
+/// `experiments recover <n> [seed]`: run `n` seeded outage + churn
+/// worlds per recovery-policy arm and print the merged QoE-EDF vs
+/// racing comparison — QoE, recovery outcomes, and the racing arm's
+/// hedge economics (wins, cancels, redundant attempts, priced traffic).
+pub fn recover(n: usize, seed: u64, obs_window: Option<u64>) {
+    let config = recover_config(obs_window);
+    let seeds: Vec<u64> = (0..n as u64).map(|d| seed + d).collect();
+    let last = seed + n.saturating_sub(1) as u64;
+    header(&format!(
+        "Racing recovery — {n} storm world{} per arm (seeds {seed}..={last}), qoe_edf vs racing policy",
+        if n == 1 { "" } else { "s" }
+    ));
+    let script = schedule();
+    for ev in &script {
+        match ev {
+            ScriptedEvent::MassOutage {
+                at,
+                duration,
+                fraction,
+            } => println!(
+                "mass outage: {:.0} % of relays offline from {} for {}",
+                fraction * 100.0,
+                at,
+                duration
+            ),
+            ScriptedEvent::ChurnStorm {
+                at,
+                duration,
+                fraction,
+            } => println!(
+                "churn storm: {:.0} % of relays flapping from {} for {}",
+                fraction * 100.0,
+                at,
+                duration
+            ),
+            other => println!("scripted: {other:?}"),
+        }
+    }
+    let scenario = recover_scenario();
+    let policies = [RecoveryPolicyKind::QoeEdf, RecoveryPolicyKind::Racing];
+    let fleet = Fleet::product("recover", &policies, &seeds, |&kind, &world_seed| {
+        let mut cfg = config.clone();
+        cfg.recovery_policy = kind;
+        WorldSpec {
+            seed: world_seed,
+            scenario: scenario.clone(),
+            config: cfg,
+            policy: GroupPolicy::uniform(DeliveryMode::RLive),
+            schedule: script.clone(),
+        }
+    });
+    let report = runner::run_fleet(fleet);
+    // Outer-major product: the first n worlds are the QoE-EDF arm, the
+    // last n the racing arm. Re-fold each slice with the same
+    // exactly-associative algebra the full report used.
+    let edf = FleetReport::fold(report.worlds[..n].to_vec());
+    let racing = FleetReport::fold(report.worlds[n..].to_vec());
+    println!(
+        "{} worlds, {:.0} s simulated in total (policies: {}, {})",
+        report.world_count(),
+        report.duration.as_secs_f64(),
+        edf.worlds[0].recovery_policy,
+        racing.worlds[0].recovery_policy,
+    );
+
+    println!(
+        "\n{:<30} {:>13} {:>13}",
+        "metric (merged, per arm)", "qoe_edf", "racing"
+    );
+    println!("{}", "-".repeat(58));
+    count_row("views", edf.test_qoe.views, racing.test_qoe.views);
+    mean_row(
+        "rebuffers /100s (mean)",
+        edf.test_qoe.rebuffers_per_100s.mean(),
+        racing.test_qoe.rebuffers_per_100s.mean(),
+    );
+    mean_row(
+        "rebuffer ms /100s (mean)",
+        edf.test_qoe.rebuffer_ms_per_100s.mean(),
+        racing.test_qoe.rebuffer_ms_per_100s.mean(),
+    );
+    mean_row(
+        "bitrate Mbps (mean)",
+        edf.test_qoe.bitrate_bps.mean() / 1e6,
+        racing.test_qoe.bitrate_bps.mean() / 1e6,
+    );
+    mean_row(
+        "E2E latency ms (mean)",
+        edf.test_qoe.e2e_latency_ms.mean(),
+        racing.test_qoe.e2e_latency_ms.mean(),
+    );
+    count_row(
+        "CDN fallbacks",
+        edf.test_qoe.cdn_fallbacks,
+        racing.test_qoe.cdn_fallbacks,
+    );
+    mean_row(
+        "client traffic MB",
+        edf.test_traffic.client_bytes() as f64 / 1e6,
+        racing.test_traffic.client_bytes() as f64 / 1e6,
+    );
+
+    println!(
+        "\n{:<30} {:>13} {:>13}",
+        "recovery outcomes", "qoe_edf", "racing"
+    );
+    println!("{}", "-".repeat(58));
+    count_row(
+        "recovery outcomes",
+        edf.obs.counter_total("recovery_outcomes"),
+        racing.obs.counter_total("recovery_outcomes"),
+    );
+    count_row(
+        "recovery failures",
+        edf.obs.counter_total("recovery_failures"),
+        racing.obs.counter_total("recovery_failures"),
+    );
+    mean_row(
+        "recovery failure rate %",
+        failure_rate_pct(&edf),
+        failure_rate_pct(&racing),
+    );
+    count_row(
+        "deadline-blown switches",
+        edf.obs.counter_total("recovery_deadline_blown"),
+        racing.obs.counter_total("recovery_deadline_blown"),
+    );
+
+    println!(
+        "\n{:<30} {:>13} {:>13}",
+        "hedge economics", "qoe_edf", "racing"
+    );
+    println!("{}", "-".repeat(58));
+    count_row(
+        "hedge batches issued",
+        edf.obs.counter_total("hedges_issued"),
+        racing.obs.counter_total("hedges_issued"),
+    );
+    count_row(
+        "hedge attempts",
+        edf.obs.counter_total("hedge_attempts"),
+        racing.obs.counter_total("hedge_attempts"),
+    );
+    count_row(
+        "hedge wins",
+        edf.obs.counter_total("hedge_wins"),
+        racing.obs.counter_total("hedge_wins"),
+    );
+    count_row(
+        "hedge cancellations",
+        edf.obs.counter_total("hedges_cancelled"),
+        racing.obs.counter_total("hedges_cancelled"),
+    );
+    count_row(
+        "cancelled (redundant) legs",
+        edf.obs.counter_total("hedge_cancelled_attempts"),
+        racing.obs.counter_total("hedge_cancelled_attempts"),
+    );
+    // The priced cost of racing: best-effort serving bytes cover every
+    // leg that delivered, including redundant wins, so the delta
+    // between the arms is the hedge overhead the ledger charges.
+    mean_row(
+        "best-effort recovery MB",
+        edf.test_traffic.best_effort_serving as f64 / 1e6,
+        racing.test_traffic.best_effort_serving as f64 / 1e6,
+    );
+    mean_row(
+        "dedicated serving MB",
+        edf.test_traffic.dedicated_serving as f64 / 1e6,
+        racing.test_traffic.dedicated_serving as f64 / 1e6,
+    );
+    mean_row(
+        "equivalent traffic (EqT)",
+        edf.test_traffic
+            .equivalent_traffic(config.dedicated_unit_cost)
+            / 1e6,
+        racing
+            .test_traffic
+            .equivalent_traffic(config.dedicated_unit_cost)
+            / 1e6,
+    );
+
+    println!(
+        "\nnote: both arms fold per-world reports in spec order with the \
+         exactly-associative metric algebra; stdout is byte-identical for any \
+         --jobs / --world-jobs combination."
+    );
+}

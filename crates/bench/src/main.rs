@@ -33,6 +33,7 @@ mod exp_fuzz;
 mod exp_motivation;
 mod exp_multi;
 mod exp_obs;
+mod exp_recover;
 mod exp_trace;
 
 const USAGE: &str = "\
@@ -61,6 +62,13 @@ USAGE: experiments <subcommand> [args] [--seed N] [--jobs N] [--world-jobs N]
                   (telemetry-driven windowed demotion — see DESIGN.md
                   \"Scheduler policies\"). The adaptive subcommand runs
                   both arms itself and ignores this flag.
+  --recovery-policy P
+                  recovery policy for the fleet/obs worlds: 'qoe_edf'
+                  (default, the paper's §5.3 EDF loss minimisation) or
+                  'racing' (hedged retransmissions with cancel-on-
+                  first-win — see DESIGN.md \"Recovery policies\"). The
+                  recover subcommand runs both arms itself and ignores
+                  this flag.
 
   fig1b      Best-effort node bandwidth capacity CDF
   fig2a      Single-source vs CDN-only QoE degradation
@@ -87,6 +95,11 @@ USAGE: experiments <subcommand> [args] [--seed N] [--jobs N] [--world-jobs N]
              Static-vs-adaptive scheduler policy A/B: n mass-outage
              worlds per arm; QoE, recovery traffic and the adaptive
              arm's per-window demotion counts
+  recover <n> [seed]
+             QoE-EDF vs racing recovery policy A/B: n worlds per arm
+             under a scripted mass outage + churn storm; recovery
+             failure rate, deadline-blown switches, hedge win/cancel
+             counts and the priced hedge traffic overhead
   fuzz <n> [seed]
              Coverage-driven scenario fuzzing: mutate n DSL programs
              from the quiet base, keep candidates that reach new
@@ -150,7 +163,13 @@ fn dispatch(args: &CliArgs) -> Result<(), String> {
             let n = args.required_count_at(1, "fleet world count")?;
             let seed = args.seed_at(2)?;
             args.expect_at_most(2)?;
-            exp_fleet::fleet(n, seed, args.obs_window, args.sched_policy);
+            exp_fleet::fleet(
+                n,
+                seed,
+                args.obs_window,
+                args.sched_policy,
+                args.recovery_policy,
+            );
             return Ok(());
         }
         "adaptive" => {
@@ -158,6 +177,13 @@ fn dispatch(args: &CliArgs) -> Result<(), String> {
             let seed = args.seed_at(2)?;
             args.expect_at_most(2)?;
             exp_adaptive::adaptive(n, seed, args.obs_window);
+            return Ok(());
+        }
+        "recover" => {
+            let n = args.required_count_at(1, "recover world count")?;
+            let seed = args.seed_at(2)?;
+            args.expect_at_most(2)?;
+            exp_recover::recover(n, seed, args.obs_window);
             return Ok(());
         }
         "fuzz" => {
@@ -187,6 +213,7 @@ fn dispatch(args: &CliArgs) -> Result<(), String> {
                 args.stream,
                 args.obs_export.as_deref(),
                 args.sched_policy,
+                args.recovery_policy,
             );
             return Ok(());
         }

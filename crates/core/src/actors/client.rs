@@ -55,6 +55,22 @@ impl ClientMode {
     }
 }
 
+/// One in-flight hedged retransmission race for a frame (racing
+/// recovery policy): `outstanding` legs were issued in round `round`;
+/// the first success wins and the rest are absorbed as redundant.
+#[derive(Debug, Clone)]
+pub(crate) struct HedgeState {
+    /// Monotonic batch counter per frame: a re-issued batch for the
+    /// same dts bumps the round so stale legs cannot decide it.
+    pub round: u16,
+    /// Legs still in flight.
+    pub outstanding: u8,
+    /// Whether a leg already won this race.
+    pub won: bool,
+    /// Supplier (relay id) behind each leg, by attempt index.
+    pub suppliers: Vec<u64>,
+}
+
 /// One viewer session.
 pub(crate) struct Client {
     pub id: u64,
@@ -75,6 +91,9 @@ pub(crate) struct Client {
     /// time). Dts keys arrive near-monotonically, so the ring's sorted
     /// flat storage inserts at the tail and pops at the head.
     pub requested_recovery: SeqRing<(RecoveryAction, SimTime)>,
+    /// In-flight hedged retransmission races, dts-ordered (racing
+    /// recovery policy only; empty under QoE-EDF).
+    pub hedges: SeqRing<HedgeState>,
     /// Cached candidate lists from the scheduler, indexed by substream
     /// (the mapping unit is the user–substream pair, §2.3). `None`
     /// means "never received a list for this substream" — distinct
@@ -127,6 +146,7 @@ impl Client {
             session: SessionMetrics::new(now),
             energy: EnergyAccount::new(),
             requested_recovery: SeqRing::new(),
+            hedges: SeqRing::new(),
             candidates: Vec::new(),
             switch_suggested: false,
             last_slice_at: now,
@@ -338,6 +358,14 @@ impl Client {
             Some(header) => {
                 self.session.frames_played += 1;
                 self.next_needed_dts = header.dts_ms + 33;
+                // Recovery bookkeeping for frames behind the playback
+                // head is dead weight: a completion can only remove an
+                // entry when its action matches, so superseded entries
+                // below the head would otherwise leak for the session's
+                // lifetime. Late hedge legs for evicted races are
+                // absorbed as redundant by `on_hedge_outcome`.
+                self.requested_recovery.evict_below(self.next_needed_dts);
+                self.hedges.evict_below(self.next_needed_dts);
                 self.session.watch_time += interval;
                 self.session.bitrate_weighted +=
                     self.abr.bitrate_bps() as f64 * interval.as_secs_f64();
@@ -484,6 +512,86 @@ mod tests {
 
         c.mode = ClientMode::CdnFull;
         assert!(!c.uses_best_effort());
+    }
+
+    /// Regression for the recovery-bookkeeping leak: releasing a frame
+    /// advances `next_needed_dts` and must evict every
+    /// `requested_recovery` / `hedges` entry behind the new head. A
+    /// superseded in-flight entry below the head can never be removed
+    /// by its (mismatched) completion, so without the eviction it
+    /// would sit in the ring for the rest of the session.
+    #[test]
+    fn frame_release_evicts_recovery_bookkeeping_below_the_head() {
+        use crate::config::SystemConfig;
+        use rlive_media::frame::FrameType;
+        use rlive_sim::{EventQueue, SimRng};
+
+        let mut c = client(DeliveryMode::RLive);
+        let t0 = SimTime::ZERO;
+        // Stale entries at dts 0 (about to fall behind the head), a
+        // live one at 33 (the next frame) and one well ahead at 330.
+        for dts in [0u64, 33, 330] {
+            c.requested_recovery
+                .insert(dts, (RecoveryAction::BestEffortPackets, t0));
+        }
+        // dts 0 was additionally superseded by a dedicated retrieval:
+        // the classic leak, a mismatched action that match-only
+        // removal will never clear.
+        c.requested_recovery
+            .insert(0, (RecoveryAction::DedicatedFrame, t0));
+        for dts in [0u64, 330] {
+            c.hedges.insert(
+                dts,
+                HedgeState {
+                    round: 0,
+                    outstanding: 2,
+                    won: false,
+                    suppliers: vec![1, 2],
+                },
+            );
+        }
+        for dts in [0u64, 33] {
+            c.playback.push(FrameHeader {
+                stream_id: 0,
+                dts_ms: dts,
+                frame_type: FrameType::P,
+                size: 9_000,
+            });
+        }
+        c.playback.start();
+        // Skip the buffer-erosion pacing branch (frames_played % 4)
+        // so this tick presents a frame.
+        c.session.frames_played = 1;
+
+        let cfg = SystemConfig::default();
+        let mut rng = SimRng::new(1);
+        let mut queue: EventQueue<Event> = EventQueue::new();
+        let energy_model = crate::energy::EnergyModel::default();
+        let mut control = crate::cost::TrafficLedger::default();
+        let mut test = crate::cost::TrafficLedger::default();
+        let mut ctx = ActorCtx {
+            now: t0 + SimDuration::from_millis(100),
+            end_at: t0 + SimDuration::from_secs(60),
+            cfg: &cfg,
+            rng: &mut rng,
+            queue: &mut queue,
+            energy_model: &energy_model,
+            control_traffic: &mut control,
+            test_traffic: &mut test,
+        };
+        c.player_tick(&mut ctx, SimTime::ZERO);
+
+        assert_eq!(c.next_needed_dts, 33, "dts 0 should have been presented");
+        assert!(
+            c.requested_recovery.get(0).is_none(),
+            "superseded entry behind the head must be evicted"
+        );
+        assert!(c.hedges.get(0).is_none(), "stale hedge race evicted");
+        assert!(
+            c.requested_recovery.get(33).is_some() && c.requested_recovery.get(330).is_some(),
+            "entries at and ahead of the head must survive"
+        );
+        assert!(c.hedges.get(330).is_some());
     }
 
     /// The jitter EWMA reacts to release gaps and the pad stays inside

@@ -2,7 +2,7 @@
 
 use rlive_control::adviser::AdviserConfig;
 use rlive_control::{ClientControllerConfig, SchedulerConfig};
-use rlive_data::recovery::RecoveryConfig;
+use rlive_data::recovery::{RecoveryConfig, RecoveryPolicyKind};
 use rlive_sim::SimDuration;
 use serde::{Deserialize, Serialize};
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -132,6 +132,10 @@ pub struct SystemConfig {
     pub adviser: AdviserConfig,
     /// Recovery settings.
     pub recovery: RecoveryConfig,
+    /// Which recovery policy drives loss recovery (`data::recovery`
+    /// seam): the classic §5.3 QoE-EDF decider, or AutoRec-style
+    /// racing with hedged retransmissions.
+    pub recovery_policy: RecoveryPolicyKind,
     /// Transport profile (§7.4).
     pub transport: TransportProfile,
     /// Retransmission timeout before a frame without a gap signal is
@@ -196,6 +200,7 @@ impl Default for SystemConfig {
             client_controller: ClientControllerConfig::default(),
             adviser: AdviserConfig::default(),
             recovery: RecoveryConfig::default(),
+            recovery_policy: RecoveryPolicyKind::default(),
             transport: TransportProfile::Flv,
             retx_timeout: SimDuration::from_millis(120),
             control_interval: SimDuration::from_secs(2),

@@ -66,6 +66,24 @@ pub enum Event {
         /// Whether the retransmission succeeded.
         success: bool,
     },
+    /// One leg of a hedged (racing) best-effort retransmission batch
+    /// completes. Unlike [`Event::RecoveryOutcome`], several of these
+    /// may be in flight for the same frame; the session layer resolves
+    /// the race (first win cancels the rest) and emits exactly one
+    /// logical recovery outcome per batch.
+    HedgeOutcome {
+        /// Requesting client.
+        client: u64,
+        /// Frame timestamp being recovered.
+        dts: u64,
+        /// Zero-based index of this attempt within its batch.
+        attempt: u32,
+        /// Hedge round this attempt belongs to (guards against a
+        /// re-issued batch for the same frame absorbing stale legs).
+        round: u16,
+        /// Whether this leg's retransmission succeeded.
+        success: bool,
+    },
     /// A relay's maintenance loop runs (churn, load, heartbeat).
     RelayTick {
         /// Ticking relay index.
@@ -150,6 +168,7 @@ impl Event {
             Event::PlayerTick { .. } => "player_tick",
             Event::ControlTick { .. } => "control_tick",
             Event::RecoveryOutcome { .. } => "recovery_outcome",
+            Event::HedgeOutcome { .. } => "hedge_outcome",
             Event::RelayTick { .. } => "relay_tick",
             Event::CdnTick { .. } => "cdn_tick",
             Event::ClientArrival => "client_arrival",

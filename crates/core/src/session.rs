@@ -8,7 +8,7 @@
 
 use crate::actors::actor_ctx;
 use crate::actors::cdn::CdnRequest;
-use crate::actors::client::{Client, ClientMode, SubSource};
+use crate::actors::client::{Client, ClientMode, HedgeState, SubSource};
 use crate::config::{DeliveryMode, BASE_RUNG, BITRATE_LADDER};
 use crate::cost::TrafficClass;
 use crate::events::{Event, TraceEvent, FULL_STREAM};
@@ -17,7 +17,7 @@ use rlive_control::adviser::SwitchSuggestion;
 use rlive_control::features::{ClientId, ClientInfo};
 use rlive_control::scheduler::Candidate;
 use rlive_control::{NodeId, Platform, StreamKey};
-use rlive_data::recovery::{FrameState, RecoveryAction, RecoveryDecider};
+use rlive_data::recovery::{FrameState, PlannedRecovery, RecoveryAction};
 use rlive_media::footprint::LocalChain;
 use rlive_media::frame::FrameHeader;
 use rlive_sim::{SimDuration, SimTime};
@@ -344,10 +344,14 @@ fn may_redecide(now: SimTime, in_flight: Option<&(RecoveryAction, SimTime)>) -> 
 }
 
 /// The sub-frame-cadence loss-recovery pass (§5.3): collects every
-/// damaged or missing frame, runs the QoE-driven decider, and issues
-/// the chosen retrieval actions.
+/// damaged or missing frame, runs the configured [`RecoveryPolicy`]
+/// (`data::recovery` seam), and issues the planned retrieval actions —
+/// including hedged (racing) best-effort batches when the policy asks
+/// for a fanout ≥ 2.
+///
+/// [`RecoveryPolicy`]: rlive_data::recovery::RecoveryPolicy
 pub(crate) fn control_recovery(world: &mut World, now: SimTime, cid: u64) {
-    let decisions = {
+    let (plans, suppliers) = {
         let Some(client) = world.clients.get(&cid) else {
             return;
         };
@@ -418,29 +422,41 @@ pub(crate) fn control_recovery(world: &mut World, now: SimTime, cid: u64) {
         if states.is_empty() {
             return;
         }
-        let decider = RecoveryDecider::new(world.cfg.recovery.clone());
-        let mut decisions =
-            decider.decide_traced(&states, &client.recovery_stats, &world.trace, now, cid);
+        let suppliers: Vec<u64> = client.relay_sources().iter().map(|&r| r as u64).collect();
+        let mut plans = world.recovery_policy.plan(
+            &states,
+            &client.recovery_stats,
+            &suppliers,
+            &world.trace,
+            now,
+            cid,
+        );
         // The §2.2 strawman has no QoE-driven recovery: lost data is
         // re-requested from the same best-effort relay, full stop.
         // (CDN-full phases still recover from the CDN.)
         if client.mode_policy == DeliveryMode::SingleSource && client.uses_best_effort() {
-            for d in &mut decisions {
-                d.action = RecoveryAction::BestEffortPackets;
+            for p in &mut plans {
+                p.decision.action = RecoveryAction::BestEffortPackets;
+                p.fanout = 1;
             }
         }
         // A client on CDN full-stream delivery has no best-effort
         // publisher to retransmit from; recovery goes to the CDN.
         if !client.uses_best_effort() {
-            for d in &mut decisions {
-                if d.action == RecoveryAction::BestEffortPackets {
-                    d.action = RecoveryAction::DedicatedFrame;
+            for p in &mut plans {
+                if p.decision.action == RecoveryAction::BestEffortPackets {
+                    p.decision.action = RecoveryAction::DedicatedFrame;
                 }
+                p.fanout = 1;
             }
         }
-        decisions
+        (plans, suppliers)
     };
-    for d in decisions {
+    for PlannedRecovery {
+        decision: d,
+        fanout,
+    } in plans
+    {
         let client = world.clients.get_mut(&cid).expect("exists");
         // Skip if this would merely repeat a fresh in-flight action.
         if let Some((a, issued)) = client.requested_recovery.get(d.dts_ms) {
@@ -454,6 +470,12 @@ pub(crate) fn control_recovery(world: &mut World, now: SimTime, cid: u64) {
             .energy
             .add_cpu(world.energy_model.per_recovery_decision);
         let group = client.group;
+        // A hedged batch needs at least two attempts and at least two
+        // suppliers to race; everything else takes the single path.
+        if fanout >= 2 && d.action == RecoveryAction::BestEffortPackets && suppliers.len() >= 2 {
+            issue_hedge_batch(world, now, cid, d.dts_ms, fanout, &suppliers);
+            continue;
+        }
         match d.action {
             RecoveryAction::BestEffortPackets => {
                 let rec = world
@@ -496,6 +518,246 @@ pub(crate) fn control_recovery(world: &mut World, now: SimTime, cid: u64) {
                         success: rec.success,
                     },
                 );
+            }
+        }
+    }
+}
+
+/// Issues one hedged (racing) best-effort retransmission batch:
+/// `fanout` concurrent attempts for the frame at `dts`, each assigned a
+/// supplier round-robin from `suppliers`, each sampling its own
+/// retransmission trace in deterministic attempt order. The race is
+/// tracked in the client's hedge ring under a per-frame round counter
+/// so a re-issued batch can never be decided by a stale leg.
+fn issue_hedge_batch(
+    world: &mut World,
+    now: SimTime,
+    cid: u64,
+    dts: u64,
+    fanout: u32,
+    suppliers: &[u64],
+) {
+    let round = {
+        let client = world.clients.get_mut(&cid).expect("exists");
+        client
+            .hedges
+            .get(dts)
+            .map(|h| h.round.wrapping_add(1))
+            .unwrap_or(0)
+    };
+    world.trace.emit(
+        now,
+        Some(cid),
+        TraceEvent::HedgeIssued {
+            dts_ms: dts,
+            fanout,
+        },
+    );
+    let mut attempt_suppliers = Vec::with_capacity(fanout as usize);
+    for attempt in 0..fanout {
+        attempt_suppliers.push(suppliers[attempt as usize % suppliers.len()]);
+        let rec = world
+            .retx_traces
+            .sample(RetxServer::BestEffort, &mut world.rng);
+        let at = now + SimDuration::from_secs_f64(rec.spent_ms / 1000.0);
+        world.queue.schedule(
+            at,
+            Event::HedgeOutcome {
+                client: cid,
+                dts,
+                attempt,
+                round,
+                success: rec.success,
+            },
+        );
+    }
+    let client = world.clients.get_mut(&cid).expect("exists");
+    client.hedges.insert(
+        dts,
+        HedgeState {
+            round,
+            outstanding: fanout as u8,
+            won: false,
+            suppliers: attempt_suppliers,
+        },
+    );
+}
+
+/// Completion of one leg of a hedged retransmission batch. The first
+/// successful leg wins the race (emitting exactly one logical
+/// [`TraceEvent::RecoveryOutcome`] for the frame and cancelling the
+/// rest); a losing batch emits one failed outcome and re-enters
+/// [`control_recovery`]. Legs arriving after the race was decided —
+/// or after the playback head evicted it — are absorbed: a late
+/// *successful* leg still prices its redundant bytes in the ledger,
+/// which is the real cost of hedging the A/B must see.
+pub(crate) fn on_hedge_outcome(
+    world: &mut World,
+    now: SimTime,
+    cid: u64,
+    dts: u64,
+    attempt: u32,
+    round: u16,
+    success: bool,
+) {
+    let stream = match world.clients.get(&cid) {
+        Some(c) if !c.departed => c.stream,
+        _ => return,
+    };
+    let header = world.streams[stream as usize]
+        .recent_frame(dts)
+        .map(|(h, _)| *h);
+    let redundant_bytes = |header: Option<FrameHeader>| header.map_or(0, |h| h.size as u64 / 3);
+
+    // Resolve this leg against the race state. Everything the borrow of
+    // the client needs is extracted here; world-level effects follow.
+    enum LegFate {
+        /// Race already decided or evicted; leg is moot.
+        Stale,
+        /// Leg lost; race still undecided (or already decided earlier).
+        Lost { race_over: bool, won: bool },
+        /// This leg decided the race.
+        Won { remaining: u8 },
+        /// Leg succeeded after the race was already won: redundant.
+        RedundantWin,
+    }
+    let (fate, supplier, live) = {
+        let client = world.clients.get_mut(&cid).expect("checked above");
+        match client.hedges.get_mut(dts) {
+            Some(h) if h.round == round => {
+                let supplier = h.suppliers.get(attempt as usize).copied();
+                let live = !h.won;
+                h.outstanding = h.outstanding.saturating_sub(1);
+                let fate = if success && !h.won {
+                    h.won = true;
+                    LegFate::Won {
+                        remaining: h.outstanding,
+                    }
+                } else if success {
+                    LegFate::RedundantWin
+                } else {
+                    LegFate::Lost {
+                        race_over: h.outstanding == 0,
+                        won: h.won,
+                    }
+                };
+                if h.outstanding == 0 {
+                    client.hedges.remove(dts);
+                }
+                (fate, supplier, live)
+            }
+            _ => (LegFate::Stale, None, false),
+        }
+    };
+
+    // Feed statistics, the scheduler window and the policy's supplier
+    // quality only for legs that completed while the race was live —
+    // legs arriving after the win were cancelled, their outcome says
+    // nothing about the supplier the policy should learn from.
+    if live {
+        let client = world.clients.get_mut(&cid).expect("checked above");
+        client.recovery_stats.observe_retx(success);
+        if let Some(s) = supplier {
+            world.recovery_policy.note_attempt_outcome(now, s, success);
+            world
+                .scheduler
+                .note_recovery_outcome(now, NodeId(s), success);
+        }
+    }
+
+    match fate {
+        LegFate::Stale => {
+            // The race is gone (head eviction or a newer round); a
+            // successful stale leg still moved bytes.
+            if success {
+                let group = world.clients.get(&cid).expect("checked above").group;
+                world
+                    .ledger_mut(group)
+                    .add(TrafficClass::BestEffortServing, redundant_bytes(header));
+            }
+        }
+        LegFate::Won { remaining } => {
+            world.trace.emit(
+                now,
+                Some(cid),
+                TraceEvent::HedgeWon {
+                    dts_ms: dts,
+                    attempt,
+                },
+            );
+            if remaining > 0 {
+                world.trace.emit(
+                    now,
+                    Some(cid),
+                    TraceEvent::HedgeCancelled {
+                        dts_ms: dts,
+                        remaining: u32::from(remaining),
+                    },
+                );
+            }
+            // Exactly one logical recovery outcome per race.
+            world.trace.emit(
+                now,
+                Some(cid),
+                TraceEvent::RecoveryOutcome {
+                    dts_ms: dts,
+                    action: RecoveryAction::BestEffortPackets.label(),
+                    success: true,
+                },
+            );
+            {
+                let client = world.clients.get_mut(&cid).expect("checked above");
+                if client.requested_recovery.get(dts).map(|(a, _)| *a)
+                    == Some(RecoveryAction::BestEffortPackets)
+                {
+                    client.requested_recovery.remove(dts);
+                }
+            }
+            if let Some(header) = header {
+                let group;
+                {
+                    let chain = world.streams[stream as usize]
+                        .recent_frame(dts)
+                        .map(|(_, c)| c.clone());
+                    let client = world.clients.get_mut(&cid).expect("checked above");
+                    group = client.group;
+                    client.ingest_recovered_frame(now, header, chain.as_ref());
+                }
+                world
+                    .ledger_mut(group)
+                    .add(TrafficClass::BestEffortServing, header.size as u64 / 3);
+            }
+        }
+        LegFate::RedundantWin => {
+            // The race was already won; this leg's bytes travelled
+            // anyway. Redundant hedge traffic is the price of racing.
+            let group = world.clients.get(&cid).expect("checked above").group;
+            world
+                .ledger_mut(group)
+                .add(TrafficClass::BestEffortServing, redundant_bytes(header));
+        }
+        LegFate::Lost { race_over, won } => {
+            if race_over && !won {
+                // Every leg lost: one logical failure, then re-decide —
+                // the shrunken deadline usually escalates (§5.3).
+                world.trace.emit(
+                    now,
+                    Some(cid),
+                    TraceEvent::RecoveryOutcome {
+                        dts_ms: dts,
+                        action: RecoveryAction::BestEffortPackets.label(),
+                        success: false,
+                    },
+                );
+                {
+                    let client = world.clients.get_mut(&cid).expect("checked above");
+                    if client.requested_recovery.get(dts).map(|(a, _)| *a)
+                        == Some(RecoveryAction::BestEffortPackets)
+                    {
+                        client.requested_recovery.remove(dts);
+                    }
+                }
+                control_recovery(world, now, cid);
             }
         }
     }
@@ -556,6 +818,14 @@ pub(crate) fn on_recovery_outcome(
         world
             .scheduler
             .note_recovery_outcome(now, NodeId(rid as u64), success);
+        // Single (non-hedged) best-effort attempts also teach the
+        // recovery policy its per-supplier quality (no-op under
+        // QoE-EDF, whose hook is the default).
+        if action == RecoveryAction::BestEffortPackets {
+            world
+                .recovery_policy
+                .note_attempt_outcome(now, rid as u64, success);
+        }
     }
     if !success {
         // Re-evaluate right away; the shrunken deadline usually
@@ -1202,4 +1472,103 @@ pub(crate) fn close_session(world: &mut World, now: SimTime, cid: u64) {
         }
     }
     world.clients.remove(&cid);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SystemConfig;
+    use crate::world::GroupPolicy;
+    use rlive_control::ClientControllerConfig;
+    use rlive_workload::scenario::Scenario;
+
+    fn tiny_world() -> World {
+        let mut s = Scenario::evening_peak().scaled(0.01);
+        s.duration = SimDuration::from_secs(1);
+        s.streams = 1;
+        World::new(
+            s,
+            SystemConfig::for_mode(DeliveryMode::RLive),
+            GroupPolicy::uniform(DeliveryMode::RLive),
+            1,
+        )
+    }
+
+    fn test_client(id: u64) -> Client {
+        let info = ClientInfo {
+            id: ClientId(id),
+            isp: 0,
+            region: 0,
+            bgp_prefix: 0,
+            geo: (0.0, 0.0),
+            platform: Platform::Android,
+        };
+        Client::new(
+            id,
+            Group::Test,
+            DeliveryMode::RLive,
+            info,
+            0,
+            0,
+            ClientControllerConfig::default(),
+            SimDuration::from_secs_f64(1.0 / 30.0),
+            SimDuration::from_millis(200),
+            SimTime::ZERO,
+            SimTime::ZERO + SimDuration::from_secs(120),
+        )
+    }
+
+    /// Regression for the supersede-then-complete sequence: §5.3
+    /// re-decides an in-flight best-effort recovery into a dedicated
+    /// retrieval, then the slow best-effort attempt completes anyway.
+    /// Removal is match-only, so the late mismatched completion must
+    /// leave the superseding dedicated entry in flight, and only the
+    /// dedicated completion clears it.
+    #[test]
+    fn late_outcome_of_a_superseded_request_leaves_the_new_entry() {
+        let mut world = tiny_world();
+        let mut c = test_client(7);
+        let t0 = SimTime::ZERO + SimDuration::from_millis(100);
+        let t1 = SimTime::ZERO + SimDuration::from_millis(800);
+        c.requested_recovery
+            .insert(330, (RecoveryAction::BestEffortPackets, t0));
+        // The shrunken deadline escalated: dedicated supersedes.
+        c.requested_recovery
+            .insert(330, (RecoveryAction::DedicatedFrame, t1));
+        world.clients.insert(7, c);
+
+        on_recovery_outcome(
+            &mut world,
+            t1 + SimDuration::from_millis(50),
+            7,
+            330,
+            RecoveryAction::BestEffortPackets,
+            false,
+        );
+        let entry = world.clients.get(&7).unwrap().requested_recovery.get(330);
+        assert_eq!(
+            entry.map(|(a, _)| *a),
+            Some(RecoveryAction::DedicatedFrame),
+            "mismatched late completion must not clear the superseding entry"
+        );
+
+        on_recovery_outcome(
+            &mut world,
+            t1 + SimDuration::from_millis(90),
+            7,
+            330,
+            RecoveryAction::DedicatedFrame,
+            true,
+        );
+        assert!(
+            world
+                .clients
+                .get(&7)
+                .unwrap()
+                .requested_recovery
+                .get(330)
+                .is_none(),
+            "the matching completion clears the entry"
+        );
+    }
 }

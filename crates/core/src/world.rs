@@ -125,6 +125,9 @@ pub struct RunReport {
     /// tumbling sim-time window, the same arithmetic the obs layer
     /// uses, so the series lines up with the exported obs windows.
     pub sched_demotions: BTreeMap<u64, u64>,
+    /// Label of the recovery policy the world ran under
+    /// (`"qoe_edf"` / `"racing"`).
+    pub recovery_policy: &'static str,
     /// Total simulated duration.
     pub duration: SimDuration,
 }
@@ -179,6 +182,9 @@ pub struct World {
     /// Structured-event telemetry sink; disabled (zero-cost) unless a
     /// sink is attached via [`World::attach_trace_sink`].
     pub(crate) trace: TraceSink,
+    /// The recovery policy driving loss recovery (the `data::recovery`
+    /// seam), resolved from [`SystemConfig::recovery_policy`].
+    pub(crate) recovery_policy: Box<dyn rlive_data::recovery::RecoveryPolicy>,
 }
 
 impl World {
@@ -249,6 +255,8 @@ impl World {
 
         let end_at = SimTime::ZERO + scenario.duration;
         let world_jobs = cfg.effective_world_jobs();
+        let recovery_policy =
+            rlive_data::recovery::build_recovery_policy(cfg.recovery_policy, &cfg.recovery);
         let mut world = World {
             cfg,
             scenario,
@@ -284,6 +292,7 @@ impl World {
             shardable_events: 0,
             super_node: SuperNode::new(),
             trace: TraceSink::disabled(),
+            recovery_policy,
         };
         // Observability needs the *complete* trace stream (a wrapped
         // ring under-counts early windows), so an obs-enabled world
@@ -573,6 +582,7 @@ impl World {
             obs,
             sched_policy: self.scheduler.policy_label(),
             sched_demotions: self.scheduler.policy_demotions(),
+            recovery_policy: self.recovery_policy.label(),
             duration: self.end_at.saturating_since(SimTime::ZERO),
         }
     }
@@ -618,6 +628,13 @@ impl World {
                 action,
                 success,
             } => session::on_recovery_outcome(self, now, client, dts, action, success),
+            Event::HedgeOutcome {
+                client,
+                dts,
+                attempt,
+                round,
+                success,
+            } => session::on_hedge_outcome(self, now, client, dts, attempt, round, success),
             Event::RelayTick { relay } => self.on_relay_tick(now, relay),
             Event::CdnTick { edge } => self.on_cdn_tick(now, edge),
             Event::ClientArrival => session::on_client_arrival(self, now),

@@ -1,0 +1,110 @@
+//! Determinism battery for the racing recovery policy.
+//!
+//! Racing recovery is the most order-sensitive path in the data plane:
+//! every hedge batch samples one retransmission trace per leg from the
+//! world RNG, the legs resolve as independent events, and the first
+//! success cancels the rest — so a leg resolved in a different order
+//! would crown a different winner, feed different per-supplier quality
+//! windows, and fork the whole world. The contract is the same as for
+//! every other layer: the folded [`FleetReport`] (per-world reports,
+//! merged accumulators, obs counters, every field) is identical for
+//! any (jobs, world_jobs) combination, proven differentially via the
+//! full Debug rendering.
+//!
+//! A second test pins non-vacuousness: under a mass outage the racing
+//! arm must actually win and cancel hedges, otherwise the invariance
+//! assertion would pass trivially on a policy that never races.
+
+use rlive::config::{DeliveryMode, SystemConfig};
+use rlive::world::GroupPolicy;
+use rlive::{Fleet, FleetReport, ScriptedEvent, WorldSpec};
+use rlive_data::recovery::RecoveryPolicyKind;
+use rlive_sim::{SimDuration, SimTime};
+use rlive_workload::scenario::Scenario;
+
+/// (jobs, world_jobs) grid: the sequential reference, pool-only
+/// parallelism, shard-only parallelism, and both at once.
+const GRID: [(usize, usize); 4] = [(1, 1), (4, 1), (1, 2), (2, 2)];
+
+fn outage_scenario() -> Scenario {
+    let mut s = Scenario::evening_peak().scaled(0.08);
+    s.duration = SimDuration::from_secs(40);
+    s.streams = 2;
+    s
+}
+
+fn racing_cfg(world_jobs: usize) -> SystemConfig {
+    let mut cfg = SystemConfig::for_mode(DeliveryMode::RLive);
+    cfg.multi_source_after = SimDuration::from_secs(5);
+    cfg.popularity_threshold = 1;
+    cfg.cdn_edge_mbps = 120;
+    cfg.world_jobs = world_jobs;
+    cfg.recovery_policy = RecoveryPolicyKind::Racing;
+    // Obs on: the non-vacuousness test reads the hedge counters, and
+    // the obs registry itself must fold identically across the grid.
+    cfg.obs_window_ms = 1_000;
+    cfg
+}
+
+/// Half the relays go dark mid-run: the loss burst the racing policy
+/// is built to hedge through.
+fn outage() -> ScriptedEvent {
+    ScriptedEvent::MassOutage {
+        at: SimTime::from_secs(10),
+        duration: SimDuration::from_secs(15),
+        fraction: 0.5,
+    }
+}
+
+fn run_racing_fleet(jobs: usize, world_jobs: usize) -> FleetReport {
+    let scenario = outage_scenario();
+    let cfg = racing_cfg(world_jobs);
+    let mut fleet = Fleet::new("recovery-invariance");
+    for seed in [41u64, 42] {
+        fleet.push(WorldSpec {
+            seed,
+            scenario: scenario.clone(),
+            config: cfg.clone(),
+            policy: GroupPolicy::uniform(DeliveryMode::RLive),
+            schedule: vec![outage()],
+        });
+    }
+    fleet.run(jobs)
+}
+
+#[test]
+fn racing_fleet_report_is_invariant_across_jobs_and_world_jobs() {
+    let reference = run_racing_fleet(1, 1);
+    let reference_debug = format!("{reference:?}");
+    assert!(
+        reference_debug.contains("recovery_policy"),
+        "Debug rendering should include the recovery policy label"
+    );
+    for (jobs, world_jobs) in GRID.iter().skip(1) {
+        let got = format!("{:?}", run_racing_fleet(*jobs, *world_jobs));
+        assert_eq!(
+            got, reference_debug,
+            "racing FleetReport diverged at jobs={jobs}, world_jobs={world_jobs}"
+        );
+    }
+}
+
+#[test]
+fn racing_policy_races_under_mass_outage() {
+    let report = run_racing_fleet(1, 1);
+    for w in &report.worlds {
+        assert_eq!(w.recovery_policy, "racing");
+    }
+    let wins = report.obs.counter_total("hedge_wins");
+    let cancels = report.obs.counter_total("hedges_cancelled");
+    assert!(
+        wins >= 1,
+        "mass outage must produce at least one hedge win, got {wins} \
+         (the invariance test would be vacuous otherwise)"
+    );
+    assert!(
+        cancels >= 1,
+        "at least one win must beat a still-outstanding leg \
+         (cancel-on-first-win), got {cancels} cancellations"
+    );
+}

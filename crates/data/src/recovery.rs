@@ -75,14 +75,24 @@ pub struct FrameState {
     pub substream: u16,
 }
 
+/// Outcomes retained by the sliding retransmission-success window:
+/// enough history for a stable estimate, small enough that a supplier
+/// that degrades mid-stream stops hiding behind its early record.
+pub const RETX_WINDOW: usize = 512;
+
 /// Shared recovery statistics: the `X_succ`, `X_fail` and `L` components
 /// of the state, accumulated over the session.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct RecoveryStats {
-    /// Successfully retransmitted packets (x_succ).
+    /// Successfully retransmitted packets (x_succ), all-history.
     pub retx_succeeded: u64,
-    /// Total best-effort retransmission attempts (n_succ).
+    /// Total best-effort retransmission attempts (n_succ), all-history.
     pub retx_attempts: u64,
+    /// Ring of the last [`RETX_WINDOW`] outcomes, one bit each
+    /// (1 = success), indexed by `retx_attempts % RETX_WINDOW`.
+    retx_window: Vec<u64>,
+    /// Successes among the outcomes currently in the window.
+    retx_window_successes: u32,
     /// Round-trip to the best-effort publisher (one retry cycle).
     pub best_effort_rtt: SimDuration,
     /// Historical dedicated-node frame retrieval times `L`, as an EDF.
@@ -96,6 +106,8 @@ impl Default for RecoveryStats {
         RecoveryStats {
             retx_succeeded: 0,
             retx_attempts: 0,
+            retx_window: vec![0; RETX_WINDOW / 64],
+            retx_window_successes: 0,
             // One best-effort retry cycle is slow (Fig 3(b): best-effort
             // recovery takes a median 778 ms end to end), so the model
             // prices a cycle at that median.
@@ -118,20 +130,41 @@ impl Default for RecoveryStats {
 
 impl RecoveryStats {
     /// Per-packet best-effort retransmission success rate `p`, with a
-    /// weak prior until observations accumulate.
+    /// weak prior until observations accumulate. The estimate is
+    /// *windowed* over the last [`RETX_WINDOW`] outcomes: an all-history
+    /// ratio lets a supplier that degrades mid-stream keep a stale
+    /// optimistic `p` forever, while the window tracks the regime the
+    /// session is actually in. Identical to the all-history estimate
+    /// until the window first fills.
     pub fn packet_success_rate(&self) -> f64 {
         // Prior: Fig 3(a) best-effort success ≈ 0.91.
         let prior_n = 20.0;
         let prior_p = 0.91;
-        (self.retx_succeeded as f64 + prior_p * prior_n) / (self.retx_attempts as f64 + prior_n)
+        let window_attempts = self.retx_attempts.min(RETX_WINDOW as u64) as f64;
+        (self.retx_window_successes as f64 + prior_p * prior_n) / (window_attempts + prior_n)
     }
 
     /// Records one best-effort retransmission outcome.
     pub fn observe_retx(&mut self, success: bool) {
-        self.retx_attempts += 1;
-        if success {
-            self.retx_succeeded += 1;
+        let idx = (self.retx_attempts % RETX_WINDOW as u64) as usize;
+        let (word, bit) = (idx / 64, idx % 64);
+        if self.retx_window.len() != RETX_WINDOW / 64 {
+            // Deserialized from an older shape: rebuild a zeroed window.
+            self.retx_window = vec![0; RETX_WINDOW / 64];
+            self.retx_window_successes = 0;
         }
+        if self.retx_attempts >= RETX_WINDOW as u64 && self.retx_window[word] >> bit & 1 == 1 {
+            // The outcome leaving the window was a success.
+            self.retx_window_successes -= 1;
+        }
+        if success {
+            self.retx_window[word] |= 1 << bit;
+            self.retx_window_successes += 1;
+            self.retx_succeeded += 1;
+        } else {
+            self.retx_window[word] &= !(1 << bit);
+        }
+        self.retx_attempts += 1;
     }
 
     /// `F_N(τ)`: probability a dedicated-node frame retrieval completes
@@ -473,6 +506,342 @@ impl RecoveryDecider {
     }
 }
 
+/// Which [`RecoveryPolicy`] a world runs. Mirrors
+/// `control::policy::SchedulerPolicyKind`: a `Copy` tag that survives
+/// config cloning and serde, resolved into a boxed policy at world
+/// construction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum RecoveryPolicyKind {
+    /// The §5.3 QoE-driven EDF loss minimisation — one action per lost
+    /// frame, no hedging. Byte-identical to the pre-seam decider.
+    #[default]
+    QoeEdf,
+    /// AutoRec-style racing: hedge best-effort retransmissions across
+    /// 2–3 suppliers with cancel-on-first-win, escalating straight to
+    /// the CDN when the racing window shrinks below `switch_setup`.
+    Racing,
+}
+
+impl RecoveryPolicyKind {
+    /// Parses a CLI / config label. Accepts `qoe_edf` (and the
+    /// dash-spelled `qoe-edf`) and `racing`.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "qoe_edf" | "qoe-edf" => Some(RecoveryPolicyKind::QoeEdf),
+            "racing" => Some(RecoveryPolicyKind::Racing),
+            _ => None,
+        }
+    }
+
+    /// Stable label for reports and golden output.
+    pub fn label(self) -> &'static str {
+        match self {
+            RecoveryPolicyKind::QoeEdf => "qoe_edf",
+            RecoveryPolicyKind::Racing => "racing",
+        }
+    }
+}
+
+/// One planned recovery: the underlying EDF decision plus the number of
+/// concurrent best-effort attempts the policy wants in flight. A fanout
+/// of 1 is the classic single-attempt path; ≥ 2 means the session layer
+/// races that many suppliers and cancels on first win.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlannedRecovery {
+    /// The per-frame action and its loss bookkeeping.
+    pub decision: Decision,
+    /// Concurrent attempts to issue (only meaningful for
+    /// [`RecoveryAction::BestEffortPackets`]; always 1 otherwise).
+    pub fanout: u32,
+}
+
+impl PlannedRecovery {
+    /// Wraps a decision in the no-hedging shape.
+    pub fn single(decision: Decision) -> Self {
+        PlannedRecovery {
+            decision,
+            fanout: 1,
+        }
+    }
+}
+
+/// The recovery-policy seam. The session layer hands the policy the
+/// current retransmission list and per-session statistics; the policy
+/// returns one [`PlannedRecovery`] per frame. Policies are deterministic
+/// state machines: no randomness, no wall clock — every output is a
+/// pure function of the inputs seen so far, which is what keeps worlds
+/// byte-identical across `--jobs` / `--world-jobs`.
+pub trait RecoveryPolicy: Send {
+    /// Which kind this policy is.
+    fn kind(&self) -> RecoveryPolicyKind;
+
+    /// Stable label for reports.
+    fn label(&self) -> &'static str {
+        self.kind().label()
+    }
+
+    /// Plans recovery for a retransmission list. `suppliers` are the
+    /// best-effort supplier ids currently serving this session (relay
+    /// actor ids), in deterministic order; policies may use their
+    /// learned quality to size the hedge fanout.
+    fn plan(
+        &mut self,
+        frames: &[FrameState],
+        stats: &RecoveryStats,
+        suppliers: &[u64],
+        sink: &TraceSink,
+        now: SimTime,
+        session: u64,
+    ) -> Vec<PlannedRecovery>;
+
+    /// Feedback: one best-effort attempt against `supplier` finished.
+    /// Default no-op; learning policies fold this into per-supplier
+    /// quality windows.
+    fn note_attempt_outcome(&mut self, _now: SimTime, _supplier: u64, _success: bool) {}
+}
+
+/// The classic §5.3 decider behind the seam: delegates straight to
+/// [`RecoveryDecider::decide_traced`] with fanout 1 everywhere, so the
+/// decision stream — and therefore every pinned golden — is
+/// byte-identical to the pre-seam code.
+#[derive(Debug)]
+pub struct QoeEdfPolicy {
+    decider: RecoveryDecider,
+}
+
+impl QoeEdfPolicy {
+    /// Builds the policy from the shared recovery config.
+    pub fn new(cfg: RecoveryConfig) -> Self {
+        QoeEdfPolicy {
+            decider: RecoveryDecider::new(cfg),
+        }
+    }
+}
+
+impl RecoveryPolicy for QoeEdfPolicy {
+    fn kind(&self) -> RecoveryPolicyKind {
+        RecoveryPolicyKind::QoeEdf
+    }
+
+    fn plan(
+        &mut self,
+        frames: &[FrameState],
+        stats: &RecoveryStats,
+        _suppliers: &[u64],
+        sink: &TraceSink,
+        now: SimTime,
+        session: u64,
+    ) -> Vec<PlannedRecovery> {
+        self.decider
+            .decide_traced(frames, stats, sink, now, session)
+            .into_iter()
+            .map(PlannedRecovery::single)
+            .collect()
+    }
+}
+
+/// Tumbling-window quality ledger for one best-effort supplier,
+/// modelled on the obs layer's recovery-failure windows: attempts and
+/// failures accumulate in the current window; on rollover the closed
+/// window's failure rate becomes the quoted rate.
+#[derive(Debug, Clone, Default)]
+struct SupplierWindow {
+    /// Current tumbling window index (`now / window_ms`).
+    window: u64,
+    /// Attempts observed in the current window.
+    attempts: u32,
+    /// Failures observed in the current window.
+    failures: u32,
+    /// Failure rate of the last closed window that had samples.
+    closed_rate: Option<f64>,
+}
+
+impl SupplierWindow {
+    fn roll(&mut self, window: u64) {
+        if window == self.window {
+            return;
+        }
+        if self.attempts > 0 {
+            self.closed_rate = Some(self.failures as f64 / self.attempts as f64);
+        }
+        self.window = window;
+        self.attempts = 0;
+        self.failures = 0;
+    }
+
+    fn observe(&mut self, window: u64, success: bool) {
+        self.roll(window);
+        self.attempts += 1;
+        if !success {
+            self.failures += 1;
+        }
+    }
+
+    /// Best available failure-rate estimate: the last closed window,
+    /// else the current window once it has a few samples.
+    fn failure_rate(&self) -> Option<f64> {
+        if let Some(r) = self.closed_rate {
+            return Some(r);
+        }
+        if self.attempts >= 4 {
+            return Some(self.failures as f64 / self.attempts as f64);
+        }
+        None
+    }
+}
+
+/// AutoRec-style racing recovery. The EDF decider still ranks actions,
+/// but instead of committing a lost frame to a single best-effort
+/// supplier the policy hedges the retransmission across several and the
+/// session layer cancels on first win. Two deterministic adjustments on
+/// top of the baseline decisions:
+///
+/// 1. **Deadline-aware CDN escalation** — a best-effort pick whose
+///    racing window has already shrunk below `switch_setup` cannot
+///    afford even one losing race leg, so it escalates straight to a
+///    dedicated CDN fetch.
+/// 2. **Quality-sized fanout** — base fanout 2, widened to 3 while any
+///    serving supplier's tumbling-window failure rate is at or above
+///    the configured threshold.
+#[derive(Debug)]
+pub struct RacingPolicy {
+    decider: RecoveryDecider,
+    /// Per-supplier quality windows, keyed by supplier id (BTreeMap for
+    /// deterministic iteration).
+    windows: std::collections::BTreeMap<u64, SupplierWindow>,
+    /// Tumbling window width in milliseconds.
+    window_ms: u64,
+    /// Fanout while suppliers look healthy.
+    base_fanout: u32,
+    /// Fanout while some supplier's windowed failure rate is high.
+    max_fanout: u32,
+    /// Windowed failure rate at which the fanout widens.
+    bad_supplier_threshold: f64,
+}
+
+impl RacingPolicy {
+    /// Builds the policy from the shared recovery config.
+    pub fn new(cfg: RecoveryConfig) -> Self {
+        RacingPolicy {
+            decider: RecoveryDecider::new(cfg),
+            windows: std::collections::BTreeMap::new(),
+            window_ms: 1_000,
+            base_fanout: 2,
+            max_fanout: 3,
+            bad_supplier_threshold: 0.3,
+        }
+    }
+
+    fn window_of(&self, at: SimTime) -> u64 {
+        at.as_millis() / self.window_ms.max(1)
+    }
+
+    /// Hedge width for the given serving suppliers: capped by how many
+    /// suppliers there actually are, widened while any of them is
+    /// failing its window.
+    fn fanout_for(&self, suppliers: &[u64]) -> u32 {
+        let any_bad = suppliers.iter().any(|s| {
+            self.windows
+                .get(s)
+                .and_then(SupplierWindow::failure_rate)
+                .is_some_and(|r| r >= self.bad_supplier_threshold)
+        });
+        let want = if any_bad {
+            self.max_fanout
+        } else {
+            self.base_fanout
+        };
+        want.min(suppliers.len().max(1) as u32)
+    }
+}
+
+impl RecoveryPolicy for RacingPolicy {
+    fn kind(&self) -> RecoveryPolicyKind {
+        RecoveryPolicyKind::Racing
+    }
+
+    fn plan(
+        &mut self,
+        frames: &[FrameState],
+        stats: &RecoveryStats,
+        suppliers: &[u64],
+        sink: &TraceSink,
+        now: SimTime,
+        session: u64,
+    ) -> Vec<PlannedRecovery> {
+        // Decide untraced, escalate, then trace the *final* actions:
+        // the decision stream must reflect what the racing policy
+        // actually issues, and escalation guarantees it never issues a
+        // switch whose deadline is already blown — so the racing arm
+        // emits no `RecoveryDeadlineBlown` events of its own.
+        let decisions = self.decider.decide(frames, stats);
+        let fanout = self.fanout_for(suppliers);
+        let plans: Vec<PlannedRecovery> = decisions
+            .into_iter()
+            .zip(frames)
+            .map(|(mut d, f)| {
+                // Deadline-aware escalation: once the remaining window
+                // is inside the switch setup, neither a race leg nor a
+                // substream switch can make the deadline — go straight
+                // to the CDN for the frame itself.
+                let doomed_switch = matches!(
+                    d.action,
+                    RecoveryAction::SwitchSubstream | RecoveryAction::FullStream
+                ) && self.decider.switch_deadline_blown(f, stats);
+                let blown_race_window = d.action == RecoveryAction::BestEffortPackets
+                    && f.deadline <= stats.switch_setup;
+                if doomed_switch || blown_race_window {
+                    d.action = RecoveryAction::DedicatedFrame;
+                    d.loss = self.decider.loss(d.action, f, stats);
+                    d.failure_probability = self.decider.failure_probability(d.action, f, stats);
+                    return PlannedRecovery::single(d);
+                }
+                if d.action != RecoveryAction::BestEffortPackets {
+                    return PlannedRecovery::single(d);
+                }
+                PlannedRecovery {
+                    decision: d,
+                    fanout,
+                }
+            })
+            .collect();
+        if sink.is_enabled() {
+            for p in &plans {
+                sink.emit(
+                    now,
+                    Some(session),
+                    TraceEvent::RecoveryDecision {
+                        dts_ms: p.decision.dts_ms,
+                        action: p.decision.action.label(),
+                        loss: p.decision.loss,
+                        failure_probability: p.decision.failure_probability,
+                    },
+                );
+            }
+        }
+        plans
+    }
+
+    fn note_attempt_outcome(&mut self, now: SimTime, supplier: u64, success: bool) {
+        let window = self.window_of(now);
+        self.windows
+            .entry(supplier)
+            .or_default()
+            .observe(window, success);
+    }
+}
+
+/// Resolves a [`RecoveryPolicyKind`] into a boxed policy.
+pub fn build_recovery_policy(
+    kind: RecoveryPolicyKind,
+    cfg: &RecoveryConfig,
+) -> Box<dyn RecoveryPolicy> {
+    match kind {
+        RecoveryPolicyKind::QoeEdf => Box::new(QoeEdfPolicy::new(cfg.clone())),
+        RecoveryPolicyKind::Racing => Box::new(RacingPolicy::new(cfg.clone())),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -521,12 +890,10 @@ mod tests {
         // the higher I-frame risk should flip the decision earlier.
         let d = decider();
         let mut stats = RecoveryStats::default();
-        // Make best-effort mediocre: ~70% per-packet success.
-        for _ in 0..700 {
-            stats.observe_retx(true);
-        }
-        for _ in 0..300 {
-            stats.observe_retx(false);
+        // Make best-effort mediocre: ~70% per-packet success. Interleave
+        // the outcomes so the windowed estimate sees the same mix.
+        for i in 0..1000 {
+            stats.observe_retx(i % 10 < 7);
         }
         let mut flip_b = None;
         let mut flip_i = None;
@@ -754,5 +1121,181 @@ mod tests {
         let decisions = d.decide(std::slice::from_ref(&f), &stats);
         assert_eq!(decisions.len(), 1);
         assert!(d.failure_probability(RecoveryAction::BestEffortPackets, &f, &stats) >= 1.0 - 1e-9);
+    }
+
+    #[test]
+    fn success_rate_tracks_a_regime_change() {
+        // A supplier that was healthy for a long prefix then degrades:
+        // the all-history estimate would stay optimistic forever
+        // ((1000 + 18.2) / (1512 + 20) ≈ 0.66 after the crash below),
+        // while the windowed estimate must converge to the new regime.
+        let mut stats = RecoveryStats::default();
+        for _ in 0..1000 {
+            stats.observe_retx(true);
+        }
+        assert!(stats.packet_success_rate() > 0.9);
+        for _ in 0..RETX_WINDOW {
+            stats.observe_retx(false);
+        }
+        assert!(
+            stats.packet_success_rate() < 0.05,
+            "windowed rate must track the recent window, got {}",
+            stats.packet_success_rate()
+        );
+        // And recover just as fast when the supplier heals.
+        for _ in 0..RETX_WINDOW {
+            stats.observe_retx(true);
+        }
+        assert!(stats.packet_success_rate() > 0.9);
+        // All-history counters still accumulate for reporting.
+        assert_eq!(stats.retx_attempts, 1000 + 2 * RETX_WINDOW as u64);
+        assert_eq!(stats.retx_succeeded, 1000 + RETX_WINDOW as u64);
+    }
+
+    #[test]
+    fn windowed_rate_matches_all_history_until_the_window_fills() {
+        // Golden-compatibility: below RETX_WINDOW attempts the windowed
+        // estimate must equal the historical all-history formula.
+        let mut stats = RecoveryStats::default();
+        for i in 0..RETX_WINDOW as u64 {
+            stats.observe_retx(i % 3 != 0);
+            let all_history =
+                (stats.retx_succeeded as f64 + 0.91 * 20.0) / (stats.retx_attempts as f64 + 20.0);
+            assert!(
+                (stats.packet_success_rate() - all_history).abs() < 1e-12,
+                "diverged at attempt {}",
+                i + 1
+            );
+        }
+    }
+
+    #[test]
+    fn empirical_cdf_boundaries_are_pinned() {
+        // The boundary contract the recovery model leans on: mass below
+        // the first point is zero, the first point carries its own
+        // probability, and anything at or past the last point saturates
+        // to one.
+        let stats = RecoveryStats::default();
+        let cdf = &stats.dedicated_latency;
+        assert_eq!(cdf.cdf(0.0), 0.0, "deadline 0 is before the 20 ms floor");
+        assert_eq!(cdf.cdf(19.999), 0.0);
+        assert_eq!(cdf.cdf(20.0), 0.0, "first point carries its probability");
+        assert_eq!(cdf.cdf(3000.0), 1.0, "last point saturates");
+        assert_eq!(cdf.cdf(1.0e9), 1.0, "beyond the last point stays 1");
+        // dedicated_within is the same clamping through SimDuration.
+        assert_eq!(stats.dedicated_within(SimDuration::ZERO), 0.0);
+        assert_eq!(stats.dedicated_within(SimDuration::from_secs(3600)), 1.0);
+        // So a zero deadline makes dedicated recovery certain failure,
+        // and a huge deadline makes it certain success.
+        let d = decider();
+        let p0 = d.failure_probability(
+            RecoveryAction::DedicatedFrame,
+            &frame(0, 1, FrameType::P),
+            &stats,
+        );
+        assert_eq!(p0, 1.0);
+        let p_inf = d.failure_probability(
+            RecoveryAction::DedicatedFrame,
+            &frame(3_600_000, 1, FrameType::P),
+            &stats,
+        );
+        assert_eq!(p_inf, 0.0);
+        // Switch-class at deadline == 0 and == switch_setup: blown on
+        // both (zero racing budget), not blown one past setup.
+        assert!(d.switch_deadline_blown(&frame(0, 1, FrameType::P), &stats));
+        assert!(d.switch_deadline_blown(&frame(30, 1, FrameType::P), &stats));
+        assert!(!d.switch_deadline_blown(&frame(31, 1, FrameType::P), &stats));
+    }
+
+    #[test]
+    fn policy_kind_parses_and_labels() {
+        assert_eq!(
+            RecoveryPolicyKind::parse("qoe_edf"),
+            Some(RecoveryPolicyKind::QoeEdf)
+        );
+        assert_eq!(
+            RecoveryPolicyKind::parse("qoe-edf"),
+            Some(RecoveryPolicyKind::QoeEdf)
+        );
+        assert_eq!(
+            RecoveryPolicyKind::parse("racing"),
+            Some(RecoveryPolicyKind::Racing)
+        );
+        assert_eq!(RecoveryPolicyKind::parse("bogus"), None);
+        assert_eq!(RecoveryPolicyKind::default().label(), "qoe_edf");
+        assert_eq!(RecoveryPolicyKind::Racing.label(), "racing");
+        assert_eq!(
+            build_recovery_policy(RecoveryPolicyKind::Racing, &RecoveryConfig::default()).label(),
+            "racing"
+        );
+    }
+
+    #[test]
+    fn qoe_edf_policy_is_byte_identical_to_the_decider() {
+        let cfg = RecoveryConfig::default();
+        let d = RecoveryDecider::new(cfg.clone());
+        let mut policy = QoeEdfPolicy::new(cfg);
+        let stats = RecoveryStats::default();
+        let frames = vec![
+            frame(3_000, 2, FrameType::P),
+            frame(90, 2, FrameType::I),
+            frame(40, 6, FrameType::B),
+        ];
+        let sink = TraceSink::disabled();
+        let plans = policy.plan(&frames, &stats, &[1, 2], &sink, SimTime::from_secs(1), 7);
+        let decisions = d.decide(&frames, &stats);
+        assert_eq!(plans.len(), decisions.len());
+        for (p, d) in plans.iter().zip(&decisions) {
+            assert_eq!(p.fanout, 1, "QoeEdf never hedges");
+            assert_eq!(&p.decision, d);
+        }
+    }
+
+    #[test]
+    fn racing_policy_hedges_best_effort_and_escalates_blown_windows() {
+        let mut policy = RacingPolicy::new(RecoveryConfig::default());
+        let stats = RecoveryStats::default();
+        let sink = TraceSink::disabled();
+        let suppliers = [10u64, 11, 12];
+        let frames = vec![
+            // Ample deadline: best-effort pick, hedged.
+            frame(3_000, 2, FrameType::P),
+            // Racing window inside switch_setup (30 ms): best-effort
+            // would win the argmin on price at very short deadlines
+            // only via the blown branch — force the boundary.
+            frame(25, 1, FrameType::P),
+        ];
+        let plans = policy.plan(&frames, &stats, &suppliers, &sink, SimTime::from_secs(1), 7);
+        assert_eq!(plans[0].decision.action, RecoveryAction::BestEffortPackets);
+        assert_eq!(plans[0].fanout, 2, "healthy suppliers race at base fanout");
+        // The 25 ms frame must not stay best-effort with a hedge: either
+        // the decider already escalated it, or the racing override did.
+        assert_ne!(plans[1].decision.action, RecoveryAction::BestEffortPackets);
+        assert_eq!(plans[1].fanout, 1);
+
+        // Degrade one supplier's window: fanout widens to 3.
+        for i in 0..10 {
+            policy.note_attempt_outcome(SimTime::from_millis(100 * i), 11, false);
+        }
+        let plans = policy.plan(
+            &frames[..1],
+            &stats,
+            &suppliers,
+            &sink,
+            SimTime::from_secs(2),
+            7,
+        );
+        assert_eq!(plans[0].fanout, 3, "bad supplier widens the hedge");
+
+        // Fanout is capped by the number of suppliers actually serving.
+        let plans = policy.plan(
+            &frames[..1],
+            &stats,
+            &suppliers[..1],
+            &sink,
+            SimTime::from_secs(3),
+            7,
+        );
+        assert_eq!(plans[0].fanout, 1);
     }
 }

@@ -223,6 +223,18 @@ mod tests {
                 dts_ms: 0,
                 action: "a",
             },
+            TraceEvent::HedgeIssued {
+                dts_ms: 0,
+                fanout: 2,
+            },
+            TraceEvent::HedgeCancelled {
+                dts_ms: 0,
+                remaining: 1,
+            },
+            TraceEvent::HedgeWon {
+                dts_ms: 0,
+                attempt: 0,
+            },
         ];
         assert_eq!(witnesses.len(), TraceEvent::ALL_KINDS.len());
         for (w, expect) in witnesses.iter().zip(TraceEvent::ALL_KINDS) {

@@ -479,6 +479,22 @@ impl MetricRegistry {
             TraceEvent::RecoveryDeadlineBlown { action, .. } => {
                 self.counter_add("recovery_deadline_blown", Labels::mode(action), at, 1);
             }
+            TraceEvent::HedgeIssued { fanout, .. } => {
+                self.counter_add("hedges_issued", Labels::NONE, at, 1);
+                self.counter_add("hedge_attempts", Labels::NONE, at, u64::from(*fanout));
+            }
+            TraceEvent::HedgeCancelled { remaining, .. } => {
+                self.counter_add("hedges_cancelled", Labels::NONE, at, 1);
+                self.counter_add(
+                    "hedge_cancelled_attempts",
+                    Labels::NONE,
+                    at,
+                    u64::from(*remaining),
+                );
+            }
+            TraceEvent::HedgeWon { .. } => {
+                self.counter_add("hedge_wins", Labels::NONE, at, 1);
+            }
         }
     }
 

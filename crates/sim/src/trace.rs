@@ -262,6 +262,29 @@ pub enum TraceEvent {
         /// The doomed action label.
         action: &'static str,
     },
+    /// A racing recovery policy issued a hedged retransmission batch:
+    /// `fanout` concurrent best-effort attempts for one frame, first
+    /// win cancels the rest.
+    HedgeIssued {
+        /// Frame timestamp.
+        dts_ms: u64,
+        /// Concurrent attempts issued.
+        fanout: u32,
+    },
+    /// A hedge race was decided and the losing attempts were cancelled.
+    HedgeCancelled {
+        /// Frame timestamp.
+        dts_ms: u64,
+        /// Attempts still in flight when the race was decided.
+        remaining: u32,
+    },
+    /// A hedged retransmission race was won by one attempt.
+    HedgeWon {
+        /// Frame timestamp.
+        dts_ms: u64,
+        /// Zero-based index of the winning attempt within its batch.
+        attempt: u32,
+    },
 }
 
 impl TraceEvent {
@@ -269,7 +292,7 @@ impl TraceEvent {
     /// a behavioural coverage matrix (see [`crate::coverage`]). Keep in
     /// sync with the variant list; `coverage::tests` cross-checks the
     /// count against the `kind()` mapping.
-    pub const ALL_KINDS: [&'static str; 13] = [
+    pub const ALL_KINDS: [&'static str; 16] = [
         "scheduler_recommendation",
         "adviser_cost_trigger",
         "adviser_qos_trigger",
@@ -283,6 +306,9 @@ impl TraceEvent {
         "multi_source_promotion",
         "recovery_outcome",
         "recovery_deadline_blown",
+        "hedge_issued",
+        "hedge_cancelled",
+        "hedge_won",
     ];
 
     /// Short machine-readable kind label, e.g. for counting or filtering.
@@ -301,6 +327,9 @@ impl TraceEvent {
             TraceEvent::MultiSourcePromotion { .. } => "multi_source_promotion",
             TraceEvent::RecoveryOutcome { .. } => "recovery_outcome",
             TraceEvent::RecoveryDeadlineBlown { .. } => "recovery_deadline_blown",
+            TraceEvent::HedgeIssued { .. } => "hedge_issued",
+            TraceEvent::HedgeCancelled { .. } => "hedge_cancelled",
+            TraceEvent::HedgeWon { .. } => "hedge_won",
         }
     }
 }
@@ -376,6 +405,15 @@ impl std::fmt::Display for TraceEvent {
             ),
             TraceEvent::RecoveryDeadlineBlown { dts_ms, action } => {
                 write!(f, "recovery_deadline_blown dts={dts_ms} action={action}")
+            }
+            TraceEvent::HedgeIssued { dts_ms, fanout } => {
+                write!(f, "hedge_issued dts={dts_ms} fanout={fanout}")
+            }
+            TraceEvent::HedgeCancelled { dts_ms, remaining } => {
+                write!(f, "hedge_cancelled dts={dts_ms} remaining={remaining}")
+            }
+            TraceEvent::HedgeWon { dts_ms, attempt } => {
+                write!(f, "hedge_won dts={dts_ms} attempt={attempt}")
             }
         }
     }

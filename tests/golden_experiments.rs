@@ -229,6 +229,32 @@ fn golden_adaptive() {
     }
 }
 
+// The recover subcommand races the qoe_edf and racing recovery
+// policies over a (policy × seed) Fleet::product grid under a scripted
+// mass outage + churn storm. Hedge legs sample retransmission traces
+// from the world RNG and resolve as independent events with
+// cancel-on-first-win, so its stdout must hit one digest across the
+// whole (jobs, world-jobs) grid — the end-to-end form of
+// crates/core/tests/recovery_invariance.rs.
+
+#[test]
+fn golden_recover() {
+    let want = expected_digest("recover");
+    for extra in [
+        &[][..],
+        &["--jobs", "4"][..],
+        &["--jobs", "2", "--world-jobs", "2"][..],
+    ] {
+        let mut args = vec!["recover", "3", "7"];
+        args.extend_from_slice(extra);
+        let got = run_digest(&args);
+        assert_eq!(
+            got, want,
+            "stdout of `experiments recover 3 7` drifted (extra args {extra:?})"
+        );
+    }
+}
+
 // The obs subcommand simulates one observability-enabled world; its
 // windowed series aggregate over the trace stream, so its stdout must
 // hit one digest across the whole (jobs, world-jobs) grid — the
