@@ -60,6 +60,12 @@ smoke recover 3 7 --jobs 2 --world-jobs 2
 echo "==> experiments fuzz 2 7 --jobs 2 --world-jobs 2 (scenario fuzz smoke)"
 smoke fuzz 2 7 --jobs 2 --world-jobs 2
 
+# SLO smoke: the alert engine + incident timeline over the scripted
+# storm fleet, under both worker pools. Report correctness is pinned by
+# the slo golden digest and crates/sim/tests/slo_invariance.rs.
+echo "==> experiments slo 7 --jobs 2 --world-jobs 2 (SLO/alerting smoke)"
+smoke slo 7 --jobs 2 --world-jobs 2
+
 # Obs export determinism: two back-to-back runs must produce
 # byte-identical JSONL/CSV dumps (the golden digest pins stdout; this
 # pins the export files, which stdout does not cover).
@@ -77,6 +83,17 @@ if grep -qw "NaN" "$obs_tmp/a.jsonl" "$obs_tmp/a.csv"; then
   echo "NaN leaked into obs export" >&2
   exit 1
 fi
+
+# Streamed-vs-batch export identity: --obs-stream writes each sealed
+# window as it seals (evicting it, bounded obs memory) and must produce
+# the exact bytes of --obs-export's end-of-run batch dump — the
+# streamed decomposition is header + per-window chunks + tail by
+# construction, and this pins it end-to-end (sharded, too).
+echo "==> experiments obs streamed-vs-batch export identity"
+cargo run --release -p rlive-bench --bin experiments -- \
+  obs 7 --obs-stream "$obs_tmp/streamed" --world-jobs 2 > /dev/null
+diff "$obs_tmp/a.jsonl" "$obs_tmp/streamed.jsonl"
+diff "$obs_tmp/a.csv" "$obs_tmp/streamed.csv"
 
 # Bench smoke: run the quick tier, schema-validate what it wrote, and
 # compare worlds/sec against the committed BENCH_7.json baseline. The

@@ -40,6 +40,13 @@ pub struct CliArgs {
     /// `--obs-export PATH`: write the obs series to `PATH.jsonl` and
     /// `PATH.csv` (obs subcommand).
     pub obs_export: Option<String>,
+    /// `--obs-stream PATH`: stream sealed obs windows to `PATH.jsonl`
+    /// and `PATH.csv` *during* the run, evicting them from memory (obs
+    /// subcommand). The files are byte-identical to `--obs-export`'s.
+    pub obs_stream: Option<String>,
+    /// `--slo` (fleet subcommand): run the SLO/alert engine in every
+    /// world and append the merged alert log to the fleet report.
+    pub slo: bool,
     /// `--sched-policy static|adaptive`: scheduler policy selection.
     /// Unrecognised values are rejected at parse time.
     pub sched_policy: Option<rlive_control::SchedulerPolicyKind>,
@@ -81,6 +88,8 @@ pub fn parse_args(raw: impl IntoIterator<Item = String>) -> Result<CliArgs, Stri
                 )?)
             }
             "--obs-export" => args.obs_export = Some(flag_value("--obs-export")?),
+            "--obs-stream" => args.obs_stream = Some(flag_value("--obs-stream")?),
+            "--slo" => args.slo = true,
             "--sched-policy" => {
                 args.sched_policy = Some(parse_policy(&flag_value("--sched-policy")?)?)
             }
@@ -107,6 +116,8 @@ pub fn parse_args(raw: impl IntoIterator<Item = String>) -> Result<CliArgs, Stri
                     args.obs_window = Some(parse_positive_u64("--obs-window", v)?);
                 } else if let Some(v) = arg.strip_prefix("--obs-export=") {
                     args.obs_export = Some(v.to_string());
+                } else if let Some(v) = arg.strip_prefix("--obs-stream=") {
+                    args.obs_stream = Some(v.to_string());
                 } else if let Some(v) = arg.strip_prefix("--sched-policy=") {
                     args.sched_policy = Some(parse_policy(v)?);
                 } else if let Some(v) = arg.strip_prefix("--recovery-policy=") {
@@ -330,6 +341,23 @@ mod tests {
         let a = parse(&["obs", "--obs-export=out"]).unwrap();
         assert_eq!(a.obs_export.as_deref(), Some("out"));
         assert!(parse(&["obs", "--obs-export"]).is_err(), "missing value");
+    }
+
+    #[test]
+    fn obs_stream_takes_a_path() {
+        let a = parse(&["obs", "--obs-stream", "/tmp/obs"]).unwrap();
+        assert_eq!(a.obs_stream.as_deref(), Some("/tmp/obs"));
+        let a = parse(&["obs", "--obs-stream=out"]).unwrap();
+        assert_eq!(a.obs_stream.as_deref(), Some("out"));
+        assert!(parse(&["obs", "--obs-stream"]).is_err(), "missing value");
+        assert_eq!(parse(&["obs"]).unwrap().obs_stream, None);
+    }
+
+    #[test]
+    fn slo_flag_parses() {
+        assert!(parse(&["fleet", "5", "--slo"]).unwrap().slo);
+        assert!(!parse(&["fleet", "5"]).unwrap().slo);
+        assert!(parse(&["slo", "7", "--jobs", "2"]).unwrap().positionals == vec!["slo", "7"]);
     }
 
     #[test]

@@ -61,22 +61,32 @@ fn dispersion_row(report: &FleetReport, label: &str, metric: impl Fn(&RunReport)
 /// `obs_window` (from `--obs-window`) additionally enables the
 /// observability layer in every world and appends an obs roll-up
 /// section: per-world recovery-failure-rate dispersion plus the merged
-/// registry's worst windows. `sched_policy` (from `--sched-policy`)
-/// overrides the scheduler policy in every world, and
-/// `recovery_policy` (from `--recovery-policy`) the recovery policy.
-/// All three are strictly opt-in, so the default fleet output (and its
-/// golden digest) is unchanged.
+/// registry's worst windows. `slo` (from `--slo`) runs the SLO engine
+/// in every world (turning the obs layer on with 1 s windows if
+/// `--obs-window` was not given) and appends the merged alert log.
+/// `sched_policy` (from `--sched-policy`) overrides the scheduler
+/// policy in every world, and `recovery_policy` (from
+/// `--recovery-policy`) the recovery policy. All of these are strictly
+/// opt-in, so the default fleet output (and its golden digest) is
+/// unchanged.
 pub fn fleet(
     n: usize,
     seed: u64,
     obs_window: Option<u64>,
+    slo: bool,
     sched_policy: Option<rlive_control::SchedulerPolicyKind>,
     recovery_policy: Option<rlive_data::recovery::RecoveryPolicyKind>,
 ) {
     let mut config = fleet_config();
+    let obs_window = if slo {
+        Some(obs_window.unwrap_or(rlive_sim::obs::DEFAULT_WINDOW_MS))
+    } else {
+        obs_window
+    };
     if let Some(w) = obs_window {
         config.obs_window_ms = w;
     }
+    config.slo_enabled = slo;
     if let Some(p) = sched_policy {
         config.scheduler.policy = p;
     }
@@ -230,6 +240,11 @@ pub fn fleet(
                 report.obs.dropped_records()
             );
         }
+    }
+
+    if slo {
+        println!();
+        print!("{}", rlive::report::format_slo_alerts(&report.slo));
     }
 
     println!(

@@ -19,9 +19,12 @@
 use rlive::config::{DeliveryMode, SystemConfig};
 use rlive::report::{format_obs_summary, format_obs_windows};
 use rlive::world::{GroupPolicy, World};
-use rlive_sim::obs::{MetricRegistry, StageTable, WindowRatio, DEFAULT_WINDOW_MS};
+use rlive_sim::obs::{
+    MetricRegistry, StageTable, WindowRatio, WindowStreamSink, DEFAULT_WINDOW_MS,
+};
 use rlive_sim::SimDuration;
 use rlive_workload::scenario::Scenario;
+use std::io::Write;
 
 /// Windows shown per top-k table.
 const TOP_K: usize = 5;
@@ -30,7 +33,12 @@ const TOP_K: usize = 5;
 /// layer enabled and prints the windowed series. `window_ms` overrides
 /// the default 1 s tumbling window; `stream` restricts the
 /// candidate-yield table to one stream; `export` writes the raw series
-/// to `<export>.jsonl` and `<export>.csv`; `sched_policy` overrides the
+/// to `<export>.jsonl` and `<export>.csv` in one batch at the end;
+/// `stream_to` streams sealed windows to `<stream_to>.jsonl` /
+/// `<stream_to>.csv` *during* the run, evicting them so obs memory is
+/// bounded (the files are byte-identical to `export`'s, but the top-k
+/// stdout tables then only cover what was never evicted — the summary
+/// totals stay exact either way); `sched_policy` overrides the
 /// scheduler policy and `recovery_policy` the recovery policy (stdout
 /// stays a pure function of the full input tuple — the default-flag
 /// output is still pinned by the golden digest).
@@ -39,6 +47,7 @@ pub fn obs(
     window_ms: Option<u64>,
     stream: Option<u64>,
     export: Option<&str>,
+    stream_to: Option<&str>,
     sched_policy: Option<rlive_control::SchedulerPolicyKind>,
     recovery_policy: Option<rlive_data::recovery::RecoveryPolicyKind>,
 ) {
@@ -58,12 +67,15 @@ pub fn obs(
         cfg.recovery_policy = p;
     }
 
-    let world = World::new(
+    let mut world = World::new(
         scenario,
         cfg,
         GroupPolicy::uniform(DeliveryMode::RLive),
         seed,
     );
+    if let Some(path) = stream_to {
+        world.attach_obs_stream(Box::new(FileStreamSink::create(path)));
+    }
     // This subcommand runs one world inline (no cell runner), so it
     // reports its own wall-clock stage profile — stderr only, like the
     // runner's accounting line.
@@ -102,6 +114,47 @@ pub fn obs(
 
     if let Some(path) = export {
         export_series(&report.obs, path);
+    }
+    if let Some(path) = stream_to {
+        eprintln!("[obs] streamed {path}.jsonl and {path}.csv");
+    }
+}
+
+/// A [`WindowStreamSink`] appending each sealed window's chunk to
+/// `<path>.jsonl` and `<path>.csv` as it seals. Creation and write
+/// failures are fatal, like [`export_series`] — the caller asked for
+/// files.
+struct FileStreamSink {
+    jsonl: std::fs::File,
+    csv: std::fs::File,
+    jsonl_path: String,
+    csv_path: String,
+}
+
+impl FileStreamSink {
+    fn create(path: &str) -> FileStreamSink {
+        let jsonl_path = format!("{path}.jsonl");
+        let csv_path = format!("{path}.csv");
+        let open = |p: &str| {
+            std::fs::File::create(p).unwrap_or_else(|e| panic!("failed to create {p}: {e}"))
+        };
+        FileStreamSink {
+            jsonl: open(&jsonl_path),
+            csv: open(&csv_path),
+            jsonl_path,
+            csv_path,
+        }
+    }
+}
+
+impl WindowStreamSink for FileStreamSink {
+    fn append(&mut self, jsonl: &str, csv: &str) {
+        self.jsonl
+            .write_all(jsonl.as_bytes())
+            .unwrap_or_else(|e| panic!("failed to write {}: {e}", self.jsonl_path));
+        self.csv
+            .write_all(csv.as_bytes())
+            .unwrap_or_else(|e| panic!("failed to write {}: {e}", self.csv_path));
     }
 }
 

@@ -34,6 +34,7 @@ mod exp_motivation;
 mod exp_multi;
 mod exp_obs;
 mod exp_recover;
+mod exp_slo;
 mod exp_trace;
 
 const USAGE: &str = "\
@@ -55,7 +56,16 @@ USAGE: experiments <subcommand> [args] [--seed N] [--jobs N] [--world-jobs N]
                   observability layer (obs and fleet subcommands).
                   Must be a positive integer; default 1000 for obs,
                   disabled for fleet unless given.
-  --obs-export P  (obs) also write the raw series to P.jsonl and P.csv.
+  --obs-export P  (obs) also write the raw series to P.jsonl and P.csv
+                  in one batch at the end of the run.
+  --obs-stream P  (obs) stream sealed windows to P.jsonl and P.csv
+                  *during* the run, evicting them from memory (bounded
+                  obs footprint). Files are byte-identical to
+                  --obs-export's; the stdout top-k tables then only
+                  cover the unsealed tail (summary totals stay exact).
+  --slo           (fleet) run the SLO/alert engine in every world and
+                  append the merged alert log (enables the obs layer
+                  with 1 s windows unless --obs-window is given).
   --sched-policy P
                   scheduler policy for the fleet/obs worlds: 'static'
                   (default, the paper's score path) or 'adaptive'
@@ -106,6 +116,12 @@ USAGE: experiments <subcommand> [args] [--seed N] [--jobs N] [--world-jobs N]
              behavioural coverage (trace kinds, mode transitions,
              recovery outcomes) or worsen QoE, and print the coverage
              matrix plus the worst candidates as replayable specs
+  slo [seed]
+             SLO & alerting report over a scripted storm fleet: the
+             declarative rulebook, the merged fire/resolve alert log
+             over sealed obs windows, and per-injection incident
+             timelines (detection latency in windows, peak severity,
+             resolution, demotion/hedge response)
   trace      Structured per-session event timeline of one traced world
              (--seed N selects the run, --stream S filters sessions)
   obs        Windowed observability series of one traced world:
@@ -167,9 +183,16 @@ fn dispatch(args: &CliArgs) -> Result<(), String> {
                 n,
                 seed,
                 args.obs_window,
+                args.slo,
                 args.sched_policy,
                 args.recovery_policy,
             );
+            return Ok(());
+        }
+        "slo" => {
+            let seed = args.seed_at(1)?;
+            args.expect_at_most(1)?;
+            exp_slo::slo(seed, args.obs_window);
             return Ok(());
         }
         "adaptive" => {
@@ -212,6 +235,7 @@ fn dispatch(args: &CliArgs) -> Result<(), String> {
                 args.obs_window,
                 args.stream,
                 args.obs_export.as_deref(),
+                args.obs_stream.as_deref(),
                 args.sched_policy,
                 args.recovery_policy,
             );

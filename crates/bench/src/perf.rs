@@ -225,6 +225,83 @@ pub fn run_tier(spec: TierSpec) -> TierResult {
     }
 }
 
+// ---------------------------------------------------------------------
+// Obs-ingest overhead
+// ---------------------------------------------------------------------
+
+/// Sim-seconds of the obs-overhead measurement worlds: short — the
+/// block reports a ratio between two arms, not absolute throughput.
+const OBS_OVERHEAD_SIM_SECS: u64 = 5;
+
+/// Runs one 10k-node world with the given obs window (0 = obs off) and
+/// returns `(wall_secs, alloc_calls, events)` of its event loop.
+fn run_obs_overhead_world(obs_window_ms: u64) -> (f64, u64, u64) {
+    let mut spec = quick_tier();
+    spec.sim_secs = OBS_OVERHEAD_SIM_SECS;
+    let scenario = tier_scenario(&spec);
+    let mut cfg = SystemConfig::for_mode(DeliveryMode::RLive);
+    cfg.obs_window_ms = obs_window_ms;
+    let world = World::new(
+        scenario,
+        cfg,
+        GroupPolicy::uniform(DeliveryMode::RLive),
+        101,
+    );
+    let (a0, _) = alloc_snapshot();
+    let t0 = Instant::now();
+    let report = world.run();
+    let wall = t0.elapsed().as_secs_f64();
+    let (a1, _) = alloc_snapshot();
+    (wall, a1 - a0, report.event_counts.total())
+}
+
+/// Measures the obs-ingest overhead: the same 10k-node world run twice,
+/// obs layer off then on (1 s windows, live sealing), reported as
+/// worlds/sec and allocs/event per arm plus the relative wall-clock
+/// overhead fraction. Both arms produce the same event schedule — the
+/// obs layer only taps the trace stream — so the delta isolates ingest
+/// plus incremental window sealing. The fraction is wall-clock and
+/// machine-noisy (it may even come out slightly negative); the schema
+/// only requires it to be finite.
+pub fn measure_obs_overhead() -> Json {
+    let (wall_off, allocs_off, events_off) = run_obs_overhead_world(0);
+    let (wall_on, allocs_on, events_on) = run_obs_overhead_world(1000);
+    let wps = |wall: f64| 1.0 / wall.max(1e-9);
+    let ape = |allocs: u64, events: u64| allocs as f64 / events.max(1) as f64;
+    let frac = (wall_on - wall_off) / wall_off.max(1e-9);
+    eprintln!(
+        "bench: obs overhead: {:.3} worlds/sec off vs {:.3} on ({:+.1} %), \
+         {:.1} vs {:.1} allocs/event",
+        wps(wall_off),
+        wps(wall_on),
+        100.0 * frac,
+        ape(allocs_off, events_off),
+        ape(allocs_on, events_on),
+    );
+    Json::Obj(vec![
+        ("sim_secs".into(), Json::Num(OBS_OVERHEAD_SIM_SECS as f64)),
+        ("events_obs_off".into(), Json::Num(events_off as f64)),
+        ("events_obs_on".into(), Json::Num(events_on as f64)),
+        (
+            "worlds_per_sec_obs_off".into(),
+            Json::Num(round3(wps(wall_off))),
+        ),
+        (
+            "worlds_per_sec_obs_on".into(),
+            Json::Num(round3(wps(wall_on))),
+        ),
+        (
+            "allocs_per_event_obs_off".into(),
+            Json::Num(round3(ape(allocs_off, events_off))),
+        ),
+        (
+            "allocs_per_event_obs_on".into(),
+            Json::Num(round3(ape(allocs_on, events_on))),
+        ),
+        ("ingest_overhead_frac".into(), Json::Num(round3(frac))),
+    ])
+}
+
 impl TierResult {
     fn to_json(&self) -> Json {
         let events = self.events.max(1) as f64;
@@ -622,10 +699,46 @@ fn validate_tiers(tiers: &Json, what: &str) -> Result<(), String> {
     Ok(())
 }
 
+/// Numeric keys the optional `obs_overhead` block must carry, all
+/// finite. The two worlds/sec keys must additionally be > 0;
+/// `ingest_overhead_frac` may be negative (wall-clock noise).
+pub const OBS_OVERHEAD_NUM_KEYS: [&str; 8] = [
+    "sim_secs",
+    "events_obs_off",
+    "events_obs_on",
+    "worlds_per_sec_obs_off",
+    "worlds_per_sec_obs_on",
+    "allocs_per_event_obs_off",
+    "allocs_per_event_obs_on",
+    "ingest_overhead_frac",
+];
+
+fn validate_obs_overhead(obs: &Json) -> Result<(), String> {
+    for key in OBS_OVERHEAD_NUM_KEYS {
+        let n = obs
+            .get(key)
+            .and_then(Json::as_num)
+            .ok_or_else(|| format!("obs_overhead: missing numeric key '{key}'"))?;
+        if !n.is_finite() {
+            return Err(format!("obs_overhead: key '{key}' = {n} invalid"));
+        }
+        if n < 0.0 && key != "ingest_overhead_frac" {
+            return Err(format!("obs_overhead: key '{key}' = {n} negative"));
+        }
+    }
+    for key in ["worlds_per_sec_obs_off", "worlds_per_sec_obs_on"] {
+        if obs.get(key).and_then(Json::as_num).unwrap_or(0.0) <= 0.0 {
+            return Err(format!("obs_overhead: key '{key}' must be > 0"));
+        }
+    }
+    Ok(())
+}
+
 /// Validates a bench document against the `rlive-bench-v1` schema:
 /// correct schema tag, a non-empty tier array with all required keys,
 /// every number finite, throughput strictly positive. The optional
-/// `pre_rewrite` block is held to the same tier schema.
+/// `pre_rewrite` block is held to the same tier schema, and the
+/// optional `obs_overhead` block to [`OBS_OVERHEAD_NUM_KEYS`].
 pub fn validate(doc: &Json) -> Result<(), String> {
     let schema = doc
         .get("schema")
@@ -639,6 +752,9 @@ pub fn validate(doc: &Json) -> Result<(), String> {
     if let Some(pre) = doc.get("pre_rewrite") {
         let pre_tiers = pre.get("tiers").ok_or("pre_rewrite: missing key 'tiers'")?;
         validate_tiers(pre_tiers, "pre_rewrite")?;
+    }
+    if let Some(obs) = doc.get("obs_overhead") {
+        validate_obs_overhead(obs)?;
     }
     Ok(())
 }
@@ -756,6 +872,7 @@ pub fn run(opts: &BenchOpts) -> Result<(), String> {
         ("schema".into(), Json::Str(SCHEMA.into())),
         ("bench_id".into(), Json::Str("BENCH_7".into())),
         ("tiers".into(), Json::Arr(tier_values)),
+        ("obs_overhead".into(), measure_obs_overhead()),
     ];
     if let Some(pre_path) = &opts.pre {
         let pre = read_doc(pre_path)?;
@@ -862,6 +979,55 @@ mod tests {
         }
         let err = validate(&d).unwrap_err();
         assert!(err.contains("pre_rewrite"), "{err}");
+    }
+
+    #[test]
+    fn obs_overhead_block_validated_when_present() {
+        let block = |frac: f64| {
+            Json::Obj(
+                OBS_OVERHEAD_NUM_KEYS
+                    .iter()
+                    .map(|k| {
+                        let v = if *k == "ingest_overhead_frac" {
+                            frac
+                        } else {
+                            1.0
+                        };
+                        (k.to_string(), Json::Num(v))
+                    })
+                    .collect(),
+            )
+        };
+        let with_block = |b: Json| {
+            let mut d = doc(vec![tier_obj("10k", 1.0)]);
+            if let Json::Obj(fields) = &mut d {
+                fields.push(("obs_overhead".into(), b));
+            }
+            d
+        };
+        // Absent: fine (committed BENCH_7.json predates the block).
+        validate(&doc(vec![tier_obj("10k", 1.0)])).unwrap();
+        // Present and well-formed: fine, even with a negative fraction
+        // (wall-clock noise can make obs-on come out faster).
+        validate(&with_block(block(-0.02))).unwrap();
+        // Missing key: the error names it.
+        let mut b = block(0.1);
+        if let Json::Obj(fields) = &mut b {
+            fields.retain(|(k, _)| k != "worlds_per_sec_obs_on");
+        }
+        let err = validate(&with_block(b)).unwrap_err();
+        assert!(err.contains("worlds_per_sec_obs_on"), "{err}");
+        // Zero throughput: rejected.
+        let mut b = block(0.1);
+        if let Json::Obj(fields) = &mut b {
+            for (k, v) in fields.iter_mut() {
+                if k == "worlds_per_sec_obs_off" {
+                    *v = Json::Num(0.0);
+                }
+            }
+        }
+        let err = validate(&with_block(b)).unwrap_err();
+        assert!(err.contains("worlds_per_sec_obs_off"), "{err}");
     }
 
     #[test]

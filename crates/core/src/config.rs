@@ -180,6 +180,11 @@ pub struct SystemConfig {
     /// (the default) disables the obs layer entirely. See DESIGN.md
     /// "Observability".
     pub obs_window_ms: u64,
+    /// Runs the deterministic SLO/alert engine over sealed obs windows
+    /// (the `--slo` CLI knob; requires `obs_window_ms` to be set). The
+    /// `RunReport` then carries the rule-book alert stream. See
+    /// DESIGN.md "SLO & alerting".
+    pub slo_enabled: bool,
 }
 
 impl Default for SystemConfig {
@@ -212,6 +217,7 @@ impl Default for SystemConfig {
             partition: rlive_media::substream::PartitionStrategy::StaticHash,
             world_jobs: 0,
             obs_window_ms: 0,
+            slo_enabled: false,
         }
     }
 }

@@ -30,7 +30,7 @@ use rlive_sim::metrics::Percentiles;
 use rlive_sim::obs::{time_stage, Stage};
 use rlive_sim::runner::{run_cells, RunnerStats};
 use rlive_sim::trace::TraceCounters;
-use rlive_sim::{MetricRegistry, SimDuration};
+use rlive_sim::{MetricRegistry, SimDuration, SloReport};
 use rlive_workload::dsl::ScriptedEvent;
 use rlive_workload::scenario::Scenario;
 use std::collections::BTreeMap;
@@ -243,6 +243,10 @@ pub struct FleetReport {
     /// integer parts). Disabled/empty unless the worlds ran with
     /// `SystemConfig::obs_window_ms` set.
     pub obs: MetricRegistry,
+    /// SLO alert streams merged in window order across all worlds
+    /// (exactly associative; empty unless the worlds ran with
+    /// `SystemConfig::slo_enabled`).
+    pub slo: SloReport,
     /// Per-window scheduler demotion counts summed element-wise across
     /// all worlds (empty unless some world ran the adaptive policy).
     pub sched_demotions: BTreeMap<u64, u64>,
@@ -265,6 +269,7 @@ impl FleetReport {
             scheduler_requests: 0,
             invalid_candidate_fraction: 0.0,
             obs: MetricRegistry::disabled(),
+            slo: SloReport::default(),
             sched_demotions: BTreeMap::new(),
             duration: SimDuration::ZERO,
         };
@@ -278,6 +283,7 @@ impl FleetReport {
             report.scheduler_requests += w.scheduler_requests;
             invalid_weighted += w.invalid_candidate_fraction * w.scheduler_requests as f64;
             report.obs.merge(&w.obs);
+            report.slo.merge(&w.slo);
             for (&win, &n) in &w.sched_demotions {
                 *report.sched_demotions.entry(win).or_insert(0) += n;
             }

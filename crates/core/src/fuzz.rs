@@ -27,6 +27,7 @@ use crate::config::{DeliveryMode, SystemConfig};
 use crate::fleet::WorldSpec;
 use crate::world::GroupPolicy;
 use rlive_sim::coverage::CoverageCatalog;
+use rlive_sim::obs::{time_stage, Stage};
 use rlive_sim::runner::run_cells;
 use rlive_sim::trace::{TraceEvent, TraceSink};
 use rlive_sim::{SimDuration, SimRng};
@@ -174,6 +175,8 @@ fn fuzz_world_config(world_jobs: usize) -> SystemConfig {
 /// scenario they script, which isolates coverage/QoE deltas to the
 /// mutation instead of entangling them with a reseeded population.
 pub fn evaluate(program: &ScenarioProgram, fuzz: &FuzzConfig) -> Result<Evaluated, DslError> {
+    // Stage-profiled (wall clock, stderr-only reporting).
+    let _span = time_stage(Stage::FuzzEval);
     let compiled = program.compile()?;
     let spec = WorldSpec {
         seed: fuzz.seed,

@@ -41,6 +41,7 @@ pub mod energy;
 pub mod events;
 pub mod fleet;
 pub mod fuzz;
+pub mod incident;
 pub mod qoe;
 pub mod report;
 pub(crate) mod session;
@@ -52,6 +53,7 @@ pub use abtest::{AbReport, AbTest};
 pub use config::{DeliveryMode, SystemConfig, TransportProfile};
 pub use cost::{TrafficClass, TrafficLedger};
 pub use fleet::{Dispersion, Fleet, FleetReport, WorldSpec};
+pub use incident::{build_incidents, Incident};
 pub use qoe::{GroupQoe, SessionMetrics};
 pub use rlive_workload::dsl::ScriptedEvent;
 pub use world::{Group, GroupPolicy, RunReport, World};

@@ -5,9 +5,11 @@
 //! group of it) into aligned text without every caller hand-rolling
 //! `println!` tables.
 
+use crate::incident::Incident;
 use crate::qoe::GroupQoe;
 use crate::world::RunReport;
 use rlive_sim::obs::{MetricRegistry, WindowRatio};
+use rlive_sim::slo::{Direction, RuleKind, SloReport, SloRule};
 use std::fmt::Write;
 
 /// Renders the QoE block of one group.
@@ -158,6 +160,99 @@ pub fn format_obs_windows(title: &str, windows: &[WindowRatio], k: usize) -> Str
             w.num,
             w.den,
             w.rate()
+        );
+    }
+    out
+}
+
+/// Renders the rulebook table: one line per rule with its measurement,
+/// breach condition, and hysteresis. Pure function of the rulebook, so
+/// safe for golden stdout.
+pub fn format_slo_rules(rules: &[SloRule]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "=== SLO rulebook ===");
+    for r in rules {
+        let measure = match r.kind {
+            RuleKind::Ratio { num, den, min_den } => {
+                format!("{num}/{den} (min_den {min_den})")
+            }
+            RuleKind::Counter { name } => format!("count({name})"),
+        };
+        let dir = match r.direction {
+            Direction::Above => '>',
+            Direction::Below => '<',
+        };
+        let _ = writeln!(
+            out,
+            "{:<22} {:<9} {:<52} {} {:<6} burn {} clear {}",
+            r.name, r.severity, measure, dir, r.threshold, r.burn_windows, r.clear_windows
+        );
+    }
+    out
+}
+
+/// Renders the alert log: every fire/resolve edge in window order, plus
+/// the evaluated-window count. Deterministic across `--jobs` and
+/// `--world-jobs` because the alert stream merges associatively in
+/// window order.
+pub fn format_slo_alerts(slo: &SloReport) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "=== SLO alert log ===");
+    let _ = writeln!(out, "windows evaluated        {}", slo.windows);
+    let _ = writeln!(out, "alerts fired             {}", slo.fired().count());
+    if slo.alerts.is_empty() {
+        let _ = writeln!(out, "(no alerts)");
+        return out;
+    }
+    let _ = writeln!(
+        out,
+        "{:>8} {:>10} {:<22} {:<9} {:<9} {:>8} {:>8}",
+        "window", "start_ms", "rule", "severity", "state", "value", "thresh"
+    );
+    for a in &slo.alerts {
+        let _ = writeln!(
+            out,
+            "{:>8} {:>10} {:<22} {:<9} {:<9} {:>8.4} {:>8.4}",
+            a.window, a.start_ms, a.rule, a.severity, a.state, a.value, a.threshold
+        );
+    }
+    out
+}
+
+/// Renders the incident table built by
+/// [`crate::incident::build_incidents`]: one line per scripted
+/// injection with its detection latency (in windows), peak severity,
+/// resolution, and the mitigation counters attributed to its span.
+pub fn format_incidents(incidents: &[Incident]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "=== Incident timeline ===");
+    if incidents.is_empty() {
+        let _ = writeln!(out, "(no scripted incidents)");
+        return out;
+    }
+    let _ = writeln!(
+        out,
+        "{:<34} {:>6} {:>6} {:>7} {:>8} {:>8} {:>6} {:>9} {:>7}",
+        "injection", "window", "fire", "latency", "peak", "resolve", "fired", "demotions", "hedges"
+    );
+    for i in incidents {
+        let opt = |v: Option<u64>| v.map(|w| w.to_string()).unwrap_or_else(|| "-".into());
+        let peak = i
+            .peak_severity
+            .map(|s| s.to_string())
+            .unwrap_or_else(|| "-".into());
+        let _ = writeln!(
+            out,
+            "{:<34} {:>6} {:>6} {:>7} {:>8} {:>8} {:>6} {:>9} {:>7}",
+            i.label,
+            i.injection_window,
+            opt(i.first_fire_window),
+            opt(i.detection_latency),
+            peak,
+            opt(i.resolve_window),
+            i.alerts_fired,
+            i.demotions,
+            i.hedges
         );
     }
     out
@@ -314,6 +409,56 @@ mod tests {
             den: 0,
         }];
         assert!(format_obs_windows("x", &all_empty, 3).contains("(no windows)"));
+    }
+
+    #[test]
+    fn slo_blocks_render_rules_alerts_and_incidents() {
+        use crate::incident::Incident;
+        use rlive_sim::slo::{default_rulebook, AlertEvent, AlertState, Severity, SloReport};
+        let rules = format_slo_rules(&default_rulebook());
+        assert!(rules.contains("=== SLO rulebook ==="));
+        assert!(rules.contains("recovery-failure-rate"));
+        assert!(rules.contains("recovery_failures/recovery_outcomes"));
+        assert!(rules.contains("count(reorder_stalls)"));
+
+        let empty = format_slo_alerts(&SloReport::default());
+        assert!(empty.contains("(no alerts)"));
+        let slo = SloReport {
+            alerts: vec![AlertEvent {
+                window: 17,
+                start_ms: 17_000,
+                rule: "deadline-blown",
+                severity: Severity::Warning,
+                state: AlertState::Fired,
+                value: 3.0,
+                threshold: 0.5,
+            }],
+            windows: 60,
+        };
+        let log = format_slo_alerts(&slo);
+        assert!(log.contains("windows evaluated        60"));
+        assert!(log.contains("alerts fired             1"));
+        assert!(log.contains("FIRED"));
+
+        assert!(format_incidents(&[]).contains("(no scripted incidents)"));
+        let table = format_incidents(&[Incident {
+            label: "mass_outage t=15s frac=0.60".into(),
+            injection_window: 15,
+            span_end: 38,
+            first_fire_window: Some(17),
+            detection_latency: Some(2),
+            peak_severity: Some(Severity::Critical),
+            resolve_window: None,
+            alerts_fired: 2,
+            demotions: 3,
+            hedges: 40,
+        }]);
+        assert!(table.contains("mass_outage t=15s frac=0.60"));
+        assert!(table.contains("critical"));
+        assert!(
+            table.lines().nth(2).unwrap().contains(" 2 "),
+            "latency column rendered:\n{table}"
+        );
     }
 
     #[test]

@@ -145,43 +145,65 @@ impl World {
     /// identical post-batch world state.
     pub(crate) fn execute_batch(&mut self, batch: ShardBatch) {
         if self.world_jobs <= 1 || batch.events.len() < self.shard_min_batch {
+            // Batch order is pop order, so the last event carries the
+            // batch's maximum instant (chain runs may span instants).
+            let last_at = batch.events.last().map(|(at, _)| *at);
             for (at, event) in batch.events {
                 self.handle(at, event);
+            }
+            if let Some(at) = last_at {
+                self.obs_advance(at);
             }
             return;
         }
         let ats: Vec<SimTime> = batch.events.iter().map(|(at, _)| *at).collect();
         let kinds: Vec<&'static str> = batch.events.iter().map(|(_, e)| e.kind()).collect();
-        let slots = {
+        let per_shard = {
             let _span = time_stage(Stage::ShardExecute);
             match batch.class {
                 ShardClass::Client => self.shard_client_batch(batch.events),
                 ShardClass::RelayFrame => self.shard_relay_batch(batch.events),
             }
         };
-        let _merge_span = time_stage(Stage::ShardMerge);
-        for (i, slot) in slots.into_iter().enumerate() {
-            let outcome = slot.expect("every sharded event produces an outcome");
-            self.counters.bump(kinds[i]);
-            self.trace.absorb(outcome.traces);
-            for (at, event) in outcome.scheduled {
-                self.queue.schedule(at, event);
+        // Sealing watermark for the obs pump: each shard's maximum
+        // handled instant, min-merged across shards — a window seals
+        // only once *every* shard has advanced past it. (The fork-join
+        // above means all shards are complete here, so the min is a
+        // conservative bound; it matters the moment execution overlaps
+        // the merge.)
+        let watermark = shard_watermark(&per_shard, &ats);
+        let slots = slot_outcomes(ats.len(), per_shard);
+        {
+            let _merge_span = time_stage(Stage::ShardMerge);
+            for (i, slot) in slots.into_iter().enumerate() {
+                let outcome = slot.expect("every sharded event produces an outcome");
+                self.counters.bump(kinds[i]);
+                self.trace.absorb(outcome.traces);
+                for (at, event) in outcome.scheduled {
+                    self.queue.schedule(at, event);
+                }
+                self.control_traffic.merge(&outcome.control_delta);
+                self.test_traffic.merge(&outcome.test_delta);
+                // The sequential run fires the sub-frame recovery pass
+                // inside the tick handler; here it runs on the merge
+                // thread, same position in the event order, so its RNG
+                // draws, schedules and trace emissions line up exactly.
+                if let Some(cid) = outcome.recover {
+                    session::control_recovery(self, ats[i], cid);
+                }
             }
-            self.control_traffic.merge(&outcome.control_delta);
-            self.test_traffic.merge(&outcome.test_delta);
-            // The sequential run fires the sub-frame recovery pass
-            // inside the tick handler; here it runs on the merge
-            // thread, same position in the event order, so its RNG
-            // draws, schedules and trace emissions line up exactly.
-            if let Some(cid) = outcome.recover {
-                session::control_recovery(self, ats[i], cid);
-            }
+        }
+        if let Some(at) = watermark {
+            self.obs_advance(at);
         }
     }
 
-    /// Runs a client-class batch on the worker pool. Returns outcomes
-    /// slotted by batch index.
-    fn shard_client_batch(&mut self, events: Vec<(SimTime, Event)>) -> Vec<Option<EventOutcome>> {
+    /// Runs a client-class batch on the worker pool. Returns per-shard
+    /// `(batch index, outcome)` lists.
+    fn shard_client_batch(
+        &mut self,
+        events: Vec<(SimTime, Event)>,
+    ) -> Vec<Vec<(usize, EventOutcome)>> {
         let n = events.len();
         let nshards = self.world_jobs.min(n).max(1);
         let mut shard_events: Vec<Vec<(usize, SimTime, Event)>> =
@@ -213,7 +235,7 @@ impl World {
         let end_at = self.end_at;
         let sink = &self.trace;
         let work: Vec<_> = shard_events.into_iter().zip(shard_clients).collect();
-        let per_shard = run_shards(work, |(events, mut clients)| {
+        run_shards(work, |(events, mut clients)| {
             run_client_shard(
                 events,
                 &mut clients,
@@ -223,13 +245,15 @@ impl World {
                 end_at,
                 sink,
             )
-        });
-        slot_outcomes(n, per_shard)
+        })
     }
 
-    /// Runs a relay-frame batch on the worker pool. Returns outcomes
-    /// slotted by batch index.
-    fn shard_relay_batch(&mut self, events: Vec<(SimTime, Event)>) -> Vec<Option<EventOutcome>> {
+    /// Runs a relay-frame batch on the worker pool. Returns per-shard
+    /// `(batch index, outcome)` lists.
+    fn shard_relay_batch(
+        &mut self,
+        events: Vec<(SimTime, Event)>,
+    ) -> Vec<Vec<(usize, EventOutcome)>> {
         let n = events.len();
         let nshards = self.world_jobs.min(n).max(1);
         let mut shard_events: Vec<Vec<(usize, SimTime, Event)>> =
@@ -253,7 +277,7 @@ impl World {
         let energy_model = &self.energy_model;
         let end_at = self.end_at;
         let work: Vec<_> = shard_events.into_iter().zip(shard_relays).collect();
-        let per_shard = run_shards(work, |(events, mut relays)| {
+        run_shards(work, |(events, mut relays)| {
             run_relay_shard(
                 events,
                 &mut relays,
@@ -263,9 +287,20 @@ impl World {
                 energy_model,
                 end_at,
             )
-        });
-        slot_outcomes(n, per_shard)
+        })
     }
+}
+
+/// The sealing watermark one executed batch contributes: each shard's
+/// maximum handled instant, min-merged across the shards that did any
+/// work — the shard-merge-safety half of the obs watermark contract ("a
+/// window seals only when all shards have advanced past it").
+fn shard_watermark(per_shard: &[Vec<(usize, EventOutcome)>], ats: &[SimTime]) -> Option<SimTime> {
+    per_shard
+        .iter()
+        .filter(|shard| !shard.is_empty())
+        .filter_map(|shard| shard.iter().map(|(i, _)| ats[*i]).max())
+        .min()
 }
 
 /// Re-slots per-shard `(batch index, outcome)` pairs into batch order.

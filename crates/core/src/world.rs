@@ -26,6 +26,8 @@ use rlive_control::{GlobalScheduler, NodeClass, NodeId, NodeStatus, StaticFeatur
 use rlive_media::frame::FrameHeader;
 use rlive_sim::metrics::TimeSeries;
 use rlive_sim::nat::TraversalModel;
+use rlive_sim::obs::{time_stage, Stage, WindowStreamSink};
+use rlive_sim::slo::{SloEngine, SloReport};
 use rlive_sim::trace::TraceCounters;
 use rlive_sim::{EventQueue, MetricRegistry, SimDuration, SimRng, SimTime};
 use rlive_workload::nodes::NodePopulation;
@@ -117,6 +119,11 @@ pub struct RunReport {
     /// Derived exclusively from sim-time inputs, so it is byte-identical
     /// across any `--jobs` / `--world-jobs` combination.
     pub obs: MetricRegistry,
+    /// SLO alert stream evaluated over sealed obs windows
+    /// (empty unless [`SystemConfig::slo_enabled`] is set alongside
+    /// `obs_window_ms`). A pure function of the sealed window sequence,
+    /// so byte-identical across the parallelism grid.
+    pub slo: SloReport,
     /// Label of the scheduler policy the world ran under
     /// (`"static"` / `"adaptive"`).
     pub sched_policy: &'static str,
@@ -182,6 +189,22 @@ pub struct World {
     /// Structured-event telemetry sink; disabled (zero-cost) unless a
     /// sink is attached via [`World::attach_trace_sink`].
     pub(crate) trace: TraceSink,
+    /// Whether the obs layer runs incrementally off the world-owned
+    /// auto-attached sink: the event loop drains the ring at window
+    /// boundaries, seals crossed windows into [`World::obs`], and feeds
+    /// them to the SLO engine / stream sink. Cleared when a caller
+    /// attaches its own sink (the legacy end-of-run snapshot path then
+    /// builds the registry in `finish`, so the ring stays inspectable).
+    pub(crate) obs_live: bool,
+    /// The incrementally-built registry (live path only; disabled
+    /// otherwise).
+    pub(crate) obs: MetricRegistry,
+    /// SLO engine fed sealed windows as they close (live path), present
+    /// when [`SystemConfig::slo_enabled`] is set.
+    pub(crate) slo: Option<SloEngine>,
+    /// Per-window export stream sink; sealed windows are rendered and
+    /// evicted as they close, bounding obs memory for long runs.
+    pub(crate) obs_stream: Option<Box<dyn WindowStreamSink + Send>>,
     /// The recovery policy driving loss recovery (the `data::recovery`
     /// seam), resolved from [`SystemConfig::recovery_policy`].
     pub(crate) recovery_policy: Box<dyn rlive_data::recovery::RecoveryPolicy>,
@@ -292,15 +315,27 @@ impl World {
             shardable_events: 0,
             super_node: SuperNode::new(),
             trace: TraceSink::disabled(),
+            obs_live: false,
+            obs: MetricRegistry::disabled(),
+            slo: None,
+            obs_stream: None,
             recovery_policy,
         };
         // Observability needs the *complete* trace stream (a wrapped
         // ring under-counts early windows), so an obs-enabled world
-        // gets an unbounded sink up front. A caller-attached sink
-        // (e.g. `experiments trace`) replaces it; the obs layer then
-        // aggregates whatever that ring retains and reports its drops.
+        // gets an unbounded sink up front and builds its registry
+        // incrementally, sealing windows as the clock crosses their
+        // boundaries. A caller-attached sink (e.g. `experiments trace`)
+        // replaces it and clears the live path; the obs layer then
+        // aggregates whatever that ring retains at the end of the run
+        // and reports its drops.
         if world.cfg.obs_window_ms > 0 {
             world.attach_trace_sink(TraceSink::unbounded());
+            world.obs_live = true;
+            world.obs = MetricRegistry::new(SimDuration::from_millis(world.cfg.obs_window_ms));
+            if world.cfg.slo_enabled {
+                world.slo = Some(SloEngine::with_default_rules());
+            }
         }
         world.bootstrap();
         world
@@ -329,6 +364,10 @@ impl World {
     /// on. Attaching a sink never changes simulation behaviour: the
     /// sink is write-only and all randomness stays on [`SimRng`].
     pub fn attach_trace_sink(&mut self, sink: TraceSink) {
+        // A caller-owned ring must stay intact for post-run inspection,
+        // so the incremental obs pump (which drains) steps aside; the
+        // registry is then rebuilt from a snapshot in `finish`.
+        self.obs_live = false;
         self.trace = sink.clone();
         self.scheduler.set_trace_sink(sink.clone());
         for relay in &mut self.relays {
@@ -475,6 +514,75 @@ impl World {
         self.shard_min_batch = min.max(2);
     }
 
+    /// Attaches a per-window export stream sink. The sink receives the
+    /// export headers immediately, each sealed window's chunks as the
+    /// clock crosses its boundary, and the tails (histograms + footer)
+    /// at the end of the run — a byte-identical streamed decomposition
+    /// of [`MetricRegistry::to_jsonl`] / [`MetricRegistry::to_csv`].
+    /// Sealed windows are evicted after rendering, so registry memory
+    /// stays bounded by the live window count.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless the world runs the live obs path (an
+    /// `obs_window_ms` config with the world-owned auto sink).
+    pub fn attach_obs_stream(&mut self, mut sink: Box<dyn WindowStreamSink + Send>) {
+        assert!(
+            self.obs_live,
+            "streamed obs export needs the live obs path (obs_window_ms > 0, no caller trace sink)"
+        );
+        sink.append(&self.obs.jsonl_header(), &self.obs.csv_header());
+        self.obs_stream = Some(sink);
+    }
+
+    /// The incremental obs pump: once the world clock (or, for sharded
+    /// batches, the min-across-shards watermark) has advanced past a
+    /// window boundary, drains the trace ring, seals every crossed
+    /// window, streams it to the export sink and feeds it to the SLO
+    /// engine. Sealing strictly below `window_of(at)` is safe because
+    /// every event earlier than `at` has been handled and merged, and
+    /// trace emission happens at handling time.
+    pub(crate) fn obs_advance(&mut self, at: SimTime) {
+        if !self.obs_live {
+            return;
+        }
+        let upto = self.obs.window_of(at);
+        if upto <= self.obs.sealed_below() {
+            return;
+        }
+        let sealed = {
+            let _span = time_stage(Stage::WindowSeal);
+            let (records, dropped) = self.trace.drain_counted();
+            self.obs.note_dropped(dropped);
+            self.obs.ingest_all(&records);
+            self.obs.seal_until(upto)
+        };
+        self.consume_sealed(&sealed);
+    }
+
+    /// Streams sealed windows to the export sink, feeds them to the SLO
+    /// engine, and (in streaming mode) evicts them from the registry.
+    fn consume_sealed(&mut self, sealed: &[rlive_sim::SealedWindow]) {
+        if sealed.is_empty() {
+            return;
+        }
+        if let Some(sink) = self.obs_stream.as_deref_mut() {
+            for sw in sealed {
+                sink.append(
+                    &self.obs.jsonl_window(sw.window),
+                    &self.obs.csv_window(sw.window),
+                );
+            }
+            self.obs.evict_sealed();
+        }
+        if let Some(engine) = self.slo.as_mut() {
+            let _span = time_stage(Stage::AlertEval);
+            for sw in sealed {
+                engine.observe(sw);
+            }
+        }
+    }
+
     /// Runs the world to completion and produces the report.
     ///
     /// The loop pops one event at a time; shardable events (see
@@ -489,6 +597,9 @@ impl World {
             if now > self.end_at {
                 break;
             }
+            // Window-sealing watermark: everything before `now` has been
+            // handled, so windows below `window_of(now)` are final.
+            self.obs_advance(now);
             let Some(class) = event.shard_class(central_world) else {
                 self.handle(now, event);
                 continue;
@@ -551,16 +662,47 @@ impl World {
                 v.iter().map(|e| e.3).sum::<f64>() / n,
             )
         };
-        // Windowed observability: aggregate the retained trace stream.
-        // The snapshot (not a drain) leaves the ring intact for callers
-        // that attached their own sink and inspect it after the run.
-        let obs = if self.cfg.obs_window_ms > 0 {
-            let mut reg = MetricRegistry::new(SimDuration::from_millis(self.cfg.obs_window_ms));
-            reg.note_dropped(self.trace.dropped());
-            reg.ingest_all(&self.trace.snapshot());
-            reg
+        // Windowed observability. Live path: drain the tail of the
+        // ring, seal through the final window (the session close-outs
+        // above emitted at `end_at`, which lands in `window_of(end_at)`)
+        // and flush the export stream. Caller-sink path: aggregate the
+        // retained trace stream in one pass — the snapshot (not a
+        // drain) leaves the ring intact for callers that inspect it
+        // after the run — and run the SLO engine over the same sealed
+        // sequence the live path would have produced.
+        let (obs, slo) = if self.cfg.obs_window_ms > 0 {
+            if self.obs_live {
+                let (records, dropped) = self.trace.drain_counted();
+                self.obs.note_dropped(dropped);
+                self.obs.ingest_all(&records);
+                let final_window = self.obs.window_of(self.end_at);
+                let sealed = self.obs.seal_until(final_window + 1);
+                self.consume_sealed(&sealed);
+                if let Some(sink) = self.obs_stream.as_deref_mut() {
+                    sink.append(&self.obs.jsonl_tail(), &self.obs.csv_tail());
+                }
+                let slo = self.slo.take().map(SloEngine::finish).unwrap_or_default();
+                (std::mem::take(&mut self.obs), slo)
+            } else {
+                let mut reg = MetricRegistry::new(SimDuration::from_millis(self.cfg.obs_window_ms));
+                reg.note_dropped(self.trace.dropped());
+                reg.ingest_all(&self.trace.snapshot());
+                let final_window = reg.window_of(self.end_at);
+                let sealed = reg.seal_until(final_window + 1);
+                let slo = if self.cfg.slo_enabled {
+                    let mut engine = SloEngine::with_default_rules();
+                    let _span = time_stage(Stage::AlertEval);
+                    for sw in &sealed {
+                        engine.observe(sw);
+                    }
+                    engine.finish()
+                } else {
+                    SloReport::default()
+                };
+                (reg, slo)
+            }
         } else {
-            MetricRegistry::disabled()
+            (MetricRegistry::disabled(), SloReport::default())
         };
         RunReport {
             control_qoe: self.control_qoe,
@@ -580,6 +722,7 @@ impl World {
             shardable_batches: self.shardable_batches,
             shardable_events: self.shardable_events,
             obs,
+            slo,
             sched_policy: self.scheduler.policy_label(),
             sched_demotions: self.scheduler.policy_demotions(),
             recovery_policy: self.recovery_policy.label(),
@@ -634,7 +777,10 @@ impl World {
                 attempt,
                 round,
                 success,
-            } => session::on_hedge_outcome(self, now, client, dts, attempt, round, success),
+            } => {
+                let _span = time_stage(Stage::HedgeResolve);
+                session::on_hedge_outcome(self, now, client, dts, attempt, round, success)
+            }
             Event::RelayTick { relay } => self.on_relay_tick(now, relay),
             Event::CdnTick { edge } => self.on_cdn_tick(now, edge),
             Event::ClientArrival => session::on_client_arrival(self, now),

@@ -19,8 +19,10 @@
 //! - metric accumulators: streaming histograms, percentile estimation,
 //!   CDFs and time series ([`metrics`]),
 //! - a deterministic windowed observability layer — metric registry,
-//!   trace-fed time-series aggregation, exporters and a wall-clock
-//!   stage profiler ([`obs`]),
+//!   trace-fed time-series aggregation, incremental window sealing,
+//!   streaming exporters and a wall-clock stage profiler ([`obs`]),
+//! - a deterministic SLO / alerting engine evaluated over sealed
+//!   observability windows ([`slo`]),
 //! - deterministic scoped-thread work pools shared by the experiment
 //!   runner and sharded world execution ([`runner`]).
 //!
@@ -39,12 +41,14 @@ pub mod nat;
 pub mod obs;
 pub mod rng;
 pub mod runner;
+pub mod slo;
 pub mod time;
 pub mod trace;
 
 pub use coverage::CoverageCatalog;
 pub use event::{EventHandle, EventQueue};
 pub use link::{Link, LinkConfig};
-pub use obs::{MetricRegistry, Stage, StageTable};
+pub use obs::{MetricRegistry, SealedWindow, Stage, StageTable, WindowStreamSink};
 pub use rng::SimRng;
+pub use slo::{AlertEvent, AlertState, Severity, SloEngine, SloReport, SloRule};
 pub use time::{SimDuration, SimTime};

@@ -228,9 +228,42 @@ pub struct MetricRegistry {
     records: u64,
     dropped_records: u64,
     skipped_samples: u64,
+    /// Sealing watermark: every window `< sealed_below` is final — no
+    /// later write may land in it (enforced by a debug assertion on the
+    /// write paths). Advanced only by [`MetricRegistry::seal_until`].
+    sealed_below: u64,
+    /// Lifetime per-name counter totals, maintained on every
+    /// [`MetricRegistry::counter_add`] so [`MetricRegistry::counter_total`]
+    /// survives window eviction in streaming mode.
+    counter_totals: BTreeMap<&'static str, u64>,
     counters: BTreeMap<SeriesKey, BTreeMap<u64, u64>>,
     gauges: BTreeMap<SeriesKey, BTreeMap<u64, GaugeWindow>>,
     histograms: BTreeMap<SeriesKey, FixedHistogram>,
+}
+
+/// One finalized window, as produced by [`MetricRegistry::seal_until`]:
+/// the per-name counter totals (summed across label sets) for a window
+/// the sim clock has advanced past. Sealed windows are the only input
+/// the SLO engine evaluates, so alert streams are a pure function of the
+/// sealed sequence regardless of how the world was parallelised.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SealedWindow {
+    /// Window index (window `w` covers `[w·W, (w+1)·W)` sim-time).
+    pub window: u64,
+    /// Window start in sim milliseconds.
+    pub start_ms: u64,
+    /// Per-name counter totals across all label sets; names with no
+    /// samples in the window are absent (read via
+    /// [`SealedWindow::total`], which defaults to 0).
+    pub counters: BTreeMap<&'static str, u64>,
+}
+
+impl SealedWindow {
+    /// Total for one counter name in this window (0 when absent — an
+    /// empty window is evidence of zero events, not missing data).
+    pub fn total(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
 }
 
 impl MetricRegistry {
@@ -300,12 +333,67 @@ impl MetricRegistry {
         window.saturating_mul(self.window_ms)
     }
 
+    /// The sealing watermark: every window below this index is final.
+    pub fn sealed_below(&self) -> u64 {
+        self.sealed_below
+    }
+
+    /// Seals every window in `[sealed_below, upto)` in ascending order —
+    /// including empty ones — and returns them. A sealed window is
+    /// final: the write paths debug-assert that no later sample lands
+    /// below the watermark. Callers seal window `w` only once the world
+    /// clock (and, under `--world-jobs`, every shard) has advanced past
+    /// `w`'s end boundary.
+    pub fn seal_until(&mut self, upto: u64) -> Vec<SealedWindow> {
+        let mut out = Vec::new();
+        if !self.is_enabled() {
+            return out;
+        }
+        while self.sealed_below < upto {
+            let w = self.sealed_below;
+            let mut totals: BTreeMap<&'static str, u64> = BTreeMap::new();
+            for (key, windows) in &self.counters {
+                if let Some(&v) = windows.get(&w) {
+                    *totals.entry(key.name).or_insert(0) += v;
+                }
+            }
+            out.push(SealedWindow {
+                window: w,
+                start_ms: self.window_start_ms(w),
+                counters: totals,
+            });
+            self.sealed_below += 1;
+        }
+        out
+    }
+
+    /// Drops per-window counter/gauge cells below the sealing watermark
+    /// (series keys and histograms stay, as do the lifetime totals that
+    /// back [`MetricRegistry::counter_total`]). Streaming exporters call
+    /// this after rendering each sealed window so registry memory stays
+    /// bounded by the live window count, not the run duration.
+    pub fn evict_sealed(&mut self) {
+        let below = self.sealed_below;
+        for windows in self.counters.values_mut() {
+            *windows = windows.split_off(&below);
+        }
+        for windows in self.gauges.values_mut() {
+            *windows = windows.split_off(&below);
+        }
+    }
+
     /// Adds `n` to a counter series at `at`.
     pub fn counter_add(&mut self, name: &'static str, labels: Labels, at: SimTime, n: u64) {
         if !self.is_enabled() {
             return;
         }
         let w = self.window_of(at);
+        debug_assert!(
+            w >= self.sealed_below,
+            "counter write into sealed window {w} (watermark {})",
+            self.sealed_below
+        );
+        *self.counter_totals.entry(name).or_insert(0) += n;
         *self
             .counters
             .entry(SeriesKey::new(name, labels))
@@ -325,6 +413,11 @@ impl MetricRegistry {
             return;
         }
         let w = self.window_of(at);
+        debug_assert!(
+            w >= self.sealed_below,
+            "gauge write into sealed window {w} (watermark {})",
+            self.sealed_below
+        );
         let cell = self
             .gauges
             .entry(SeriesKey::new(name, labels))
@@ -539,6 +632,12 @@ impl MetricRegistry {
         self.records += other.records;
         self.dropped_records += other.dropped_records;
         self.skipped_samples += other.skipped_samples;
+        // A merged window is only final once both operands have sealed
+        // it, so the watermark takes the minimum.
+        self.sealed_below = self.sealed_below.min(other.sealed_below);
+        for (&name, &v) in &other.counter_totals {
+            *self.counter_totals.entry(name).or_insert(0) += v;
+        }
         for (key, windows) in &other.counters {
             let mine = self.counters.entry(*key).or_default();
             for (&w, &v) in windows {
@@ -603,9 +702,11 @@ impl MetricRegistry {
             .sum()
     }
 
-    /// Sum of a counter over all windows and labels.
+    /// Lifetime total of a counter over all windows and labels. Unlike
+    /// [`MetricRegistry::counter_total_where`], this reads the lifetime
+    /// totals map, so it stays correct after streaming-mode eviction.
     pub fn counter_total(&self, name: &str) -> u64 {
-        self.counter_total_where(name, |_| true)
+        self.counter_totals.get(name).copied().unwrap_or(0)
     }
 
     /// Per-window totals of one counter summed across label sets
@@ -703,44 +804,69 @@ impl MetricRegistry {
         names
     }
 
-    /// Serialises the registry as JSON Lines: one `meta` line, then one
-    /// line per counter window, gauge window and histogram, in sorted
-    /// key order — deterministic bytes for a deterministic registry.
-    pub fn to_jsonl(&self) -> String {
+    /// Window indices with any counter or gauge data, ascending.
+    fn populated_windows(&self) -> Vec<u64> {
+        let mut ws: Vec<u64> = self
+            .counters
+            .values()
+            .flat_map(|m| m.keys().copied())
+            .chain(self.gauges.values().flat_map(|m| m.keys().copied()))
+            .collect();
+        ws.sort_unstable();
+        ws.dedup();
+        ws
+    }
+
+    /// The JSONL export prologue: the `meta` line. Run totals live in
+    /// the footer ([`MetricRegistry::jsonl_tail`]) so a streaming sink
+    /// can write the header before the run ends.
+    pub fn jsonl_header(&self) -> String {
+        format!("{{\"kind\":\"meta\",\"window_ms\":{}}}\n", self.window_ms)
+    }
+
+    /// One window's JSONL block: its counter lines then gauge lines, in
+    /// sorted key order. Empty windows render as the empty string, which
+    /// is what keeps the streamed per-window concatenation byte-identical
+    /// to the end-of-run [`MetricRegistry::to_jsonl`].
+    pub fn jsonl_window(&self, window: u64) -> String {
         let mut out = String::new();
-        let _ = writeln!(
-            out,
-            "{{\"kind\":\"meta\",\"window_ms\":{},\"records\":{},\"dropped_records\":{},\"skipped_samples\":{}}}",
-            self.window_ms, self.records, self.dropped_records, self.skipped_samples
-        );
         for (key, windows) in &self.counters {
-            for (&w, &v) in windows {
+            if let Some(&v) = windows.get(&window) {
                 let _ = writeln!(
                     out,
                     "{{\"kind\":\"counter\",\"name\":\"{}\",\"labels\":\"{}\",\"window\":{},\"start_ms\":{},\"value\":{}}}",
                     key.name,
                     key.labels.render(),
-                    w,
-                    self.window_start_ms(w),
+                    window,
+                    self.window_start_ms(window),
                     v
                 );
             }
         }
         for (key, windows) in &self.gauges {
-            for (&w, cell) in windows {
+            if let Some(cell) = windows.get(&window) {
                 let _ = writeln!(
                     out,
                     "{{\"kind\":\"gauge\",\"name\":\"{}\",\"labels\":\"{}\",\"window\":{},\"start_ms\":{},\"count\":{},\"sum\":{},\"last\":{}}}",
                     key.name,
                     key.labels.render(),
-                    w,
-                    self.window_start_ms(w),
+                    window,
+                    self.window_start_ms(window),
                     cell.count,
                     fmt_f64(cell.sum),
                     fmt_f64(cell.last)
                 );
             }
         }
+        out
+    }
+
+    /// The JSONL export epilogue: run-scoped histogram lines, then one
+    /// deterministic `footer` line carrying the saturation-loss totals
+    /// (`dropped_records` / `skipped_samples`) so lossy runs are visible
+    /// in the artifact itself, not only in a stderr warning.
+    pub fn jsonl_tail(&self) -> String {
+        let mut out = String::new();
         for (key, hist) in &self.histograms {
             let bounds: Vec<String> = hist.bounds().iter().map(|&b| fmt_f64(b)).collect();
             let counts: Vec<String> = hist.counts().iter().map(|c| c.to_string()).collect();
@@ -755,40 +881,72 @@ impl MetricRegistry {
                 fmt_f64(hist.sum())
             );
         }
+        let _ = writeln!(
+            out,
+            "{{\"kind\":\"footer\",\"records\":{},\"dropped_records\":{},\"skipped_samples\":{}}}",
+            self.records, self.dropped_records, self.skipped_samples
+        );
         out
     }
 
-    /// Serialises the registry as CSV with a fixed header. Histograms
-    /// are flattened to one row per bucket, with the bucket bound in the
-    /// `window` column position (`le=<bound>`).
-    pub fn to_csv(&self) -> String {
-        let mut out = String::from("kind,name,labels,window,start_ms,value\n");
+    /// Serialises the registry as JSON Lines: one `meta` line, then each
+    /// populated window's counter and gauge lines in window-major order,
+    /// then histograms and the `footer` line — deterministic bytes for a
+    /// deterministic registry, and the exact concatenation a per-window
+    /// streaming sink produces.
+    pub fn to_jsonl(&self) -> String {
+        let mut out = self.jsonl_header();
+        for w in self.populated_windows() {
+            out.push_str(&self.jsonl_window(w));
+        }
+        out.push_str(&self.jsonl_tail());
+        out
+    }
+
+    /// The CSV export prologue: the fixed column header.
+    pub fn csv_header(&self) -> String {
+        String::from("kind,name,labels,window,start_ms,value\n")
+    }
+
+    /// One window's CSV block — see [`MetricRegistry::jsonl_window`] for
+    /// the ordering and streaming contract.
+    pub fn csv_window(&self, window: u64) -> String {
+        let mut out = String::new();
         for (key, windows) in &self.counters {
-            for (&w, &v) in windows {
+            if let Some(&v) = windows.get(&window) {
                 let _ = writeln!(
                     out,
                     "counter,{},{},{},{},{}",
                     key.name,
                     csv_labels(&key.labels),
-                    w,
-                    self.window_start_ms(w),
+                    window,
+                    self.window_start_ms(window),
                     v
                 );
             }
         }
         for (key, windows) in &self.gauges {
-            for (&w, cell) in windows {
+            if let Some(cell) = windows.get(&window) {
                 let _ = writeln!(
                     out,
                     "gauge,{},{},{},{},{}",
                     key.name,
                     csv_labels(&key.labels),
-                    w,
-                    self.window_start_ms(w),
+                    window,
+                    self.window_start_ms(window),
                     fmt_f64(cell.last)
                 );
             }
         }
+        out
+    }
+
+    /// The CSV export epilogue: histogram bucket rows (bucket bound in
+    /// the `window` column position, `le=<bound>`), then three `footer`
+    /// rows carrying the run totals — same six-column shape as every
+    /// other row.
+    pub fn csv_tail(&self) -> String {
+        let mut out = String::new();
         for (key, hist) in &self.histograms {
             let mut bounds: Vec<String> = hist.bounds().iter().map(|&b| fmt_f64(b)).collect();
             bounds.push("+inf".to_string());
@@ -803,8 +961,35 @@ impl MetricRegistry {
                 );
             }
         }
+        let _ = writeln!(out, "footer,records,-,,,{}", self.records);
+        let _ = writeln!(out, "footer,dropped_records,-,,,{}", self.dropped_records);
+        let _ = writeln!(out, "footer,skipped_samples,-,,,{}", self.skipped_samples);
         out
     }
+
+    /// Serialises the registry as CSV with a fixed header, window-major,
+    /// ending in the deterministic footer rows — the exact concatenation
+    /// a per-window streaming sink produces.
+    pub fn to_csv(&self) -> String {
+        let mut out = self.csv_header();
+        for w in self.populated_windows() {
+            out.push_str(&self.csv_window(w));
+        }
+        out.push_str(&self.csv_tail());
+        out
+    }
+}
+
+/// Receives pre-rendered export chunks as windows seal. The world calls
+/// [`WindowStreamSink::append`] once with the headers when the sink is
+/// attached, once per sealed window (chunks may be empty), and once with
+/// the tails (histograms + footer) at the end of the run — so the files
+/// a sink writes are byte-identical to [`MetricRegistry::to_jsonl`] /
+/// [`MetricRegistry::to_csv`] of an unstreamed run, while the registry
+/// itself evicts sealed windows and stays bounded.
+pub trait WindowStreamSink {
+    /// Appends a JSONL chunk and the corresponding CSV chunk.
+    fn append(&mut self, jsonl: &str, csv: &str);
 }
 
 /// Deterministic float rendering shared by both exporters: integral
@@ -849,17 +1034,29 @@ pub enum Stage {
     ShardMerge,
     /// Fleet report fold across worlds.
     FleetFold,
+    /// `core::session` hedge-outcome resolution (win/cancel bookkeeping).
+    HedgeResolve,
+    /// `core::fuzz` candidate world evaluation.
+    FuzzEval,
+    /// Incremental obs window sealing (drain + ingest + seal).
+    WindowSeal,
+    /// SLO rule evaluation over sealed windows.
+    AlertEval,
 }
 
 impl Stage {
     /// Every stage, in table order.
-    pub const ALL: [Stage; 6] = [
+    pub const ALL: [Stage; 10] = [
         Stage::SchedulerCall,
         Stage::RecoveryDecision,
         Stage::ReorderDrain,
         Stage::ShardExecute,
         Stage::ShardMerge,
         Stage::FleetFold,
+        Stage::HedgeResolve,
+        Stage::FuzzEval,
+        Stage::WindowSeal,
+        Stage::AlertEval,
     ];
 
     /// Stable table label.
@@ -871,6 +1068,10 @@ impl Stage {
             Stage::ShardExecute => "shard_execute",
             Stage::ShardMerge => "shard_merge",
             Stage::FleetFold => "fleet_fold",
+            Stage::HedgeResolve => "hedge_resolve",
+            Stage::FuzzEval => "fuzz_eval",
+            Stage::WindowSeal => "window_seal",
+            Stage::AlertEval => "alert_eval",
         }
     }
 
@@ -882,6 +1083,10 @@ impl Stage {
             Stage::ShardExecute => 3,
             Stage::ShardMerge => 4,
             Stage::FleetFold => 5,
+            Stage::HedgeResolve => 6,
+            Stage::FuzzEval => 7,
+            Stage::WindowSeal => 8,
+            Stage::AlertEval => 9,
         }
     }
 }
@@ -1198,9 +1403,9 @@ mod tests {
         assert_eq!(reg.series_count(), 0);
         assert!(reg.recovery_failure_rate().is_empty());
         assert!(reg.candidate_yield(None).is_empty());
-        // Exporters still produce the meta line and header.
-        assert_eq!(reg.to_jsonl().lines().count(), 1);
-        assert_eq!(reg.to_csv().lines().count(), 1);
+        // Exporters still produce the meta/footer frame and header.
+        assert_eq!(reg.to_jsonl().lines().count(), 2);
+        assert_eq!(reg.to_csv().lines().count(), 4);
     }
 
     #[test]
@@ -1323,6 +1528,12 @@ mod tests {
         assert!(jsonl.contains("\"name\":\"recovery_failures\""));
         assert!(jsonl.contains("\"labels\":\"mode=arq\""));
         assert!(jsonl.contains("\"le\":[0.500000,1,2,5,10,20,50,100]"));
+        assert!(
+            jsonl.ends_with(
+                "{\"kind\":\"footer\",\"records\":2,\"dropped_records\":0,\"skipped_samples\":0}\n"
+            ),
+            "footer closes the stream"
+        );
         // Every line is brace-delimited (cheap well-formedness check;
         // no JSON parser in the offline workspace).
         for line in jsonl.lines() {
@@ -1332,10 +1543,91 @@ mod tests {
         assert!(csv.starts_with("kind,name,labels,window,start_ms,value\n"));
         assert!(csv.contains("counter,recovery_outcomes,mode=arq,0,0,1"));
         assert!(csv.contains("histogram,scheduler_service_time_ms,-,le=+inf,,0"));
+        assert!(csv.ends_with(
+            "footer,records,-,,,2\nfooter,dropped_records,-,,,0\nfooter,skipped_samples,-,,,0\n"
+        ));
         let cols = csv.lines().next().unwrap().split(',').count();
         for line in csv.lines() {
             assert_eq!(line.split(',').count(), cols, "{line}");
         }
+    }
+
+    #[test]
+    fn seal_until_streams_windows_in_order_including_empty() {
+        let mut reg = MetricRegistry::new(SimDuration::from_millis(100));
+        reg.ingest(&outcome(50, true));
+        reg.ingest(&outcome(250, false));
+        assert_eq!(reg.sealed_below(), 0);
+        let sealed = reg.seal_until(3);
+        assert_eq!(reg.sealed_below(), 3);
+        assert_eq!(
+            sealed.iter().map(|s| s.window).collect::<Vec<_>>(),
+            vec![0, 1, 2]
+        );
+        assert_eq!(sealed[0].total("recovery_outcomes"), 1);
+        assert_eq!(sealed[0].total("recovery_failures"), 0);
+        assert!(sealed[1].counters.is_empty(), "empty window still sealed");
+        assert_eq!(sealed[2].total("recovery_failures"), 1);
+        // Sealing is monotonic: re-sealing the same range yields nothing.
+        assert!(reg.seal_until(3).is_empty());
+        assert!(reg.seal_until(1).is_empty());
+    }
+
+    #[test]
+    fn eviction_preserves_lifetime_totals_and_series_names() {
+        let mut reg = MetricRegistry::new(SimDuration::from_millis(100));
+        reg.ingest(&outcome(50, false));
+        reg.ingest(&outcome(250, false));
+        reg.seal_until(2);
+        reg.evict_sealed();
+        // Window 0 is gone from the per-window view…
+        assert_eq!(
+            reg.counter_at("recovery_outcomes", Labels::mode("arq"), 0),
+            0
+        );
+        assert_eq!(reg.counter_total_where("recovery_outcomes", |_| true), 1);
+        // …but lifetime totals and the name vocabulary survive.
+        assert_eq!(reg.counter_total("recovery_outcomes"), 2);
+        assert_eq!(reg.counter_total("recovery_failures"), 2);
+        assert!(reg.counter_names().contains(&"recovery_outcomes"));
+    }
+
+    #[test]
+    fn streamed_chunk_concatenation_matches_batch_export() {
+        let build = || {
+            let mut reg = MetricRegistry::new(SimDuration::from_millis(100));
+            reg.ingest(&outcome(50, true));
+            reg.ingest(&outcome(150, false));
+            reg.ingest(&rec(
+                250,
+                TraceEvent::SchedulerRecommendation {
+                    stream: 1,
+                    substream: 0,
+                    candidates: 3,
+                    service_time_ms: 1.5,
+                },
+            ));
+            reg
+        };
+        let batch = build();
+        let (batch_jsonl, batch_csv) = (batch.to_jsonl(), batch.to_csv());
+
+        // Streamed: seal + render + evict window by window, as the
+        // world's streaming pump does.
+        let mut reg = build();
+        let mut jsonl = reg.jsonl_header();
+        let mut csv = reg.csv_header();
+        for upto in [1, 3, 4] {
+            for sw in reg.seal_until(upto) {
+                jsonl.push_str(&reg.jsonl_window(sw.window));
+                csv.push_str(&reg.csv_window(sw.window));
+            }
+            reg.evict_sealed();
+        }
+        jsonl.push_str(&reg.jsonl_tail());
+        csv.push_str(&reg.csv_tail());
+        assert_eq!(jsonl, batch_jsonl);
+        assert_eq!(csv, batch_csv);
     }
 
     #[test]

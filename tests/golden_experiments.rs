@@ -279,6 +279,32 @@ fn golden_obs() {
     }
 }
 
+// The slo subcommand runs a two-world scripted-storm fleet with the
+// SLO engine on and prints the rulebook, the merged fire/resolve alert
+// log and the per-injection incident timelines. Alert evaluation reads
+// only sealed windows and the per-world alert streams merge in window
+// order (exactly associative), so one digest must come out of the
+// whole (jobs, world-jobs) grid — the end-to-end form of
+// crates/core/tests/slo_invariance.rs.
+
+#[test]
+fn golden_slo() {
+    let want = expected_digest("slo");
+    for extra in [
+        &[][..],
+        &["--jobs", "4"][..],
+        &["--jobs", "2", "--world-jobs", "2"][..],
+    ] {
+        let mut args = vec!["slo", "7"];
+        args.extend_from_slice(extra);
+        let got = run_digest(&args);
+        assert_eq!(
+            got, want,
+            "stdout of `experiments slo 7` drifted (extra args {extra:?})"
+        );
+    }
+}
+
 // The fuzz subcommand drives the coverage-guided scenario fuzzer: a
 // seed-deterministic mutation/evaluation/selection loop over small DSL
 // worlds. Its digest pins the whole campaign — mutation draws, batch
